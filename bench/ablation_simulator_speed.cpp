@@ -1,0 +1,72 @@
+// The paper's positioning argument in one table: cycle-level
+// simulation vs the analytical simulator vs the trained estimator, in
+// accuracy-relevant output (IPC) and wall-clock cost per (CNN, GPU)
+// query.  Simulators get slower as models grow; the estimator's cost
+// is one dynamic code analysis plus a tree walk.
+#include <cstdio>
+
+#include "cnn/zoo.hpp"
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/estimator.hpp"
+#include "experiment_common.hpp"
+#include "gpu/cycle_sim.hpp"
+#include "gpu/device_db.hpp"
+#include "gpu/simulator.hpp"
+
+int main() {
+  using namespace gpuperf;
+
+  core::PerformanceEstimator estimator("dt", bench::kModelSeed);
+  estimator.train(bench::build_paper_dataset());
+
+  const gpu::DeviceSpec& device = gpu::device("gtx1080ti");
+  const gpu::GpuSimulator analytical(device);
+  const gpu::CycleLevelSimulator cyclelevel(device);
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+
+  TextTable table(
+      "Per-query cost: cycle-level sim vs analytical sim vs estimator "
+      "(gtx1080ti)");
+  table.set_header({"CNN", "IPC cycle-sim", "IPC analytical",
+                    "IPC estimator", "t cycle-sim (ms)",
+                    "t analytical (ms)", "t estimator (ms)"});
+
+  for (const char* name :
+       {"MobileNetV2", "densenet121", "resnet50v2", "vgg16"}) {
+    const cnn::Model model = cnn::zoo::build(name);
+    const ptx::CompiledModel compiled = codegen.compile(model);
+    const ptx::ModelInstructionProfile instr = counter.count(compiled);
+    const auto workloads = gpu::build_workloads(compiled, instr);
+
+    Stopwatch w1;
+    const gpu::CycleSimResult cycle_result =
+        cyclelevel.simulate_model(workloads);
+    const double t_cycle = w1.elapsed_ms();
+
+    Stopwatch w2;
+    const gpu::ModelSimResult analytic_result =
+        analytical.simulate_model(workloads);
+    const double t_analytic = w2.elapsed_ms();
+
+    Stopwatch w3;
+    const double predicted = estimator.predict(name, device);
+    const double t_estimate = w3.elapsed_ms();
+
+    table.add_row({name, fixed(cycle_result.steady_ipc, 4),
+                   fixed(analytic_result.ipc, 4), fixed(predicted, 4),
+                   fixed(t_cycle, 1), fixed(t_analytic, 3),
+                   fixed(t_estimate, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected shape: all three agree on the IPC ballpark; the\n"
+      "cycle-level simulator costs orders of magnitude more wall time —\n"
+      "the gap the paper's 'simulators are significantly slower' claim\n"
+      "rests on (and ours samples steady state; a full cycle-accurate\n"
+      "run would be slower still).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared setup for the paper-reproduction bench binaries: the full
+// 31-CNN x 2-GPU dataset with the canonical seed, and the 70/30 split
+// used by Table II.
+#pragma once
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/dataset_builder.hpp"
+
+namespace gpuperf::bench {
+
+inline constexpr std::uint64_t kDatasetSeed = 0x67707570ULL;
+inline constexpr std::uint64_t kSplitSeed = 7;
+inline constexpr std::uint64_t kModelSeed = 42;
+
+/// Phase-1 dataset: every Table I CNN profiled on the GTX 1080 Ti and
+/// V100S with 2 % measurement noise.
+inline ml::Dataset build_paper_dataset() {
+  core::DatasetOptions options;
+  options.seed = kDatasetSeed;
+  options.noise_stddev = 0.02;
+  core::DatasetBuilder builder(options);
+  return builder.build();
+}
+
+/// The paper's 70 % / 30 % disjoint split.
+inline std::pair<ml::Dataset, ml::Dataset> paper_split(
+    const ml::Dataset& data) {
+  Rng rng(kSplitSeed);
+  return data.split(0.7, rng);
+}
+
+}  // namespace gpuperf::bench

@@ -1,0 +1,67 @@
+// Reproduces Fig. 4 (a-d): predicted vs measured IPC on the GTX 1080 Ti
+// for six standard CNNs held out of training, under the Decision Tree,
+// K-NN, XGBoost and Random Forest models.
+#include <cstdio>
+
+#include "cnn/zoo.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/estimator.hpp"
+#include "experiment_common.hpp"
+#include "gpu/device_db.hpp"
+#include "ml/metrics.hpp"
+
+int main() {
+  using namespace gpuperf;
+
+  const ml::Dataset data = bench::build_paper_dataset();
+  const auto& holdouts = cnn::zoo::fig4_holdouts();
+  const auto [train, held] = data.split_by_tag_prefix(holdouts);
+  std::printf(
+      "training on %zu observations; %zu held-out rows from 6 standard "
+      "CNNs\n\n",
+      train.size(), held.size());
+
+  // Measured IPC of the holdouts on the 1080 Ti, straight from the
+  // held-out rows.
+  const std::string device_suffix = "@gtx1080ti";
+  std::vector<double> actual(holdouts.size(), 0.0);
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    for (std::size_t m = 0; m < holdouts.size(); ++m) {
+      if (held.tag(i) == holdouts[m] + device_suffix)
+        actual[m] = held.target(i);
+    }
+  }
+
+  const gpu::DeviceSpec& device = gpu::device("gtx1080ti");
+  const std::vector<std::pair<const char*, const char*>> panels = {
+      {"dt", "Fig. 4a: Decision Tree"},
+      {"knn", "Fig. 4b: K-Nearest Neighbors"},
+      {"xgb", "Fig. 4c: XG Boost"},
+      {"rf", "Fig. 4d: Random Forest Tree"},
+  };
+
+  for (const auto& [id, title] : panels) {
+    core::PerformanceEstimator estimator(id, bench::kModelSeed);
+    estimator.train(train);
+
+    TextTable table(title);
+    table.set_header({"CNN", "original IPC", "predicted IPC", "error"});
+    std::vector<double> predicted;
+    for (std::size_t m = 0; m < holdouts.size(); ++m) {
+      const double p = estimator.predict(holdouts[m], device);
+      predicted.push_back(p);
+      const double err =
+          actual[m] > 0 ? 100.0 * (p - actual[m]) / actual[m] : 0.0;
+      table.add_row({holdouts[m], fixed(actual[m], 4), fixed(p, 4),
+                     fixed(err, 1) + "%"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("MAPE on held-out CNNs (gtx1080ti): %.2f%%\n\n",
+                ml::mape(actual, predicted));
+  }
+  std::printf(
+      "expected shape: the four panels track the original IPC closely and\n"
+      "do not differ much from each other (paper Fig. 4).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Microbenchmarks of the CNN substrate: zoo construction, static
+// analysis, and model serialization throughput.
+#include <benchmark/benchmark.h>
+
+#include "cnn/model_io.hpp"
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+
+namespace {
+
+using namespace gpuperf;
+
+void BM_BuildZooModel(benchmark::State& state, const char* name) {
+  for (auto _ : state) {
+    const cnn::Model model = cnn::zoo::build(name);
+    benchmark::DoNotOptimize(model.node_count());
+  }
+  state.SetLabel(name);
+}
+BENCHMARK_CAPTURE(BM_BuildZooModel, alexnet, "alexnet");
+BENCHMARK_CAPTURE(BM_BuildZooModel, resnet152v2, "resnet152v2");
+BENCHMARK_CAPTURE(BM_BuildZooModel, efficientnetb7, "efficientnetb7");
+BENCHMARK_CAPTURE(BM_BuildZooModel, nasnetlarge, "nasnetlarge");
+
+void BM_StaticAnalysis(benchmark::State& state, const char* name) {
+  const cnn::Model model = cnn::zoo::build(name);
+  const cnn::StaticAnalyzer analyzer;
+  for (auto _ : state) {
+    const cnn::ModelReport report = analyzer.analyze(model);
+    benchmark::DoNotOptimize(report.trainable_params);
+  }
+  state.SetLabel(name);
+}
+BENCHMARK_CAPTURE(BM_StaticAnalysis, mobilenetv2, "MobileNetV2");
+BENCHMARK_CAPTURE(BM_StaticAnalysis, efficientnetb7, "efficientnetb7");
+
+void BM_SerializeModel(benchmark::State& state) {
+  const cnn::Model model = cnn::zoo::build("resnet50v2");
+  for (auto _ : state) {
+    const std::string text = cnn::serialize_model(model);
+    benchmark::DoNotOptimize(text.size());
+  }
+}
+BENCHMARK(BM_SerializeModel);
+
+void BM_DeserializeModel(benchmark::State& state) {
+  const std::string text =
+      cnn::serialize_model(cnn::zoo::build("resnet50v2"));
+  for (auto _ : state) {
+    const cnn::Model model = cnn::deserialize_model(text);
+    benchmark::DoNotOptimize(model.node_count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DeserializeModel);
+
+void BM_AnalyzeWholeZoo(benchmark::State& state) {
+  const cnn::StaticAnalyzer analyzer;
+  for (auto _ : state) {
+    std::int64_t total = 0;
+    for (const auto& entry : cnn::zoo::all_models())
+      total += analyzer.analyze(entry.build()).trainable_params;
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AnalyzeWholeZoo);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks of the dynamic code analysis pipeline: PTX parsing,
+// CFG/slice construction, and symbolic execution of single launches and
+// whole models.
+#include <benchmark/benchmark.h>
+
+#include "cnn/zoo.hpp"
+#include "ptx/codegen.hpp"
+#include "ptx/counter.hpp"
+#include "ptx/depgraph.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/slicer.hpp"
+#include "ptx/symexec.hpp"
+
+namespace {
+
+using namespace gpuperf;
+using namespace gpuperf::ptx;
+
+void BM_ParseKernelLibrary(benchmark::State& state) {
+  const std::string text = CodeGenerator::kernel_library().to_ptx();
+  for (auto _ : state) {
+    PtxModule mod = parse_ptx(text);
+    benchmark::DoNotOptimize(mod.kernels.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParseKernelLibrary);
+
+void BM_BuildSliceGemm(benchmark::State& state) {
+  const PtxModule lib = parse_ptx(CodeGenerator::kernel_library().to_ptx());
+  const PtxKernel& gemm = lib.kernel("gp_gemm");
+  for (auto _ : state) {
+    const DependencyGraph graph = DependencyGraph::build(gemm);
+    const Slice slice = compute_slice(gemm, graph);
+    benchmark::DoNotOptimize(slice.slice_size());
+  }
+}
+BENCHMARK(BM_BuildSliceGemm);
+
+void BM_SymExecGemm(benchmark::State& state) {
+  const PtxModule lib = parse_ptx(CodeGenerator::kernel_library().to_ptx());
+  const SymbolicExecutor sym(lib.kernel("gp_gemm"));
+  KernelLaunch l;
+  l.kernel = "gp_gemm";
+  l.block_dim = 256;
+  const std::int64_t total = state.range(0);
+  l.grid_dim = (total + 255) / 256;
+  l.args = {{"p_c", 1}, {"p_a", 2}, {"p_b", 3}, {"p_bias", 4},
+            {"p_total", total}, {"p_n", 64}, {"p_kt", 36}};
+  std::int64_t instructions = 0;
+  for (auto _ : state) {
+    const ExecutionCounts counts = sym.run(l);
+    instructions = counts.total;
+    benchmark::DoNotOptimize(counts.total);
+  }
+  state.counters["instr_counted"] =
+      benchmark::Counter(static_cast<double>(instructions));
+}
+BENCHMARK(BM_SymExecGemm)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CountWholeModel(benchmark::State& state) {
+  const char* names[] = {"MobileNetV2", "resnet50v2", "vgg16"};
+  const cnn::Model model = cnn::zoo::build(names[state.range(0)]);
+  const CodeGenerator codegen;
+  const CompiledModel compiled = codegen.compile(model);
+  const InstructionCounter counter;
+  for (auto _ : state) {
+    const ModelInstructionProfile profile = counter.count(compiled);
+    benchmark::DoNotOptimize(profile.total_instructions);
+  }
+  state.SetLabel(names[state.range(0)]);
+}
+BENCHMARK(BM_CountWholeModel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CompileModel(benchmark::State& state) {
+  const cnn::Model model = cnn::zoo::build("resnet50v2");
+  const CodeGenerator codegen;
+  for (auto _ : state) {
+    const CompiledModel compiled = codegen.compile(model);
+    benchmark::DoNotOptimize(compiled.launches.size());
+  }
+}
+BENCHMARK(BM_CompileModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

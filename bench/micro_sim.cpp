@@ -1,0 +1,77 @@
+// Microbenchmarks of the GPU simulator and the end-to-end profiling
+// facade (codegen -> DCA -> simulation).
+#include <benchmark/benchmark.h>
+
+#include "cnn/zoo.hpp"
+#include "gpu/device_db.hpp"
+#include "gpu/profiler.hpp"
+#include "gpu/simulator.hpp"
+
+namespace {
+
+using namespace gpuperf;
+using namespace gpuperf::gpu;
+
+std::vector<KernelWorkload> resnet_workloads() {
+  static const std::vector<KernelWorkload> workloads = [] {
+    const cnn::Model model = cnn::zoo::build("resnet50v2");
+    const ptx::CodeGenerator codegen;
+    const ptx::InstructionCounter counter;
+    const ptx::CompiledModel compiled = codegen.compile(model);
+    return build_workloads(compiled, counter.count(compiled));
+  }();
+  return workloads;
+}
+
+void BM_SimulateKernel(benchmark::State& state) {
+  const GpuSimulator sim(device("gtx1080ti"));
+  const auto workloads = resnet_workloads();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(workloads[i]).cycles);
+    i = (i + 1) % workloads.size();
+  }
+}
+BENCHMARK(BM_SimulateKernel);
+
+void BM_SimulateModel(benchmark::State& state) {
+  const GpuSimulator sim(device("v100s"));
+  const auto workloads = resnet_workloads();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate_model(workloads).ipc);
+  }
+  state.counters["kernels"] =
+      benchmark::Counter(static_cast<double>(workloads.size()));
+}
+BENCHMARK(BM_SimulateModel);
+
+void BM_ProfileEndToEnd(benchmark::State& state) {
+  const Profiler profiler(0.02);
+  const cnn::Model model = cnn::zoo::build("MobileNetV2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        profiler.profile(model, device("gtx1080ti")).ipc);
+  }
+}
+BENCHMARK(BM_ProfileEndToEnd);
+
+void BM_ProfileCompiledAcrossDevices(benchmark::State& state) {
+  const Profiler profiler(0.0);
+  const cnn::Model model = cnn::zoo::build("MobileNetV2");
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  const auto instr = counter.count(compiled);
+  std::size_t d = 0;
+  for (auto _ : state) {
+    const auto& dev = device_database()[d];
+    benchmark::DoNotOptimize(
+        profiler.profile_compiled(compiled, instr, dev).ipc);
+    d = (d + 1) % device_database().size();
+  }
+}
+BENCHMARK(BM_ProfileCompiledAcrossDevices);
+
+}  // namespace
+
+BENCHMARK_MAIN();

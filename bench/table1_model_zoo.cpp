@@ -1,0 +1,33 @@
+// Reproduces Table I: the 31 CNN models with input size, weighted layer
+// count, neurons and trainable parameters from our static analyzer.
+#include <cstdio>
+
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace gpuperf;
+
+  TextTable table(
+      "Table I: An overview of CNN models used in the experiments");
+  table.set_header(
+      {"Model name", "Input Size", "Layers", "Weighted layers", "Neurons",
+       "Trainable Parameters"});
+
+  const cnn::StaticAnalyzer analyzer;
+  for (const auto& entry : cnn::zoo::all_models()) {
+    const cnn::Model model = entry.build();
+    const cnn::ModelReport report = analyzer.analyze(model);
+    const auto in = model.input_shape();
+    table.add_row({entry.name,
+                   std::to_string(in.h) + " x " + std::to_string(in.w),
+                   std::to_string(entry.canonical_layers),
+                   std::to_string(report.weighted_layers),
+                   with_commas(report.neurons),
+                   with_commas(report.trainable_params)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

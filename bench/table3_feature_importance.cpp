@@ -1,0 +1,44 @@
+// Reproduces Table III: the top predictors of the final Decision Tree
+// by impurity-decrease importance.
+//
+// Paper values: Memory Bandwidth 0.72583, trainable params 0.2599,
+// executed instructions 0.0141.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/estimator.hpp"
+#include "experiment_common.hpp"
+
+int main() {
+  using namespace gpuperf;
+
+  const ml::Dataset data = bench::build_paper_dataset();
+  core::PerformanceEstimator estimator("dt", bench::kModelSeed);
+  estimator.train(data);  // final model trains on the full dataset
+
+  const auto importances = estimator.feature_importances();
+  const auto& names = core::FeatureExtractor::feature_names();
+
+  std::vector<std::size_t> order(importances.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return importances[a] > importances[b];
+  });
+
+  TextTable table(
+      "Table III: Predictors used by the Decision Tree (by importance)");
+  table.set_header({"Feature", "Importance"});
+  for (std::size_t i : order) {
+    if (importances[i] < 1e-6) continue;
+    table.add_row({names[i], fixed(importances[i], 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected shape: memory bandwidth dominant, trainable parameters\n"
+      "second, executed instructions a distant third (paper: 0.726 / "
+      "0.260 / 0.014).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table IV: execution time of the naive approach (profile
+// every GPU with nvprof) versus ours (one dynamic code analysis plus n
+// model inferences) for seven CNNs across n = 1..7 GPUs.
+#include <cstdio>
+
+#include "cnn/zoo.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/dse.hpp"
+#include "experiment_common.hpp"
+#include "gpu/device_db.hpp"
+
+int main() {
+  using namespace gpuperf;
+
+  const ml::Dataset data = bench::build_paper_dataset();
+  core::PerformanceEstimator estimator("dt", bench::kModelSeed);
+  estimator.train(data);
+  core::DseExplorer dse(estimator);
+
+  constexpr int kMaxDevices = 7;
+
+  TextTable table(
+      "Table IV: Execution time (s), naive profiling vs proposed approach");
+  std::vector<std::string> header = {"CNN", "t_p", "t_dca", "t_pm"};
+  for (int n = 1; n <= kMaxDevices; ++n) {
+    header.push_back("naive n=" + std::to_string(n));
+    header.push_back("ours n=" + std::to_string(n));
+  }
+  table.set_header(header);
+
+  double total_speedup_n1 = 0.0;
+  double total_speedup_n7 = 0.0;
+  int rows = 0;
+
+  for (const std::string& model_name : cnn::zoo::table4_models()) {
+    const core::DseTiming timing =
+        dse.time_model(model_name, gpu::dse_devices());
+    std::vector<std::string> row = {model_name, fixed(timing.t_p, 1),
+                                    fixed(timing.t_dca, 4),
+                                    fixed(timing.t_pm, 6)};
+    for (int n = 1; n <= kMaxDevices; ++n) {
+      row.push_back(fixed(timing.t_measur(n), 1));
+      row.push_back(fixed(timing.t_est(n), 4));
+    }
+    table.add_row(row);
+    total_speedup_n1 += timing.speedup(1);
+    total_speedup_n7 += timing.speedup(kMaxDevices);
+    ++rows;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\naverage speedup: %.0fx at n=1, %.0fx at n=7 (paper: 33x average "
+      "for a single GPU, growing with n)\n",
+      total_speedup_n1 / rows, total_speedup_n7 / rows);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Build a custom CNN with the Model API (the NAS use case from the
+// paper's conclusion): analyze it statically, run the dynamic code
+// analysis on its generated PTX, and predict its IPC on several GPUs —
+// all without the architecture ever existing as a trained network.
+#include <cstdio>
+
+#include "cnn/static_analyzer.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/estimator.hpp"
+#include "gpu/device_db.hpp"
+
+namespace {
+
+using namespace gpuperf;
+
+/// A small custom residual classifier, as a NAS candidate might emit.
+cnn::Model build_candidate() {
+  using cnn::ActivationKind;
+  using cnn::Layer;
+  cnn::Model m("nas-candidate-17");
+  cnn::NodeId x = m.add_input(160, 160, 3);
+  x = m.conv_bn_act(x, 32, 3, 2);
+
+  // Three residual stages.
+  std::int64_t filters = 32;
+  for (int stage = 0; stage < 3; ++stage) {
+    filters *= 2;
+    const cnn::NodeId shortcut =
+        m.add(Layer::conv2d(filters, 1, 2, cnn::Padding::kSame, false), x);
+    cnn::NodeId y = m.conv_bn_act(x, filters, 3, 2);
+    y = m.conv_bn_act(y, filters, 3, 1, cnn::Padding::kSame,
+                      ActivationKind::kLinear);
+    x = m.add(Layer::add(), {shortcut, y});
+    x = m.add(Layer::activation(ActivationKind::kReLU), x);
+  }
+
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(100, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const cnn::Model candidate = build_candidate();
+
+  // Static analysis: the per-layer report a designer would inspect.
+  const cnn::StaticAnalyzer analyzer;
+  const cnn::ModelReport report = analyzer.analyze(candidate);
+  std::printf("%s\n", to_string(report, /*per_layer=*/true).c_str());
+
+  // Feature extraction (static + dynamic code analysis).
+  core::FeatureExtractor extractor;
+  const core::ModelFeatures features = extractor.compute(candidate);
+  std::printf("executed PTX instructions (dynamic code analysis): %s\n",
+              with_commas(features.executed_instructions).c_str());
+  std::printf("dynamic code analysis time: %.3f s\n\n",
+              features.dca_seconds);
+
+  // Train the estimator on the standard zoo, then score the candidate
+  // on a spread of devices.
+  std::printf("training estimator on the standard zoo...\n");
+  core::DatasetBuilder builder;
+  core::PerformanceEstimator estimator("dt");
+  estimator.train(builder.build());
+
+  TextTable table("Predicted IPC of " + candidate.name());
+  table.set_header({"device", "predicted IPC"});
+  for (const char* device_name :
+       {"gtx1080ti", "v100s", "teslat4", "jetsonxaviernx"}) {
+    const double ipc = estimator.predict(
+        core::FeatureExtractor::feature_vector(features,
+                                               gpu::device(device_name)));
+    table.add_row({device_name, fixed(ipc, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Hardware-aware neural architecture search — the paper's concluding
+// use case: "predict the performance of different generated CNN
+// architectures for a wide range of GPGPUs without the need to execute
+// the CNN on all of them."
+//
+// A random search samples residual-network candidates, scores each on
+// accuracy-free proxies (parameters as a capacity proxy) and predicted
+// IPC-derived throughput on a target device, and reports the Pareto
+// front — every candidate scored purely by static + dynamic code
+// analysis plus one tree walk.
+//
+//   ./nas_search [device] [n_candidates]
+#include <algorithm>
+#include <cstdio>
+
+#include "cnn/static_analyzer.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/estimator.hpp"
+#include "gpu/device_db.hpp"
+
+namespace {
+
+using namespace gpuperf;
+
+struct Candidate {
+  cnn::Model model;
+  std::int64_t params = 0;
+  double predicted_ipc = 0.0;
+  double throughput_proxy = 0.0;  // IPC * SMs * clock / instructions
+};
+
+/// Sample a random residual classifier: depth, width, kernel sizes and
+/// downsampling schedule drawn from a small search space.
+cnn::Model sample_candidate(int index, Rng& rng) {
+  using cnn::ActivationKind;
+  using cnn::Layer;
+  cnn::Model m("nas-" + std::to_string(index));
+  const std::int64_t stem = 16 << rng.uniform_int(0, 2);  // 16/32/64
+  cnn::NodeId x = m.add_input(128, 128, 3);
+  x = m.conv_bn_act(x, stem, 3, 2);
+
+  std::int64_t filters = stem;
+  const int stages = static_cast<int>(rng.uniform_int(2, 4));
+  for (int stage = 0; stage < stages; ++stage) {
+    filters = std::min<std::int64_t>(filters * 2, 512);
+    const int blocks = static_cast<int>(rng.uniform_int(1, 3));
+    for (int b = 0; b < blocks; ++b) {
+      const int stride = b == 0 ? 2 : 1;
+      const int kernel = rng.uniform_int(0, 1) ? 3 : 5;
+      cnn::NodeId shortcut = x;
+      if (stride > 1) {
+        shortcut = m.add(
+            Layer::conv2d(filters, 1, stride, cnn::Padding::kSame, false),
+            x);
+        shortcut = m.add(Layer::batch_norm(), shortcut);
+      }
+      cnn::NodeId y = m.conv_bn_act(x, filters, kernel, stride);
+      y = m.conv_bn_act(y, filters, kernel, 1, cnn::Padding::kSame,
+                        ActivationKind::kLinear);
+      x = m.add(Layer::add(), {shortcut, y});
+      x = m.add(Layer::activation(ActivationKind::kReLU), x);
+    }
+  }
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string device_name = argc > 1 ? argv[1] : "teslat4";
+  const int n_candidates = argc > 2 ? static_cast<int>(parse_int(argv[2]))
+                                    : 24;
+  if (!gpu::has_device(device_name)) {
+    std::fprintf(stderr, "unknown device '%s'\n", device_name.c_str());
+    return 1;
+  }
+  const gpu::DeviceSpec& device = gpu::device(device_name);
+
+  std::printf("training estimator on the standard zoo...\n");
+  core::DatasetBuilder builder;
+  core::PerformanceEstimator estimator("dt");
+  estimator.train(builder.build());
+
+  std::printf("scoring %d random candidates on %s...\n\n", n_candidates,
+              device.full_name.c_str());
+  Rng rng(0xA5);
+  core::FeatureExtractor extractor;
+  const cnn::StaticAnalyzer analyzer;
+  std::vector<Candidate> candidates;
+  for (int i = 0; i < n_candidates; ++i) {
+    Candidate c{sample_candidate(i, rng)};
+    c.params = analyzer.analyze(c.model).trainable_params;
+    const core::ModelFeatures features = extractor.compute(c.model);
+    c.predicted_ipc = estimator.predict(
+        core::FeatureExtractor::feature_vector(features, device));
+    // Throughput proxy: instructions per second the device would
+    // sustain at this IPC, normalized by the candidate's work.
+    c.throughput_proxy =
+        c.predicted_ipc * device.sm_count * device.boost_clock_mhz * 1e6 *
+        32.0 / static_cast<double>(features.executed_instructions);
+    candidates.push_back(std::move(c));
+  }
+
+  // Pareto front: maximize capacity (params) and throughput together.
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (candidates[j].params >= candidates[i].params &&
+          candidates[j].throughput_proxy > candidates[i].throughput_proxy &&
+          candidates[j].params > candidates[i].params) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a].throughput_proxy > candidates[b].throughput_proxy;
+  });
+
+  TextTable table("Pareto front (capacity vs predicted throughput)");
+  table.set_header({"candidate", "trainable params", "predicted IPC",
+                    "inferences/s (proxy)"});
+  for (std::size_t i : front)
+    table.add_row({candidates[i].model.name(),
+                   with_commas(candidates[i].params),
+                   fixed(candidates[i].predicted_ipc, 4),
+                   fixed(candidates[i].throughput_proxy, 1)});
+  std::printf("%s", table.render().c_str());
+  std::printf("\n%zu of %d candidates are Pareto-optimal; none were ever "
+              "executed.\n",
+              front.size(), n_candidates);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: build the training dataset, train the paper's Decision
+// Tree estimator, and predict a CNN's IPC on a GPU — no hardware, no
+// profiler.
+//
+//   ./quickstart [model] [device]
+//
+// Defaults to resnet50v2 on the GTX 1080 Ti.
+#include <cstdio>
+
+#include "cnn/zoo.hpp"
+#include "common/log.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/estimator.hpp"
+#include "gpu/device_db.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpuperf;
+  set_log_level(LogLevel::kInfo);
+
+  const std::string model_name = argc > 1 ? argv[1] : "resnet50v2";
+  const std::string device_name = argc > 2 ? argv[2] : "gtx1080ti";
+  if (!cnn::zoo::has_model(model_name)) {
+    std::fprintf(stderr, "unknown model '%s'; available models:\n",
+                 model_name.c_str());
+    for (const auto& e : cnn::zoo::all_models())
+      std::fprintf(stderr, "  %s\n", e.name.c_str());
+    return 1;
+  }
+  if (!gpu::has_device(device_name)) {
+    std::fprintf(stderr, "unknown device '%s'; available devices:\n",
+                 device_name.c_str());
+    for (const auto& d : gpu::device_database())
+      std::fprintf(stderr, "  %-16s %s\n", d.name.c_str(),
+                   d.full_name.c_str());
+    return 1;
+  }
+
+  // Phase 1: training dataset — 31 CNNs profiled (in simulation) on the
+  // two training GPUs.
+  std::printf("building training dataset (31 CNNs x 2 GPUs)...\n");
+  core::DatasetBuilder builder;
+  const ml::Dataset data = builder.build();
+  std::printf("dataset: %zu observations, %zu features\n", data.size(),
+              data.n_features());
+
+  // Phase 2: train the predictive model.
+  core::PerformanceEstimator estimator("dt");
+  estimator.train(data);
+  const ml::RegressionScore fit = estimator.evaluate(data);
+  std::printf("decision tree trained (training-set MAPE %.2f%%)\n\n",
+              fit.mape);
+
+  // Predict.
+  const gpu::DeviceSpec& device = gpu::device(device_name);
+  const double ipc = estimator.predict(model_name, device);
+  std::printf("predicted IPC of %s on %s (%s): %.4f\n", model_name.c_str(),
+              device.full_name.c_str(), device.architecture.c_str(), ipc);
+  std::printf("  dynamic code analysis took %.3f s, inference %.6f s\n",
+              estimator.last_dca_seconds(),
+              estimator.last_predict_seconds());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Inspect any zoo architecture: per-layer shapes and parameters from
+// the static analyzer, plus the kernel launches its PTX lowering
+// produces.
+//
+//   ./zoo_report [model] [--layers] [--device <id>]
+//
+// With --device, also prints the per-layer latency attribution on that
+// GPU (top 15 layers by time share).
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "gpu/device_db.hpp"
+#include "gpu/profiler.hpp"
+#include "ptx/counter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpuperf;
+
+  const std::string model_name = argc > 1 ? argv[1] : "MobileNetV2";
+  bool per_layer = false;
+  std::string device_name;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--layers") == 0) per_layer = true;
+    if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc)
+      device_name = argv[++i];
+  }
+  if (!cnn::zoo::has_model(model_name)) {
+    std::fprintf(stderr, "unknown model '%s'\n", model_name.c_str());
+    return 1;
+  }
+
+  const cnn::Model model = cnn::zoo::build(model_name);
+  const cnn::ModelReport report = cnn::StaticAnalyzer().analyze(model);
+  std::printf("%s\n", to_string(report, per_layer).c_str());
+
+  // Lower to PTX and count.
+  const ptx::CodeGenerator codegen;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  const ptx::InstructionCounter counter;
+  const ptx::ModelInstructionProfile profile = counter.count(compiled);
+
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> per_kernel;
+  for (std::size_t i = 0; i < compiled.launches.size(); ++i) {
+    auto& entry = per_kernel[compiled.launches[i].kernel];
+    entry.first += 1;
+    entry.second += profile.per_launch[i];
+  }
+
+  TextTable table("PTX lowering of " + model_name);
+  table.set_header({"kernel", "launches", "dynamic instructions"});
+  for (const auto& [kernel, stats] : per_kernel)
+    table.add_row({kernel, std::to_string(stats.first),
+                   with_commas(stats.second)});
+  table.add_rule();
+  table.add_row({"total", std::to_string(profile.launch_count),
+                 with_commas(profile.total_instructions)});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\ninstruction mix:\n");
+  for (int c = 0; c < ptx::kOpClassCount; ++c) {
+    const double share =
+        100.0 * static_cast<double>(profile.by_class[static_cast<std::size_t>(c)]) /
+        static_cast<double>(profile.total_instructions);
+    if (share < 0.05) continue;
+    std::printf("  %-12s %5.1f%%\n",
+                ptx::op_class_name(static_cast<ptx::OpClass>(c)), share);
+  }
+
+  if (!device_name.empty()) {
+    if (!gpu::has_device(device_name)) {
+      std::fprintf(stderr, "unknown device '%s'\n", device_name.c_str());
+      return 1;
+    }
+    const gpu::Profiler profiler(0.0);
+    auto layers = profiler.profile_layers(compiled, profile,
+                                          gpu::device(device_name));
+    std::sort(layers.begin(), layers.end(),
+              [](const gpu::LayerProfile& a, const gpu::LayerProfile& b) {
+                return a.time_us > b.time_us;
+              });
+    TextTable lt("Hottest layers on " + device_name);
+    lt.set_header({"layer", "launches", "time (us)", "share"});
+    std::size_t shown = 0;
+    for (const auto& lp : layers) {
+      if (++shown > 15) break;
+      lt.add_row({lp.layer, std::to_string(lp.launch_count),
+                  fixed(lp.time_us, 1),
+                  fixed(100.0 * lp.time_share, 1) + "%"});
+    }
+    std::printf("\n%s", lt.render().c_str());
+  }
+  return 0;
+}

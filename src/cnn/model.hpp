@@ -1,0 +1,66 @@
+// A CNN architecture as a DAG of layers.  Node ids are assigned in
+// insertion order and inputs must refer to earlier nodes, so the node
+// vector is always a valid topological order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnn/layer.hpp"
+
+namespace gpuperf::cnn {
+
+using NodeId = std::int32_t;
+
+struct ModelNode {
+  Layer layer;
+  std::vector<NodeId> inputs;
+};
+
+class Model {
+ public:
+  explicit Model(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Append a layer fed by `inputs`; returns its node id.  Arity and
+  /// topological ordering are validated here, shapes at analysis time.
+  NodeId add(Layer layer, std::vector<NodeId> inputs);
+
+  /// Convenience: single-input add.
+  NodeId add(Layer layer, NodeId input);
+
+  /// Add the input layer (must be the first node).
+  NodeId add_input(std::int64_t h, std::int64_t w, std::int64_t c);
+
+  /// Chain helper: conv + batch-norm + activation, the dominant idiom
+  /// in every zoo architecture.  `bias` defaults to false because the
+  /// batch norm's beta subsumes it (Keras convention).
+  NodeId conv_bn_act(NodeId input, std::int64_t filters, int kernel,
+                     int stride = 1, Padding padding = Padding::kSame,
+                     ActivationKind act = ActivationKind::kReLU,
+                     bool bias = false, int groups = 1);
+
+  const std::vector<ModelNode>& nodes() const { return nodes_; }
+  const ModelNode& node(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// The designated output node (defaults to the last added).
+  NodeId output() const;
+  void set_output(NodeId id);
+
+  /// Shape of the input layer.
+  TensorShape input_shape() const;
+
+  /// Structural checks beyond per-add validation: exactly one input
+  /// node, every node reachable from the output is well-formed.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ModelNode> nodes_;
+  NodeId output_ = -1;
+};
+
+}  // namespace gpuperf::cnn

@@ -1,0 +1,321 @@
+#include "cnn/model_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace gpuperf::cnn {
+
+namespace {
+
+const char* kind_token(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv2D: return "conv2d";
+    case LayerKind::kDepthwiseConv2D: return "depthwise_conv2d";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kMaxPool: return "max_pool";
+    case LayerKind::kAvgPool: return "avg_pool";
+    case LayerKind::kGlobalAvgPool: return "global_avg_pool";
+    case LayerKind::kActivation: return "activation";
+    case LayerKind::kBatchNorm: return "batch_norm";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kMultiply: return "multiply";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kZeroPad: return "zero_pad";
+    case LayerKind::kDropout: return "dropout";
+  }
+  return "?";
+}
+
+LayerKind kind_from_token(const std::string& token, int line) {
+  static const std::map<std::string, LayerKind> kinds = {
+      {"input", LayerKind::kInput},
+      {"conv2d", LayerKind::kConv2D},
+      {"depthwise_conv2d", LayerKind::kDepthwiseConv2D},
+      {"dense", LayerKind::kDense},
+      {"max_pool", LayerKind::kMaxPool},
+      {"avg_pool", LayerKind::kAvgPool},
+      {"global_avg_pool", LayerKind::kGlobalAvgPool},
+      {"activation", LayerKind::kActivation},
+      {"batch_norm", LayerKind::kBatchNorm},
+      {"add", LayerKind::kAdd},
+      {"multiply", LayerKind::kMultiply},
+      {"concat", LayerKind::kConcat},
+      {"flatten", LayerKind::kFlatten},
+      {"zero_pad", LayerKind::kZeroPad},
+      {"dropout", LayerKind::kDropout}};
+  const auto it = kinds.find(token);
+  GP_CHECK_MSG(it != kinds.end(),
+               "unknown layer kind '" << token << "' at line " << line);
+  return it->second;
+}
+
+ActivationKind act_from_token(const std::string& token, int line) {
+  static const std::map<std::string, ActivationKind> acts = {
+      {"linear", ActivationKind::kLinear},
+      {"relu", ActivationKind::kReLU},
+      {"relu6", ActivationKind::kReLU6},
+      {"sigmoid", ActivationKind::kSigmoid},
+      {"swish", ActivationKind::kSwish},
+      {"softmax", ActivationKind::kSoftmax},
+      {"tanh", ActivationKind::kTanh}};
+  const auto it = acts.find(token);
+  GP_CHECK_MSG(it != acts.end(),
+               "unknown activation '" << token << "' at line " << line);
+  return it->second;
+}
+
+}  // namespace
+
+std::string serialize_model(const Model& model) {
+  model.validate();
+  std::ostringstream os;
+  os << "gpuperf-model v1\n";
+  os << "name " << model.name() << "\n";
+
+  for (std::size_t i = 0; i < model.node_count(); ++i) {
+    const ModelNode& node = model.node(static_cast<NodeId>(i));
+    const Layer& l = node.layer;
+    os << "node " << i << ' ' << kind_token(l.kind);
+
+    if (!node.inputs.empty()) {
+      os << " in=";
+      for (std::size_t j = 0; j < node.inputs.size(); ++j) {
+        if (j) os << ',';
+        os << node.inputs[j];
+      }
+    }
+
+    switch (l.kind) {
+      case LayerKind::kInput:
+        os << " h=" << l.input_shape.h << " w=" << l.input_shape.w
+           << " c=" << l.input_shape.c;
+        break;
+      case LayerKind::kConv2D:
+        os << " filters=" << l.filters << " kernel=" << l.kernel_h << 'x'
+           << l.kernel_w << " stride=" << l.stride_h << 'x' << l.stride_w
+           << " pad=" << (l.padding == Padding::kSame ? "same" : "valid")
+           << " bias=" << (l.use_bias ? 1 : 0)
+           << " act=" << activation_name(l.act) << " groups=" << l.groups;
+        break;
+      case LayerKind::kDepthwiseConv2D:
+        os << " kernel=" << l.kernel_h << 'x' << l.kernel_w
+           << " stride=" << l.stride_h << 'x' << l.stride_w
+           << " pad=" << (l.padding == Padding::kSame ? "same" : "valid")
+           << " bias=" << (l.use_bias ? 1 : 0)
+           << " mult=" << l.depth_multiplier;
+        break;
+      case LayerKind::kDense:
+        os << " units=" << l.filters << " bias=" << (l.use_bias ? 1 : 0)
+           << " act=" << activation_name(l.act);
+        break;
+      case LayerKind::kMaxPool:
+      case LayerKind::kAvgPool:
+        os << " pool=" << l.kernel_h << " stride=" << l.stride_h
+           << " pad=" << (l.padding == Padding::kSame ? "same" : "valid");
+        break;
+      case LayerKind::kActivation:
+        os << " act=" << activation_name(l.act);
+        break;
+      case LayerKind::kZeroPad:
+        os << " t=" << l.pad_top << " b=" << l.pad_bottom
+           << " l=" << l.pad_left << " r=" << l.pad_right;
+        break;
+      case LayerKind::kDropout:
+        os << " rate=" << fixed(l.dropout_rate, 6);
+        break;
+      default:
+        break;  // no extra attributes
+    }
+    os << "\n";
+  }
+  os << "output " << model.output() << "\n";
+  return os.str();
+}
+
+Model deserialize_model(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+
+  auto next_line = [&](bool required) {
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (!trim(line).empty()) return true;
+    }
+    GP_CHECK_MSG(!required, "unexpected end of model file");
+    return false;
+  };
+
+  GP_CHECK(next_line(true));
+  GP_CHECK_MSG(trim(line) == "gpuperf-model v1",
+               "bad model header: '" << line << "'");
+
+  GP_CHECK(next_line(true));
+  auto parts = split_ws(line);
+  GP_CHECK_MSG(parts.size() == 2 && parts[0] == "name",
+               "expected 'name <id>' at line " << line_no);
+  Model model(parts[1]);
+
+  bool have_output = false;
+  while (next_line(false)) {
+    parts = split_ws(line);
+    GP_CHECK(!parts.empty());
+
+    if (parts[0] == "output") {
+      GP_CHECK_MSG(parts.size() == 2, "bad output line " << line_no);
+      model.set_output(static_cast<NodeId>(parse_int(parts[1])));
+      have_output = true;
+      continue;
+    }
+
+    GP_CHECK_MSG(parts[0] == "node" && parts.size() >= 3,
+                 "expected 'node <id> <kind> ...' at line " << line_no);
+    const std::int64_t id = parse_int(parts[1]);
+    GP_CHECK_MSG(id == static_cast<std::int64_t>(model.node_count()),
+                 "non-sequential node id at line " << line_no);
+    const LayerKind kind = kind_from_token(parts[2], line_no);
+
+    // Attribute map and input list.
+    std::map<std::string, std::string> attrs;
+    std::vector<NodeId> inputs;
+    for (std::size_t i = 3; i < parts.size(); ++i) {
+      const auto eq = parts[i].find('=');
+      GP_CHECK_MSG(eq != std::string::npos,
+                   "bad attribute '" << parts[i] << "' at line " << line_no);
+      const std::string key = parts[i].substr(0, eq);
+      const std::string value = parts[i].substr(eq + 1);
+      if (key == "in") {
+        for (const auto& tok : split(value, ','))
+          inputs.push_back(static_cast<NodeId>(parse_int(tok)));
+      } else {
+        attrs[key] = value;
+      }
+    }
+
+    auto attr = [&](const char* key) -> const std::string& {
+      const auto it = attrs.find(key);
+      GP_CHECK_MSG(it != attrs.end(), "missing attribute '"
+                                          << key << "' at line " << line_no);
+      return it->second;
+    };
+    auto attr_int = [&](const char* key) { return parse_int(attr(key)); };
+    auto attr_or = [&](const char* key, const std::string& fallback) {
+      const auto it = attrs.find(key);
+      return it == attrs.end() ? fallback : it->second;
+    };
+    auto parse_pair = [&](const std::string& value, int& a, int& b) {
+      const auto x = value.find('x');
+      GP_CHECK_MSG(x != std::string::npos,
+                   "expected AxB value at line " << line_no);
+      a = static_cast<int>(parse_int(value.substr(0, x)));
+      b = static_cast<int>(parse_int(value.substr(x + 1)));
+    };
+    auto padding = [&](const std::string& value) {
+      GP_CHECK_MSG(value == "same" || value == "valid",
+                   "bad padding at line " << line_no);
+      return value == "same" ? Padding::kSame : Padding::kValid;
+    };
+
+    Layer layer;
+    switch (kind) {
+      case LayerKind::kInput:
+        layer = Layer::input(attr_int("h"), attr_int("w"), attr_int("c"));
+        break;
+      case LayerKind::kConv2D: {
+        int kh, kw, sh, sw;
+        parse_pair(attr("kernel"), kh, kw);
+        parse_pair(attr("stride"), sh, sw);
+        layer = Layer::conv2d_rect(attr_int("filters"), kh, kw, sh, sw,
+                                   padding(attr("pad")),
+                                   attr_int("bias") != 0);
+        layer.act = act_from_token(attr_or("act", "linear"), line_no);
+        layer.groups = static_cast<int>(parse_int(attr_or("groups", "1")));
+        break;
+      }
+      case LayerKind::kDepthwiseConv2D: {
+        int kh, kw, sh, sw;
+        parse_pair(attr("kernel"), kh, kw);
+        parse_pair(attr("stride"), sh, sw);
+        GP_CHECK_MSG(kh == kw && sh == sw,
+                     "depthwise conv must be square at line " << line_no);
+        layer = Layer::depthwise_conv2d(
+            kh, sh, padding(attr("pad")), attr_int("bias") != 0,
+            static_cast<int>(parse_int(attr_or("mult", "1"))));
+        break;
+      }
+      case LayerKind::kDense:
+        layer = Layer::dense(attr_int("units"), attr_int("bias") != 0,
+                             act_from_token(attr_or("act", "linear"),
+                                            line_no));
+        break;
+      case LayerKind::kMaxPool:
+        layer = Layer::max_pool(static_cast<int>(attr_int("pool")),
+                                static_cast<int>(attr_int("stride")),
+                                padding(attr("pad")));
+        break;
+      case LayerKind::kAvgPool:
+        layer = Layer::avg_pool(static_cast<int>(attr_int("pool")),
+                                static_cast<int>(attr_int("stride")),
+                                padding(attr("pad")));
+        break;
+      case LayerKind::kGlobalAvgPool:
+        layer = Layer::global_avg_pool();
+        break;
+      case LayerKind::kActivation:
+        layer = Layer::activation(act_from_token(attr("act"), line_no));
+        break;
+      case LayerKind::kBatchNorm:
+        layer = Layer::batch_norm();
+        break;
+      case LayerKind::kAdd:
+        layer = Layer::add();
+        break;
+      case LayerKind::kMultiply:
+        layer = Layer::multiply();
+        break;
+      case LayerKind::kConcat:
+        layer = Layer::concat();
+        break;
+      case LayerKind::kFlatten:
+        layer = Layer::flatten();
+        break;
+      case LayerKind::kZeroPad:
+        layer = Layer::zero_pad(static_cast<int>(attr_int("t")),
+                                static_cast<int>(attr_int("b")),
+                                static_cast<int>(attr_int("l")),
+                                static_cast<int>(attr_int("r")));
+        break;
+      case LayerKind::kDropout:
+        layer = Layer::dropout(parse_double(attr("rate")));
+        break;
+    }
+    model.add(std::move(layer), std::move(inputs));
+  }
+
+  GP_CHECK_MSG(have_output, "model file has no output line");
+  model.validate();
+  return model;
+}
+
+void save_model(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GP_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << serialize_model(model);
+  GP_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+Model load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GP_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return deserialize_model(os.str());
+}
+
+}  // namespace gpuperf::cnn

@@ -1,0 +1,30 @@
+// Text serialization for Model DAGs, so architectures can be stored,
+// versioned and exchanged without C++ (e.g. NAS candidates emitted by
+// an external search, then scored by the estimator).
+//
+// Line-oriented format:
+//   gpuperf-model v1
+//   name my-net
+//   node 0 input h=224 w=224 c=3
+//   node 1 conv2d in=0 filters=64 kernel=7x7 stride=2x2 pad=same
+//          bias=1 act=relu groups=1
+//   node 2 add in=0,1
+//   output 2
+#pragma once
+
+#include <string>
+
+#include "cnn/model.hpp"
+
+namespace gpuperf::cnn {
+
+std::string serialize_model(const Model& model);
+
+/// Parse a serialized model; GP_CHECK-fails with a line number on
+/// malformed input.
+Model deserialize_model(const std::string& text);
+
+void save_model(const Model& model, const std::string& path);
+Model load_model(const std::string& path);
+
+}  // namespace gpuperf::cnn

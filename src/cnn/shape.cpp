@@ -1,0 +1,41 @@
+#include "cnn/shape.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gpuperf::cnn {
+
+TensorShape TensorShape::hwc(std::int64_t h, std::int64_t w,
+                             std::int64_t c) {
+  GP_CHECK(h > 0 && w > 0 && c > 0);
+  return TensorShape{h, w, c, 3};
+}
+
+TensorShape TensorShape::flat(std::int64_t n) {
+  GP_CHECK(n > 0);
+  return TensorShape{n, 1, 1, 1};
+}
+
+std::int64_t TensorShape::elements() const { return h * w * c; }
+
+std::string TensorShape::to_string() const {
+  std::ostringstream os;
+  if (rank == 1)
+    os << "(" << h << ")";
+  else
+    os << "(" << h << ", " << w << ", " << c << ")";
+  return os.str();
+}
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, Padding padding) {
+  GP_CHECK(in > 0 && kernel > 0 && stride > 0);
+  if (padding == Padding::kSame) return (in + stride - 1) / stride;
+  GP_CHECK_MSG(kernel <= in, "valid-padding window " << kernel
+                                                     << " larger than input "
+                                                     << in);
+  return (in - kernel) / stride + 1;
+}
+
+}  // namespace gpuperf::cnn

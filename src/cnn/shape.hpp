@@ -1,0 +1,39 @@
+// Tensor shape algebra for feature maps (height x width x channels) and
+// flat vectors.  Implements the output-dimension arithmetic the paper's
+// Section III-A calls out as essential for counting trainable
+// parameters across conv -> pool -> dense transitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpuperf::cnn {
+
+enum class Padding { kSame, kValid };
+
+/// Feature-map shape.  rank 3 = HWC feature map, rank 1 = flat vector
+/// (w == c == 1 unused; elements stored in h).
+struct TensorShape {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  std::int64_t c = 0;
+  int rank = 3;
+
+  static TensorShape hwc(std::int64_t h, std::int64_t w, std::int64_t c);
+  static TensorShape flat(std::int64_t n);
+
+  /// Total element count.
+  std::int64_t elements() const;
+
+  bool operator==(const TensorShape&) const = default;
+
+  std::string to_string() const;
+};
+
+/// Output spatial extent of a convolution/pool window.
+/// kSame: ceil(in / stride); kValid: floor((in - kernel) / stride) + 1.
+/// GP_CHECK-fails if kValid with kernel > in.
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, Padding padding);
+
+}  // namespace gpuperf::cnn

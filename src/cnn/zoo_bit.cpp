@@ -1,0 +1,31 @@
+// Big Transfer (BiT-M) backbones: ResNet-v2 with a width multiplier.
+// BiT replaces batch norm with group norm + weight standardization;
+// group norm has the same 2C trainable parameters as our batch-norm
+// layer, so the parameter algebra is unchanged.  The paper's "m-r154x4"
+// is BiT's R152x4.
+#include "cnn/zoo.hpp"
+#include "cnn/zoo_resnet_common.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+Model bit_r50x1() {
+  return build_resnet("m-r50x1", {3, 4, 6, 3}, 2, 1);
+}
+
+Model bit_r50x3() {
+  return build_resnet("m-r50x3", {3, 4, 6, 3}, 2, 3);
+}
+
+Model bit_r101x1() {
+  return build_resnet("m-r101x1", {3, 4, 23, 3}, 2, 1);
+}
+
+Model bit_r101x3() {
+  return build_resnet("m-r101x3", {3, 4, 23, 3}, 2, 3);
+}
+
+Model bit_r152x4() {
+  return build_resnet("m-r154x4", {3, 8, 36, 3}, 2, 4);
+}
+
+}  // namespace gpuperf::cnn::zoo

@@ -1,0 +1,74 @@
+// DenseNet-121/169/201 (Huang et al.): dense blocks of bn-relu-conv1x1
+// -bn-relu-conv3x3 units concatenated onto a growing feature stack,
+// with halving transition layers between blocks.  Growth rate 32.
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+namespace {
+
+constexpr std::int64_t kGrowthRate = 32;
+
+NodeId dense_unit(Model& m, NodeId x) {
+  NodeId y = m.add(Layer::batch_norm(), x);
+  y = m.add(Layer::activation(ActivationKind::kReLU), y);
+  y = m.add(Layer::conv2d(4 * kGrowthRate, 1, 1, Padding::kSame, false), y);
+  y = m.add(Layer::batch_norm(), y);
+  y = m.add(Layer::activation(ActivationKind::kReLU), y);
+  y = m.add(Layer::conv2d(kGrowthRate, 3, 1, Padding::kSame, false), y);
+  return m.add(Layer::concat(), {x, y});
+}
+
+NodeId transition(Model& m, NodeId x, std::int64_t channels) {
+  NodeId y = m.add(Layer::batch_norm(), x);
+  y = m.add(Layer::activation(ActivationKind::kReLU), y);
+  y = m.add(Layer::conv2d(channels / 2, 1, 1, Padding::kSame, false), y);
+  return m.add(Layer::avg_pool(2, 2), y);
+}
+
+Model build_densenet(const std::string& name,
+                     const std::vector<int>& blocks) {
+  Model m(name);
+  NodeId x = m.add_input(224, 224, 3);
+
+  x = m.add(Layer::zero_pad(3, 3, 3, 3), x);
+  x = m.add(Layer::conv2d(64, 7, 2, Padding::kValid, false), x);
+  x = m.add(Layer::batch_norm(), x);
+  x = m.add(Layer::activation(ActivationKind::kReLU), x);
+  x = m.add(Layer::zero_pad(1, 1, 1, 1), x);
+  x = m.add(Layer::max_pool(3, 2), x);
+
+  std::int64_t channels = 64;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (int u = 0; u < blocks[b]; ++u) {
+      x = dense_unit(m, x);
+      channels += kGrowthRate;
+    }
+    if (b + 1 < blocks.size()) {
+      x = transition(m, x, channels);
+      channels /= 2;
+    }
+  }
+
+  x = m.add(Layer::batch_norm(), x);
+  x = m.add(Layer::activation(ActivationKind::kReLU), x);
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace
+
+Model densenet121() {
+  return build_densenet("densenet121", {6, 12, 24, 16});
+}
+
+Model densenet169() {
+  return build_densenet("densenet169", {6, 12, 32, 32});
+}
+
+Model densenet201() {
+  return build_densenet("densenet201", {6, 12, 48, 32});
+}
+
+}  // namespace gpuperf::cnn::zoo

@@ -1,0 +1,140 @@
+// EfficientNet B0-B7 (Tan & Le): MBConv inverted bottlenecks with
+// squeeze-and-excitation, compound-scaled by the published width /
+// depth / resolution coefficients.
+#include <cmath>
+
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+namespace {
+
+/// Width scaling with the divisor-8 rounding rule from the reference
+/// implementation.
+std::int64_t round_filters(std::int64_t filters, double width) {
+  const double scaled = static_cast<double>(filters) * width;
+  std::int64_t out =
+      std::max<std::int64_t>(8, (static_cast<std::int64_t>(scaled) + 4) / 8 * 8);
+  if (static_cast<double>(out) < 0.9 * scaled) out += 8;
+  return out;
+}
+
+std::int64_t round_repeats(std::int64_t repeats, double depth) {
+  return static_cast<std::int64_t>(
+      std::ceil(depth * static_cast<double>(repeats)));
+}
+
+NodeId bn_swish(Model& m, NodeId x) {
+  x = m.add(Layer::batch_norm(), x);
+  return m.add(Layer::activation(ActivationKind::kSwish), x);
+}
+
+/// MBConv: 1x1 expansion, depthwise, squeeze-excite, linear projection,
+/// identity skip on stride-1 channel-preserving blocks.
+NodeId mbconv(Model& m, NodeId x, std::int64_t in_ch, std::int64_t out_ch,
+              int kernel, int stride, int expand) {
+  NodeId y = x;
+  const std::int64_t mid = in_ch * expand;
+  if (expand != 1) {
+    y = m.add(Layer::conv2d(mid, 1, 1, Padding::kSame, false), y);
+    y = bn_swish(m, y);
+  }
+
+  if (stride > 1) {
+    const int pad = kernel / 2;
+    y = m.add(Layer::zero_pad(pad - (kernel % 2 == 0 ? 1 : 0), pad,
+                              pad - (kernel % 2 == 0 ? 1 : 0), pad),
+              y);
+  }
+  y = m.add(Layer::depthwise_conv2d(
+                kernel, stride, stride > 1 ? Padding::kValid : Padding::kSame,
+                false),
+            y);
+  y = bn_swish(m, y);
+
+  // Squeeze-and-excitation on the pre-expansion width (ratio 0.25).
+  const std::int64_t se_units = std::max<std::int64_t>(1, in_ch / 4);
+  NodeId se = m.add(Layer::global_avg_pool(), y);
+  se = m.add(Layer::dense(se_units, true, ActivationKind::kSwish), se);
+  se = m.add(Layer::dense(mid, true, ActivationKind::kSigmoid), se);
+  y = m.add(Layer::multiply(), {y, se});
+
+  y = m.add(Layer::conv2d(out_ch, 1, 1, Padding::kSame, false), y);
+  y = m.add(Layer::batch_norm(), y);
+  if (stride == 1 && in_ch == out_ch) y = m.add(Layer::add(), {x, y});
+  return y;
+}
+
+Model build_efficientnet(const std::string& name, double width, double depth,
+                         std::int64_t resolution) {
+  Model m(name);
+  NodeId x = m.add_input(resolution, resolution, 3);
+
+  x = m.add(Layer::zero_pad(0, 1, 0, 1), x);
+  x = m.add(Layer::conv2d(round_filters(32, width), 3, 2, Padding::kValid,
+                          false),
+            x);
+  x = bn_swish(m, x);
+
+  struct Stage {
+    int kernel;
+    std::int64_t repeats;
+    std::int64_t in_ch, out_ch;
+    int expand;
+    int stride;
+  };
+  const Stage stages[] = {
+      {3, 1, 32, 16, 1, 1},  {3, 2, 16, 24, 6, 2},  {5, 2, 24, 40, 6, 2},
+      {3, 3, 40, 80, 6, 2},  {5, 3, 80, 112, 6, 1}, {5, 4, 112, 192, 6, 2},
+      {3, 1, 192, 320, 6, 1}};
+
+  std::int64_t in_ch = round_filters(32, width);
+  for (const Stage& s : stages) {
+    const std::int64_t out_ch = round_filters(s.out_ch, width);
+    const std::int64_t reps = round_repeats(s.repeats, depth);
+    for (std::int64_t r = 0; r < reps; ++r) {
+      const int stride = r == 0 ? s.stride : 1;
+      x = mbconv(m, x, in_ch, out_ch, s.kernel, stride, s.expand);
+      in_ch = out_ch;
+    }
+  }
+
+  x = m.add(Layer::conv2d(round_filters(1280, width), 1, 1, Padding::kSame,
+                          false),
+            x);
+  x = bn_swish(m, x);
+  x = m.add(Layer::global_avg_pool(), x);
+  x = m.add(Layer::dropout(0.2), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace
+
+// Published compound-scaling coefficients (width, depth, resolution).
+Model efficientnet_b0() {
+  return build_efficientnet("efficientnetb0", 1.0, 1.0, 224);
+}
+Model efficientnet_b1() {
+  return build_efficientnet("efficientnetb1", 1.0, 1.1, 240);
+}
+Model efficientnet_b2() {
+  return build_efficientnet("efficientnetb2", 1.1, 1.2, 260);
+}
+Model efficientnet_b3() {
+  return build_efficientnet("efficientnetb3", 1.2, 1.4, 300);
+}
+Model efficientnet_b4() {
+  return build_efficientnet("efficientnetb4", 1.4, 1.8, 380);
+}
+Model efficientnet_b5() {
+  return build_efficientnet("efficientnetb5", 1.6, 2.2, 456);
+}
+Model efficientnet_b6() {
+  return build_efficientnet("efficientnetb6", 1.8, 2.6, 528);
+}
+Model efficientnet_b7() {
+  return build_efficientnet("efficientnetb7", 2.0, 3.1, 600);
+}
+
+}  // namespace gpuperf::cnn::zoo

@@ -1,0 +1,117 @@
+// Extended zoo — the paper's future work ("we work on preparing more
+// standard CNNs and variations of well-known CNNs ... to expand our
+// training dataset").  Three standard torchvision architectures not in
+// Table I; parameter counts reproduce the published values exactly.
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+namespace {
+
+/// torchvision-style bottleneck (bias-free convs, BN everywhere) with a
+/// configurable internal width and grouped 3x3 — covers ResNeXt and
+/// Wide ResNet.
+NodeId bottleneck_tv(Model& m, NodeId x, std::int64_t width,
+                     std::int64_t out_channels, int stride, int groups,
+                     bool project) {
+  NodeId shortcut = x;
+  if (project) {
+    shortcut = m.add(
+        Layer::conv2d(out_channels, 1, stride, Padding::kSame, false), x);
+    shortcut = m.add(Layer::batch_norm(), shortcut);
+  }
+  NodeId y = m.conv_bn_act(x, width, 1, 1);
+  y = m.conv_bn_act(y, width, 3, stride, Padding::kSame,
+                    ActivationKind::kReLU, /*bias=*/false, groups);
+  y = m.add(Layer::conv2d(out_channels, 1, 1, Padding::kSame, false), y);
+  y = m.add(Layer::batch_norm(), y);
+  y = m.add(Layer::add(), {shortcut, y});
+  return m.add(Layer::activation(ActivationKind::kReLU), y);
+}
+
+Model build_resnet_tv(const std::string& name, std::int64_t base_width,
+                      int groups) {
+  Model m(name);
+  NodeId x = m.add_input(224, 224, 3);
+  x = m.add(Layer::zero_pad(3, 3, 3, 3), x);
+  x = m.conv_bn_act(x, 64, 7, 2, Padding::kValid);
+  x = m.add(Layer::zero_pad(1, 1, 1, 1), x);
+  x = m.add(Layer::max_pool(3, 2), x);
+
+  const int blocks[4] = {3, 4, 6, 3};
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t width = base_width << stage;
+    const std::int64_t out_channels = 256LL << stage;
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const int stride = (b == 0 && stage > 0) ? 2 : 1;
+      x = bottleneck_tv(m, x, width, out_channels, stride, groups, b == 0);
+    }
+  }
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+/// SqueezeNet fire module: 1x1 squeeze, then parallel 1x1/3x3 expands
+/// concatenated.  All convs biased, no batch norm (the original).
+NodeId fire(Model& m, NodeId x, std::int64_t squeeze, std::int64_t expand) {
+  NodeId s = m.add(Layer::conv2d(squeeze, 1, 1, Padding::kSame, true,
+                                 ActivationKind::kReLU),
+                   x);
+  NodeId e1 = m.add(Layer::conv2d(expand, 1, 1, Padding::kSame, true,
+                                  ActivationKind::kReLU),
+                    s);
+  NodeId e3 = m.add(Layer::conv2d(expand, 3, 1, Padding::kSame, true,
+                                  ActivationKind::kReLU),
+                    s);
+  return m.add(Layer::concat(), {e1, e3});
+}
+
+}  // namespace
+
+Model resnext50_32x4d() {
+  // Internal widths 128/256/512/1024 split over 32 groups of 4.
+  return build_resnet_tv("resnext50_32x4d", 128, 32);
+}
+
+Model wide_resnet50_2() {
+  // ResNet-50 with doubled internal widths.
+  return build_resnet_tv("wide_resnet50_2", 128, 1);
+}
+
+Model squeezenet() {
+  Model m("squeezenet");
+  NodeId x = m.add_input(224, 224, 3);
+  x = m.add(Layer::conv2d(96, 7, 2, Padding::kValid, true,
+                          ActivationKind::kReLU),
+            x);
+  x = m.add(Layer::max_pool(3, 2), x);
+  x = fire(m, x, 16, 64);
+  x = fire(m, x, 16, 64);
+  x = fire(m, x, 32, 128);
+  x = m.add(Layer::max_pool(3, 2), x);
+  x = fire(m, x, 32, 128);
+  x = fire(m, x, 48, 192);
+  x = fire(m, x, 48, 192);
+  x = fire(m, x, 64, 256);
+  x = m.add(Layer::max_pool(3, 2), x);
+  x = fire(m, x, 64, 256);
+  x = m.add(Layer::dropout(0.5), x);
+  x = m.add(Layer::conv2d(1000, 1, 1, Padding::kSame, true,
+                          ActivationKind::kReLU),
+            x);
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::activation(ActivationKind::kSoftmax), x);
+  return m;
+}
+
+const std::vector<ZooEntry>& extended_models() {
+  static const std::vector<ZooEntry> entries = {
+      {"resnext50_32x4d", resnext50_32x4d, 50},
+      {"wide_resnet50_2", wide_resnet50_2, 50},
+      {"squeezenet", squeezenet, 18},
+  };
+  return entries;
+}
+
+}  // namespace gpuperf::cnn::zoo

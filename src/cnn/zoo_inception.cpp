@@ -1,0 +1,273 @@
+// Inception v3 (Szegedy et al.), Inception-ResNet v2, and Xception
+// (Chollet) — the factorized-convolution family, following the Keras
+// Applications topologies.
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+namespace {
+
+/// conv + bn + relu, no bias (the inception "conv2d_bn" idiom).
+NodeId conv_bn(Model& m, NodeId x, std::int64_t filters, int kh, int kw,
+               int stride = 1, Padding padding = Padding::kSame) {
+  x = m.add(Layer::conv2d_rect(filters, kh, kw, stride, stride, padding,
+                               false),
+            x);
+  x = m.add(Layer::batch_norm(), x);
+  return m.add(Layer::activation(ActivationKind::kReLU), x);
+}
+
+/// Depthwise-separable conv (depthwise + 1x1 pointwise, both unbiased)
+/// followed by batch norm — Keras' SeparableConv2D + BN as used in
+/// Xception.
+NodeId sep_conv_bn(Model& m, NodeId x, std::int64_t filters, int kernel) {
+  x = m.add(Layer::depthwise_conv2d(kernel, 1, Padding::kSame, false), x);
+  x = m.add(Layer::conv2d(filters, 1, 1, Padding::kSame, false), x);
+  return m.add(Layer::batch_norm(), x);
+}
+
+NodeId relu(Model& m, NodeId x) {
+  return m.add(Layer::activation(ActivationKind::kReLU), x);
+}
+
+}  // namespace
+
+Model inception_v3() {
+  Model m("inceptionv3");
+  NodeId x = m.add_input(299, 299, 3);
+
+  x = conv_bn(m, x, 32, 3, 3, 2, Padding::kValid);
+  x = conv_bn(m, x, 32, 3, 3, 1, Padding::kValid);
+  x = conv_bn(m, x, 64, 3, 3);
+  x = m.add(Layer::max_pool(3, 2), x);
+  x = conv_bn(m, x, 80, 1, 1, 1, Padding::kValid);
+  x = conv_bn(m, x, 192, 3, 3, 1, Padding::kValid);
+  x = m.add(Layer::max_pool(3, 2), x);
+
+  // mixed 0-2 (35x35 inception-A blocks; pool branch 32 then 64).
+  for (int i = 0; i < 3; ++i) {
+    NodeId b1 = conv_bn(m, x, 64, 1, 1);
+    NodeId b5 = conv_bn(m, x, 48, 1, 1);
+    b5 = conv_bn(m, b5, 64, 5, 5);
+    NodeId b3 = conv_bn(m, x, 64, 1, 1);
+    b3 = conv_bn(m, b3, 96, 3, 3);
+    b3 = conv_bn(m, b3, 96, 3, 3);
+    NodeId bp = m.add(Layer::avg_pool(3, 1, Padding::kSame), x);
+    bp = conv_bn(m, bp, i == 0 ? 32 : 64, 1, 1);
+    x = m.add(Layer::concat(), {b1, b5, b3, bp});
+  }
+
+  // mixed 3 (reduction to 17x17).
+  {
+    NodeId b3 = conv_bn(m, x, 384, 3, 3, 2, Padding::kValid);
+    NodeId bd = conv_bn(m, x, 64, 1, 1);
+    bd = conv_bn(m, bd, 96, 3, 3);
+    bd = conv_bn(m, bd, 96, 3, 3, 2, Padding::kValid);
+    NodeId bp = m.add(Layer::max_pool(3, 2), x);
+    x = m.add(Layer::concat(), {b3, bd, bp});
+  }
+
+  // mixed 4-7 (17x17 factorized-7x7 blocks; widths 128,160,160,192).
+  const std::int64_t widths[4] = {128, 160, 160, 192};
+  for (std::int64_t w : widths) {
+    NodeId b1 = conv_bn(m, x, 192, 1, 1);
+    NodeId b7 = conv_bn(m, x, w, 1, 1);
+    b7 = conv_bn(m, b7, w, 1, 7);
+    b7 = conv_bn(m, b7, 192, 7, 1);
+    NodeId bd = conv_bn(m, x, w, 1, 1);
+    bd = conv_bn(m, bd, w, 7, 1);
+    bd = conv_bn(m, bd, w, 1, 7);
+    bd = conv_bn(m, bd, w, 7, 1);
+    bd = conv_bn(m, bd, 192, 1, 7);
+    NodeId bp = m.add(Layer::avg_pool(3, 1, Padding::kSame), x);
+    bp = conv_bn(m, bp, 192, 1, 1);
+    x = m.add(Layer::concat(), {b1, b7, bd, bp});
+  }
+
+  // mixed 8 (reduction to 8x8).
+  {
+    NodeId b3 = conv_bn(m, x, 192, 1, 1);
+    b3 = conv_bn(m, b3, 320, 3, 3, 2, Padding::kValid);
+    NodeId b7 = conv_bn(m, x, 192, 1, 1);
+    b7 = conv_bn(m, b7, 192, 1, 7);
+    b7 = conv_bn(m, b7, 192, 7, 1);
+    b7 = conv_bn(m, b7, 192, 3, 3, 2, Padding::kValid);
+    NodeId bp = m.add(Layer::max_pool(3, 2), x);
+    x = m.add(Layer::concat(), {b3, b7, bp});
+  }
+
+  // mixed 9-10 (8x8 expanded blocks).
+  for (int i = 0; i < 2; ++i) {
+    NodeId b1 = conv_bn(m, x, 320, 1, 1);
+    NodeId b3 = conv_bn(m, x, 384, 1, 1);
+    NodeId b3a = conv_bn(m, b3, 384, 1, 3);
+    NodeId b3b = conv_bn(m, b3, 384, 3, 1);
+    NodeId b3c = m.add(Layer::concat(), {b3a, b3b});
+    NodeId bd = conv_bn(m, x, 448, 1, 1);
+    bd = conv_bn(m, bd, 384, 3, 3);
+    NodeId bda = conv_bn(m, bd, 384, 1, 3);
+    NodeId bdb = conv_bn(m, bd, 384, 3, 1);
+    NodeId bdc = m.add(Layer::concat(), {bda, bdb});
+    NodeId bp = m.add(Layer::avg_pool(3, 1, Padding::kSame), x);
+    bp = conv_bn(m, bp, 192, 1, 1);
+    x = m.add(Layer::concat(), {b1, b3c, bdc, bp});
+  }
+
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+Model inception_resnet_v2() {
+  Model m("InceptionResNetV2");
+  NodeId x = m.add_input(200, 200, 3);  // Table I lists a 200x200 input
+
+  // Stem.
+  x = conv_bn(m, x, 32, 3, 3, 2, Padding::kValid);
+  x = conv_bn(m, x, 32, 3, 3, 1, Padding::kValid);
+  x = conv_bn(m, x, 64, 3, 3);
+  x = m.add(Layer::max_pool(3, 2), x);
+  x = conv_bn(m, x, 80, 1, 1, 1, Padding::kValid);
+  x = conv_bn(m, x, 192, 3, 3, 1, Padding::kValid);
+  x = m.add(Layer::max_pool(3, 2), x);
+
+  // mixed_5b (Inception-A) -> 320 channels.
+  {
+    NodeId b0 = conv_bn(m, x, 96, 1, 1);
+    NodeId b1 = conv_bn(m, x, 48, 1, 1);
+    b1 = conv_bn(m, b1, 64, 5, 5);
+    NodeId b2 = conv_bn(m, x, 64, 1, 1);
+    b2 = conv_bn(m, b2, 96, 3, 3);
+    b2 = conv_bn(m, b2, 96, 3, 3);
+    NodeId bp = m.add(Layer::avg_pool(3, 1, Padding::kSame), x);
+    bp = conv_bn(m, bp, 64, 1, 1);
+    x = m.add(Layer::concat(), {b0, b1, b2, bp});
+  }
+
+  // 10x block35.  The residual branch ends in a biased linear 1x1 conv
+  // ("up"); the fixed residual scale (0.17) has no parameters and is
+  // folded into the add.
+  for (int i = 0; i < 10; ++i) {
+    NodeId b0 = conv_bn(m, x, 32, 1, 1);
+    NodeId b1 = conv_bn(m, x, 32, 1, 1);
+    b1 = conv_bn(m, b1, 32, 3, 3);
+    NodeId b2 = conv_bn(m, x, 32, 1, 1);
+    b2 = conv_bn(m, b2, 48, 3, 3);
+    b2 = conv_bn(m, b2, 64, 3, 3);
+    NodeId mix = m.add(Layer::concat(), {b0, b1, b2});
+    NodeId up = m.add(Layer::conv2d(320, 1, 1, Padding::kSame, true), mix);
+    x = m.add(Layer::add(), {x, up});
+    x = relu(m, x);
+  }
+
+  // mixed_6a (Reduction-A) -> 1088 channels at 17x17.
+  {
+    NodeId b0 = conv_bn(m, x, 384, 3, 3, 2, Padding::kValid);
+    NodeId b1 = conv_bn(m, x, 256, 1, 1);
+    b1 = conv_bn(m, b1, 256, 3, 3);
+    b1 = conv_bn(m, b1, 384, 3, 3, 2, Padding::kValid);
+    NodeId bp = m.add(Layer::max_pool(3, 2), x);
+    x = m.add(Layer::concat(), {b0, b1, bp});
+  }
+
+  // 20x block17.
+  for (int i = 0; i < 20; ++i) {
+    NodeId b0 = conv_bn(m, x, 192, 1, 1);
+    NodeId b1 = conv_bn(m, x, 128, 1, 1);
+    b1 = conv_bn(m, b1, 160, 1, 7);
+    b1 = conv_bn(m, b1, 192, 7, 1);
+    NodeId mix = m.add(Layer::concat(), {b0, b1});
+    NodeId up = m.add(Layer::conv2d(1088, 1, 1, Padding::kSame, true), mix);
+    x = m.add(Layer::add(), {x, up});
+    x = relu(m, x);
+  }
+
+  // mixed_7a (Reduction-B) -> 2080 channels at 8x8.
+  {
+    NodeId b0 = conv_bn(m, x, 256, 1, 1);
+    b0 = conv_bn(m, b0, 384, 3, 3, 2, Padding::kValid);
+    NodeId b1 = conv_bn(m, x, 256, 1, 1);
+    b1 = conv_bn(m, b1, 288, 3, 3, 2, Padding::kValid);
+    NodeId b2 = conv_bn(m, x, 256, 1, 1);
+    b2 = conv_bn(m, b2, 288, 3, 3);
+    b2 = conv_bn(m, b2, 320, 3, 3, 2, Padding::kValid);
+    NodeId bp = m.add(Layer::max_pool(3, 2), x);
+    x = m.add(Layer::concat(), {b0, b1, b2, bp});
+  }
+
+  // 10x block8 (the final one keeps the residual unactivated).
+  for (int i = 0; i < 10; ++i) {
+    NodeId b0 = conv_bn(m, x, 192, 1, 1);
+    NodeId b1 = conv_bn(m, x, 192, 1, 1);
+    b1 = conv_bn(m, b1, 224, 1, 3);
+    b1 = conv_bn(m, b1, 256, 3, 1);
+    NodeId mix = m.add(Layer::concat(), {b0, b1});
+    NodeId up = m.add(Layer::conv2d(2080, 1, 1, Padding::kSame, true), mix);
+    x = m.add(Layer::add(), {x, up});
+    if (i + 1 < 10) x = relu(m, x);
+  }
+
+  x = conv_bn(m, x, 1536, 1, 1);
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+Model xception() {
+  Model m("Xception");
+  NodeId x = m.add_input(299, 299, 3);
+
+  // Entry flow.
+  x = conv_bn(m, x, 32, 3, 3, 2, Padding::kValid);
+  x = conv_bn(m, x, 64, 3, 3, 1, Padding::kValid);
+
+  const std::int64_t entry_filters[3] = {128, 256, 728};
+  for (int b = 0; b < 3; ++b) {
+    const std::int64_t f = entry_filters[b];
+    NodeId residual =
+        m.add(Layer::conv2d(f, 1, 2, Padding::kSame, false), x);
+    residual = m.add(Layer::batch_norm(), residual);
+
+    NodeId y = x;
+    if (b > 0) y = relu(m, y);
+    y = sep_conv_bn(m, y, f, 3);
+    y = relu(m, y);
+    y = sep_conv_bn(m, y, f, 3);
+    y = m.add(Layer::max_pool(3, 2, Padding::kSame), y);
+    x = m.add(Layer::add(), {residual, y});
+  }
+
+  // Middle flow: 8 residual triples of 728-wide separable convs.
+  for (int b = 0; b < 8; ++b) {
+    NodeId y = relu(m, x);
+    y = sep_conv_bn(m, y, 728, 3);
+    y = relu(m, y);
+    y = sep_conv_bn(m, y, 728, 3);
+    y = relu(m, y);
+    y = sep_conv_bn(m, y, 728, 3);
+    x = m.add(Layer::add(), {x, y});
+  }
+
+  // Exit flow.
+  {
+    NodeId residual =
+        m.add(Layer::conv2d(1024, 1, 2, Padding::kSame, false), x);
+    residual = m.add(Layer::batch_norm(), residual);
+    NodeId y = relu(m, x);
+    y = sep_conv_bn(m, y, 728, 3);
+    y = relu(m, y);
+    y = sep_conv_bn(m, y, 1024, 3);
+    y = m.add(Layer::max_pool(3, 2, Padding::kSame), y);
+    x = m.add(Layer::add(), {residual, y});
+  }
+  x = sep_conv_bn(m, x, 1536, 3);
+  x = relu(m, x);
+  x = sep_conv_bn(m, x, 2048, 3);
+  x = relu(m, x);
+
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace gpuperf::cnn::zoo

@@ -1,0 +1,44 @@
+// AlexNet (Krizhevsky et al., 2012) — the original two-tower network
+// expressed with grouped convolutions, 227x227 input as in the paper's
+// Table I.
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+Model alexnet() {
+  Model m("alexnet");
+  NodeId x = m.add_input(227, 227, 3);
+
+  // conv1: 96 x 11x11 / 4, valid -> 55x55.
+  x = m.add(Layer::conv2d(96, 11, 4, Padding::kValid, true,
+                          ActivationKind::kReLU),
+            x);
+  x = m.add(Layer::max_pool(3, 2), x);  // -> 27x27
+
+  // conv2: grouped (the historical two-GPU split).
+  x = m.add(Layer::conv2d(256, 5, 1, Padding::kSame, true,
+                          ActivationKind::kReLU, 2),
+            x);
+  x = m.add(Layer::max_pool(3, 2), x);  // -> 13x13
+
+  x = m.add(Layer::conv2d(384, 3, 1, Padding::kSame, true,
+                          ActivationKind::kReLU),
+            x);
+  x = m.add(Layer::conv2d(384, 3, 1, Padding::kSame, true,
+                          ActivationKind::kReLU, 2),
+            x);
+  x = m.add(Layer::conv2d(256, 3, 1, Padding::kSame, true,
+                          ActivationKind::kReLU, 2),
+            x);
+  x = m.add(Layer::max_pool(3, 2), x);  // -> 6x6x256
+
+  x = m.add(Layer::flatten(), x);
+  x = m.add(Layer::dropout(0.5), x);
+  x = m.add(Layer::dense(4096, true, ActivationKind::kReLU), x);
+  x = m.add(Layer::dropout(0.5), x);
+  x = m.add(Layer::dense(4096, true, ActivationKind::kReLU), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace gpuperf::cnn::zoo

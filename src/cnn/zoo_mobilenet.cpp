@@ -1,0 +1,113 @@
+// MobileNet v1 (Howard et al.) and MobileNetV2 (Sandler et al.):
+// depthwise-separable stacks, v2 adds inverted residual bottlenecks
+// with linear projections.
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+namespace {
+
+/// v1 separable block: depthwise 3x3 + pointwise 1x1, both bn + relu6.
+NodeId separable_v1(Model& m, NodeId x, std::int64_t filters, int stride) {
+  if (stride > 1) x = m.add(Layer::zero_pad(0, 1, 0, 1), x);
+  x = m.add(Layer::depthwise_conv2d(
+                3, stride, stride > 1 ? Padding::kValid : Padding::kSame,
+                false),
+            x);
+  x = m.add(Layer::batch_norm(), x);
+  x = m.add(Layer::activation(ActivationKind::kReLU6), x);
+  x = m.add(Layer::conv2d(filters, 1, 1, Padding::kSame, false), x);
+  x = m.add(Layer::batch_norm(), x);
+  return m.add(Layer::activation(ActivationKind::kReLU6), x);
+}
+
+/// v2 inverted residual: 1x1 expansion (t), depthwise 3x3, linear 1x1
+/// projection; identity skip when stride 1 and channels match.
+NodeId inverted_residual(Model& m, NodeId x, std::int64_t in_channels,
+                         std::int64_t out_channels, int stride,
+                         int expansion) {
+  NodeId y = x;
+  if (expansion != 1) {
+    y = m.add(Layer::conv2d(in_channels * expansion, 1, 1, Padding::kSame,
+                            false),
+              y);
+    y = m.add(Layer::batch_norm(), y);
+    y = m.add(Layer::activation(ActivationKind::kReLU6), y);
+  }
+  if (stride > 1) y = m.add(Layer::zero_pad(0, 1, 0, 1), y);
+  y = m.add(Layer::depthwise_conv2d(
+                3, stride, stride > 1 ? Padding::kValid : Padding::kSame,
+                false),
+            y);
+  y = m.add(Layer::batch_norm(), y);
+  y = m.add(Layer::activation(ActivationKind::kReLU6), y);
+  y = m.add(Layer::conv2d(out_channels, 1, 1, Padding::kSame, false), y);
+  y = m.add(Layer::batch_norm(), y);
+  if (stride == 1 && in_channels == out_channels)
+    y = m.add(Layer::add(), {x, y});
+  return y;
+}
+
+}  // namespace
+
+Model mobilenet() {
+  Model m("mobilenet");
+  NodeId x = m.add_input(224, 224, 3);
+
+  x = m.add(Layer::zero_pad(0, 1, 0, 1), x);
+  x = m.add(Layer::conv2d(32, 3, 2, Padding::kValid, false), x);
+  x = m.add(Layer::batch_norm(), x);
+  x = m.add(Layer::activation(ActivationKind::kReLU6), x);
+
+  struct Block {
+    std::int64_t filters;
+    int stride;
+  };
+  const Block blocks[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                          {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                          {512, 1}, {1024, 2}, {1024, 1}};
+  for (const Block& b : blocks) x = separable_v1(m, x, b.filters, b.stride);
+
+  x = m.add(Layer::global_avg_pool(), x);
+  x = m.add(Layer::dropout(1e-3), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+Model mobilenet_v2() {
+  Model m("MobileNetV2");
+  NodeId x = m.add_input(200, 200, 3);  // Table I lists a 200x200 input
+
+  x = m.add(Layer::zero_pad(0, 1, 0, 1), x);
+  x = m.add(Layer::conv2d(32, 3, 2, Padding::kValid, false), x);
+  x = m.add(Layer::batch_norm(), x);
+  x = m.add(Layer::activation(ActivationKind::kReLU6), x);
+
+  struct Stage {
+    int expansion;
+    std::int64_t channels;
+    int repeats;
+    int stride;
+  };
+  const Stage stages[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                          {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+  std::int64_t in_channels = 32;
+  for (const Stage& s : stages) {
+    for (int r = 0; r < s.repeats; ++r) {
+      const int stride = r == 0 ? s.stride : 1;
+      x = inverted_residual(m, x, in_channels, s.channels, stride,
+                            s.expansion);
+      in_channels = s.channels;
+    }
+  }
+
+  x = m.add(Layer::conv2d(1280, 1, 1, Padding::kSame, false), x);
+  x = m.add(Layer::batch_norm(), x);
+  x = m.add(Layer::activation(ActivationKind::kReLU6), x);
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace gpuperf::cnn::zoo

@@ -1,0 +1,121 @@
+// ResNet v1 (He et al., 2015) and ResNet v2 (pre-activation, He et al.,
+// 2016) with bottleneck blocks, following the Keras Applications
+// topologies the paper's Table I parameter counts come from.
+#include "cnn/zoo_resnet_common.hpp"
+
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+namespace {
+
+/// v1 bottleneck: conv1x1-bn-relu, conv3x3-bn-relu, conv1x1(4f)-bn,
+/// projection shortcut on shape change, add, relu.
+NodeId bottleneck_v1(Model& m, NodeId x, std::int64_t filters, int stride,
+                     bool project) {
+  NodeId shortcut = x;
+  if (project) {
+    shortcut = m.add(Layer::conv2d(4 * filters, 1, stride, Padding::kSame,
+                                   true),
+                     x);
+    shortcut = m.add(Layer::batch_norm(), shortcut);
+  }
+  NodeId y = m.conv_bn_act(x, filters, 1, stride, Padding::kSame,
+                           ActivationKind::kReLU, /*bias=*/true);
+  y = m.conv_bn_act(y, filters, 3, 1, Padding::kSame, ActivationKind::kReLU,
+                    /*bias=*/true);
+  y = m.add(Layer::conv2d(4 * filters, 1, 1, Padding::kSame, true), y);
+  y = m.add(Layer::batch_norm(), y);
+  y = m.add(Layer::add(), {shortcut, y});
+  return m.add(Layer::activation(ActivationKind::kReLU), y);
+}
+
+/// v2 bottleneck: bn-relu preactivation feeding both the residual path
+/// and (on projection blocks) the shortcut conv.
+NodeId bottleneck_v2(Model& m, NodeId x, std::int64_t filters, int stride,
+                     bool project) {
+  NodeId preact = m.add(Layer::batch_norm(), x);
+  preact = m.add(Layer::activation(ActivationKind::kReLU), preact);
+
+  NodeId shortcut = x;
+  if (project) {
+    shortcut = m.add(
+        Layer::conv2d(4 * filters, 1, stride, Padding::kSame, true), preact);
+  } else if (stride > 1) {
+    shortcut = m.add(Layer::max_pool(1, stride), x);
+  }
+
+  NodeId y = m.add(Layer::conv2d(filters, 1, 1, Padding::kSame, false),
+                   preact);
+  y = m.add(Layer::batch_norm(), y);
+  y = m.add(Layer::activation(ActivationKind::kReLU), y);
+  y = m.add(Layer::zero_pad(1, 1, 1, 1), y);
+  y = m.add(Layer::conv2d(filters, 3, stride, Padding::kValid, false), y);
+  y = m.add(Layer::batch_norm(), y);
+  y = m.add(Layer::activation(ActivationKind::kReLU), y);
+  y = m.add(Layer::conv2d(4 * filters, 1, 1, Padding::kSame, true), y);
+  return m.add(Layer::add(), {shortcut, y});
+}
+
+}  // namespace
+
+Model build_resnet(const std::string& name,
+                   const std::vector<int>& blocks_per_stage, int version,
+                   int width_multiplier, std::int64_t head_classes) {
+  Model m(name);
+  NodeId x = m.add_input(224, 224, 3);
+
+  // Stem: 7x7/2 conv then 3x3/2 max pool, both with explicit padding.
+  x = m.add(Layer::zero_pad(3, 3, 3, 3), x);
+  if (version == 1) {
+    x = m.conv_bn_act(x, 64LL * width_multiplier, 7, 2, Padding::kValid,
+                      ActivationKind::kReLU, /*bias=*/true);
+  } else {
+    // v2 defers normalization to the block preactivations.
+    x = m.add(Layer::conv2d(64LL * width_multiplier, 7, 2, Padding::kValid,
+                            true),
+              x);
+  }
+  x = m.add(Layer::zero_pad(1, 1, 1, 1), x);
+  x = m.add(Layer::max_pool(3, 2), x);
+
+  const std::int64_t stage_filters[4] = {64, 128, 256, 512};
+  for (std::size_t stage = 0; stage < blocks_per_stage.size(); ++stage) {
+    const std::int64_t filters = stage_filters[stage] * width_multiplier;
+    const int blocks = blocks_per_stage[stage];
+    for (int b = 0; b < blocks; ++b) {
+      const bool first = b == 0;
+      int stride = 1;
+      if (version == 1) {
+        // v1 downsamples at the first block of stages 2-4.
+        if (first && stage > 0) stride = 2;
+        x = bottleneck_v1(m, x, filters, stride, first);
+      } else {
+        // Keras v2 downsamples at the *last* block of stages 1-3.
+        const bool last = b == blocks - 1;
+        if (last && stage + 1 < blocks_per_stage.size()) stride = 2;
+        x = bottleneck_v2(m, x, filters, stride, first);
+      }
+    }
+  }
+
+  if (version == 2) {
+    x = m.add(Layer::batch_norm(), x);
+    x = m.add(Layer::activation(ActivationKind::kReLU), x);
+  }
+  x = m.add(Layer::global_avg_pool(), x);
+  m.add(Layer::dense(head_classes, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+Model resnet101() { return build_resnet("resnet101", {3, 4, 23, 3}, 1); }
+Model resnet152() { return build_resnet("resnet152", {3, 8, 36, 3}, 1); }
+Model resnet50_v2() { return build_resnet("resnet50v2", {3, 4, 6, 3}, 2); }
+Model resnet101_v2() {
+  return build_resnet("resnet101v2", {3, 4, 23, 3}, 2);
+}
+Model resnet152_v2() {
+  return build_resnet("resnet152v2", {3, 8, 36, 3}, 2);
+}
+
+}  // namespace gpuperf::cnn::zoo

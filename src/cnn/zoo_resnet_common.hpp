@@ -1,0 +1,19 @@
+// Shared ResNet builder used by the v1/v2 models and the Big Transfer
+// (BiT) variants, which are width-multiplied ResNet-v2 backbones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnn/model.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+/// version: 1 = post-activation bottlenecks, 2 = pre-activation.
+/// width_multiplier scales every stage's filter count (BiT's x1/x3/x4).
+Model build_resnet(const std::string& name,
+                   const std::vector<int>& blocks_per_stage, int version,
+                   int width_multiplier = 1, std::int64_t head_classes = 1000);
+
+}  // namespace gpuperf::cnn::zoo

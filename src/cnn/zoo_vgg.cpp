@@ -1,0 +1,47 @@
+// VGG-16 / VGG-19 (Simonyan & Zisserman).  Plain 3x3 conv stacks with
+// max-pool downsampling and the classic 4096-4096-1000 head; parameter
+// counts reproduce the published 138.4M / 143.7M exactly.
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+
+namespace {
+
+Model build_vgg(const std::string& name,
+                const std::vector<std::vector<std::int64_t>>& blocks) {
+  Model m(name);
+  NodeId x = m.add_input(224, 224, 3);
+  for (const auto& block : blocks) {
+    for (std::int64_t filters : block) {
+      x = m.add(Layer::conv2d(filters, 3, 1, Padding::kSame, true,
+                              ActivationKind::kReLU),
+                x);
+    }
+    x = m.add(Layer::max_pool(2, 2), x);
+  }
+  x = m.add(Layer::flatten(), x);
+  x = m.add(Layer::dense(4096, true, ActivationKind::kReLU), x);
+  x = m.add(Layer::dense(4096, true, ActivationKind::kReLU), x);
+  m.add(Layer::dense(1000, true, ActivationKind::kSoftmax), x);
+  return m;
+}
+
+}  // namespace
+
+Model vgg16() {
+  return build_vgg("vgg16", {{64, 64},
+                             {128, 128},
+                             {256, 256, 256},
+                             {512, 512, 512},
+                             {512, 512, 512}});
+}
+
+Model vgg19() {
+  return build_vgg("vgg19", {{64, 64},
+                             {128, 128},
+                             {256, 256, 256, 256},
+                             {512, 512, 512, 512},
+                             {512, 512, 512, 512}});
+}
+
+}  // namespace gpuperf::cnn::zoo

@@ -1,0 +1,57 @@
+// Lightweight runtime-check macros.
+//
+// GP_CHECK is always on and throws gpuperf::CheckError; it is used for
+// API-contract violations (bad arguments, malformed inputs) that callers
+// are expected to be able to trigger.  GP_DCHECK compiles out in NDEBUG
+// builds and guards internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpuperf {
+
+/// Thrown by GP_CHECK on contract violation.  Derives from
+/// std::logic_error so generic handlers keep working.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace gpuperf
+
+#define GP_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::gpuperf::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define GP_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream gp_check_os_;                                   \
+      gp_check_os_ << msg;                                               \
+      ::gpuperf::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                      gp_check_os_.str());               \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define GP_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define GP_DCHECK(expr) GP_CHECK(expr)
+#endif

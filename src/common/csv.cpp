@@ -1,0 +1,137 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  GP_CHECK_MSG(false, "no CSV column named '" << name << "'");
+}
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void write_row(std::ostringstream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(row[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string csv_write(const CsvDocument& doc) {
+  std::ostringstream os;
+  write_row(os, doc.header);
+  for (const auto& row : doc.rows) {
+    GP_CHECK_MSG(row.size() == doc.header.size(),
+                 "row width " << row.size() << " != header width "
+                              << doc.header.size());
+    write_row(os, row);
+  }
+  return os.str();
+}
+
+CsvDocument csv_parse(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    row_has_content = true;
+  };
+  auto end_row = [&] {
+    if (row_has_content || !row.empty()) {
+      end_field();
+      records.push_back(std::move(row));
+      row.clear();
+      row_has_content = false;
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == ',') {
+      end_field();
+      row_has_content = true;  // a trailing comma implies one more field
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // swallowed; \r\n handled by the \n branch
+    } else {
+      field += c;
+      row_has_content = true;
+    }
+  }
+  GP_CHECK_MSG(!in_quotes, "unterminated quoted CSV field");
+  end_row();
+
+  CsvDocument doc;
+  GP_CHECK_MSG(!records.empty(), "empty CSV document");
+  doc.header = std::move(records.front());
+  doc.rows.assign(std::make_move_iterator(records.begin() + 1),
+                  std::make_move_iterator(records.end()));
+  for (const auto& r : doc.rows)
+    GP_CHECK_MSG(r.size() == doc.header.size(),
+                 "CSV row width " << r.size() << " != header width "
+                                  << doc.header.size());
+  return doc;
+}
+
+void csv_save(const CsvDocument& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GP_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << csv_write(doc);
+  GP_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+CsvDocument csv_load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GP_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return csv_parse(os.str());
+}
+
+}  // namespace gpuperf

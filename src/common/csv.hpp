@@ -1,0 +1,35 @@
+// Minimal RFC-4180-style CSV reader/writer.  Used to persist generated
+// training datasets and experiment outputs so runs can be inspected and
+// diffed outside the binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/// In-memory CSV document: a header row plus data rows, all strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; GP_CHECK-fails if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Quote a field if it contains a delimiter, quote or newline.
+std::string csv_escape(const std::string& field);
+
+/// Serialize to CSV text (header first, "\n" line endings).
+std::string csv_write(const CsvDocument& doc);
+
+/// Parse CSV text; first row is the header.  Handles quoted fields with
+/// embedded commas, quotes ("" escape) and newlines.
+CsvDocument csv_parse(const std::string& text);
+
+/// File helpers (GP_CHECK-fail on I/O errors).
+void csv_save(const CsvDocument& doc, const std::string& path);
+CsvDocument csv_load(const std::string& path);
+
+}  // namespace gpuperf

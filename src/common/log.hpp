@@ -1,0 +1,42 @@
+// Leveled logging to stderr.  Default level is kWarn so library users
+// and tests stay quiet; examples raise it to kInfo to narrate progress.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gpuperf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line ("[level] message") if `level` passes the filter.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace gpuperf
+
+#define GP_LOG(level) ::gpuperf::detail::LogMessage(::gpuperf::LogLevel::level)

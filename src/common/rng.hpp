@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (dataset shuffles, forest
+// bootstraps, simulator measurement noise) draw from Rng so that every
+// experiment reproduces bit-identically from its seed.  The generator is
+// xoshiro256** seeded via splitmix64, which has better statistical
+// quality than std::minstd and, unlike std::mt19937, a guaranteed
+// cross-platform stream for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/// splitmix64 step; used standalone for hashing and for seeding Rng.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n).  Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A fresh generator with a stream derived from this one; use to hand
+  /// independent deterministic streams to worker threads.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stable 64-bit hash of a byte string (FNV-1a folded through
+/// splitmix64).  Used to derive per-entity seeds, e.g. per-(CNN, GPU)
+/// measurement-noise streams.
+std::uint64_t stable_hash(const char* data, std::size_t len);
+std::uint64_t stable_hash(const std::string& s);
+
+}  // namespace gpuperf

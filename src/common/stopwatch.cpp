@@ -1,0 +1,3 @@
+#include "common/stopwatch.hpp"
+
+// Header-only; this TU exists so the target has a definition anchor.

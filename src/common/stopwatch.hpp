@@ -1,0 +1,28 @@
+// Wall-clock stopwatch over std::chrono::steady_clock.  Used by the DSE
+// timing experiment (Table IV) and the micro benches.
+#pragma once
+
+#include <chrono>
+
+namespace gpuperf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the measurement window.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gpuperf

@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  GP_CHECK(!header.empty());
+  header_ = std::move(header);
+  if (alignments_.empty()) {
+    alignments_.assign(header_.size(), Align::kRight);
+    alignments_.front() = Align::kLeft;
+  }
+}
+
+void TextTable::set_alignments(std::vector<Align> alignments) {
+  GP_CHECK(header_.empty() || alignments.size() == header_.size());
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  GP_CHECK_MSG(row.size() == header_.size(),
+               "row width " << row.size() << " != header width "
+                            << header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  GP_CHECK(!header_.empty());
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.is_rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto pad = [&](const std::string& s, std::size_t w, Align a) {
+    std::string out;
+    const std::size_t fill = w - std::min(w, s.size());
+    if (a == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (a == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+  auto rule = [&] {
+    std::string out = "+";
+    for (std::size_t w : widths) {
+      out.append(w + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += ' ';
+      out += pad(cell, widths[c], alignments_[c]);
+      out += " |";
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  os << rule() << line(header_) << rule();
+  for (const auto& row : rows_) {
+    if (row.is_rule)
+      os << rule();
+    else
+      os << line(row.cells);
+  }
+  os << rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+}  // namespace gpuperf

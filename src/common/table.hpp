@@ -1,0 +1,53 @@
+// Fixed-width text table printer.  The bench binaries use it to print
+// the paper's tables (I-IV) in a layout that is easy to eyeball against
+// the published rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+enum class Align { kLeft, kRight };
+
+/// A simple column-aligned table with an optional title and a header
+/// separator line.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  /// Set the header row; column count is fixed from here on.
+  void set_header(std::vector<std::string> header);
+
+  /// Per-column alignment; defaults to left for the first column and
+  /// right for the rest (the common "name | numbers..." layout).
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Append a row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with single-space-padded ASCII borders.
+  std::string render() const;
+
+  /// Render straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gpuperf

@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used by RandomForest training, the dataset builder (per-(CNN, GPU)
+// profiling jobs) and the simulator sweep benches.  Work is pulled from
+// a single mutex-guarded deque — at the grain sizes in this project
+// (whole trees, whole model profiles) queue contention is irrelevant,
+// so the simple design wins per the Core Guidelines (CP: keep
+// concurrency structured and boring).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuperf {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.  Exceptions thrown
+  /// by tasks are captured; the first one is rethrown here.
+  void wait();
+
+  /// Run fn(i) for i in [0, n), distributing across the pool and
+  /// blocking until done.  Rethrows the first task exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily created).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace gpuperf

@@ -1,0 +1,79 @@
+#include "core/estimator.hpp"
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "ml/model_io.hpp"
+
+namespace gpuperf::core {
+
+PerformanceEstimator::PerformanceEstimator(std::string regressor_id,
+                                           std::uint64_t seed)
+    : regressor_id_(std::move(regressor_id)),
+      regressor_(ml::make_regressor(regressor_id_, seed)) {}
+
+void PerformanceEstimator::train(const ml::Dataset& data) {
+  GP_CHECK_MSG(data.feature_names() == FeatureExtractor::feature_names(),
+               "dataset schema does not match the estimator's features");
+  regressor_->fit(data);
+}
+
+bool PerformanceEstimator::is_trained() const {
+  return regressor_->is_fitted();
+}
+
+double PerformanceEstimator::predict(
+    const std::vector<double>& features) const {
+  GP_CHECK_MSG(is_trained(), "predict before train");
+  return regressor_->predict(features);
+}
+
+double PerformanceEstimator::predict(const std::string& zoo_model,
+                                     const gpu::DeviceSpec& device) {
+  GP_CHECK_MSG(is_trained(), "predict before train");
+  Stopwatch watch;
+  const ModelFeatures& features = extractor_.for_zoo_model(zoo_model);
+  last_dca_seconds_ = features.dca_seconds;
+  watch.reset();
+  const double ipc =
+      regressor_->predict(FeatureExtractor::feature_vector(features, device));
+  last_predict_seconds_ = watch.elapsed_seconds();
+  return ipc;
+}
+
+ml::RegressionScore PerformanceEstimator::evaluate(
+    const ml::Dataset& data) const {
+  GP_CHECK_MSG(is_trained(), "evaluate before train");
+  const std::vector<double> predicted = regressor_->predict_all(data);
+  return ml::score_regression(data.targets(), predicted,
+                              data.n_features());
+}
+
+const ml::Regressor& PerformanceEstimator::model() const {
+  return *regressor_;
+}
+
+void PerformanceEstimator::save(const std::string& path) const {
+  GP_CHECK_MSG(regressor_id_ == "dt",
+               "only the Decision Tree estimator is serializable");
+  const auto* tree = dynamic_cast<const ml::DecisionTree*>(regressor_.get());
+  GP_CHECK(tree != nullptr && tree->is_fitted());
+  ml::save_tree(*tree, path);
+}
+
+PerformanceEstimator PerformanceEstimator::load(const std::string& path) {
+  PerformanceEstimator est("dt");
+  auto tree = std::make_unique<ml::DecisionTree>(ml::load_tree(path));
+  GP_CHECK_MSG(tree->nodes().size() >= 1 &&
+                   tree->feature_importances().size() ==
+                       FeatureExtractor::feature_names().size(),
+               "tree file does not match the estimator feature schema");
+  est.regressor_ = std::move(tree);
+  return est;
+}
+
+std::vector<double> PerformanceEstimator::feature_importances() const {
+  GP_CHECK_MSG(is_trained(), "importances before train");
+  return regressor_->feature_importances();
+}
+
+}  // namespace gpuperf::core

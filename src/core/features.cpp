@@ -1,0 +1,80 @@
+#include "core/features.hpp"
+
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+
+namespace gpuperf::core {
+
+ModelFeatures FeatureExtractor::compute(const cnn::Model& model) const {
+  ModelFeatures out;
+  out.model_name = model.name();
+
+  const cnn::StaticAnalyzer analyzer;
+  const cnn::ModelReport report = analyzer.analyze(model);
+  out.trainable_params = report.trainable_params;
+  out.macs = report.macs;
+  out.neurons = report.neurons;
+  out.weighted_layers = report.weighted_layers;
+
+  Stopwatch dca_watch;
+  const ptx::CompiledModel compiled = codegen_.compile(model);
+  const ptx::ModelInstructionProfile profile = counter_.count(compiled);
+  out.executed_instructions = profile.total_instructions;
+  out.dca_seconds = dca_watch.elapsed_seconds();
+  return out;
+}
+
+const ModelFeatures& FeatureExtractor::for_zoo_model(
+    const std::string& name) {
+  const auto it = cache_.find(name);
+  if (it != cache_.end()) return it->second;
+  GP_CHECK_MSG(cnn::zoo::has_model(name), "unknown zoo model '" << name
+                                                                << "'");
+  return cache_.emplace(name, compute(cnn::zoo::build(name))).first->second;
+}
+
+std::vector<double> FeatureExtractor::feature_vector(
+    const ModelFeatures& model, const gpu::DeviceSpec& device) {
+  std::vector<double> out;
+  out.reserve(feature_names().size());
+  out.push_back(static_cast<double>(model.executed_instructions));
+  out.push_back(static_cast<double>(model.trainable_params));
+  for (double f : device.features()) out.push_back(f);
+  GP_CHECK(out.size() == feature_names().size());
+  return out;
+}
+
+const std::vector<std::string>& FeatureExtractor::feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n = {"executed_instructions",
+                                  "trainable_params"};
+    for (const auto& f : gpu::DeviceSpec::feature_names()) n.push_back(f);
+    return n;
+  }();
+  return names;
+}
+
+std::vector<double> FeatureExtractor::extended_feature_vector(
+    const ModelFeatures& model, const gpu::DeviceSpec& device) {
+  std::vector<double> out = feature_vector(model, device);
+  out.push_back(static_cast<double>(model.macs));
+  out.push_back(static_cast<double>(model.neurons));
+  out.push_back(static_cast<double>(model.weighted_layers));
+  GP_CHECK(out.size() == extended_feature_names().size());
+  return out;
+}
+
+const std::vector<std::string>& FeatureExtractor::extended_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n = feature_names();
+    n.push_back("macs");
+    n.push_back("neurons");
+    n.push_back("weighted_layers");
+    return n;
+  }();
+  return names;
+}
+
+}  // namespace gpuperf::core

@@ -1,0 +1,57 @@
+// Feature extraction for the predictive model: the paper's observation
+// vector d = (y, p, c1..cm, t) where p is the dynamically counted PTX
+// instruction total (dynamic code analysis), t the statically counted
+// trainable parameters, and c1..cm the GPU architectural features.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cnn/model.hpp"
+#include "gpu/device_spec.hpp"
+#include "ptx/counter.hpp"
+
+namespace gpuperf::core {
+
+struct ModelFeatures {
+  std::string model_name;
+  std::int64_t executed_instructions = 0;  // p — dynamic code analysis
+  std::int64_t trainable_params = 0;       // t — static analyzer
+  // Diagnostics (not part of the paper's predictor set, but exposed for
+  // the extension experiments on FLOPs/MACs).
+  std::int64_t macs = 0;
+  std::int64_t neurons = 0;
+  std::int64_t weighted_layers = 0;
+  double dca_seconds = 0.0;  // wall time of the dynamic code analysis
+};
+
+class FeatureExtractor {
+ public:
+  /// Static analysis + PTX generation + sliced symbolic execution for
+  /// one model.
+  ModelFeatures compute(const cnn::Model& model) const;
+
+  /// Cached compute() for zoo models, keyed by Table I name.
+  const ModelFeatures& for_zoo_model(const std::string& name);
+
+  /// Assemble the regression feature vector (CNN features + device
+  /// features), aligned with feature_names().
+  static std::vector<double> feature_vector(const ModelFeatures& model,
+                                            const gpu::DeviceSpec& device);
+  static const std::vector<std::string>& feature_names();
+
+  /// Extended predictor set (the paper's future work): the base
+  /// features plus MACs, neurons and weighted-layer count.
+  static std::vector<double> extended_feature_vector(
+      const ModelFeatures& model, const gpu::DeviceSpec& device);
+  static const std::vector<std::string>& extended_feature_names();
+
+ private:
+  ptx::CodeGenerator codegen_;
+  ptx::InstructionCounter counter_;
+  std::map<std::string, ModelFeatures> cache_;
+};
+
+}  // namespace gpuperf::core

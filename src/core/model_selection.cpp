@@ -1,0 +1,32 @@
+#include "core/model_selection.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gpuperf::core {
+
+SelectionResult select_regressor(
+    const ml::Dataset& data, std::size_t k_folds,
+    const std::vector<std::string>& candidate_ids, std::uint64_t seed) {
+  const std::vector<std::string>& ids =
+      candidate_ids.empty() ? ml::regressor_ids() : candidate_ids;
+  GP_CHECK(!ids.empty());
+
+  SelectionResult result;
+  for (const auto& id : ids) {
+    CandidateScore score;
+    score.regressor_id = id;
+    score.regressor_name = ml::make_regressor(id)->name();
+    score.cv = ml::cross_validate(data, k_folds, id, seed);
+    result.candidates.push_back(std::move(score));
+  }
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const CandidateScore& a, const CandidateScore& b) {
+                     return a.cv.pooled.mape < b.cv.pooled.mape;
+                   });
+  result.best_id = result.candidates.front().regressor_id;
+  return result;
+}
+
+}  // namespace gpuperf::core

@@ -1,0 +1,36 @@
+// Automated model selection — the paper's third contribution
+// ("comparing different ML algorithms to obtain the best performance
+// predictive model") as a library operation: cross-validate every
+// candidate algorithm on the training dataset and return the winner by
+// pooled MAPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/cross_validation.hpp"
+
+namespace gpuperf::core {
+
+struct CandidateScore {
+  std::string regressor_id;
+  std::string regressor_name;
+  ml::CvResult cv;
+};
+
+struct SelectionResult {
+  /// Winner's id ("dt" on the paper's data).
+  std::string best_id;
+  /// Every candidate's CV score, best first.
+  std::vector<CandidateScore> candidates;
+};
+
+/// Cross-validate the five paper algorithms (or a custom candidate
+/// list) and rank them by pooled CV MAPE.
+SelectionResult select_regressor(
+    const ml::Dataset& data, std::size_t k_folds = 5,
+    const std::vector<std::string>& candidate_ids = {},
+    std::uint64_t seed = 42);
+
+}  // namespace gpuperf::core

@@ -1,0 +1,270 @@
+#include "gpu/cycle_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "gpu/simulator.hpp"
+
+namespace gpuperf::gpu {
+
+CycleLevelSimulator::CycleLevelSimulator(DeviceSpec spec,
+                                         CycleSimParams params)
+    : spec_(std::move(spec)), params_(params) {
+  GP_CHECK(spec_.sm_count > 0 && spec_.cuda_cores > 0);
+  GP_CHECK(params_.sample_instructions_per_warp >
+           params_.warmup_instructions_per_warp);
+}
+
+namespace {
+
+using ptx::OpClass;
+using ptx::kOpClassCount;
+
+/// Deterministic spread interleaving: emit classes proportionally to
+/// their counts (Bresenham-style error accumulation), so the
+/// representative warp trace mixes work the way the kernel does on
+/// average instead of batching each class.
+std::vector<OpClass> build_trace(
+    const std::array<std::int64_t, kOpClassCount>& counts,
+    std::int64_t length) {
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) total += c;
+  GP_CHECK(total > 0 && length > 0);
+
+  std::array<double, kOpClassCount> rate{}, error{};
+  for (int c = 0; c < kOpClassCount; ++c)
+    rate[static_cast<std::size_t>(c)] =
+        static_cast<double>(counts[static_cast<std::size_t>(c)]) /
+        static_cast<double>(total);
+
+  std::vector<OpClass> trace;
+  trace.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t i = 0; i < length; ++i) {
+    int best = 0;
+    double best_err = -1.0;
+    for (int c = 0; c < kOpClassCount; ++c) {
+      error[static_cast<std::size_t>(c)] += rate[static_cast<std::size_t>(c)];
+      if (error[static_cast<std::size_t>(c)] > best_err) {
+        best_err = error[static_cast<std::size_t>(c)];
+        best = c;
+      }
+    }
+    error[static_cast<std::size_t>(best)] -= 1.0;
+    trace.push_back(static_cast<OpClass>(best));
+  }
+  return trace;
+}
+
+struct WarpState {
+  std::size_t pc = 0;
+  std::int64_t ready_cycle = 0;
+  bool done = false;
+};
+
+}  // namespace
+
+CycleSimResult CycleLevelSimulator::simulate(
+    const KernelWorkload& w) const {
+  CycleSimResult out;
+  const std::int64_t warps_total = w.warps();
+  GP_CHECK(warps_total > 0);
+
+  const double warp_instr_total =
+      static_cast<double>(w.thread_instructions) / 32.0;
+  out.warp_instructions = warp_instr_total;
+  const std::int64_t per_warp = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(warp_instr_total / static_cast<double>(warps_total))));
+
+  // One SM's resident cohort; other SMs behave identically.
+  const std::int64_t assigned =
+      (warps_total + spec_.sm_count - 1) / spec_.sm_count;
+  const std::int64_t resident =
+      std::min<std::int64_t>(assigned, spec_.max_warps_per_sm);
+  const std::int64_t batches = (assigned + resident - 1) / resident;
+
+  const bool exact = per_warp <= params_.sample_instructions_per_warp;
+  const std::int64_t trace_len =
+      exact ? per_warp : params_.sample_instructions_per_warp;
+  const std::vector<OpClass> trace = build_trace(w.class_counts, trace_len);
+
+  // Per-cycle execution-unit capacities of one SM, in warp instructions.
+  const double cores_per_sm = spec_.cores_per_sm();
+  const double cap_alu = cores_per_sm / 32.0;
+  const double cap_sfu = cores_per_sm / 128.0;
+  const double cap_lsu = 1.0;
+  const double issue_cap = 4.0;  // schedulers
+  // This SM's share of DRAM bandwidth, bytes per core cycle.
+  const double dram_per_cycle =
+      effective_dram_bytes(spec_, w) > 0
+          ? spec_.bytes_per_cycle() / spec_.sm_count
+          : 0.0;
+  const std::int64_t global_ops =
+      w.class_counts[static_cast<std::size_t>(OpClass::kLoadGlobal)] +
+      w.class_counts[static_cast<std::size_t>(OpClass::kStoreGlobal)];
+  const double bytes_per_global_op =
+      global_ops > 0 ? effective_dram_bytes(spec_, w) /
+                           static_cast<double>(global_ops) * 32.0
+                     : 0.0;  // per *warp* memory instruction
+
+  auto latency_of = [&](OpClass c) -> std::int64_t {
+    switch (c) {
+      case OpClass::kLoadGlobal:
+      case OpClass::kStoreGlobal:
+        return params_.latency_global;
+      case OpClass::kLoadShared:
+      case OpClass::kStoreShared:
+        return params_.latency_shared;
+      case OpClass::kSfu:
+        return params_.latency_sfu;
+      case OpClass::kFma:
+      case OpClass::kFloatAlu:
+      case OpClass::kIntAlu:
+        return params_.latency_alu;
+      default:
+        return params_.latency_move;
+    }
+  };
+  auto is_memory = [](OpClass c) {
+    return c == OpClass::kLoadGlobal || c == OpClass::kStoreGlobal ||
+           c == OpClass::kLoadShared || c == OpClass::kStoreShared;
+  };
+
+  std::vector<WarpState> warp_states(
+      static_cast<std::size_t>(resident));
+  std::int64_t retired = 0;
+  const std::int64_t retire_target =
+      resident * static_cast<std::int64_t>(trace.size());
+  const std::int64_t warmup_retired =
+      exact ? 0 : resident * params_.warmup_instructions_per_warp;
+
+  std::int64_t cycle = 0;
+  std::int64_t warmup_end_cycle = 0;
+  double alu_budget = 0.0, sfu_budget = 0.0, lsu_budget = 0.0;
+  double dram_budget = 0.0;
+  std::size_t rr = 0;  // round-robin pointer for age-based fairness
+
+  constexpr std::int64_t kCycleLimit = 200'000'000;
+  while (retired < retire_target) {
+    GP_CHECK_MSG(cycle < kCycleLimit, "cycle simulator exceeded its limit");
+    ++cycle;
+    alu_budget = std::min(alu_budget + cap_alu, 4.0 * cap_alu);
+    sfu_budget = std::min(sfu_budget + cap_sfu, 4.0 * cap_sfu);
+    lsu_budget = std::min(lsu_budget + cap_lsu, 4.0 * cap_lsu);
+    // The bucket must hold at least a few ops' worth of tokens or
+    // coarse-grained ops could never issue.
+    const double dram_cap = std::max(64.0 * std::max(dram_per_cycle, 1.0),
+                                     4.0 * bytes_per_global_op);
+    dram_budget = std::min(dram_budget + dram_per_cycle, dram_cap);
+
+    double issued = 0.0;
+    for (std::size_t k = 0; k < warp_states.size() && issued < issue_cap;
+         ++k) {
+      WarpState& warp = warp_states[(rr + k) % warp_states.size()];
+      if (warp.done || warp.ready_cycle > cycle) continue;
+      const OpClass c = trace[warp.pc];
+
+      // Structural hazards: unit and DRAM availability.
+      bool can_issue = true;
+      switch (c) {
+        case OpClass::kFma:
+        case OpClass::kFloatAlu:
+        case OpClass::kIntAlu:
+          can_issue = alu_budget >= 1.0;
+          break;
+        case OpClass::kSfu:
+          can_issue = sfu_budget >= 1.0;
+          break;
+        case OpClass::kLoadShared:
+        case OpClass::kStoreShared:
+          can_issue = lsu_budget >= 1.0;
+          break;
+        case OpClass::kLoadGlobal:
+        case OpClass::kStoreGlobal:
+          can_issue =
+              lsu_budget >= 1.0 &&
+              (bytes_per_global_op <= 0.0 ||
+               dram_budget >= bytes_per_global_op);
+          break;
+        default:
+          break;  // moves/control: issue slot only
+      }
+      if (!can_issue) continue;
+
+      switch (c) {
+        case OpClass::kFma:
+        case OpClass::kFloatAlu:
+        case OpClass::kIntAlu:
+          alu_budget -= 1.0;
+          break;
+        case OpClass::kSfu:
+          sfu_budget -= 1.0;
+          break;
+        case OpClass::kLoadShared:
+        case OpClass::kStoreShared:
+          lsu_budget -= 1.0;
+          break;
+        case OpClass::kLoadGlobal:
+        case OpClass::kStoreGlobal:
+          lsu_budget -= 1.0;
+          dram_budget -= bytes_per_global_op;
+          break;
+        default:
+          break;
+      }
+      issued += 1.0;
+
+      // In-order warp: long-latency ops stall the warp (consumers are
+      // assumed adjacent); short ops pipeline with II=1.
+      warp.ready_cycle = is_memory(c) || c == OpClass::kSfu
+                             ? cycle + latency_of(c)
+                             : cycle + 1;
+      ++warp.pc;
+      ++retired;
+      if (warp.pc == trace.size()) warp.done = true;
+    }
+    rr = (rr + 1) % warp_states.size();
+    if (!exact && warmup_end_cycle == 0 && retired >= warmup_retired)
+      warmup_end_cycle = cycle;
+  }
+
+  out.stepped_cycles = cycle;
+  if (exact) {
+    out.exact = true;
+    out.cycles = static_cast<double>(cycle) * static_cast<double>(batches);
+    out.steady_ipc =
+        static_cast<double>(retire_target) / static_cast<double>(cycle);
+  } else {
+    const std::int64_t window_cycles = cycle - warmup_end_cycle;
+    const std::int64_t window_instr = retire_target - warmup_retired;
+    GP_CHECK(window_cycles > 0);
+    out.steady_ipc = static_cast<double>(window_instr) /
+                     static_cast<double>(window_cycles);
+    out.cycles = warp_instr_total / (out.steady_ipc * spec_.sm_count);
+  }
+  out.time_us = out.cycles / (spec_.boost_clock_mhz * 1e6) * 1e6;
+  return out;
+}
+
+CycleSimResult CycleLevelSimulator::simulate_model(
+    const std::vector<KernelWorkload>& workloads) const {
+  GP_CHECK(!workloads.empty());
+  CycleSimResult total;
+  total.exact = true;
+  for (const KernelWorkload& w : workloads) {
+    const CycleSimResult r = simulate(w);
+    total.cycles += r.cycles;
+    total.time_us += r.time_us;
+    total.warp_instructions += r.warp_instructions;
+    total.stepped_cycles += r.stepped_cycles;
+    total.exact = total.exact && r.exact;
+  }
+  total.steady_ipc = total.warp_instructions /
+                     (total.cycles * spec_.sm_count);
+  return total;
+}
+
+}  // namespace gpuperf::gpu

@@ -1,0 +1,66 @@
+// Cycle-level warp simulator — a small GPGPU-Sim-style model of one
+// SM cohort: warp schedulers arbitrating over per-class execution-unit
+// throughput, fixed instruction latencies, and a DRAM-bandwidth token
+// bucket.  It exists for two reasons:
+//
+//  1. Validation: the fast analytical GpuSimulator's trends (bandwidth,
+//     clock, occupancy) are cross-checked against an independent,
+//     mechanistically different model.
+//  2. The paper's speed argument: cycle-level simulation is orders of
+//     magnitude slower than both the analytical model and the trained
+//     estimator (bench/ablation_simulator_speed).
+//
+// Long kernels are sampled: the simulator steps a warm-up window plus a
+// measurement window of instructions per warp and extrapolates the
+// steady-state IPC to the full count — standard practice for
+// cycle-accurate GPU simulation at scale.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/device_spec.hpp"
+#include "gpu/workload.hpp"
+
+namespace gpuperf::gpu {
+
+struct CycleSimParams {
+  /// Instructions per warp stepped explicitly before extrapolating.
+  std::int64_t sample_instructions_per_warp = 4096;
+  std::int64_t warmup_instructions_per_warp = 256;
+  /// Per-class pipeline latencies, in cycles.
+  int latency_alu = 6;
+  int latency_sfu = 20;
+  int latency_shared = 24;
+  int latency_global = 380;
+  int latency_move = 4;
+};
+
+struct CycleSimResult {
+  double cycles = 0.0;
+  double time_us = 0.0;
+  double warp_instructions = 0.0;
+  /// Steady-state warp instructions per cycle per SM observed in the
+  /// measurement window.
+  double steady_ipc = 0.0;
+  /// True when the kernel was short enough to simulate exactly.
+  bool exact = false;
+  /// Cycles the simulator actually stepped (cost indicator).
+  std::int64_t stepped_cycles = 0;
+};
+
+class CycleLevelSimulator {
+ public:
+  explicit CycleLevelSimulator(DeviceSpec spec, CycleSimParams params = {});
+
+  CycleSimResult simulate(const KernelWorkload& workload) const;
+
+  /// Sum over a model's kernels.
+  CycleSimResult simulate_model(
+      const std::vector<KernelWorkload>& workloads) const;
+
+ private:
+  DeviceSpec spec_;
+  CycleSimParams params_;
+};
+
+}  // namespace gpuperf::gpu

@@ -1,0 +1,36 @@
+#include "gpu/dvfs.hpp"
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace gpuperf::gpu {
+
+DeviceSpec scale_device(const DeviceSpec& base, const DvfsPoint& point) {
+  GP_CHECK_MSG(point.core_scale > 0.1 && point.core_scale < 2.0,
+               "implausible core scale " << point.core_scale);
+  GP_CHECK_MSG(point.memory_scale > 0.1 && point.memory_scale < 2.0,
+               "implausible memory scale " << point.memory_scale);
+  DeviceSpec out = base;
+  out.base_clock_mhz *= point.core_scale;
+  out.boost_clock_mhz *= point.core_scale;
+  out.memory_bandwidth_gbs *= point.memory_scale;
+  out.name = base.name + "@c" + fixed(point.core_scale, 2) + "/m" +
+             fixed(point.memory_scale, 2);
+  out.full_name = base.full_name + " (DVFS c=" + fixed(point.core_scale, 2) +
+                  ", m=" + fixed(point.memory_scale, 2) + ")";
+  return out;
+}
+
+std::vector<DeviceSpec> dvfs_grid(const DeviceSpec& base,
+                                  const std::vector<double>& core_scales,
+                                  const std::vector<double>& memory_scales) {
+  GP_CHECK(!core_scales.empty() && !memory_scales.empty());
+  std::vector<DeviceSpec> out;
+  out.reserve(core_scales.size() * memory_scales.size());
+  for (double c : core_scales)
+    for (double m : memory_scales)
+      out.push_back(scale_device(base, DvfsPoint{c, m}));
+  return out;
+}
+
+}  // namespace gpuperf::gpu

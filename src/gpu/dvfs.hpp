@@ -1,0 +1,32 @@
+// Dynamic voltage/frequency scaling support — the paper's stated
+// future work ("dynamic frequency scaling", following the authors'
+// power-estimation line [9], [12]).  A scaled operating point is just
+// a derived DeviceSpec: core clocks and memory bandwidth move, the
+// silicon (SMs, cores, caches) stays fixed, so the whole estimation
+// pipeline works unchanged on DVFS states.
+#pragma once
+
+#include <vector>
+
+#include "gpu/device_spec.hpp"
+
+namespace gpuperf::gpu {
+
+/// One DVFS operating point as relative multipliers on the nominal
+/// core clock and memory clock (bandwidth scales with memory clock).
+struct DvfsPoint {
+  double core_scale = 1.0;
+  double memory_scale = 1.0;
+};
+
+/// Derive the spec at an operating point.  The device name gains a
+/// "@cX.XX/mY.YY" suffix so rows stay distinguishable in datasets.
+DeviceSpec scale_device(const DeviceSpec& base, const DvfsPoint& point);
+
+/// A rectangular grid of operating points: every combination of the
+/// given core and memory multipliers.
+std::vector<DeviceSpec> dvfs_grid(const DeviceSpec& base,
+                                  const std::vector<double>& core_scales,
+                                  const std::vector<double>& memory_scales);
+
+}  // namespace gpuperf::gpu

@@ -1,0 +1,75 @@
+// nvprof-style profiler facade: compile a CNN, count its dynamic PTX
+// instructions, simulate it on a device, and report the counters the
+// paper's training phase collects (IPC, cycles, elapsed time) plus a
+// model of the profiling wall-clock cost (Table IV's t_p).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cnn/model.hpp"
+#include "gpu/simulator.hpp"
+#include "ptx/counter.hpp"
+
+namespace gpuperf::gpu {
+
+struct ProfileResult {
+  std::string model_name;
+  std::string device_name;
+  double ipc = 0.0;  // executed warp instructions per cycle per SM
+  double total_cycles = 0.0;
+  double elapsed_ms = 0.0;           // simulated GPU time of one pass
+  std::int64_t thread_instructions = 0;
+  double warp_instructions = 0.0;
+  std::size_t kernel_count = 0;
+  double memory_bound_fraction = 0.0;
+  /// Activity-model power draw and energy of one inference pass.
+  double average_power_w = 0.0;
+  double energy_mj = 0.0;
+  /// Modeled nvprof wall-clock time: per-kernel replay overhead plus
+  /// tool startup (the naive approach's t_p in the DSE comparison).
+  double profiling_wall_seconds = 0.0;
+};
+
+/// Per-layer latency attribution: every launch's simulated time summed
+/// onto the model layer it implements.
+struct LayerProfile {
+  std::string layer;
+  std::size_t launch_count = 0;
+  double time_us = 0.0;
+  std::int64_t thread_instructions = 0;
+  double time_share = 0.0;  // fraction of whole-model time
+};
+
+class Profiler {
+ public:
+  /// noise_stddev models run-to-run counter variance; each
+  /// (model, device) pair gets its own deterministic noise stream.
+  explicit Profiler(double noise_stddev = 0.02,
+                    std::uint64_t seed = 0x67707570ULL);
+
+  /// Full pipeline: codegen -> instruction counting -> simulation.
+  ProfileResult profile(const cnn::Model& model,
+                        const DeviceSpec& device) const;
+
+  /// Profile an already-compiled model (reuses codegen + DCA results
+  /// across devices — the cross-platform sweep path).
+  ProfileResult profile_compiled(
+      const ptx::CompiledModel& compiled,
+      const ptx::ModelInstructionProfile& instruction_profile,
+      const DeviceSpec& device) const;
+
+  /// Per-layer breakdown (noise-free), in first-appearance order.
+  std::vector<LayerProfile> profile_layers(
+      const ptx::CompiledModel& compiled,
+      const ptx::ModelInstructionProfile& instruction_profile,
+      const DeviceSpec& device) const;
+
+ private:
+  double noise_stddev_;
+  std::uint64_t seed_;
+  ptx::CodeGenerator codegen_;
+  ptx::InstructionCounter counter_;
+};
+
+}  // namespace gpuperf::gpu

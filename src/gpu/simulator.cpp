@@ -1,0 +1,150 @@
+#include "gpu/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gpuperf::gpu {
+
+GpuSimulator::GpuSimulator(DeviceSpec spec, SimParams params)
+    : spec_(std::move(spec)), params_(params) {
+  GP_CHECK(spec_.sm_count > 0 && spec_.cuda_cores > 0);
+  GP_CHECK(spec_.boost_clock_mhz > 0 && spec_.memory_bandwidth_gbs > 0);
+  GP_CHECK(params_.noise_stddev >= 0.0 && params_.noise_stddev < 0.5);
+}
+
+double effective_dram_bytes(const DeviceSpec& spec,
+                            const KernelWorkload& w) {
+  using ptx::OpClass;
+  // Compulsory misses (each input/weight/output byte touched once)
+  // plus the reuse traffic that spills past L2 — this is where the
+  // L2-cache feature enters the ground truth.
+  const double unique_bytes = static_cast<double>(w.dram_bytes());
+  const double access_bytes =
+      4.0 * static_cast<double>(
+                w.class_counts[static_cast<std::size_t>(
+                    OpClass::kLoadGlobal)] +
+                w.class_counts[static_cast<std::size_t>(
+                    OpClass::kStoreGlobal)]);
+  const double reuse_bytes = std::max(0.0, access_bytes - unique_bytes);
+  const double l2_bytes = spec.l2_cache_kb * 1024.0;
+  const double l2_miss =
+      std::clamp(0.5 * unique_bytes / l2_bytes, 0.02, 0.85);
+  return unique_bytes + reuse_bytes * l2_miss;
+}
+
+KernelSimResult GpuSimulator::simulate(const KernelWorkload& w) const {
+  using ptx::OpClass;
+  const double cores_per_sm = spec_.cores_per_sm();
+
+  // Issue cost per warp instruction, in SM-cycles.  A 32-lane warp op
+  // occupies 32/cores_per_sm cycles of a full-width unit; SFUs are a
+  // quarter-width pipe; moves and control dual-issue alongside math.
+  auto class_cost = [&](OpClass c) -> double {
+    switch (c) {
+      case OpClass::kFma:
+      case OpClass::kFloatAlu:
+      case OpClass::kIntAlu:
+        return 32.0 / cores_per_sm;
+      case OpClass::kSfu:
+        return 4.0 * 32.0 / cores_per_sm;
+      case OpClass::kLoadShared:
+      case OpClass::kStoreShared:
+        return 32.0 / cores_per_sm;
+      case OpClass::kLoadGlobal:
+      case OpClass::kStoreGlobal:
+        return 1.0;  // issue slot; DRAM time modeled separately
+      case OpClass::kLoadParam:
+      case OpClass::kMove:
+      case OpClass::kControl:
+        return 0.5;
+    }
+    return 1.0;
+  };
+
+  double issue_cycles_one_sm = 0.0;
+  double warp_instructions = 0.0;
+  for (int c = 0; c < ptx::kOpClassCount; ++c) {
+    const double warp_count =
+        static_cast<double>(w.class_counts[static_cast<std::size_t>(c)]) /
+        32.0;
+    warp_instructions += warp_count;
+    issue_cycles_one_sm += warp_count * class_cost(static_cast<OpClass>(c));
+  }
+  const double compute_cycles =
+      issue_cycles_one_sm / static_cast<double>(spec_.sm_count);
+
+  const double memory_cycles =
+      effective_dram_bytes(spec_, w) / spec_.bytes_per_cycle();
+
+  // Latency hiding: below ~warps_for_full_occupancy warps per SM the
+  // machine exposes memory/pipe latency.
+  const double warps_per_sm =
+      static_cast<double>(w.warps()) / spec_.sm_count;
+  const double occupancy = std::clamp(
+      warps_per_sm / params_.warps_for_full_occupancy, 0.30, 1.0);
+
+  const double overhead_cycles =
+      params_.launch_overhead_us * 1e-6 * spec_.boost_clock_mhz * 1e6;
+
+  KernelSimResult result;
+  result.memory_bound = memory_cycles > compute_cycles;
+  result.cycles = std::max(compute_cycles, memory_cycles) / occupancy +
+                  overhead_cycles;
+  result.time_us =
+      result.cycles / (spec_.boost_clock_mhz * 1e6) * 1e6;
+  result.warp_instructions = warp_instructions;
+  result.compute_utilization =
+      std::clamp(compute_cycles / result.cycles, 0.0, 1.0);
+  result.memory_utilization =
+      std::clamp(memory_cycles / result.cycles, 0.0, 1.0);
+  return result;
+}
+
+ModelSimResult GpuSimulator::simulate_model(
+    const std::vector<KernelWorkload>& workloads) const {
+  GP_CHECK_MSG(!workloads.empty(), "simulate_model on empty workload list");
+  ModelSimResult out;
+  std::size_t memory_bound = 0;
+  double compute_util_cycles = 0.0;
+  double memory_util_cycles = 0.0;
+  for (const KernelWorkload& w : workloads) {
+    const KernelSimResult k = simulate(w);
+    out.total_cycles += k.cycles;
+    out.warp_instructions += k.warp_instructions;
+    out.thread_instructions += w.thread_instructions;
+    compute_util_cycles += k.compute_utilization * k.cycles;
+    memory_util_cycles += k.memory_utilization * k.cycles;
+    if (k.memory_bound) ++memory_bound;
+  }
+  out.kernel_count = workloads.size();
+  out.memory_bound_fraction =
+      static_cast<double>(memory_bound) / workloads.size();
+
+  if (params_.noise_stddev > 0.0) {
+    Rng rng(params_.noise_seed);
+    const double factor =
+        std::max(0.5, rng.normal(1.0, params_.noise_stddev));
+    out.total_cycles *= factor;
+  }
+
+  out.elapsed_ms = out.total_cycles / (spec_.boost_clock_mhz * 1e6) * 1e3;
+  // Device-normalized IPC per SM (nvprof's "executed IPC" counter).
+  out.ipc = out.warp_instructions /
+            (out.total_cycles * static_cast<double>(spec_.sm_count));
+
+  // Activity-based board power: an idle floor plus dynamic power split
+  // between the compute pipes and the memory system, each scaling with
+  // its time-weighted utilization.  Energy = P * t.
+  const double compute_activity = compute_util_cycles / out.total_cycles;
+  const double memory_activity = memory_util_cycles / out.total_cycles;
+  out.average_power_w =
+      spec_.tdp_w * (0.30 + 0.45 * compute_activity +
+                     0.25 * memory_activity);
+  out.energy_mj = out.average_power_w * out.elapsed_ms;
+  return out;
+}
+
+}  // namespace gpuperf::gpu

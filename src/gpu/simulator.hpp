@@ -1,0 +1,89 @@
+// Analytical GPGPU performance simulator — the stand-in for executing
+// CNNs on physical GPUs and profiling them with nvprof.
+//
+// Per kernel, issue-limited compute time is derived from the exact
+// dynamic warp-instruction mix (per-class costs scale with the SM's
+// lane count), memory time from the analytic DRAM traffic against the
+// device bandwidth, and the kernel takes the maximum of the two
+// (roofline overlap) corrected by an occupancy-based latency-hiding
+// factor plus a fixed launch overhead.  Deterministic seeded noise
+// models run-to-run profiling variance.
+//
+// This model intentionally makes measured IPC depend strongly on memory
+// bandwidth (CNN inference is dominated by bandwidth-bound layers),
+// which is the statistical structure behind the paper's Table III
+// feature importances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/device_spec.hpp"
+#include "gpu/workload.hpp"
+
+namespace gpuperf::gpu {
+
+struct SimParams {
+  /// Fixed per-kernel launch latency.
+  double launch_overhead_us = 1.0;
+  /// Relative stddev of multiplicative measurement noise (0 disables).
+  double noise_stddev = 0.0;
+  std::uint64_t noise_seed = 0;
+  /// Warps per SM needed for full latency hiding.
+  double warps_for_full_occupancy = 4.0;
+};
+
+struct KernelSimResult {
+  double cycles = 0.0;
+  double time_us = 0.0;
+  double warp_instructions = 0.0;
+  bool memory_bound = false;
+  /// Pipeline utilizations (0..1) during this kernel, for the power
+  /// model.
+  double compute_utilization = 0.0;
+  double memory_utilization = 0.0;
+};
+
+struct ModelSimResult {
+  double total_cycles = 0.0;
+  double elapsed_ms = 0.0;
+  std::int64_t thread_instructions = 0;
+  double warp_instructions = 0.0;
+  /// Executed warp instructions per cycle per SM — the nvprof-style
+  /// "IPC" the paper predicts.
+  double ipc = 0.0;
+  std::size_t kernel_count = 0;
+  double memory_bound_fraction = 0.0;
+  /// Activity-based power model (the authors' companion power-
+  /// estimation work): board power from compute/memory utilization.
+  double average_power_w = 0.0;
+  double energy_mj = 0.0;
+};
+
+/// DRAM traffic model shared by the analytical and cycle-level
+/// simulators: compulsory misses (each unique byte once) plus the
+/// reuse traffic that spills past L2, with the spill fraction growing
+/// with the kernel's working set relative to the device's L2.
+double effective_dram_bytes(const DeviceSpec& spec,
+                            const KernelWorkload& workload);
+
+class GpuSimulator {
+ public:
+  GpuSimulator(DeviceSpec spec, SimParams params = {});
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Noise-free single-kernel simulation.
+  KernelSimResult simulate(const KernelWorkload& workload) const;
+
+  /// Whole-model simulation; noise (if configured) applies to the
+  /// aggregate cycle count, mimicking run-to-run variance.
+  ModelSimResult simulate_model(
+      const std::vector<KernelWorkload>& workloads) const;
+
+ private:
+  DeviceSpec spec_;
+  SimParams params_;
+};
+
+}  // namespace gpuperf::gpu

@@ -1,0 +1,30 @@
+#include "gpu/workload.hpp"
+
+#include "common/check.hpp"
+
+namespace gpuperf::gpu {
+
+std::vector<KernelWorkload> build_workloads(
+    const ptx::CompiledModel& model,
+    const ptx::ModelInstructionProfile& profile) {
+  GP_CHECK(model.launches.size() == model.stats.size());
+  GP_CHECK(profile.per_launch.size() == model.launches.size());
+  GP_CHECK(profile.per_launch_class.size() == model.launches.size());
+
+  std::vector<KernelWorkload> out;
+  out.reserve(model.launches.size());
+  for (std::size_t i = 0; i < model.launches.size(); ++i) {
+    KernelWorkload w;
+    w.kernel = model.launches[i].kernel;
+    w.threads = model.launches[i].total_threads();
+    w.thread_instructions = profile.per_launch[i];
+    w.class_counts = profile.per_launch_class[i];
+    w.bytes_read = model.stats[i].bytes_read;
+    w.bytes_written = model.stats[i].bytes_written;
+    w.flops = model.stats[i].flops;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace gpuperf::gpu

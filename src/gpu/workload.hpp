@@ -1,0 +1,34 @@
+// Kernel workload descriptors: the bridge from the PTX analysis (exact
+// dynamic instruction counts and mixes) plus codegen's analytic DRAM
+// traffic to the GPU simulator's cost model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptx/codegen.hpp"
+#include "ptx/counter.hpp"
+
+namespace gpuperf::gpu {
+
+struct KernelWorkload {
+  std::string kernel;
+  std::int64_t threads = 0;
+  std::int64_t thread_instructions = 0;
+  std::array<std::int64_t, ptx::kOpClassCount> class_counts{};
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  std::int64_t flops = 0;
+
+  std::int64_t warps() const { return (threads + 31) / 32; }
+  std::int64_t dram_bytes() const { return bytes_read + bytes_written; }
+};
+
+/// One workload per launch of the compiled model.
+std::vector<KernelWorkload> build_workloads(
+    const ptx::CompiledModel& model,
+    const ptx::ModelInstructionProfile& profile);
+
+}  // namespace gpuperf::gpu

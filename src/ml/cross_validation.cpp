@@ -1,0 +1,82 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ml {
+
+std::vector<std::size_t> make_folds(std::size_t n_rows, std::size_t k,
+                                    Rng& rng) {
+  GP_CHECK_MSG(k >= 2, "cross-validation needs k >= 2");
+  GP_CHECK_MSG(n_rows >= k, "fewer rows than folds");
+  std::vector<std::size_t> order(n_rows);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<std::size_t> fold_of(n_rows);
+  for (std::size_t pos = 0; pos < n_rows; ++pos)
+    fold_of[order[pos]] = pos % k;
+  return fold_of;
+}
+
+CvResult cross_validate(
+    const Dataset& data, std::size_t k,
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    std::uint64_t seed) {
+  GP_CHECK(factory != nullptr);
+  Rng rng(seed);
+  const std::vector<std::size_t> fold_of = make_folds(data.size(), k, rng);
+
+  CvResult result;
+  std::vector<double> pooled_actual, pooled_predicted;
+  pooled_actual.reserve(data.size());
+  pooled_predicted.reserve(data.size());
+
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    std::vector<std::size_t> train_idx, eval_idx;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      (fold_of[i] == fold ? eval_idx : train_idx).push_back(i);
+    GP_CHECK(!train_idx.empty() && !eval_idx.empty());
+
+    const Dataset train = data.subset(train_idx);
+    const Dataset eval = data.subset(eval_idx);
+    auto model = factory();
+    model->fit(train);
+    const std::vector<double> predicted = model->predict_all(eval);
+
+    result.folds.push_back(
+        score_regression(eval.targets(), predicted, data.n_features()));
+    for (std::size_t i = 0; i < eval.size(); ++i) {
+      pooled_actual.push_back(eval.target(i));
+      pooled_predicted.push_back(predicted[i]);
+    }
+  }
+
+  double sum = 0.0;
+  for (const auto& s : result.folds) sum += s.mape;
+  result.mape_mean = sum / static_cast<double>(k);
+  double var = 0.0;
+  for (const auto& s : result.folds) {
+    const double d = s.mape - result.mape_mean;
+    var += d * d;
+  }
+  result.mape_stddev = std::sqrt(var / static_cast<double>(k));
+  result.pooled = score_regression(pooled_actual, pooled_predicted,
+                                   data.n_features());
+  return result;
+}
+
+CvResult cross_validate(const Dataset& data, std::size_t k,
+                        const std::string& regressor_id,
+                        std::uint64_t seed) {
+  std::uint64_t model_seed = seed ^ 0x5eedULL;
+  return cross_validate(
+      data, k,
+      [&regressor_id, model_seed] {
+        return make_regressor(regressor_id, model_seed);
+      },
+      seed);
+}
+
+}  // namespace gpuperf::ml

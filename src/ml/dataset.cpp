@@ -1,0 +1,151 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace gpuperf::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names,
+                 std::string target_name)
+    : feature_names_(std::move(feature_names)),
+      target_name_(std::move(target_name)) {
+  GP_CHECK(!feature_names_.empty());
+}
+
+void Dataset::add_row(std::vector<double> features, double target,
+                      std::string tag) {
+  GP_CHECK_MSG(features.size() == feature_names_.size(),
+               "feature width " << features.size() << " != schema width "
+                                << feature_names_.size());
+  for (double v : features) GP_CHECK_MSG(std::isfinite(v), "non-finite feature");
+  GP_CHECK_MSG(std::isfinite(target), "non-finite target");
+  rows_.push_back(std::move(features));
+  targets_.push_back(target);
+  tags_.push_back(std::move(tag));
+}
+
+const std::vector<double>& Dataset::row(std::size_t i) const {
+  GP_CHECK(i < rows_.size());
+  return rows_[i];
+}
+
+double Dataset::target(std::size_t i) const {
+  GP_CHECK(i < targets_.size());
+  return targets_[i];
+}
+
+const std::string& Dataset::tag(std::size_t i) const {
+  GP_CHECK(i < tags_.size());
+  return tags_[i];
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  for (std::size_t i = 0; i < feature_names_.size(); ++i)
+    if (feature_names_[i] == name) return i;
+  GP_CHECK_MSG(false, "no feature named '" << name << "'");
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(feature_names_, target_name_);
+  for (std::size_t i : indices) {
+    GP_CHECK(i < size());
+    out.add_row(rows_[i], targets_[i], tags_[i]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           Rng& rng) const {
+  GP_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  GP_CHECK_MSG(size() >= 2, "cannot split a dataset with < 2 rows");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  // Round to nearest but keep both sides non-empty.
+  std::size_t n_train = static_cast<std::size_t>(
+      std::lround(train_fraction * static_cast<double>(size())));
+  n_train = std::clamp<std::size_t>(n_train, 1, size() - 1);
+  std::vector<std::size_t> train_idx(order.begin(), order.begin() + n_train);
+  std::vector<std::size_t> eval_idx(order.begin() + n_train, order.end());
+  return {subset(train_idx), subset(eval_idx)};
+}
+
+std::pair<Dataset, Dataset> Dataset::split_by_tag_prefix(
+    const std::vector<std::string>& prefixes) const {
+  std::vector<std::size_t> keep, held_out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const bool match = std::any_of(
+        prefixes.begin(), prefixes.end(),
+        [&](const std::string& p) { return starts_with(tags_[i], p); });
+    (match ? held_out : keep).push_back(i);
+  }
+  return {subset(keep), subset(held_out)};
+}
+
+std::vector<double> Dataset::Standardization::apply(
+    const std::vector<double>& x) const {
+  GP_CHECK(x.size() == mean.size());
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = (x[i] - mean[i]) / stddev[i];
+  return out;
+}
+
+Dataset::Standardization Dataset::standardization() const {
+  GP_CHECK(!empty());
+  const std::size_t d = n_features();
+  Standardization st;
+  st.mean.assign(d, 0.0);
+  st.stddev.assign(d, 0.0);
+  for (const auto& r : rows_)
+    for (std::size_t j = 0; j < d; ++j) st.mean[j] += r[j];
+  for (double& m : st.mean) m /= static_cast<double>(size());
+  for (const auto& r : rows_)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dlt = r[j] - st.mean[j];
+      st.stddev[j] += dlt * dlt;
+    }
+  for (double& s : st.stddev) {
+    s = std::sqrt(s / static_cast<double>(size()));
+    if (s < 1e-12) s = 1.0;
+  }
+  return st;
+}
+
+CsvDocument Dataset::to_csv() const {
+  CsvDocument doc;
+  doc.header.push_back("tag");
+  for (const auto& f : feature_names_) doc.header.push_back(f);
+  doc.header.push_back(target_name_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(tags_[i]);
+    for (double v : rows_[i]) row.push_back(fixed(v, 9));
+    row.push_back(fixed(targets_[i], 9));
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+Dataset Dataset::from_csv(const CsvDocument& doc) {
+  GP_CHECK_MSG(doc.header.size() >= 3,
+               "dataset CSV needs tag, >=1 feature, target");
+  GP_CHECK(doc.header.front() == "tag");
+  std::vector<std::string> features(doc.header.begin() + 1,
+                                    doc.header.end() - 1);
+  Dataset out(std::move(features), doc.header.back());
+  for (const auto& row : doc.rows) {
+    std::vector<double> x;
+    x.reserve(row.size() - 2);
+    for (std::size_t j = 1; j + 1 < row.size(); ++j)
+      x.push_back(parse_double(row[j]));
+    out.add_row(std::move(x), parse_double(row.back()), row.front());
+  }
+  return out;
+}
+
+}  // namespace gpuperf::ml

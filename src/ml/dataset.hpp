@@ -1,0 +1,78 @@
+// Tabular regression dataset: named feature columns, one numeric
+// target, optional per-row tags (the CNN/GPU names a row came from).
+//
+// Mirrors the paper's formalization d = (y, p, c1..cm, t): each row is
+// one observation with its measured IPC target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+
+namespace gpuperf::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> feature_names, std::string target_name);
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::string& target_name() const { return target_name_; }
+  std::size_t n_features() const { return feature_names_.size(); }
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+
+  /// Append an observation.  `tag` is a free-form row label (e.g.
+  /// "resnet101@gtx1080ti") carried through splits for reporting.
+  void add_row(std::vector<double> features, double target,
+               std::string tag = "");
+
+  const std::vector<double>& row(std::size_t i) const;
+  double target(std::size_t i) const;
+  const std::string& tag(std::size_t i) const;
+  const std::vector<double>& targets() const { return targets_; }
+
+  /// Index of a feature column by name; GP_CHECK-fails if absent.
+  std::size_t feature_index(const std::string& name) const;
+
+  /// Subset by row indices (copies rows).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Deterministic shuffled split: `train_fraction` of rows to the first
+  /// dataset, the rest to the second; the two are disjoint (the paper's
+  /// 70/30 protocol).
+  std::pair<Dataset, Dataset> split(double train_fraction, Rng& rng) const;
+
+  /// Rows whose tag starts with any of `prefixes` go to the second
+  /// (held-out) dataset; all others to the first.  Implements the
+  /// paper's Fig. 4 protocol of excluding whole CNNs from training.
+  std::pair<Dataset, Dataset> split_by_tag_prefix(
+      const std::vector<std::string>& prefixes) const;
+
+  /// Column means / standard deviations (population stddev; zero-variance
+  /// columns get stddev 1 so standardization is a no-op for them).
+  struct Standardization {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+    std::vector<double> apply(const std::vector<double>& x) const;
+  };
+  Standardization standardization() const;
+
+  /// CSV round-trip (first column "tag", last column the target).
+  CsvDocument to_csv() const;
+  static Dataset from_csv(const CsvDocument& doc);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::string target_name_ = "y";
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> targets_;
+  std::vector<std::string> tags_;
+};
+
+}  // namespace gpuperf::ml

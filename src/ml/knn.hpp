@@ -1,0 +1,34 @@
+// K-Nearest Neighbors regression with internally standardized features
+// and inverse-distance weighting (uniform weighting available).  Brute
+// force search: the paper's datasets are tens of rows, where an index
+// structure would only add constants.
+#pragma once
+
+#include "ml/regressor.hpp"
+
+namespace gpuperf::ml {
+
+class KnnRegressor final : public Regressor {
+ public:
+  enum class Weighting { kUniform, kInverseDistance };
+
+  explicit KnnRegressor(std::size_t k = 3,
+                        Weighting weighting = Weighting::kInverseDistance);
+
+  std::string name() const override { return "K-Nearest Neighbors"; }
+  void fit(const Dataset& data) override;
+  bool is_fitted() const override { return fitted_; }
+  double predict(const std::vector<double>& x) const override;
+
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  Weighting weighting_;
+  bool fitted_ = false;
+  Dataset::Standardization st_;
+  std::vector<std::vector<double>> points_;  // standardized
+  std::vector<double> targets_;
+};
+
+}  // namespace gpuperf::ml

@@ -1,0 +1,208 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace gpuperf::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    GP_CHECK_MSG(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  GP_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  GP_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double* Matrix::row(std::size_t r) {
+  GP_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+const double* Matrix::row(std::size_t r) const {
+  GP_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  GP_CHECK_MSG(cols_ == rhs.rows_, "matmul shape mismatch: "
+                                       << rows_ << "x" << cols_ << " * "
+                                       << rhs.rows_ << "x" << rhs.cols_);
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* rhs_row = rhs.row(k);
+      double* out_row = out.row(i);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out_row[j] += aik * rhs_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  GP_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  GP_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& v) const {
+  GP_CHECK(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  GP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+std::string Matrix::to_string(int digits) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << fixed((*this)(r, c), digits);
+    }
+    os << (r + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+namespace {
+
+/// In-place Householder QR on `a`, applying the same transforms to `b`,
+/// then back-substitution on the upper-triangular top block.  Returns
+/// false when a diagonal entry underflows (rank-deficient system).
+bool qr_solve(Matrix a, std::vector<double> b, std::vector<double>& x) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) return false;
+    // Give norm the sign of the pivot so the Householder vector's k-th
+    // entry is 1 + |x_k|/|x| (no cancellation).
+    if (a(k, k) < 0) norm = -norm;
+    for (std::size_t i = k; i < m; ++i) a(i, k) /= norm;
+    a(k, k) += 1.0;
+
+    // Apply reflector to the remaining columns and to b.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += a(i, k) * a(i, j);
+      s = -s / a(k, k);
+      for (std::size_t i = k; i < m; ++i) a(i, j) += s * a(i, k);
+    }
+    double s = 0.0;
+    for (std::size_t i = k; i < m; ++i) s += a(i, k) * b[i];
+    s = -s / a(k, k);
+    for (std::size_t i = k; i < m; ++i) b[i] += s * a(i, k);
+
+    a(k, k) = -norm;  // store R's diagonal
+  }
+
+  x.assign(n, 0.0);
+  for (std::size_t kk = n; kk-- > 0;) {
+    double acc = b[kk];
+    for (std::size_t j = kk + 1; j < n; ++j) acc -= a(kk, j) * x[j];
+    if (std::fabs(a(kk, kk)) < 1e-12) return false;
+    x[kk] = acc / a(kk, kk);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b) {
+  GP_CHECK(a.rows() == b.size());
+  GP_CHECK_MSG(a.rows() >= a.cols(),
+               "underdetermined system: " << a.rows() << " rows, "
+                                          << a.cols() << " cols");
+  std::vector<double> x;
+  if (qr_solve(a, b, x)) return x;
+
+  // Rank-deficient fallback: ridge via augmented rows
+  // [A; sqrt(lambda) I] x = [b; 0], which keeps the QR path.
+  const double lambda = 1e-8;
+  Matrix aug(a.rows() + a.cols(), a.cols());
+  std::vector<double> baug(a.rows() + a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) aug(r, c) = a(r, c);
+    baug[r] = b[r];
+  }
+  for (std::size_t c = 0; c < a.cols(); ++c)
+    aug(a.rows() + c, c) = std::sqrt(lambda);
+  GP_CHECK_MSG(qr_solve(aug, baug, x), "ridge-regularized solve failed");
+  return x;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  GP_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace gpuperf::ml

@@ -1,0 +1,65 @@
+// Small dense linear algebra: a row-major double matrix and a
+// Householder-QR least-squares solver.  This is all the linear algebra
+// the regression stack needs (LinearRegression fits via QR), so no
+// external BLAS/LAPACK dependency is taken.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gpuperf::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Pointer to the start of row r (row-major storage).
+  double* row(std::size_t r);
+  const double* row(std::size_t r) const;
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double s);
+
+  /// Matrix * vector.
+  std::vector<double> apply(const std::vector<double>& v) const;
+
+  /// Max |a - b| over all entries; GP_CHECK-fails on shape mismatch.
+  double max_abs_diff(const Matrix& other) const;
+
+  std::string to_string(int digits = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve min ||A x - b||_2 via Householder QR with column pivoting
+/// disabled (A is expected to be well-formed; rank deficiency is handled
+/// by a tiny ridge fallback).  Requires A.rows() >= A.cols().
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b);
+
+/// Dot product; GP_CHECK-fails on size mismatch.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double norm2(const std::vector<double>& v);
+
+}  // namespace gpuperf::ml

@@ -1,0 +1,103 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ml {
+
+namespace {
+
+void check_sizes(const std::vector<double>& actual,
+                 const std::vector<double>& predicted) {
+  GP_CHECK_MSG(actual.size() == predicted.size(),
+               "metric input sizes differ: " << actual.size() << " vs "
+                                             << predicted.size());
+  GP_CHECK_MSG(!actual.empty(), "metric on empty vectors");
+}
+
+}  // namespace
+
+double mape(const std::vector<double>& actual,
+            const std::vector<double>& predicted, double eps) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::fabs(actual[i]) < eps) continue;
+    sum += std::fabs((actual[i] - predicted[i]) / actual[i]);
+    ++counted;
+  }
+  GP_CHECK_MSG(counted > 0, "MAPE undefined: all actuals ~ 0");
+  return 100.0 * sum / static_cast<double>(counted);
+}
+
+double r2(const std::vector<double>& actual,
+          const std::vector<double>& predicted) {
+  check_sizes(actual, predicted);
+  double mean = 0.0;
+  for (double a : actual) mean += a;
+  mean /= static_cast<double>(actual.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double e = actual[i] - predicted[i];
+    const double d = actual[i] - mean;
+    ss_res += e * e;
+    ss_tot += d * d;
+  }
+  // A constant target makes R² degenerate; report 1 for a perfect fit,
+  // 0 otherwise (matches scikit-learn's convention closely enough for
+  // diagnostics and keeps the value finite).
+  if (ss_tot < 1e-300) return ss_res < 1e-300 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double adjusted_r2(const std::vector<double>& actual,
+                   const std::vector<double>& predicted,
+                   std::size_t n_features) {
+  check_sizes(actual, predicted);
+  const double n = static_cast<double>(actual.size());
+  const double p = static_cast<double>(n_features);
+  GP_CHECK_MSG(n > p + 1.0, "adjusted R² needs n > p + 1 (n="
+                                << actual.size() << ", p=" << n_features
+                                << ")");
+  const double r = r2(actual, predicted);
+  return 1.0 - (1.0 - r) * (n - 1.0) / (n - p - 1.0);
+}
+
+double mae(const std::vector<double>& actual,
+           const std::vector<double>& predicted) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    sum += std::fabs(actual[i] - predicted[i]);
+  return sum / static_cast<double>(actual.size());
+}
+
+double rmse(const std::vector<double>& actual,
+            const std::vector<double>& predicted) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double e = actual[i] - predicted[i];
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(actual.size()));
+}
+
+RegressionScore score_regression(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted,
+                                 std::size_t n_features) {
+  RegressionScore s;
+  s.mape = mape(actual, predicted);
+  s.r2 = r2(actual, predicted);
+  // The adjustment formula needs n > p + 1; on smaller evaluation sets
+  // (tiny folds, wide feature sets) fall back to the plain R² rather
+  // than refusing to score.
+  s.adjusted_r2 = actual.size() > n_features + 1
+                      ? adjusted_r2(actual, predicted, n_features)
+                      : s.r2;
+  return s;
+}
+
+}  // namespace gpuperf::ml

@@ -1,0 +1,45 @@
+// Regression evaluation metrics used by the paper: MAPE, R² and
+// adjusted R² (Table II), plus MAE/RMSE for diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gpuperf::ml {
+
+/// Mean Absolute Percentage Error, in percent (5.73 means 5.73 %).
+/// Rows with |actual| < `eps` are skipped (percentage undefined);
+/// GP_CHECK-fails if every row is skipped.
+double mape(const std::vector<double>& actual,
+            const std::vector<double>& predicted, double eps = 1e-12);
+
+/// Coefficient of determination.  Can be negative for models worse than
+/// predicting the mean (the paper's Linear Regression row).
+double r2(const std::vector<double>& actual,
+          const std::vector<double>& predicted);
+
+/// Adjusted R² for `n_features` predictors:
+///   1 - (1 - R²) (n - 1) / (n - p - 1).
+/// Requires n > n_features + 1.
+double adjusted_r2(const std::vector<double>& actual,
+                   const std::vector<double>& predicted,
+                   std::size_t n_features);
+
+double mae(const std::vector<double>& actual,
+           const std::vector<double>& predicted);
+
+double rmse(const std::vector<double>& actual,
+            const std::vector<double>& predicted);
+
+/// The paper's Table II triple for one model evaluation.
+struct RegressionScore {
+  double mape = 0.0;
+  double r2 = 0.0;
+  double adjusted_r2 = 0.0;
+};
+
+RegressionScore score_regression(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted,
+                                 std::size_t n_features);
+
+}  // namespace gpuperf::ml

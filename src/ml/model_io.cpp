@@ -1,0 +1,147 @@
+#include "ml/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace gpuperf::ml {
+
+namespace {
+
+// 17 significant digits round-trips an IEEE double exactly.
+std::string full_precision(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string serialize_tree(const DecisionTree& tree) {
+  GP_CHECK_MSG(tree.is_fitted(), "serialize before fit");
+  std::ostringstream os;
+  const auto importances = tree.feature_importances();
+  os << "gpuperf-tree v1\n";
+  os << "features " << importances.size() << "\n";
+  os << "importances";
+  for (double v : importances) os << ' ' << full_precision(v);
+  os << "\n";
+  os << "nodes " << tree.nodes().size() << "\n";
+  for (const auto& n : tree.nodes()) {
+    os << n.feature << ' ' << full_precision(n.threshold) << ' ' << n.left
+       << ' ' << n.right << ' ' << full_precision(n.value) << ' '
+       << n.n_samples << "\n";
+  }
+  return os.str();
+}
+
+DecisionTree deserialize_tree(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  GP_CHECK(std::getline(is, line));
+  GP_CHECK_MSG(trim(line) == "gpuperf-tree v1",
+               "bad tree header: '" << line << "'");
+
+  GP_CHECK(std::getline(is, line));
+  auto parts = split_ws(line);
+  GP_CHECK(parts.size() == 2 && parts[0] == "features");
+  const std::size_t n_features =
+      static_cast<std::size_t>(parse_int(parts[1]));
+  GP_CHECK(n_features >= 1);
+
+  GP_CHECK(std::getline(is, line));
+  parts = split_ws(line);
+  GP_CHECK(parts.size() == n_features + 1 && parts[0] == "importances");
+  std::vector<double> importances;
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    importances.push_back(parse_double(parts[i]));
+
+  GP_CHECK(std::getline(is, line));
+  parts = split_ws(line);
+  GP_CHECK(parts.size() == 2 && parts[0] == "nodes");
+  const std::size_t n_nodes = static_cast<std::size_t>(parse_int(parts[1]));
+  GP_CHECK(n_nodes >= 1);
+
+  std::vector<DecisionTree::Node> nodes;
+  nodes.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    GP_CHECK_MSG(std::getline(is, line), "truncated tree file");
+    parts = split_ws(line);
+    GP_CHECK_MSG(parts.size() == 6, "bad node line: '" << line << "'");
+    DecisionTree::Node n;
+    n.feature = static_cast<std::int32_t>(parse_int(parts[0]));
+    n.threshold = parse_double(parts[1]);
+    n.left = static_cast<std::int32_t>(parse_int(parts[2]));
+    n.right = static_cast<std::int32_t>(parse_int(parts[3]));
+    n.value = parse_double(parts[4]);
+    n.n_samples = static_cast<std::uint32_t>(parse_int(parts[5]));
+    GP_CHECK(n.feature >= DecisionTree::Node::kLeaf &&
+             n.feature < static_cast<std::int32_t>(n_features));
+    if (n.feature != DecisionTree::Node::kLeaf) {
+      GP_CHECK(n.left >= 0 && n.left < static_cast<std::int32_t>(n_nodes));
+      GP_CHECK(n.right >= 0 && n.right < static_cast<std::int32_t>(n_nodes));
+    }
+    nodes.push_back(n);
+  }
+
+  DecisionTree tree;
+  tree.restore(std::move(nodes), std::move(importances), n_features);
+  return tree;
+}
+
+std::string serialize_linear(const LinearRegression& model) {
+  GP_CHECK_MSG(model.is_fitted(), "serialize before fit");
+  std::ostringstream os;
+  os << "gpuperf-linear v1\n";
+  os << "intercept " << full_precision(model.intercept()) << "\n";
+  os << "coefficients";
+  for (double c : model.coefficients()) os << ' ' << full_precision(c);
+  os << "\n";
+  return os.str();
+}
+
+LinearRegression deserialize_linear(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  GP_CHECK(std::getline(is, line));
+  GP_CHECK_MSG(trim(line) == "gpuperf-linear v1",
+               "bad linear-model header: '" << line << "'");
+
+  GP_CHECK(std::getline(is, line));
+  auto parts = split_ws(line);
+  GP_CHECK(parts.size() == 2 && parts[0] == "intercept");
+  const double intercept = parse_double(parts[1]);
+
+  GP_CHECK(std::getline(is, line));
+  parts = split_ws(line);
+  GP_CHECK(parts.size() >= 2 && parts[0] == "coefficients");
+  std::vector<double> coef;
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    coef.push_back(parse_double(parts[i]));
+
+  LinearRegression model;
+  model.restore(std::move(coef), intercept);
+  return model;
+}
+
+void save_tree(const DecisionTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GP_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << serialize_tree(tree);
+  GP_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+DecisionTree load_tree(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GP_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return deserialize_tree(os.str());
+}
+
+}  // namespace gpuperf::ml

@@ -1,0 +1,28 @@
+// Text serialization for trained models, so a predictive model built in
+// the training phase can be shipped and reloaded without retraining
+// (the paper's deployment story: train once, predict anywhere).
+//
+// Format: line-oriented, human-diffable.  Only the models that make
+// sense to persist are supported (DecisionTree, LinearRegression);
+// ensembles serialize as repeated tree sections.
+#pragma once
+
+#include <string>
+
+#include "ml/decision_tree.hpp"
+#include "ml/linear_regression.hpp"
+
+namespace gpuperf::ml {
+
+std::string serialize_tree(const DecisionTree& tree);
+
+/// Rebuild a tree; GP_CHECK-fails on malformed input.
+DecisionTree deserialize_tree(const std::string& text);
+
+std::string serialize_linear(const LinearRegression& model);
+LinearRegression deserialize_linear(const std::string& text);
+
+void save_tree(const DecisionTree& tree, const std::string& path);
+DecisionTree load_tree(const std::string& path);
+
+}  // namespace gpuperf::ml

@@ -1,0 +1,38 @@
+#include "ml/regressor.hpp"
+
+#include "common/check.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
+
+namespace gpuperf::ml {
+
+std::vector<double> Regressor::predict_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    out.push_back(predict(data.row(i)));
+  return out;
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& id,
+                                          std::uint64_t seed) {
+  if (id == "linear") return std::make_unique<LinearRegression>();
+  if (id == "knn") return std::make_unique<KnnRegressor>(3);
+  if (id == "dt") return std::make_unique<DecisionTree>();
+  if (id == "rf") return std::make_unique<RandomForest>(ForestParams{}, seed);
+  if (id == "xgb")
+    return std::make_unique<GradientBoosting>(BoostingParams{}, seed);
+  GP_CHECK_MSG(false, "unknown regressor id '" << id << "'");
+}
+
+const std::vector<std::string>& regressor_ids() {
+  // Paper's Table II order.
+  static const std::vector<std::string> ids = {"linear", "knn", "rf", "dt",
+                                               "xgb"};
+  return ids;
+}
+
+}  // namespace gpuperf::ml

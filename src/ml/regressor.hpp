@@ -1,0 +1,49 @@
+// Common interface for the five regression algorithms the paper
+// compares (Table II).  Models fit on a Dataset and predict from raw
+// feature vectors; standardization, where an algorithm needs it (K-NN),
+// is owned by the model itself so callers never pre-scale.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace gpuperf::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Human-readable algorithm name ("Decision Tree").
+  virtual std::string name() const = 0;
+
+  /// Train on the dataset; replaces any previous fit.
+  virtual void fit(const Dataset& data) = 0;
+
+  virtual bool is_fitted() const = 0;
+
+  /// Predict a single observation; GP_CHECK-fails if not fitted or the
+  /// feature width differs from the training schema.
+  virtual double predict(const std::vector<double>& x) const = 0;
+
+  /// Predict every row of a dataset.
+  std::vector<double> predict_all(const Dataset& data) const;
+
+  /// Per-feature importances summing to 1.  Empty for algorithms
+  /// without a natural importance notion (K-NN); tree models report
+  /// normalized impurity decrease (the paper's Table III).
+  virtual std::vector<double> feature_importances() const { return {}; }
+};
+
+/// Factory covering the paper's five algorithms, keyed by a short id:
+/// "linear", "knn", "dt", "rf", "xgb".  Seed feeds the stochastic
+/// models (forest bootstraps, boosting row subsampling).
+std::unique_ptr<Regressor> make_regressor(const std::string& id,
+                                          std::uint64_t seed = 42);
+
+/// The ids accepted by make_regressor, in the paper's Table II order.
+const std::vector<std::string>& regressor_ids();
+
+}  // namespace gpuperf::ml

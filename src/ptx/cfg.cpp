@@ -1,0 +1,91 @@
+#include "ptx/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+
+Cfg Cfg::build(const PtxKernel& kernel) {
+  const auto& ins = kernel.instructions;
+  GP_CHECK_MSG(!ins.empty(), "CFG over empty kernel " << kernel.name);
+
+  // Leaders: entry, every label target, every instruction after a
+  // branch or ret.
+  std::set<std::size_t> leaders;
+  leaders.insert(0);
+  for (const auto& [label, index] : kernel.labels)
+    if (index < ins.size()) leaders.insert(index);
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    if (ins[i].is_branch() || ins[i].is_exit())
+      if (i + 1 < ins.size()) leaders.insert(i + 1);
+
+  Cfg cfg;
+  cfg.block_of_.assign(ins.size(), 0);
+  std::vector<std::size_t> leader_list(leaders.begin(), leaders.end());
+  for (std::size_t b = 0; b < leader_list.size(); ++b) {
+    BasicBlock block;
+    block.first = leader_list[b];
+    block.last = (b + 1 < leader_list.size() ? leader_list[b + 1]
+                                             : ins.size()) -
+                 1;
+    for (std::size_t i = block.first; i <= block.last; ++i)
+      cfg.block_of_[i] = b;
+    cfg.blocks_.push_back(block);
+  }
+
+  // Edges.
+  for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& block = cfg.blocks_[b];
+    const Instruction& term = ins[block.last];
+    auto link = [&](std::size_t to) {
+      block.succs.push_back(to);
+      cfg.blocks_[to].preds.push_back(b);
+    };
+    if (term.is_exit()) continue;
+    if (term.is_branch()) {
+      GP_CHECK_MSG(term.srcs.size() == 1, "bra needs exactly one target");
+      const auto* label = std::get_if<LabelOperand>(&term.srcs.front());
+      GP_CHECK_MSG(label != nullptr, "bra target is not a label");
+      const std::size_t target_index = kernel.label_target(label->name);
+      GP_CHECK_MSG(target_index < ins.size(),
+                   "branch to end of kernel " << kernel.name);
+      link(cfg.block_of_[target_index]);
+      if (!term.guard.empty() && b + 1 < cfg.blocks_.size()) link(b + 1);
+    } else {
+      GP_CHECK_MSG(b + 1 < cfg.blocks_.size(),
+                   "kernel " << kernel.name << " falls off the end");
+      link(b + 1);
+    }
+  }
+  return cfg;
+}
+
+const BasicBlock& Cfg::block(std::size_t i) const {
+  GP_CHECK(i < blocks_.size());
+  return blocks_[i];
+}
+
+std::size_t Cfg::block_of(std::size_t instruction_index) const {
+  GP_CHECK(instruction_index < block_of_.size());
+  return block_of_[instruction_index];
+}
+
+std::vector<std::size_t> Cfg::conditional_blocks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < blocks_.size(); ++b)
+    if (blocks_[b].succs.size() > 1) out.push_back(b);
+  return out;
+}
+
+bool Cfg::has_loops() const {
+  // A back edge in instruction order implies a cycle here because block
+  // ids follow instruction order.
+  for (std::size_t b = 0; b < blocks_.size(); ++b)
+    for (std::size_t s : blocks_[b].succs)
+      if (s <= b) return true;
+  return false;
+}
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,48 @@
+// Control-flow graph over a kernel's instruction stream: basic blocks
+// split at labels and branches, with fallthrough/target edges.  The
+// dynamic code analysis counts whole blocks at a time, so block
+// boundaries are the unit of the instruction-counting algebra.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ptx/module.hpp"
+
+namespace gpuperf::ptx {
+
+struct BasicBlock {
+  std::size_t first = 0;  // first instruction index
+  std::size_t last = 0;   // last instruction index (inclusive)
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> preds;
+
+  std::size_t size() const { return last - first + 1; }
+};
+
+class Cfg {
+ public:
+  static Cfg build(const PtxKernel& kernel);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block(std::size_t i) const;
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Block containing an instruction.
+  std::size_t block_of(std::size_t instruction_index) const;
+
+  /// Entry block id (always 0 — block order follows instruction order).
+  std::size_t entry() const { return 0; }
+
+  /// Blocks that end in a conditional branch (guard + bra).
+  std::vector<std::size_t> conditional_blocks() const;
+
+  /// True if any path contains a cycle (the kernel has loops).
+  bool has_loops() const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::size_t> block_of_;
+};
+
+}  // namespace gpuperf::ptx

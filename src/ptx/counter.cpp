@@ -1,0 +1,45 @@
+#include "ptx/counter.hpp"
+
+#include "common/check.hpp"
+#include "ptx/parser.hpp"
+
+namespace gpuperf::ptx {
+
+InstructionCounter::InstructionCounter() {
+  // Round-trip the kernel library through its textual form: the
+  // analysis operates on *parsed* PTX, exactly as it would on nvcc
+  // output.
+  module_ = parse_ptx(CodeGenerator::kernel_library().to_ptx());
+  for (const auto& kernel : module_.kernels)
+    executors_.emplace(kernel.name, SymbolicExecutor(kernel));
+}
+
+ExecutionCounts InstructionCounter::count_launch(
+    const KernelLaunch& launch) const {
+  const auto it = executors_.find(launch.kernel);
+  GP_CHECK_MSG(it != executors_.end(),
+               "no executor for kernel '" << launch.kernel << "'");
+  return it->second.run(launch);
+}
+
+ModelInstructionProfile InstructionCounter::count(
+    const CompiledModel& model) const {
+  ModelInstructionProfile profile;
+  profile.model_name = model.model_name;
+  profile.launch_count = static_cast<std::int64_t>(model.launches.size());
+  profile.per_launch.reserve(model.launches.size());
+  profile.per_launch_class.reserve(model.launches.size());
+
+  for (const KernelLaunch& launch : model.launches) {
+    const ExecutionCounts counts = count_launch(launch);
+    profile.total_instructions += counts.total;
+    for (std::size_t c = 0; c < kOpClassCount; ++c)
+      profile.by_class[c] += counts.by_class[c];
+    profile.total_threads += launch.total_threads();
+    profile.per_launch.push_back(counts.total);
+    profile.per_launch_class.push_back(counts.by_class);
+  }
+  return profile;
+}
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,45 @@
+// Model-level dynamic instruction counting: parses the generated PTX,
+// builds one symbolic executor per kernel, runs every launch, and
+// aggregates — this is the "total number of PTX instructions" predictor
+// p of the paper's training vector d = (y, p, c1..cm, t).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptx/codegen.hpp"
+#include "ptx/symexec.hpp"
+
+namespace gpuperf::ptx {
+
+struct ModelInstructionProfile {
+  std::string model_name;
+  std::int64_t total_instructions = 0;
+  std::array<std::int64_t, kOpClassCount> by_class{};
+  std::int64_t total_threads = 0;
+  std::int64_t launch_count = 0;
+  /// Per-launch totals, parallel to CompiledModel::launches.
+  std::vector<std::int64_t> per_launch;
+  /// Per-launch per-class counts.
+  std::vector<std::array<std::int64_t, kOpClassCount>> per_launch_class;
+};
+
+class InstructionCounter {
+ public:
+  /// Analyze the module's kernels once; count() may then be called for
+  /// any CompiledModel over the same kernel library.
+  InstructionCounter();
+
+  ModelInstructionProfile count(const CompiledModel& model) const;
+
+  /// Counts for a single launch (exposed for tests and benches).
+  ExecutionCounts count_launch(const KernelLaunch& launch) const;
+
+ private:
+  PtxModule module_;
+  std::map<std::string, SymbolicExecutor> executors_;
+};
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,47 @@
+#include "ptx/depgraph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+
+DependencyGraph DependencyGraph::build(const PtxKernel& kernel) {
+  DependencyGraph g;
+  const auto& ins = kernel.instructions;
+  g.deps_.resize(ins.size());
+
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    for (const std::string& reg : ins[i].defs()) g.defs_[reg].push_back(i);
+
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    std::vector<std::size_t>& d = g.deps_[i];
+    for (const std::string& reg : ins[i].uses()) {
+      const auto it = g.defs_.find(reg);
+      if (it == g.defs_.end()) continue;  // undef read: param-free reg
+      d.insert(d.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+  return g;
+}
+
+const std::vector<std::size_t>& DependencyGraph::deps(std::size_t i) const {
+  GP_CHECK(i < deps_.size());
+  return deps_[i];
+}
+
+const std::vector<std::size_t>& DependencyGraph::defs_of(
+    const std::string& reg) const {
+  const auto it = defs_.find(reg);
+  return it == defs_.end() ? empty_ : it->second;
+}
+
+std::size_t DependencyGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& d : deps_) n += d.size();
+  return n;
+}
+
+}  // namespace gpuperf::ptx

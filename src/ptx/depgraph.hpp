@@ -1,0 +1,38 @@
+// Data-dependency graph G = (V, E) over a kernel's instructions
+// (Section IV-A of the paper): node n_i depends on n_j when n_i reads a
+// register n_j writes.  The graph is flow-insensitive (every definition
+// of a register is a potential dependency), which over-approximates —
+// safe for slicing, where missing a dependency would be unsound but an
+// extra one only tracks a little more state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ptx/module.hpp"
+
+namespace gpuperf::ptx {
+
+class DependencyGraph {
+ public:
+  static DependencyGraph build(const PtxKernel& kernel);
+
+  std::size_t node_count() const { return deps_.size(); }
+
+  /// Instructions whose outputs instruction i may read.
+  const std::vector<std::size_t>& deps(std::size_t i) const;
+
+  /// All definition sites of a register.
+  const std::vector<std::size_t>& defs_of(const std::string& reg) const;
+
+  std::size_t edge_count() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> deps_;
+  std::unordered_map<std::string, std::vector<std::size_t>> defs_;
+  std::vector<std::size_t> empty_;
+};
+
+}  // namespace gpuperf::ptx

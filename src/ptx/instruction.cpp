@@ -1,0 +1,98 @@
+#include "ptx/instruction.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+
+std::string operand_to_string(const Operand& op) {
+  struct Visitor {
+    std::string operator()(const RegOperand& r) const { return r.name; }
+    std::string operator()(const ImmOperand& i) const {
+      char buf[64];
+      if (i.is_float)
+        std::snprintf(buf, sizeof(buf), "0f%08X",
+                      [&] {
+                        const float f = static_cast<float>(i.value);
+                        std::uint32_t bits;
+                        static_assert(sizeof(bits) == sizeof(f));
+                        __builtin_memcpy(&bits, &f, sizeof(bits));
+                        return bits;
+                      }());
+      else
+        std::snprintf(buf, sizeof(buf), "%" PRId64, i.ivalue());
+      return buf;
+    }
+    std::string operator()(const SpecialOperand& s) const {
+      return special_reg_name(s.reg);
+    }
+    std::string operator()(const MemOperand& m) const {
+      std::ostringstream os;
+      os << '[' << m.base;
+      if (m.offset != 0) os << '+' << m.offset;
+      os << ']';
+      return os.str();
+    }
+    std::string operator()(const LabelOperand& l) const { return l.name; }
+  };
+  return std::visit(Visitor{}, op);
+}
+
+namespace {
+
+void collect_reg(const Operand& op, std::vector<std::string>& out,
+                 bool memory_bases) {
+  if (const auto* r = std::get_if<RegOperand>(&op)) {
+    out.push_back(r->name);
+  } else if (memory_bases) {
+    if (const auto* m = std::get_if<MemOperand>(&op)) {
+      // A register base starts with '%'; a parameter name does not.
+      if (!m->base.empty() && m->base.front() == '%') out.push_back(m->base);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> Instruction::defs() const {
+  std::vector<std::string> out;
+  for (const auto& d : dsts) collect_reg(d, out, /*memory_bases=*/false);
+  return out;
+}
+
+std::vector<std::string> Instruction::uses() const {
+  std::vector<std::string> out;
+  for (const auto& s : srcs) collect_reg(s, out, /*memory_bases=*/true);
+  // A store's address register lives in dsts position for st [addr], val
+  // encodings; we keep addresses in srcs, so only the guard remains.
+  if (!guard.empty()) out.push_back(guard);
+  return out;
+}
+
+std::string Instruction::to_string() const {
+  std::ostringstream os;
+  if (!guard.empty()) os << '@' << (guard_negated ? "!" : "") << guard << ' ';
+
+  os << opcode_name(opcode);
+  if (cmp) os << '.' << compare_name(*cmp);
+  if (space != StateSpace::kNone) os << '.' << space_suffix(space);
+  const bool typed = opcode != Opcode::kBra && opcode != Opcode::kRet &&
+                     opcode != Opcode::kBar;
+  if (typed) os << '.' << type_suffix(type);
+
+  bool first = true;
+  auto emit = [&](const Operand& op) {
+    os << (first ? " \t" : ", ");
+    first = false;
+    os << operand_to_string(op);
+  };
+  for (const auto& d : dsts) emit(d);
+  for (const auto& s : srcs) emit(s);
+  os << ';';
+  return os.str();
+}
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,80 @@
+// Operand and Instruction representations plus their textual PTX
+// rendering.  The generator emits these, the parser reconstructs them,
+// and the round trip is covered by tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ptx/isa.hpp"
+
+namespace gpuperf::ptx {
+
+/// Virtual register reference, e.g. "%r12", "%rd3", "%f7", "%p1".
+struct RegOperand {
+  std::string name;
+  bool operator==(const RegOperand&) const = default;
+};
+
+/// Integer or floating immediate.
+struct ImmOperand {
+  double value = 0.0;
+  bool is_float = false;
+  std::int64_t ivalue() const { return static_cast<std::int64_t>(value); }
+  bool operator==(const ImmOperand&) const = default;
+};
+
+/// %tid.x and friends.
+struct SpecialOperand {
+  SpecialReg reg = SpecialReg::kTidX;
+  bool operator==(const SpecialOperand&) const = default;
+};
+
+/// Memory operand [base+offset] for ld/st; base is a register name or,
+/// for ld.param, a kernel parameter name.
+struct MemOperand {
+  std::string base;
+  std::int64_t offset = 0;
+  bool operator==(const MemOperand&) const = default;
+};
+
+/// Branch target.
+struct LabelOperand {
+  std::string name;
+  bool operator==(const LabelOperand&) const = default;
+};
+
+using Operand = std::variant<RegOperand, ImmOperand, SpecialOperand,
+                             MemOperand, LabelOperand>;
+
+std::string operand_to_string(const Operand& op);
+
+/// One PTX instruction.  Guard predicates render as "@%p" / "@!%p".
+struct Instruction {
+  Opcode opcode = Opcode::kMov;
+  PtxType type = PtxType::kU32;
+  StateSpace space = StateSpace::kNone;
+  std::optional<CompareOp> cmp;  // setp only
+
+  std::vector<Operand> dsts;  // setp has 1 pred dst; st has none
+  std::vector<Operand> srcs;
+
+  std::string guard;          // predicate register name, empty = none
+  bool guard_negated = false;
+
+  /// Registers written / read (guard included in reads).  Special
+  /// registers and parameters are not virtual registers and are
+  /// excluded.
+  std::vector<std::string> defs() const;
+  std::vector<std::string> uses() const;
+
+  bool is_branch() const { return opcode == Opcode::kBra; }
+  bool is_exit() const { return opcode == Opcode::kRet; }
+
+  std::string to_string() const;
+};
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,40 @@
+// Reference PTX interpreter: concretely executes every instruction of
+// one thread (the "traditional simulator" the paper's dynamic code
+// analysis is benchmarked against).  Used to cross-validate the
+// symbolic executor — summing per-thread counts over a whole launch
+// must equal SymbolicExecutor::run — and as the slow baseline in the
+// slicing ablation bench.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ptx/module.hpp"
+
+namespace gpuperf::ptx {
+
+struct ThreadCounts {
+  std::int64_t total = 0;
+  std::array<std::int64_t, kOpClassCount> by_class{};
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const PtxKernel& kernel) : kernel_(kernel) {}
+
+  /// Execute one thread (ctaid, tid) of a launch.  Global loads return
+  /// zero; shared memory is a private scratch map (block-level
+  /// interleavings do not affect instruction counts in the supported
+  /// kernel fragment).
+  ThreadCounts run_thread(const KernelLaunch& launch, std::int64_t ctaid,
+                          std::int64_t tid) const;
+
+  /// Sum run_thread over the entire launch (brute force; use only on
+  /// small launches / in tests).
+  ThreadCounts run_all(const KernelLaunch& launch) const;
+
+ private:
+  const PtxKernel& kernel_;
+};
+
+}  // namespace gpuperf::ptx

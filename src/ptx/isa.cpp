@@ -1,0 +1,219 @@
+#include "ptx/isa.hpp"
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kMov: return "mov";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kMulLo: return "mul.lo";
+    case Opcode::kMulWide: return "mul.wide";
+    case Opcode::kMad: return "mad.lo";
+    case Opcode::kFma: return "fma.rn";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNot: return "not";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kSetp: return "setp";
+    case Opcode::kSelp: return "selp";
+    case Opcode::kBra: return "bra";
+    case Opcode::kRet: return "ret";
+    case Opcode::kBar: return "bar.sync";
+    case Opcode::kCvt: return "cvt";
+    case Opcode::kCvta: return "cvta.to.global";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kAbs: return "abs";
+    case Opcode::kRcp: return "rcp.approx";
+    case Opcode::kSqrt: return "sqrt.approx";
+    case Opcode::kEx2: return "ex2.approx";
+    case Opcode::kLg2: return "lg2.approx";
+  }
+  return "?";
+}
+
+const char* type_suffix(PtxType t) {
+  switch (t) {
+    case PtxType::kPred: return "pred";
+    case PtxType::kU16: return "u16";
+    case PtxType::kU32: return "u32";
+    case PtxType::kU64: return "u64";
+    case PtxType::kS32: return "s32";
+    case PtxType::kS64: return "s64";
+    case PtxType::kF32: return "f32";
+    case PtxType::kF64: return "f64";
+    case PtxType::kB32: return "b32";
+    case PtxType::kB64: return "b64";
+  }
+  return "?";
+}
+
+const char* space_suffix(StateSpace s) {
+  switch (s) {
+    case StateSpace::kNone: return "";
+    case StateSpace::kParam: return "param";
+    case StateSpace::kGlobal: return "global";
+    case StateSpace::kShared: return "shared";
+    case StateSpace::kLocal: return "local";
+    case StateSpace::kConst: return "const";
+  }
+  return "?";
+}
+
+const char* compare_name(CompareOp c) {
+  switch (c) {
+    case CompareOp::kLt: return "lt";
+    case CompareOp::kLe: return "le";
+    case CompareOp::kGt: return "gt";
+    case CompareOp::kGe: return "ge";
+    case CompareOp::kEq: return "eq";
+    case CompareOp::kNe: return "ne";
+  }
+  return "?";
+}
+
+const char* special_reg_name(SpecialReg r) {
+  switch (r) {
+    case SpecialReg::kTidX: return "%tid.x";
+    case SpecialReg::kCtaidX: return "%ctaid.x";
+    case SpecialReg::kNtidX: return "%ntid.x";
+    case SpecialReg::kNctaidX: return "%nctaid.x";
+  }
+  return "?";
+}
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kIntAlu: return "int_alu";
+    case OpClass::kFloatAlu: return "float_alu";
+    case OpClass::kFma: return "fma";
+    case OpClass::kSfu: return "sfu";
+    case OpClass::kLoadGlobal: return "ld_global";
+    case OpClass::kStoreGlobal: return "st_global";
+    case OpClass::kLoadShared: return "ld_shared";
+    case OpClass::kStoreShared: return "st_shared";
+    case OpClass::kLoadParam: return "ld_param";
+    case OpClass::kControl: return "control";
+    case OpClass::kMove: return "move";
+  }
+  return "?";
+}
+
+std::optional<Opcode> opcode_from_name(const std::string& name) {
+  // Reverse of opcode_name over the full enum; cheap linear scan.
+  static const Opcode all[] = {
+      Opcode::kMov,  Opcode::kLd,     Opcode::kSt,      Opcode::kAdd,
+      Opcode::kSub,  Opcode::kMul,    Opcode::kMulLo,   Opcode::kMulWide,
+      Opcode::kMad,  Opcode::kFma,    Opcode::kDiv,     Opcode::kRem,
+      Opcode::kAnd,  Opcode::kOr,     Opcode::kXor,     Opcode::kNot,
+      Opcode::kShl,  Opcode::kShr,    Opcode::kSetp,    Opcode::kSelp,
+      Opcode::kBra,  Opcode::kRet,    Opcode::kBar,     Opcode::kCvt,
+      Opcode::kCvta, Opcode::kMin,    Opcode::kMax,     Opcode::kNeg,
+      Opcode::kAbs,  Opcode::kRcp,    Opcode::kSqrt,    Opcode::kEx2,
+      Opcode::kLg2};
+  for (Opcode op : all)
+    if (name == opcode_name(op)) return op;
+  return std::nullopt;
+}
+
+std::optional<PtxType> type_from_suffix(const std::string& s) {
+  static const PtxType all[] = {PtxType::kPred, PtxType::kU16, PtxType::kU32,
+                                PtxType::kU64,  PtxType::kS32, PtxType::kS64,
+                                PtxType::kF32,  PtxType::kF64, PtxType::kB32,
+                                PtxType::kB64};
+  for (PtxType t : all)
+    if (s == type_suffix(t)) return t;
+  return std::nullopt;
+}
+
+std::optional<StateSpace> space_from_suffix(const std::string& s) {
+  static const StateSpace all[] = {StateSpace::kParam, StateSpace::kGlobal,
+                                   StateSpace::kShared, StateSpace::kLocal,
+                                   StateSpace::kConst};
+  for (StateSpace sp : all)
+    if (s == space_suffix(sp)) return sp;
+  return std::nullopt;
+}
+
+std::optional<CompareOp> compare_from_name(const std::string& s) {
+  static const CompareOp all[] = {CompareOp::kLt, CompareOp::kLe,
+                                  CompareOp::kGt, CompareOp::kGe,
+                                  CompareOp::kEq, CompareOp::kNe};
+  for (CompareOp c : all)
+    if (s == compare_name(c)) return c;
+  return std::nullopt;
+}
+
+std::optional<SpecialReg> special_reg_from_name(const std::string& s) {
+  static const SpecialReg all[] = {SpecialReg::kTidX, SpecialReg::kCtaidX,
+                                   SpecialReg::kNtidX, SpecialReg::kNctaidX};
+  for (SpecialReg r : all)
+    if (s == special_reg_name(r)) return r;
+  return std::nullopt;
+}
+
+bool is_float_type(PtxType t) {
+  return t == PtxType::kF32 || t == PtxType::kF64;
+}
+
+int type_bytes(PtxType t) {
+  switch (t) {
+    case PtxType::kPred: return 1;
+    case PtxType::kU16: return 2;
+    case PtxType::kU32:
+    case PtxType::kS32:
+    case PtxType::kF32:
+    case PtxType::kB32: return 4;
+    case PtxType::kU64:
+    case PtxType::kS64:
+    case PtxType::kF64:
+    case PtxType::kB64: return 8;
+  }
+  return 4;
+}
+
+OpClass classify(Opcode op, PtxType type, StateSpace space) {
+  switch (op) {
+    case Opcode::kLd:
+      if (space == StateSpace::kShared) return OpClass::kLoadShared;
+      if (space == StateSpace::kParam || space == StateSpace::kConst)
+        return OpClass::kLoadParam;
+      return OpClass::kLoadGlobal;
+    case Opcode::kSt:
+      return space == StateSpace::kShared ? OpClass::kStoreShared
+                                          : OpClass::kStoreGlobal;
+    case Opcode::kBra:
+    case Opcode::kRet:
+    case Opcode::kBar:
+      return OpClass::kControl;
+    case Opcode::kFma:
+    case Opcode::kMad:
+      return is_float_type(type) ? OpClass::kFma : OpClass::kIntAlu;
+    case Opcode::kRcp:
+    case Opcode::kSqrt:
+    case Opcode::kEx2:
+    case Opcode::kLg2:
+      return OpClass::kSfu;
+    case Opcode::kMov:
+    case Opcode::kCvt:
+    case Opcode::kCvta:
+    case Opcode::kSelp:
+    case Opcode::kSetp:
+      return OpClass::kMove;
+    default:
+      return is_float_type(type) ? OpClass::kFloatAlu : OpClass::kIntAlu;
+  }
+}
+
+}  // namespace gpuperf::ptx

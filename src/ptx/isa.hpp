@@ -1,0 +1,115 @@
+// The PTX instruction-set subset this library generates, parses and
+// executes: the scalar/control/memory core that CNN kernels compile to
+// (Section III-B of the paper).  Vector and texture instructions are
+// out of scope — cuDNN-style CNN kernels do not need them for the
+// instruction-counting analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gpuperf::ptx {
+
+enum class Opcode {
+  kMov,
+  kLd,
+  kSt,
+  kAdd,
+  kSub,
+  kMul,
+  kMulLo,   // mul.lo on integers
+  kMulWide, // mul.wide: 32x32 -> 64
+  kMad,     // mad.lo
+  kFma,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShl,
+  kShr,
+  kSetp,
+  kSelp,
+  kBra,
+  kRet,
+  kBar,
+  kCvt,
+  kCvta,
+  kMin,
+  kMax,
+  kNeg,
+  kAbs,
+  kRcp,
+  kSqrt,
+  kEx2,
+  kLg2,
+};
+
+enum class PtxType {
+  kPred,
+  kU16,
+  kU32,
+  kU64,
+  kS32,
+  kS64,
+  kF32,
+  kF64,
+  kB32,
+  kB64,
+};
+
+enum class StateSpace {
+  kNone,    // register-to-register forms
+  kParam,
+  kGlobal,
+  kShared,
+  kLocal,
+  kConst,
+};
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// %tid.x, %ctaid.x, %ntid.x, %nctaid.x (only .x is generated; CNN
+/// kernels here linearize their index spaces).
+enum class SpecialReg { kTidX, kCtaidX, kNtidX, kNctaidX };
+
+/// Broad classes used for instruction-mix statistics and the GPU
+/// simulator's issue model.
+enum class OpClass {
+  kIntAlu,
+  kFloatAlu,
+  kFma,
+  kSfu,      // rcp/sqrt/ex2/lg2 — special function unit
+  kLoadGlobal,
+  kStoreGlobal,
+  kLoadShared,
+  kStoreShared,
+  kLoadParam,
+  kControl,  // bra/ret/bar
+  kMove,     // mov/cvt/selp/setp and friends
+};
+constexpr int kOpClassCount = 11;
+
+const char* opcode_name(Opcode op);
+const char* type_suffix(PtxType t);
+const char* space_suffix(StateSpace s);
+const char* compare_name(CompareOp c);
+const char* special_reg_name(SpecialReg r);
+const char* op_class_name(OpClass c);
+
+std::optional<Opcode> opcode_from_name(const std::string& name);
+std::optional<PtxType> type_from_suffix(const std::string& s);
+std::optional<StateSpace> space_from_suffix(const std::string& s);
+std::optional<CompareOp> compare_from_name(const std::string& s);
+std::optional<SpecialReg> special_reg_from_name(const std::string& s);
+
+bool is_float_type(PtxType t);
+/// Byte width of a type (pred counts as 1).
+int type_bytes(PtxType t);
+
+/// Classify an (opcode, type, space) triple for mix statistics.
+OpClass classify(Opcode op, PtxType type, StateSpace space);
+
+}  // namespace gpuperf::ptx

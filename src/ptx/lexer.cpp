@@ -1,0 +1,128 @@
+#include "ptx/lexer.hpp"
+
+#include <cctype>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '%' || c == '.' || c == '$';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '$' || c == '%';
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto push = [&](TokenKind kind, std::string t) {
+    tokens.push_back(Token{kind, std::move(t), line});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      GP_CHECK_MSG(i + 1 < n, "unterminated block comment at line " << line);
+      i += 2;
+      continue;
+    }
+
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "("); ++i; continue;
+      case ')': push(TokenKind::kRParen, ")"); ++i; continue;
+      case '{': push(TokenKind::kLBrace, "{"); ++i; continue;
+      case '}': push(TokenKind::kRBrace, "}"); ++i; continue;
+      case '[': push(TokenKind::kLBracket, "["); ++i; continue;
+      case ']': push(TokenKind::kRBracket, "]"); ++i; continue;
+      case ',': push(TokenKind::kComma, ","); ++i; continue;
+      case ';': push(TokenKind::kSemicolon, ";"); ++i; continue;
+      case ':': push(TokenKind::kColon, ":"); ++i; continue;
+      case '+': push(TokenKind::kPlus, "+"); ++i; continue;
+      case '@': push(TokenKind::kAt, "@"); ++i; continue;
+      case '!': push(TokenKind::kBang, "!"); ++i; continue;
+      case '<': push(TokenKind::kLess, "<"); ++i; continue;
+      case '>': push(TokenKind::kGreater, ">"); ++i; continue;
+      default: break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t start = i;
+      if (c == '-') ++i;
+      // Hex-float immediates (0f..., 0d...) and plain hex (0x...) keep
+      // their alpha payload in the number token.
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.'))
+        ++i;
+      push(TokenKind::kNumber, text.substr(start, i - start));
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t start = i;
+      ++i;
+      while (i < n && ident_char(text[i])) ++i;
+      push(TokenKind::kIdentifier, text.substr(start, i - start));
+      continue;
+    }
+
+    GP_CHECK_MSG(false, "unexpected character '" << c << "' at line " << line);
+  }
+  push(TokenKind::kEnd, "");
+  return tokens;
+}
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kEnd: return "<end>";
+  }
+  return "?";
+}
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,49 @@
+// Tokenizer for the PTX textual subset.  Identifiers keep their dots
+// ("mad.lo.s32", "%tid.x") — instruction-name decomposition happens in
+// the parser, which has the context to do it right.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuperf::ptx {
+
+enum class TokenKind {
+  kIdentifier,  // mov.u32, %r1, %tid.x, .param, LBB0_1, @, !
+  kNumber,      // 42, -7, 0f3F800000
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kPlus,
+  kAt,
+  kBang,
+  kLess,
+  kGreater,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_ident(const char* s) const {
+    return kind == TokenKind::kIdentifier && text == s;
+  }
+};
+
+/// Tokenize PTX text; throws CheckError with a line number on bad
+/// characters.  Comments (// and /* */) are stripped.
+std::vector<Token> lex(const std::string& text);
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace gpuperf::ptx

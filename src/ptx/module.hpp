@@ -1,0 +1,73 @@
+// Parsed / generated PTX program structure: kernels with parameters,
+// register declarations, labeled instruction streams; plus the launch
+// descriptors that bind a kernel to a grid and concrete parameter
+// values (what the host code would pass at cuLaunchKernel time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptx/instruction.hpp"
+
+namespace gpuperf::ptx {
+
+struct KernelParam {
+  std::string name;
+  PtxType type = PtxType::kU64;
+  bool is_pointer = false;
+};
+
+struct RegDecl {
+  PtxType type = PtxType::kU32;
+  std::string prefix;  // "%r", "%rd", "%f", "%p"
+  int count = 0;
+};
+
+class PtxKernel {
+ public:
+  std::string name;
+  std::vector<KernelParam> params;
+  std::vector<RegDecl> reg_decls;
+  int reqntid = 0;  // .reqntid block size hint, 0 = unset
+  std::int64_t shared_bytes = 0;
+
+  std::vector<Instruction> instructions;
+  /// label -> index of the first instruction at/after the label.
+  std::map<std::string, std::size_t> labels;
+
+  const KernelParam* find_param(const std::string& name) const;
+
+  /// Index a branch target; GP_CHECK-fails on unknown labels.
+  std::size_t label_target(const std::string& label) const;
+
+  /// Render as PTX text (entry directive, params, reg decls, body).
+  std::string to_ptx() const;
+};
+
+class PtxModule {
+ public:
+  std::string version = "7.0";
+  std::string target = "sm_70";
+  int address_size = 64;
+  std::vector<PtxKernel> kernels;
+
+  const PtxKernel* find_kernel(const std::string& name) const;
+  const PtxKernel& kernel(const std::string& name) const;
+
+  std::string to_ptx() const;
+};
+
+/// One kernel launch: grid geometry plus concrete scalar parameter
+/// values (pointers get synthetic non-zero base addresses).
+struct KernelLaunch {
+  std::string kernel;
+  std::int64_t grid_dim = 1;   // blocks (x only; index spaces linearized)
+  std::int64_t block_dim = 1;  // threads per block
+  std::map<std::string, std::int64_t> args;
+
+  std::int64_t total_threads() const { return grid_dim * block_dim; }
+};
+
+}  // namespace gpuperf::ptx

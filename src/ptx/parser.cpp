@@ -1,0 +1,340 @@
+#include "ptx/parser.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "ptx/lexer.hpp"
+
+namespace gpuperf::ptx {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : tokens_(lex(text)) {}
+
+  PtxModule parse() {
+    PtxModule mod;
+    while (!peek().is(TokenKind::kEnd)) {
+      const Token& t = peek();
+      if (t.is_ident(".version")) {
+        next();
+        mod.version = expect(TokenKind::kNumber).text;
+      } else if (t.is_ident(".target")) {
+        next();
+        mod.target = expect(TokenKind::kIdentifier).text;
+      } else if (t.is_ident(".address_size")) {
+        next();
+        mod.address_size =
+            static_cast<int>(parse_int(expect(TokenKind::kNumber).text));
+      } else if (t.is_ident(".visible") || t.is_ident(".entry")) {
+        mod.kernels.push_back(parse_kernel());
+      } else {
+        fail("unexpected token '" + t.text + "'", t.line);
+      }
+    }
+    return mod;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg, int line) const {
+    GP_CHECK_MSG(false, "PTX parse error at line " << line << ": " << msg);
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Token next() {
+    const Token t = peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+
+  Token expect(TokenKind kind) {
+    const Token t = next();
+    if (t.kind != kind)
+      fail(std::string("expected ") + token_kind_name(kind) + ", got '" +
+               t.text + "'",
+           t.line);
+    return t;
+  }
+
+  Token expect_ident(const char* text) {
+    const Token t = next();
+    if (!t.is_ident(text))
+      fail(std::string("expected '") + text + "', got '" + t.text + "'",
+           t.line);
+    return t;
+  }
+
+  PtxType expect_type() {
+    const Token t = expect(TokenKind::kIdentifier);
+    GP_CHECK(!t.text.empty() && t.text.front() == '.');
+    const auto type = type_from_suffix(t.text.substr(1));
+    if (!type) fail("unknown type '" + t.text + "'", t.line);
+    return *type;
+  }
+
+  PtxKernel parse_kernel() {
+    PtxKernel kernel;
+    if (peek().is_ident(".visible")) next();
+    expect_ident(".entry");
+    kernel.name = expect(TokenKind::kIdentifier).text;
+
+    expect(TokenKind::kLParen);
+    while (!peek().is(TokenKind::kRParen)) {
+      expect_ident(".param");
+      KernelParam param;
+      param.type = expect_type();
+      param.name = expect(TokenKind::kIdentifier).text;
+      param.is_pointer = param.type == PtxType::kU64;
+      kernel.params.push_back(std::move(param));
+      if (peek().is(TokenKind::kComma)) next();
+    }
+    expect(TokenKind::kRParen);
+
+    if (peek().is_ident(".reqntid")) {
+      next();
+      kernel.reqntid =
+          static_cast<int>(parse_int(expect(TokenKind::kNumber).text));
+      while (peek().is(TokenKind::kComma)) {
+        next();
+        expect(TokenKind::kNumber);
+      }
+    }
+
+    expect(TokenKind::kLBrace);
+    while (!peek().is(TokenKind::kRBrace)) {
+      const Token& t = peek();
+      if (t.is_ident(".reg")) {
+        next();
+        RegDecl rd;
+        rd.type = expect_type();
+        rd.prefix = expect(TokenKind::kIdentifier).text;
+        expect(TokenKind::kLess);
+        rd.count =
+            static_cast<int>(parse_int(expect(TokenKind::kNumber).text));
+        expect(TokenKind::kGreater);
+        expect(TokenKind::kSemicolon);
+        kernel.reg_decls.push_back(std::move(rd));
+      } else if (t.is_ident(".shared")) {
+        next();
+        if (peek().is_ident(".align")) {
+          next();
+          expect(TokenKind::kNumber);
+        }
+        expect_ident(".b8");
+        expect(TokenKind::kIdentifier);  // buffer name
+        expect(TokenKind::kLBracket);
+        kernel.shared_bytes = parse_int(expect(TokenKind::kNumber).text);
+        expect(TokenKind::kRBracket);
+        expect(TokenKind::kSemicolon);
+      } else if (t.kind == TokenKind::kIdentifier &&
+                 peek(1).is(TokenKind::kColon)) {
+        kernel.labels[t.text] = kernel.instructions.size();
+        next();
+        next();
+      } else {
+        kernel.instructions.push_back(parse_instruction());
+      }
+    }
+    expect(TokenKind::kRBrace);
+    return kernel;
+  }
+
+  /// Decompose a dotted instruction mnemonic like "mad.lo.s32",
+  /// "setp.lt.u32", "ld.global.f32", "cvt.rn.f32.s32".
+  void decode_mnemonic(const std::string& mnemonic, int line,
+                       Instruction& out) {
+    const std::vector<std::string> parts = split(mnemonic, '.');
+    GP_CHECK(!parts.empty());
+    const std::string& head = parts[0];
+    std::size_t i = 1;
+
+    auto take_type = [&](bool required) {
+      if (i < parts.size()) {
+        if (const auto t = type_from_suffix(parts[i])) {
+          out.type = *t;
+          ++i;
+          return;
+        }
+      }
+      if (required)
+        fail("missing type suffix in '" + mnemonic + "'", line);
+    };
+
+    if (head == "setp") {
+      out.opcode = Opcode::kSetp;
+      if (i >= parts.size()) fail("setp without compare op", line);
+      const auto cmp = compare_from_name(parts[i]);
+      if (!cmp) fail("bad compare op '" + parts[i] + "'", line);
+      out.cmp = *cmp;
+      ++i;
+      take_type(true);
+    } else if (head == "ld" || head == "st") {
+      out.opcode = head == "ld" ? Opcode::kLd : Opcode::kSt;
+      if (i < parts.size()) {
+        if (const auto sp = space_from_suffix(parts[i])) {
+          out.space = *sp;
+          ++i;
+        }
+      }
+      if (i < parts.size() && (parts[i] == "nc" || parts[i] == "cg" ||
+                               parts[i] == "ca" || parts[i] == "wb"))
+        ++i;  // cache hints
+      take_type(true);
+    } else if (head == "mad") {
+      out.opcode = Opcode::kMad;
+      if (i < parts.size() && (parts[i] == "lo" || parts[i] == "wide")) ++i;
+      take_type(true);
+    } else if (head == "fma") {
+      out.opcode = Opcode::kFma;
+      if (i < parts.size() && (parts[i] == "rn" || parts[i] == "rz")) ++i;
+      take_type(true);
+    } else if (head == "mul") {
+      out.opcode = Opcode::kMul;
+      if (i < parts.size() && parts[i] == "lo") {
+        out.opcode = Opcode::kMulLo;
+        ++i;
+      } else if (i < parts.size() && parts[i] == "wide") {
+        out.opcode = Opcode::kMulWide;
+        ++i;
+      }
+      take_type(true);
+    } else if (head == "div" || head == "rcp" || head == "sqrt" ||
+               head == "ex2" || head == "lg2") {
+      if (head == "div") out.opcode = Opcode::kDiv;
+      if (head == "rcp") out.opcode = Opcode::kRcp;
+      if (head == "sqrt") out.opcode = Opcode::kSqrt;
+      if (head == "ex2") out.opcode = Opcode::kEx2;
+      if (head == "lg2") out.opcode = Opcode::kLg2;
+      while (i < parts.size() &&
+             (parts[i] == "approx" || parts[i] == "rn" || parts[i] == "full"))
+        ++i;
+      take_type(true);
+    } else if (head == "bra") {
+      out.opcode = Opcode::kBra;
+      // ".uni" suffix carries no semantics for a scalar analysis.
+    } else if (head == "ret") {
+      out.opcode = Opcode::kRet;
+    } else if (head == "bar") {
+      out.opcode = Opcode::kBar;
+    } else if (head == "cvta") {
+      out.opcode = Opcode::kCvta;
+      while (i < parts.size() && !type_from_suffix(parts[i])) ++i;
+      take_type(true);
+    } else if (head == "cvt") {
+      out.opcode = Opcode::kCvt;
+      while (i < parts.size() &&
+             (parts[i] == "rn" || parts[i] == "rz" || parts[i] == "rni" ||
+              parts[i] == "rzi" || parts[i] == "sat" || parts[i] == "ftz"))
+        ++i;
+      take_type(true);   // destination type
+      take_type(false);  // source type (kept implicit)
+    } else {
+      const auto op = opcode_from_name(head);
+      if (!op) fail("unknown opcode '" + head + "'", line);
+      out.opcode = *op;
+      take_type(out.opcode != Opcode::kNot);
+    }
+  }
+
+  Operand parse_operand() {
+    const Token& t = peek();
+    if (t.is(TokenKind::kLBracket)) {
+      next();
+      MemOperand mem;
+      mem.base = expect(TokenKind::kIdentifier).text;
+      if (peek().is(TokenKind::kPlus)) {
+        next();
+        mem.offset = parse_int(expect(TokenKind::kNumber).text);
+      }
+      expect(TokenKind::kRBracket);
+      return mem;
+    }
+    if (t.is(TokenKind::kNumber)) {
+      next();
+      ImmOperand imm;
+      if (starts_with(t.text, "0f") || starts_with(t.text, "0F")) {
+        const std::uint32_t bits = static_cast<std::uint32_t>(
+            std::strtoul(t.text.c_str() + 2, nullptr, 16));
+        float f;
+        __builtin_memcpy(&f, &bits, sizeof(f));
+        imm.value = f;
+        imm.is_float = true;
+      } else if (starts_with(t.text, "0d") || starts_with(t.text, "0D")) {
+        const std::uint64_t bits =
+            std::strtoull(t.text.c_str() + 2, nullptr, 16);
+        double d;
+        __builtin_memcpy(&d, &bits, sizeof(d));
+        imm.value = d;
+        imm.is_float = true;
+      } else if (t.text.find('.') != std::string::npos) {
+        imm.value = parse_double(t.text);
+        imm.is_float = true;
+      } else {
+        imm.value = static_cast<double>(parse_int(t.text));
+      }
+      return imm;
+    }
+    const Token ident = expect(TokenKind::kIdentifier);
+    if (const auto sr = special_reg_from_name(ident.text))
+      return SpecialOperand{*sr};
+    if (!ident.text.empty() && ident.text.front() == '%')
+      return RegOperand{ident.text};
+    return LabelOperand{ident.text};
+  }
+
+  Instruction parse_instruction() {
+    Instruction inst;
+    if (peek().is(TokenKind::kAt)) {
+      next();
+      if (peek().is(TokenKind::kBang)) {
+        next();
+        inst.guard_negated = true;
+      }
+      inst.guard = expect(TokenKind::kIdentifier).text;
+    }
+
+    const Token mnemonic = expect(TokenKind::kIdentifier);
+    decode_mnemonic(mnemonic.text, mnemonic.line, inst);
+
+    std::vector<Operand> operands;
+    while (!peek().is(TokenKind::kSemicolon)) {
+      operands.push_back(parse_operand());
+      if (peek().is(TokenKind::kComma)) next();
+    }
+    expect(TokenKind::kSemicolon);
+
+    // Assign destination/source roles by opcode shape.
+    switch (inst.opcode) {
+      case Opcode::kSt:
+      case Opcode::kBra:
+      case Opcode::kRet:
+      case Opcode::kBar:
+        inst.srcs = std::move(operands);
+        break;
+      default:
+        if (!operands.empty()) {
+          inst.dsts.push_back(operands.front());
+          inst.srcs.assign(operands.begin() + 1, operands.end());
+        }
+        break;
+    }
+    return inst;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PtxModule parse_ptx(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the PTX subset: module directives,
+// .entry kernels with .param lists, .reg/.shared declarations, labels
+// and guarded instructions.  Produces the same PtxModule structure the
+// code generator builds, so generate -> print -> parse round-trips.
+#pragma once
+
+#include <string>
+
+#include "ptx/module.hpp"
+
+namespace gpuperf::ptx {
+
+/// Parse PTX text into a module; throws CheckError with a line number
+/// on malformed input.
+PtxModule parse_ptx(const std::string& text);
+
+}  // namespace gpuperf::ptx

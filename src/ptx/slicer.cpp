@@ -1,0 +1,51 @@
+#include "ptx/slicer.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+
+std::size_t Slice::slice_size() const {
+  std::size_t n = 0;
+  for (bool b : in_slice)
+    if (b) ++n;
+  return n;
+}
+
+Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph) {
+  const auto& ins = kernel.instructions;
+  GP_CHECK(graph.node_count() == ins.size());
+
+  Slice slice;
+  slice.in_slice.assign(ins.size(), false);
+
+  // Seed with the decision points: guard registers of branches and of
+  // predicated instructions.
+  std::deque<std::size_t> worklist;
+  auto mark = [&](std::size_t i) {
+    if (!slice.in_slice[i]) {
+      slice.in_slice[i] = true;
+      worklist.push_back(i);
+    }
+  };
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (ins[i].guard.empty()) continue;
+    for (std::size_t def : graph.defs_of(ins[i].guard)) mark(def);
+  }
+
+  // Backward closure over data dependencies.
+  while (!worklist.empty()) {
+    const std::size_t i = worklist.front();
+    worklist.pop_front();
+    for (std::size_t dep : graph.deps(i)) mark(dep);
+  }
+
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    if (slice.in_slice[i])
+      for (const std::string& reg : ins[i].defs())
+        slice.tracked_registers.insert(reg);
+  return slice;
+}
+
+}  // namespace gpuperf::ptx

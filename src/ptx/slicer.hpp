@@ -1,0 +1,32 @@
+// Program slicing (the paper's G_v* subgraph): the backward closure of
+// every branch decision over the data-dependency graph.  Only the
+// sliced instructions need to be *evaluated* to resolve control flow;
+// everything else is merely *counted* — this is the speed trick that
+// lets the dynamic code analysis beat a full simulator.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ptx/depgraph.hpp"
+#include "ptx/module.hpp"
+
+namespace gpuperf::ptx {
+
+struct Slice {
+  /// in_slice[i]: instruction i must be evaluated during symbolic
+  /// execution (it feeds some branch decision or guard).
+  std::vector<bool> in_slice;
+  /// Registers written by slice instructions (the state the executor
+  /// tracks).
+  std::unordered_set<std::string> tracked_registers;
+
+  std::size_t slice_size() const;
+};
+
+/// Slice criteria: every branch guard, every instruction guard, and the
+/// transitive data dependencies of both.
+Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph);
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,62 @@
+// Symbolic execution of sliced PTX kernels — the paper's dynamic code
+// analysis engine.  Only slice instructions (those feeding branch
+// decisions) are evaluated; every other instruction is merely counted.
+//
+// The value domain is affine in the thread coordinates:
+//     v = c0 + c_ct * ctaid.x + c_t * tid.x
+// which covers everything CNN kernels branch on (thread-id guards and
+// parameter-bound loop counters).  Thread divergence is handled by
+// splitting the (ctaid, tid) launch box at predicate boundaries, and
+// long loops are summarized by affine acceleration: once three
+// consecutive back-edge evaluations show constant register/count
+// deltas, the remaining trip count is solved in closed form.  The
+// result is exact — equal to brute-force interpretation of every
+// thread — at a cost near-independent of tensor sizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ptx/cfg.hpp"
+#include "ptx/module.hpp"
+#include "ptx/slicer.hpp"
+
+namespace gpuperf::ptx {
+
+struct ExecutionCounts {
+  /// Thread-level dynamic instructions, summed over every thread.
+  std::int64_t total = 0;
+  std::array<std::int64_t, kOpClassCount> by_class{};
+  /// Per-basic-block execution counts (thread-level).
+  std::vector<std::int64_t> block_exec;
+
+  ExecutionCounts& operator+=(const ExecutionCounts& other);
+};
+
+class SymbolicExecutor {
+ public:
+  /// Analyzes the kernel once (CFG, dependency graph, slice); run() can
+  /// then be called for many launches.
+  explicit SymbolicExecutor(const PtxKernel& kernel);
+  ~SymbolicExecutor();
+
+  SymbolicExecutor(SymbolicExecutor&&) noexcept;
+  SymbolicExecutor& operator=(SymbolicExecutor&&) noexcept;
+
+  /// Count the dynamic instructions of one launch.  GP_CHECK-fails on
+  /// kernels outside the supported fragment (branches on loaded data,
+  /// non-affine divergence) and on diverging loops.
+  ExecutionCounts run(const KernelLaunch& launch) const;
+
+  const Cfg& cfg() const;
+  const Slice& slice() const;
+  const PtxKernel& kernel() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,197 @@
+#include "ptx/verifier.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace gpuperf::ptx {
+
+namespace {
+
+class KernelVerifier {
+ public:
+  explicit KernelVerifier(const PtxKernel& kernel) : kernel_(kernel) {}
+
+  std::vector<VerifyIssue> run() {
+    check_kernel_shape();
+    for (std::size_t i = 0; i < kernel_.instructions.size(); ++i)
+      check_instruction(i, kernel_.instructions[i]);
+    check_labels();
+    return std::move(issues_);
+  }
+
+ private:
+  void issue(std::size_t index, const std::string& message) {
+    issues_.push_back(VerifyIssue{index, message});
+  }
+
+  void check_kernel_shape() {
+    if (kernel_.name.empty())
+      issue(VerifyIssue::kKernelLevel, "kernel has no name");
+    if (kernel_.instructions.empty()) {
+      issue(VerifyIssue::kKernelLevel, "kernel has no instructions");
+      return;
+    }
+    // Control flow must not fall off the end: the final instruction is
+    // a ret or an unconditional branch.
+    const Instruction& last = kernel_.instructions.back();
+    if (!last.is_exit() && !(last.is_branch() && last.guard.empty()))
+      issue(kernel_.instructions.size() - 1,
+            "kernel can fall off the end (last instruction is neither ret "
+            "nor an unconditional bra)");
+    bool uses_shared = false;
+    for (const auto& inst : kernel_.instructions)
+      if (inst.space == StateSpace::kShared) uses_shared = true;
+    if (uses_shared && kernel_.shared_bytes <= 0)
+      issue(VerifyIssue::kKernelLevel,
+            "shared-memory accesses without a .shared declaration");
+  }
+
+  /// Split "%rd12" into prefix "%rd" and index 12; false for
+  /// non-register names.
+  static bool split_register(const std::string& name, std::string& prefix,
+                             int& index) {
+    if (name.size() < 2 || name.front() != '%') return false;
+    std::size_t digits = name.size();
+    while (digits > 1 &&
+           std::isdigit(static_cast<unsigned char>(name[digits - 1])))
+      --digits;
+    if (digits == name.size()) return false;  // no numeric suffix
+    prefix = name.substr(0, digits);
+    index = static_cast<int>(parse_int(name.substr(digits)));
+    return true;
+  }
+
+  void check_register(std::size_t i, const std::string& name,
+                      bool must_be_pred) {
+    std::string prefix;
+    int index = 0;
+    if (!split_register(name, prefix, index)) {
+      issue(i, "'" + name + "' is not a well-formed register name");
+      return;
+    }
+    for (const RegDecl& decl : kernel_.reg_decls) {
+      if (decl.prefix != prefix) continue;
+      if (index >= decl.count)
+        issue(i, "register " + name + " exceeds declared range " + prefix +
+                     "<" + std::to_string(decl.count) + ">");
+      if (must_be_pred && decl.type != PtxType::kPred)
+        issue(i, "guard " + name + " is not a predicate register");
+      return;
+    }
+    issue(i, "register " + name + " has no matching .reg declaration");
+  }
+
+  void check_operand(std::size_t i, const Operand& op) {
+    if (const auto* reg = std::get_if<RegOperand>(&op)) {
+      check_register(i, reg->name, false);
+    } else if (const auto* mem = std::get_if<MemOperand>(&op)) {
+      if (!mem->base.empty() && mem->base.front() == '%') {
+        check_register(i, mem->base, false);
+      } else if (kernel_.find_param(mem->base) == nullptr) {
+        issue(i, "memory base '" + mem->base +
+                     "' is neither a register nor a declared parameter");
+      }
+      if (mem->offset < 0) issue(i, "negative memory offset");
+    }
+  }
+
+  void check_instruction(std::size_t i, const Instruction& inst) {
+    if (!inst.guard.empty()) check_register(i, inst.guard, true);
+
+    for (const auto& d : inst.dsts) {
+      if (!std::holds_alternative<RegOperand>(d))
+        issue(i, "destination operand is not a register");
+      else
+        check_operand(i, d);
+    }
+    for (const auto& s : inst.srcs) check_operand(i, s);
+
+    switch (inst.opcode) {
+      case Opcode::kSetp:
+        if (!inst.cmp.has_value()) issue(i, "setp without compare op");
+        if (inst.dsts.size() != 1 || inst.srcs.size() != 2)
+          issue(i, "setp needs 1 destination and 2 sources");
+        break;
+      case Opcode::kBra: {
+        if (inst.srcs.size() != 1 ||
+            !std::holds_alternative<LabelOperand>(inst.srcs.front())) {
+          issue(i, "bra needs exactly one label operand");
+          break;
+        }
+        const auto& label = std::get<LabelOperand>(inst.srcs.front());
+        if (kernel_.labels.find(label.name) == kernel_.labels.end())
+          issue(i, "branch to undefined label '" + label.name + "'");
+        break;
+      }
+      case Opcode::kLd:
+        if (inst.dsts.size() != 1 || inst.srcs.empty() ||
+            !std::holds_alternative<MemOperand>(inst.srcs.front()))
+          issue(i, "ld needs a register destination and memory source");
+        break;
+      case Opcode::kSt:
+        if (!inst.dsts.empty() || inst.srcs.size() != 2 ||
+            !std::holds_alternative<MemOperand>(inst.srcs.front()))
+          issue(i, "st needs a memory destination and a value source");
+        break;
+      case Opcode::kMad:
+      case Opcode::kFma:
+        if (inst.srcs.size() != 3) issue(i, "mad/fma need 3 sources");
+        break;
+      case Opcode::kRet:
+      case Opcode::kBar:
+        if (!inst.dsts.empty() || !inst.srcs.empty())
+          issue(i, "ret/bar take no operands");
+        break;
+      case Opcode::kSelp:
+        if (inst.srcs.size() != 3) issue(i, "selp needs 3 sources");
+        break;
+      default:
+        if (inst.dsts.size() != 1)
+          issue(i, std::string(opcode_name(inst.opcode)) +
+                       " needs exactly one destination");
+        if (inst.srcs.empty())
+          issue(i, std::string(opcode_name(inst.opcode)) +
+                       " needs at least one source");
+        break;
+    }
+  }
+
+  void check_labels() {
+    for (const auto& [name, index] : kernel_.labels)
+      if (index > kernel_.instructions.size())
+        issue(VerifyIssue::kKernelLevel,
+              "label '" + name + "' points past the end");
+  }
+
+  const PtxKernel& kernel_;
+  std::vector<VerifyIssue> issues_;
+};
+
+}  // namespace
+
+std::vector<VerifyIssue> verify_kernel(const PtxKernel& kernel) {
+  return KernelVerifier(kernel).run();
+}
+
+std::vector<VerifyIssue> verify_module(const PtxModule& module) {
+  std::vector<VerifyIssue> all;
+  for (const auto& kernel : module.kernels) {
+    for (VerifyIssue issue : verify_kernel(kernel)) {
+      issue.message = kernel.name + ": " + issue.message;
+      all.push_back(std::move(issue));
+    }
+  }
+  return all;
+}
+
+void verify_or_throw(const PtxModule& module) {
+  const auto issues = verify_module(module);
+  GP_CHECK_MSG(issues.empty(),
+               "PTX verification failed: " << issues.front().message << " ("
+                                           << issues.size() << " issue(s))");
+}
+
+}  // namespace gpuperf::ptx

@@ -1,0 +1,138 @@
+#include "cnn/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+
+namespace gpuperf::cnn {
+namespace {
+
+/// Structural equality via the analyzer: same shapes, params, MACs per
+/// node implies the same architecture for our purposes.
+void expect_equivalent(const Model& a, const Model& b) {
+  const StaticAnalyzer analyzer;
+  const ModelReport ra = analyzer.analyze(a);
+  const ModelReport rb = analyzer.analyze(b);
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(ra.trainable_params, rb.trainable_params);
+  EXPECT_EQ(ra.non_trainable_params, rb.non_trainable_params);
+  EXPECT_EQ(ra.macs, rb.macs);
+  EXPECT_EQ(ra.neurons, rb.neurons);
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.node(static_cast<NodeId>(i)).layer.kind,
+              b.node(static_cast<NodeId>(i)).layer.kind)
+        << "node " << i;
+    EXPECT_EQ(a.node(static_cast<NodeId>(i)).inputs,
+              b.node(static_cast<NodeId>(i)).inputs)
+        << "node " << i;
+  }
+  EXPECT_EQ(a.output(), b.output());
+}
+
+TEST(ModelIo, RoundTripSmallModel) {
+  Model m("roundtrip");
+  const NodeId input = m.add_input(32, 32, 3);
+  const NodeId conv = m.add(
+      Layer::conv2d(16, 3, 2, Padding::kValid, false, ActivationKind::kReLU),
+      input);
+  const NodeId bn = m.add(Layer::batch_norm(), conv);
+  const NodeId act = m.add(Layer::activation(ActivationKind::kSwish), bn);
+  const NodeId dw = m.add(Layer::depthwise_conv2d(3, 1, Padding::kSame,
+                                                  true, 2),
+                          act);
+  const NodeId pool = m.add(Layer::max_pool(2, 2), dw);
+  const NodeId pad = m.add(Layer::zero_pad(1, 2, 3, 4), pool);
+  const NodeId gap = m.add(Layer::global_avg_pool(), pad);
+  const NodeId drop = m.add(Layer::dropout(0.25), gap);
+  m.add(Layer::dense(10, true, ActivationKind::kSoftmax), drop);
+
+  expect_equivalent(m, deserialize_model(serialize_model(m)));
+}
+
+TEST(ModelIo, RoundTripBranchyModel) {
+  Model m("branchy");
+  const NodeId input = m.add_input(16, 16, 8);
+  const NodeId a = m.add(Layer::conv2d(8, 1), input);
+  const NodeId b = m.add(Layer::conv2d(8, 3, 1, Padding::kSame, false),
+                         input);
+  const NodeId sum = m.add(Layer::add(), {a, b});
+  const NodeId cat = m.add(Layer::concat(), {sum, input});
+  const NodeId gap = m.add(Layer::global_avg_pool(), cat);
+  const NodeId se = m.add(Layer::dense(16), gap);
+  m.add(Layer::multiply(), {cat, se});
+  expect_equivalent(m, deserialize_model(serialize_model(m)));
+}
+
+TEST(ModelIo, RoundTripEveryZooModel) {
+  // The serializer must cover everything the zoo builders produce.
+  for (const auto& entry : cnn::zoo::all_models()) {
+    const Model original = entry.build();
+    const Model restored = deserialize_model(serialize_model(original));
+    const StaticAnalyzer analyzer;
+    EXPECT_EQ(analyzer.analyze(original).trainable_params,
+              analyzer.analyze(restored).trainable_params)
+        << entry.name;
+    EXPECT_EQ(original.node_count(), restored.node_count()) << entry.name;
+  }
+}
+
+TEST(ModelIo, ExplicitOutputPreserved) {
+  Model m("heads");
+  const NodeId input = m.add_input(8, 8, 3);
+  const NodeId a = m.add(Layer::conv2d(4, 3), input);
+  m.add(Layer::conv2d(2, 1), a);
+  m.set_output(a);
+  const Model restored = deserialize_model(serialize_model(m));
+  EXPECT_EQ(restored.output(), a);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const Model m = zoo::build("alexnet");
+  const std::string path = ::testing::TempDir() + "/gpuperf_model.txt";
+  save_model(m, path);
+  const Model loaded = load_model(path);
+  EXPECT_EQ(loaded.name(), "alexnet");
+  EXPECT_EQ(loaded.node_count(), m.node_count());
+  EXPECT_THROW(load_model(path + ".missing"), CheckError);
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  EXPECT_THROW(deserialize_model("not a model"), CheckError);
+  EXPECT_THROW(deserialize_model("gpuperf-model v1\nname x\n"),
+               CheckError);  // no nodes / no output
+  EXPECT_THROW(
+      deserialize_model("gpuperf-model v1\nname x\n"
+                        "node 0 input h=8 w=8 c=3\n"
+                        "node 1 frobnicate in=0\noutput 1\n"),
+      CheckError);
+  EXPECT_THROW(
+      deserialize_model("gpuperf-model v1\nname x\n"
+                        "node 0 input h=8 w=8 c=3\n"
+                        "node 2 flatten in=0\noutput 2\n"),
+      CheckError);  // non-sequential ids
+  EXPECT_THROW(
+      deserialize_model("gpuperf-model v1\nname x\n"
+                        "node 0 input h=8 w=8 c=3\n"
+                        "node 1 conv2d in=0 filters=4\noutput 1\n"),
+      CheckError);  // missing kernel attribute
+}
+
+TEST(ModelIo, SerializedFormIsHumanReadable) {
+  Model m("readable");
+  const NodeId input = m.add_input(8, 8, 3);
+  m.add(Layer::conv2d(4, 3, 1, Padding::kSame, true,
+                      ActivationKind::kReLU),
+        input);
+  const std::string text = serialize_model(m);
+  EXPECT_NE(text.find("gpuperf-model v1"), std::string::npos);
+  EXPECT_NE(text.find("node 0 input h=8 w=8 c=3"), std::string::npos);
+  EXPECT_NE(text.find("conv2d in=0 filters=4 kernel=3x3"),
+            std::string::npos);
+  EXPECT_NE(text.find("act=relu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuperf::cnn

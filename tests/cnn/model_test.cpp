@@ -1,0 +1,90 @@
+#include "cnn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace gpuperf::cnn {
+namespace {
+
+TEST(Model, BuildsSimpleChain) {
+  Model m("tiny");
+  const NodeId input = m.add_input(32, 32, 3);
+  const NodeId conv = m.add(Layer::conv2d(8, 3), input);
+  const NodeId pool = m.add(Layer::max_pool(2), conv);
+  EXPECT_EQ(m.node_count(), 3u);
+  EXPECT_EQ(m.output(), pool);
+  m.validate();
+}
+
+TEST(Model, InputMustBeFirstAndUnique) {
+  Model m("bad");
+  m.add_input(8, 8, 3);
+  EXPECT_THROW(m.add_input(8, 8, 3), CheckError);
+
+  Model m2("bad2");
+  EXPECT_THROW(m2.add(Layer::conv2d(8, 3), std::vector<NodeId>{0}),
+               CheckError);
+}
+
+TEST(Model, RejectsForwardReferences) {
+  Model m("fwd");
+  const NodeId input = m.add_input(8, 8, 3);
+  EXPECT_THROW(m.add(Layer::conv2d(8, 3), NodeId{5}), CheckError);
+  EXPECT_THROW(m.add(Layer::conv2d(8, 3), NodeId{-1}), CheckError);
+  (void)input;
+}
+
+TEST(Model, ArityCheckedAtAdd) {
+  Model m("arity");
+  const NodeId input = m.add_input(8, 8, 3);
+  const NodeId c1 = m.add(Layer::conv2d(8, 3), input);
+  EXPECT_THROW(m.add(Layer::add(), c1), CheckError);  // add needs >= 2
+  EXPECT_THROW(m.add(Layer::conv2d(8, 3), {c1, input}), CheckError);
+}
+
+TEST(Model, ConvBnActExpandsToThreeNodes) {
+  Model m("chain");
+  const NodeId input = m.add_input(8, 8, 3);
+  const NodeId out = m.conv_bn_act(input, 16, 3);
+  EXPECT_EQ(m.node_count(), 4u);  // input + conv + bn + relu
+  EXPECT_EQ(m.node(out).layer.kind, LayerKind::kActivation);
+  // Linear activation skips the activation node.
+  const NodeId out2 =
+      m.conv_bn_act(out, 16, 1, 1, Padding::kSame, ActivationKind::kLinear);
+  EXPECT_EQ(m.node(out2).layer.kind, LayerKind::kBatchNorm);
+}
+
+TEST(Model, ExplicitOutputSelection) {
+  Model m("multi");
+  const NodeId input = m.add_input(8, 8, 3);
+  const NodeId a = m.add(Layer::conv2d(8, 3), input);
+  m.add(Layer::conv2d(4, 1), a);  // a second head
+  m.set_output(a);
+  EXPECT_EQ(m.output(), a);
+  EXPECT_THROW(m.set_output(99), CheckError);
+}
+
+TEST(Model, AutoNamesAreUnique) {
+  Model m("names");
+  const NodeId input = m.add_input(8, 8, 3);
+  const NodeId c1 = m.add(Layer::conv2d(8, 3), input);
+  const NodeId c2 = m.add(Layer::conv2d(8, 3), c1);
+  EXPECT_NE(m.node(c1).layer.name, m.node(c2).layer.name);
+}
+
+TEST(Model, InputShapeAccessor) {
+  Model m("shape");
+  m.add_input(331, 331, 3);
+  EXPECT_EQ(m.input_shape(), TensorShape::hwc(331, 331, 3));
+}
+
+TEST(Model, EmptyModelFailsValidation) {
+  Model m("empty");
+  EXPECT_THROW(m.validate(), CheckError);
+  EXPECT_THROW(m.output(), CheckError);
+  EXPECT_THROW(Model(""), CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::cnn

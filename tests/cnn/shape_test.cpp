@@ -1,0 +1,76 @@
+#include "cnn/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace gpuperf::cnn {
+namespace {
+
+TEST(Shape, Factories) {
+  const TensorShape hwc = TensorShape::hwc(224, 224, 3);
+  EXPECT_EQ(hwc.rank, 3);
+  EXPECT_EQ(hwc.elements(), 224 * 224 * 3);
+  const TensorShape flat = TensorShape::flat(1000);
+  EXPECT_EQ(flat.rank, 1);
+  EXPECT_EQ(flat.elements(), 1000);
+  EXPECT_THROW(TensorShape::hwc(0, 1, 1), CheckError);
+  EXPECT_THROW(TensorShape::flat(0), CheckError);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(TensorShape::hwc(2, 3, 4), TensorShape::hwc(2, 3, 4));
+  EXPECT_NE(TensorShape::hwc(2, 3, 4), TensorShape::hwc(2, 3, 5));
+  EXPECT_NE(TensorShape::hwc(4, 1, 1), TensorShape::flat(4));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(TensorShape::hwc(7, 7, 512).to_string(), "(7, 7, 512)");
+  EXPECT_EQ(TensorShape::flat(4096).to_string(), "(4096)");
+}
+
+TEST(ConvOutDim, SamePaddingIsCeilDiv) {
+  EXPECT_EQ(conv_out_dim(224, 3, 1, Padding::kSame), 224);
+  EXPECT_EQ(conv_out_dim(224, 3, 2, Padding::kSame), 112);
+  EXPECT_EQ(conv_out_dim(7, 3, 2, Padding::kSame), 4);
+  EXPECT_EQ(conv_out_dim(5, 7, 2, Padding::kSame), 3);  // kernel > input ok
+}
+
+TEST(ConvOutDim, ValidPadding) {
+  EXPECT_EQ(conv_out_dim(224, 3, 1, Padding::kValid), 222);
+  EXPECT_EQ(conv_out_dim(227, 11, 4, Padding::kValid), 55);  // AlexNet conv1
+  EXPECT_EQ(conv_out_dim(3, 3, 1, Padding::kValid), 1);
+  EXPECT_THROW(conv_out_dim(2, 3, 1, Padding::kValid), CheckError);
+}
+
+TEST(ConvOutDim, RejectsBadArgs) {
+  EXPECT_THROW(conv_out_dim(0, 3, 1, Padding::kSame), CheckError);
+  EXPECT_THROW(conv_out_dim(8, 0, 1, Padding::kSame), CheckError);
+  EXPECT_THROW(conv_out_dim(8, 3, 0, Padding::kSame), CheckError);
+}
+
+struct ConvDimCase {
+  std::int64_t in, kernel, stride, expected_same, expected_valid;
+};
+
+class ConvDimSweep : public ::testing::TestWithParam<ConvDimCase> {};
+
+TEST_P(ConvDimSweep, MatchesReference) {
+  const auto& c = GetParam();
+  EXPECT_EQ(conv_out_dim(c.in, c.kernel, c.stride, Padding::kSame),
+            c.expected_same);
+  EXPECT_EQ(conv_out_dim(c.in, c.kernel, c.stride, Padding::kValid),
+            c.expected_valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvDimSweep,
+    ::testing::Values(ConvDimCase{224, 7, 2, 112, 109},
+                      ConvDimCase{112, 3, 2, 56, 55},
+                      ConvDimCase{56, 1, 1, 56, 56},
+                      ConvDimCase{299, 3, 2, 150, 149},
+                      ConvDimCase{600, 5, 2, 300, 298},
+                      ConvDimCase{8, 8, 8, 1, 1}));
+
+}  // namespace
+}  // namespace gpuperf::cnn

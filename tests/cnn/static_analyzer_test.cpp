@@ -1,0 +1,116 @@
+#include "cnn/static_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+
+namespace gpuperf::cnn {
+namespace {
+
+TEST(StaticAnalyzer, HandComputedTinyModel) {
+  Model m("tiny");
+  const NodeId input = m.add_input(8, 8, 3);
+  const NodeId conv = m.add(Layer::conv2d(4, 3, 1, Padding::kSame, true),
+                            input);  // 3*3*3*4+4 = 112 params
+  const NodeId pool = m.add(Layer::max_pool(2), conv);   // 4x4x4
+  const NodeId flat = m.add(Layer::flatten(), pool);     // 64
+  m.add(Layer::dense(10, true), flat);                   // 64*10+10 = 650
+
+  const ModelReport r = StaticAnalyzer().analyze(m);
+  EXPECT_EQ(r.trainable_params, 112 + 650);
+  EXPECT_EQ(r.non_trainable_params, 0);
+  EXPECT_EQ(r.weighted_layers, 2);
+  // Neurons: conv 8*8*4=256, pool 4*4*4=64, flatten 64, dense 10.
+  EXPECT_EQ(r.neurons, 256 + 64 + 64 + 10);
+  // MACs: conv 8*8*4*27 = 6912, pool 64*4 = 256, dense 640.
+  EXPECT_EQ(r.macs, 6912 + 256 + 640);
+  EXPECT_EQ(r.flops, 2 * r.macs);
+  EXPECT_EQ(r.layers.size(), m.node_count());
+}
+
+TEST(StaticAnalyzer, ResidualBranchShapes) {
+  Model m("residual");
+  const NodeId input = m.add_input(16, 16, 8);
+  const NodeId a = m.add(Layer::conv2d(8, 3, 1, Padding::kSame, false),
+                         input);
+  const NodeId sum = m.add(Layer::add(), {input, a});
+  const auto shapes = StaticAnalyzer().infer_shapes(m);
+  EXPECT_EQ(shapes[static_cast<std::size_t>(sum)],
+            TensorShape::hwc(16, 16, 8));
+}
+
+TEST(StaticAnalyzer, BatchNormCountsNonTrainable) {
+  Model m("bn");
+  const NodeId input = m.add_input(8, 8, 16);
+  m.add(Layer::batch_norm(), input);
+  const ModelReport r = StaticAnalyzer().analyze(m);
+  EXPECT_EQ(r.trainable_params, 32);
+  EXPECT_EQ(r.non_trainable_params, 32);
+  EXPECT_EQ(r.total_params, 64);
+}
+
+TEST(StaticAnalyzer, ShapeErrorSurfaceFromBadModel) {
+  Model m("bad");
+  const NodeId input = m.add_input(8, 8, 3);
+  m.add(Layer::dense(10), input);  // dense on rank-3: fails at analysis
+  EXPECT_THROW(StaticAnalyzer().analyze(m), CheckError);
+}
+
+// -- exact reproductions of published parameter counts --
+
+TEST(StaticAnalyzer, Vgg16ExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::vgg16());
+  EXPECT_EQ(r.trainable_params, 138357544);
+  EXPECT_EQ(r.weighted_layers, 16);
+}
+
+TEST(StaticAnalyzer, Vgg19ExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::vgg19());
+  EXPECT_EQ(r.trainable_params, 143667240);
+  EXPECT_EQ(r.weighted_layers, 19);
+}
+
+TEST(StaticAnalyzer, MobileNetV2ExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::mobilenet_v2());
+  EXPECT_EQ(r.trainable_params, 3504872);
+}
+
+TEST(StaticAnalyzer, MobileNetV1ExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::mobilenet());
+  EXPECT_EQ(r.trainable_params, 4231976);
+  EXPECT_EQ(r.weighted_layers, 28);
+}
+
+TEST(StaticAnalyzer, DenseNet121ExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::densenet121());
+  EXPECT_EQ(r.trainable_params, 7978856);
+}
+
+TEST(StaticAnalyzer, XceptionExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::xception());
+  EXPECT_EQ(r.trainable_params, 22855952);
+}
+
+TEST(StaticAnalyzer, EfficientNetB0ExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::efficientnet_b0());
+  EXPECT_EQ(r.trainable_params, 5288548);
+}
+
+TEST(StaticAnalyzer, ResNet50V2ExactParams) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::resnet50_v2());
+  EXPECT_EQ(r.trainable_params, 25568360);
+}
+
+TEST(StaticAnalyzer, ReportRendering) {
+  const ModelReport r = StaticAnalyzer().analyze(zoo::vgg16());
+  const std::string brief = to_string(r, false);
+  EXPECT_NE(brief.find("vgg16"), std::string::npos);
+  EXPECT_NE(brief.find("138,357,544"), std::string::npos);
+  const std::string detailed = to_string(r, true);
+  EXPECT_GT(detailed.size(), brief.size());
+  EXPECT_NE(detailed.find("Conv2D"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuperf::cnn

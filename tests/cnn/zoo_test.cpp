@@ -1,0 +1,159 @@
+// Parameterized validation of every Table I architecture: each must
+// build, validate, and land within a small tolerance of the published
+// trainable-parameter count.
+#include "cnn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "cnn/static_analyzer.hpp"
+#include "common/check.hpp"
+
+namespace gpuperf::cnn::zoo {
+namespace {
+
+struct ZooCase {
+  const char* name;
+  std::int64_t input_size;        // Table I input edge
+  std::int64_t paper_params;      // Table I trainable parameters
+  double tolerance;               // relative
+};
+
+// Paper Table I values.  Most reproduce exactly; BiT / NASNet /
+// Inception variants land within a fraction of a percent, and AlexNet
+// (whose published count does not match any standard variant) within
+// 5 %.
+const ZooCase kCases[] = {
+    {"m-r50x1", 224, 25549352, 0.005},
+    {"m-r50x3", 224, 217319080, 0.005},
+    {"m-r101x3", 224, 387934888, 0.005},
+    {"m-r101x1", 224, 44541480, 0.005},
+    {"m-r154x4", 224, 936533224, 0.005},
+    {"resnet101", 224, 44601832, 0.0},
+    {"resnet152", 224, 60268520, 0.0},
+    {"resnet50v2", 224, 25568360, 0.0},
+    {"resnet101v2", 224, 44577896, 0.0},
+    {"resnet152v2", 224, 60236904, 0.0},
+    {"nasnetmobile", 224, 5289978, 0.01},
+    {"nasnetlarge", 331, 88753150, 0.01},
+    {"densenet121", 224, 7978856, 0.0},
+    {"densenet169", 224, 14149480, 0.0},
+    {"densenet201", 224, 20013928, 0.0},
+    {"mobilenet", 224, 4231976, 0.0},
+    {"inceptionv3", 299, 23817352, 0.005},
+    {"vgg16", 224, 138357544, 0.0},
+    {"vgg19", 224, 143667240, 0.0},
+    {"efficientnetb0", 224, 5288548, 0.0},
+    {"efficientnetb1", 240, 7794184, 0.0},
+    {"efficientnetb2", 260, 9109994, 0.0},
+    {"efficientnetb3", 300, 12233232, 0.0},
+    {"efficientnetb4", 380, 19341616, 0.0},
+    {"efficientnetb5", 456, 30389784, 0.0},  // paper lists 156 (typo)
+    {"efficientnetb6", 528, 43040704, 0.0},
+    {"efficientnetb7", 600, 66347960, 0.0},
+    {"Xception", 299, 22855952, 0.0},
+    {"MobileNetV2", 200, 3504872, 0.0},
+    {"InceptionResNetV2", 200, 55813192, 0.002},
+    {"alexnet", 227, 58325066, 0.05},
+};
+
+class ZooModelTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooModelTest, BuildsAndMatchesPublishedParams) {
+  const ZooCase& c = GetParam();
+  const Model model = build(c.name);
+  model.validate();
+  EXPECT_EQ(model.name(), c.name);
+  EXPECT_EQ(model.input_shape().h, c.input_size);
+
+  const ModelReport r = StaticAnalyzer().analyze(model);
+  if (c.tolerance == 0.0) {
+    EXPECT_EQ(r.trainable_params, c.paper_params);
+  } else {
+    const double rel =
+        std::fabs(static_cast<double>(r.trainable_params - c.paper_params)) /
+        static_cast<double>(c.paper_params);
+    EXPECT_LE(rel, c.tolerance)
+        << "got " << r.trainable_params << " want ~" << c.paper_params;
+  }
+  EXPECT_GT(r.neurons, 0);
+  EXPECT_GT(r.macs, 0);
+  EXPECT_GT(r.weighted_layers, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTableIModels, ZooModelTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<ZooCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+TEST(Zoo, RegistryHasThirtyOneModels) {
+  EXPECT_EQ(all_models().size(), 31u);
+}
+
+TEST(Zoo, CanonicalLayerCountsMatchTableI) {
+  for (const auto& e : all_models())
+    EXPECT_GT(e.canonical_layers, 0) << e.name;
+  // Spot checks against the published column.
+  std::map<std::string, int> expected = {{"resnet50v2", 50},
+                                         {"nasnetlarge", 1041},
+                                         {"alexnet", 8},
+                                         {"efficientnetb7", 816}};
+  for (const auto& e : all_models()) {
+    const auto it = expected.find(e.name);
+    if (it == expected.end()) continue;
+    EXPECT_EQ(e.canonical_layers, it->second) << e.name;
+  }
+}
+
+TEST(Zoo, RegistryNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& e : all_models()) names.insert(e.name);
+  EXPECT_EQ(names.size(), all_models().size());
+}
+
+TEST(Zoo, BuildRejectsUnknownName) {
+  EXPECT_THROW(build("notanet"), CheckError);
+  EXPECT_FALSE(has_model("notanet"));
+  EXPECT_TRUE(has_model("vgg16"));
+}
+
+
+TEST(ZooExtended, ExactPublishedParameterCounts) {
+  const StaticAnalyzer analyzer;
+  struct Case {
+    const char* name;
+    std::int64_t params;  // torchvision values
+  };
+  for (const Case& c : {Case{"resnext50_32x4d", 25028904},
+                        Case{"wide_resnet50_2", 68883240},
+                        Case{"squeezenet", 1248424}}) {
+    const Model model = build(c.name);
+    model.validate();
+    EXPECT_EQ(analyzer.analyze(model).trainable_params, c.params) << c.name;
+  }
+}
+
+TEST(ZooExtended, SeparateFromTableIRegistry) {
+  EXPECT_EQ(extended_models().size(), 3u);
+  // Extended names resolve through build()/has_model() but do not
+  // appear in the Table I registry.
+  EXPECT_TRUE(has_model("squeezenet"));
+  for (const auto& e : all_models()) EXPECT_NE(e.name, "squeezenet");
+}
+
+TEST(Zoo, HoldoutsAndTable4ModelsExist) {
+  EXPECT_EQ(fig4_holdouts().size(), 6u);
+  for (const auto& n : fig4_holdouts()) EXPECT_TRUE(has_model(n));
+  EXPECT_EQ(table4_models().size(), 7u);
+  for (const auto& n : table4_models()) EXPECT_TRUE(has_model(n));
+}
+
+}  // namespace
+}  // namespace gpuperf::cnn::zoo

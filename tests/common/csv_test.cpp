@@ -1,0 +1,79 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+namespace {
+
+TEST(Csv, WriteSimple) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"3", "4"}};
+  EXPECT_EQ(csv_write(doc), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, EscapeQuotesAndCommas) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, ParseRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"name", "value", "note"};
+  doc.rows = {{"x", "1.5", "a,b"},
+              {"quoted \"q\"", "-2", "line\nbreak"},
+              {"", "0", ""}};
+  const CsvDocument parsed = csv_parse(csv_write(doc));
+  EXPECT_EQ(parsed.header, doc.header);
+  ASSERT_EQ(parsed.rows.size(), doc.rows.size());
+  for (std::size_t i = 0; i < doc.rows.size(); ++i)
+    EXPECT_EQ(parsed.rows[i], doc.rows[i]) << "row " << i;
+}
+
+TEST(Csv, ParseCrlf) {
+  const CsvDocument doc = csv_parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvDocument doc;
+  doc.header = {"x", "y"};
+  EXPECT_EQ(doc.column("y"), 1u);
+  EXPECT_THROW(doc.column("z"), CheckError);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  EXPECT_THROW(csv_parse("a,b\n1\n"), CheckError);
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  EXPECT_THROW(csv_parse("a\n\"unterminated\n"), CheckError);
+}
+
+TEST(Csv, RejectsEmpty) { EXPECT_THROW(csv_parse(""), CheckError); }
+
+TEST(Csv, HeaderOnly) {
+  const CsvDocument doc = csv_parse("a,b,c\n");
+  EXPECT_EQ(doc.header.size(), 3u);
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"alpha", "1"}, {"beta", "2"}};
+  const std::string path = ::testing::TempDir() + "/gpuperf_csv_test.csv";
+  csv_save(doc, path);
+  const CsvDocument loaded = csv_load(path);
+  EXPECT_EQ(loaded.header, doc.header);
+  EXPECT_EQ(loaded.rows, doc.rows);
+  EXPECT_THROW(csv_load(path + ".missing"), CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+
+namespace gpuperf {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacroStreamsArbitraryTypes) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // filtered: exercises the path only
+  GP_LOG(kInfo) << "model " << 42 << " ipc " << 2.5;
+  GP_LOG(kDebug) << std::string("below threshold");
+  SUCCEED();
+}
+
+TEST(Log, FilteredLinesAreCheap) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // A million filtered lines must complete quickly (no I/O).
+  for (int i = 0; i < 100000; ++i) log_line(LogLevel::kDebug, "x");
+  SUCCEED();
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(watch.elapsed_ms(), watch.elapsed_seconds() * 1e3,
+              watch.elapsed_ms() * 0.5);
+}
+
+TEST(Stopwatch, ResetRestartsTheWindow) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  watch.reset();
+  EXPECT_LT(watch.elapsed_seconds(), 0.010);
+}
+
+TEST(Stopwatch, MonotoneNonDecreasing) {
+  Stopwatch watch;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.elapsed_seconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,152 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform_int(3, 2), CheckError);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t v = r.uniform_index(17);
+    ASSERT_LT(v, 17u);
+  }
+  EXPECT_THROW(r.uniform_index(0), CheckError);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng r(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = r.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeMean) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(19);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng r(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+  EXPECT_THROW(r.normal(0.0, -1.0), CheckError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::vector<int> original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next() == child.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StableHash, DeterministicAndSensitive) {
+  EXPECT_EQ(stable_hash("resnet50"), stable_hash("resnet50"));
+  EXPECT_NE(stable_hash("resnet50"), stable_hash("resnet51"));
+  EXPECT_NE(stable_hash(""), stable_hash("a"));
+}
+
+class RngRangeTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RngRangeTest, UniformIntCoversRange) {
+  const std::int64_t hi = GetParam();
+  Rng r(static_cast<std::uint64_t>(hi) + 101);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 3000; ++i) seen.insert(r.uniform_int(0, hi));
+  // Every value of a small range should appear.
+  if (hi <= 16) {
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(hi) + 1);
+  }
+  EXPECT_EQ(*seen.begin() >= 0, true);
+  EXPECT_LE(*seen.rbegin(), hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values(0, 1, 2, 7, 16, 1000, 1 << 20));
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| a      |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| longer |    22 |"), std::string::npos);
+}
+
+TEST(TextTable, TitleAndRule) {
+  TextTable t("Table I");
+  t.set_header({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.rfind("Table I\n", 0), 0u);
+  // Two header rules + one inner rule + final rule.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1))
+    ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, CustomAlignment) {
+  TextTable t;
+  t.set_header({"l", "r"});
+  t.set_alignments({Align::kLeft, Align::kLeft});
+  t.add_row({"x", "y"});
+  EXPECT_NE(t.render().find("| x | y |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(TextTable, RejectsRenderWithoutHeader) {
+  TextTable t;
+  EXPECT_THROW(t.render(), CheckError);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  t.set_header({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,90 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after an error.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13)
+                                     throw std::runtime_error("unlucky");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), CheckError);
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ThreadPool, ManySmallParallelFors) {
+  ThreadPool pool(4);
+  long long total = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum += static_cast<long long>(i);
+    });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 20LL * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -1,0 +1,63 @@
+#include "core/model_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/dataset_builder.hpp"
+
+namespace gpuperf::core {
+namespace {
+
+const ml::Dataset& selection_dataset() {
+  static const ml::Dataset data = [] {
+    DatasetOptions o;
+    o.models = {"alexnet",     "MobileNetV2", "mobilenet",  "vgg16",
+                "densenet121", "resnet50v2",  "Xception",   "inceptionv3",
+                "m-r50x1",     "efficientnetb0"};
+    o.seed = 55;
+    return DatasetBuilder(o).build();
+  }();
+  return data;
+}
+
+TEST(ModelSelection, RanksAllFiveCandidates) {
+  const SelectionResult result = select_regressor(selection_dataset(), 4);
+  ASSERT_EQ(result.candidates.size(), ml::regressor_ids().size());
+  // Sorted ascending by pooled MAPE.
+  for (std::size_t i = 1; i < result.candidates.size(); ++i)
+    EXPECT_LE(result.candidates[i - 1].cv.pooled.mape,
+              result.candidates[i].cv.pooled.mape);
+  EXPECT_EQ(result.best_id, result.candidates.front().regressor_id);
+}
+
+TEST(ModelSelection, WinnerBeatsLinearBaseline) {
+  const SelectionResult result = select_regressor(selection_dataset(), 4);
+  double linear_mape = -1.0;
+  for (const auto& c : result.candidates)
+    if (c.regressor_id == "linear") linear_mape = c.cv.pooled.mape;
+  ASSERT_GT(linear_mape, 0.0);
+  EXPECT_LT(result.candidates.front().cv.pooled.mape, linear_mape);
+  EXPECT_NE(result.best_id, "linear");
+}
+
+TEST(ModelSelection, CustomCandidateList) {
+  const SelectionResult result =
+      select_regressor(selection_dataset(), 4, {"dt", "knn"});
+  ASSERT_EQ(result.candidates.size(), 2u);
+  EXPECT_TRUE(result.best_id == "dt" || result.best_id == "knn");
+  EXPECT_THROW(
+      select_regressor(selection_dataset(), 4, {"not-a-model"}),
+      CheckError);
+}
+
+TEST(ModelSelection, Deterministic) {
+  const SelectionResult a = select_regressor(selection_dataset(), 3);
+  const SelectionResult b = select_regressor(selection_dataset(), 3);
+  EXPECT_EQ(a.best_id, b.best_id);
+  for (std::size_t i = 0; i < a.candidates.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.candidates[i].cv.pooled.mape,
+                     b.candidates[i].cv.pooled.mape);
+}
+
+}  // namespace
+}  // namespace gpuperf::core

@@ -1,0 +1,130 @@
+#include "gpu/cycle_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+#include "gpu/device_db.hpp"
+#include "gpu/simulator.hpp"
+
+namespace gpuperf::gpu {
+namespace {
+
+KernelWorkload compute_workload() {
+  KernelWorkload w;
+  w.kernel = "synthetic_compute";
+  w.threads = 1 << 16;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kFma)] = 1 << 24;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kIntAlu)] = 1 << 22;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kMove)] = 1 << 21;
+  w.thread_instructions = 0;
+  for (std::int64_t c : w.class_counts) w.thread_instructions += c;
+  w.bytes_read = 1 << 20;
+  w.bytes_written = 1 << 18;
+  return w;
+}
+
+KernelWorkload memory_workload() {
+  KernelWorkload w;
+  w.kernel = "synthetic_memory";
+  w.threads = 1 << 16;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kLoadGlobal)] =
+      1 << 22;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kStoreGlobal)] =
+      1 << 21;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kIntAlu)] = 1 << 22;
+  w.thread_instructions = 0;
+  for (std::int64_t c : w.class_counts) w.thread_instructions += c;
+  w.bytes_read = 1LL << 30;
+  w.bytes_written = 1LL << 28;
+  return w;
+}
+
+TEST(CycleSim, ProducesPlausibleIpc) {
+  const CycleLevelSimulator sim(device("gtx1080ti"));
+  const CycleSimResult r = sim.simulate(compute_workload());
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.steady_ipc, 0.0);
+  EXPECT_LT(r.steady_ipc, 8.0);
+  EXPECT_GT(r.warp_instructions, 0.0);
+}
+
+TEST(CycleSim, SamplingKicksInForLongKernels) {
+  const CycleLevelSimulator sim(device("gtx1080ti"));
+  KernelWorkload big = compute_workload();
+  for (auto& c : big.class_counts) c *= 64;  // ~22k instructions per warp
+  big.thread_instructions *= 64;
+  const CycleSimResult b = sim.simulate(big);
+  EXPECT_FALSE(b.exact);
+
+  const CycleSimResult s = sim.simulate(compute_workload());
+  EXPECT_TRUE(s.exact);
+  // Extrapolation keeps the per-instruction cost in the same ballpark
+  // as exact simulation of the same mix.
+  const double cost_big = b.cycles / b.warp_instructions;
+  const double cost_small = s.cycles / s.warp_instructions;
+  EXPECT_NEAR(cost_big, cost_small, 0.5 * cost_small);
+}
+
+TEST(CycleSim, MemoryBoundKernelsRespondToBandwidth) {
+  DeviceSpec fast = device("gtx1080ti");
+  DeviceSpec slow = fast;
+  slow.memory_bandwidth_gbs /= 4;
+  const double fast_cycles =
+      CycleLevelSimulator(fast).simulate(memory_workload()).cycles;
+  const double slow_cycles =
+      CycleLevelSimulator(slow).simulate(memory_workload()).cycles;
+  EXPECT_GT(slow_cycles, 1.5 * fast_cycles);
+}
+
+TEST(CycleSim, ComputeBoundKernelsRespondToCoreWidth) {
+  DeviceSpec wide = device("gtx1080ti");
+  DeviceSpec narrow = wide;
+  narrow.cuda_cores /= 2;  // half the lanes per SM
+  const double wide_cycles =
+      CycleLevelSimulator(wide).simulate(compute_workload()).cycles;
+  const double narrow_cycles =
+      CycleLevelSimulator(narrow).simulate(compute_workload()).cycles;
+  EXPECT_GT(narrow_cycles, 1.3 * wide_cycles);
+}
+
+TEST(CycleSim, AgreesDirectionallyWithAnalyticalModel) {
+  // The two simulators are mechanistically different; they must still
+  // order workloads the same way.
+  const GpuSimulator analytical(device("v100s"));
+  const CycleLevelSimulator cyclelevel(device("v100s"));
+  const double a_compute = analytical.simulate(compute_workload()).cycles;
+  const double a_memory = analytical.simulate(memory_workload()).cycles;
+  const double c_compute =
+      cyclelevel.simulate(compute_workload()).cycles;
+  const double c_memory = cyclelevel.simulate(memory_workload()).cycles;
+  EXPECT_EQ(a_memory > a_compute, c_memory > c_compute);
+}
+
+TEST(CycleSim, ModelAggregation) {
+  const CycleLevelSimulator sim(device("gtx1080ti"));
+  const std::vector<KernelWorkload> workloads = {compute_workload(),
+                                                 memory_workload()};
+  const CycleSimResult total = sim.simulate_model(workloads);
+  const double sum = sim.simulate(workloads[0]).cycles +
+                     sim.simulate(workloads[1]).cycles;
+  EXPECT_NEAR(total.cycles, sum, 1e-6 * sum);
+}
+
+TEST(CycleSim, Deterministic) {
+  const CycleLevelSimulator sim(device("teslat4"));
+  EXPECT_DOUBLE_EQ(sim.simulate(memory_workload()).cycles,
+                   sim.simulate(memory_workload()).cycles);
+}
+
+TEST(CycleSim, RejectsBadConfig) {
+  CycleSimParams p;
+  p.sample_instructions_per_warp = 10;
+  p.warmup_instructions_per_warp = 20;
+  EXPECT_THROW(CycleLevelSimulator(device("v100s"), p), CheckError);
+  const CycleLevelSimulator sim(device("v100s"));
+  EXPECT_THROW(sim.simulate_model({}), CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::gpu

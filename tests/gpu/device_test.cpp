@@ -1,0 +1,78 @@
+#include "gpu/device_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace gpuperf::gpu {
+namespace {
+
+TEST(DeviceDb, ContainsThePaperDevices) {
+  EXPECT_TRUE(has_device("gtx1080ti"));
+  EXPECT_TRUE(has_device("v100s"));
+  EXPECT_TRUE(has_device("quadrop1000"));
+  EXPECT_FALSE(has_device("gtx9090"));
+  EXPECT_THROW(device("gtx9090"), CheckError);
+}
+
+TEST(DeviceDb, Gtx1080TiSpecs) {
+  const DeviceSpec& d = device("gtx1080ti");
+  EXPECT_EQ(d.sm_count, 28);
+  EXPECT_EQ(d.cuda_cores, 3584);
+  EXPECT_EQ(d.cores_per_sm(), 128);
+  EXPECT_DOUBLE_EQ(d.memory_bandwidth_gbs, 484);
+  EXPECT_EQ(d.l2_cache_kb, 2816);
+  EXPECT_NEAR(d.fp32_tflops(), 11.3, 0.1);
+}
+
+TEST(DeviceDb, V100sSpecs) {
+  const DeviceSpec& d = device("v100s");
+  EXPECT_EQ(d.sm_count, 80);
+  EXPECT_EQ(d.cores_per_sm(), 64);
+  EXPECT_DOUBLE_EQ(d.memory_bandwidth_gbs, 1134);
+}
+
+TEST(DeviceDb, NamesUnique) {
+  std::set<std::string> names;
+  for (const auto& d : device_database()) names.insert(d.name);
+  EXPECT_EQ(names.size(), device_database().size());
+  EXPECT_GE(device_database().size(), 10u);
+}
+
+TEST(DeviceDb, TrainingAndDseDeviceListsResolve) {
+  EXPECT_EQ(training_devices().size(), 2u);
+  for (const auto& n : training_devices()) EXPECT_TRUE(has_device(n));
+  EXPECT_EQ(dse_devices().size(), 7u);
+  for (const auto& n : dse_devices()) EXPECT_TRUE(has_device(n));
+}
+
+TEST(DeviceSpec, FeatureVectorSchema) {
+  const DeviceSpec& d = device("gtx1080ti");
+  const auto features = d.features();
+  const auto& names = DeviceSpec::feature_names();
+  ASSERT_EQ(features.size(), names.size());
+  EXPECT_EQ(names.front(), "mem_bandwidth_gbs");
+  EXPECT_DOUBLE_EQ(features.front(), 484);
+  for (double f : features) EXPECT_GT(f, 0.0);
+}
+
+TEST(DeviceSpec, BytesPerCycle) {
+  const DeviceSpec& d = device("gtx1080ti");
+  EXPECT_NEAR(d.bytes_per_cycle(), 484e9 / 1582e6, 1e-6);
+}
+
+TEST(DeviceSpec, AllEntriesWellFormed) {
+  for (const auto& d : device_database()) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_GT(d.sm_count, 0) << d.name;
+    EXPECT_EQ(d.cuda_cores % d.sm_count, 0) << d.name;
+    EXPECT_GT(d.memory_bandwidth_gbs, 0) << d.name;
+    EXPECT_GT(d.boost_clock_mhz, d.base_clock_mhz * 0.5) << d.name;
+    EXPECT_GT(d.l2_cache_kb, 0) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf::gpu

@@ -1,0 +1,94 @@
+#include "gpu/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+#include "gpu/device_db.hpp"
+#include "gpu/profiler.hpp"
+
+namespace gpuperf::gpu {
+namespace {
+
+TEST(Dvfs, ScaleDeviceAdjustsClocksAndBandwidth) {
+  const DeviceSpec base = device("gtx1080ti");
+  const DeviceSpec scaled = scale_device(base, DvfsPoint{0.8, 1.2});
+  EXPECT_DOUBLE_EQ(scaled.boost_clock_mhz, base.boost_clock_mhz * 0.8);
+  EXPECT_DOUBLE_EQ(scaled.base_clock_mhz, base.base_clock_mhz * 0.8);
+  EXPECT_DOUBLE_EQ(scaled.memory_bandwidth_gbs,
+                   base.memory_bandwidth_gbs * 1.2);
+  // Silicon is untouched.
+  EXPECT_EQ(scaled.sm_count, base.sm_count);
+  EXPECT_EQ(scaled.cuda_cores, base.cuda_cores);
+  EXPECT_EQ(scaled.l2_cache_kb, base.l2_cache_kb);
+  // The name encodes the operating point.
+  EXPECT_EQ(scaled.name, "gtx1080ti@c0.80/m1.20");
+}
+
+TEST(Dvfs, IdentityPointIsNoop) {
+  const DeviceSpec base = device("v100s");
+  const DeviceSpec same = scale_device(base, DvfsPoint{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(same.boost_clock_mhz, base.boost_clock_mhz);
+  EXPECT_DOUBLE_EQ(same.memory_bandwidth_gbs, base.memory_bandwidth_gbs);
+}
+
+TEST(Dvfs, RejectsImplausibleScales) {
+  const DeviceSpec base = device("v100s");
+  EXPECT_THROW(scale_device(base, DvfsPoint{0.0, 1.0}), CheckError);
+  EXPECT_THROW(scale_device(base, DvfsPoint{1.0, 3.0}), CheckError);
+}
+
+TEST(Dvfs, GridEnumeratesAllCombinations) {
+  const auto grid =
+      dvfs_grid(device("gtx1080ti"), {0.8, 1.0}, {0.9, 1.0, 1.1});
+  ASSERT_EQ(grid.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& spec : grid) names.insert(spec.name);
+  EXPECT_EQ(names.size(), 6u);  // all distinct
+  EXPECT_THROW(dvfs_grid(device("gtx1080ti"), {}, {1.0}), CheckError);
+}
+
+TEST(Dvfs, SlowerCoreRaisesIpcOfMemoryBoundModels) {
+  // IPC = instructions / cycles; a slower core makes memory-bound
+  // kernels spend fewer (core) cycles per byte, so IPC rises.  This is
+  // the physical signature DVFS experiments look for.
+  const Profiler profiler(0.0);
+  const cnn::Model model = cnn::zoo::build("densenet121");
+  const DeviceSpec base = device("gtx1080ti");
+  const double ipc_slow =
+      profiler.profile(model, scale_device(base, DvfsPoint{0.6, 1.0})).ipc;
+  const double ipc_fast =
+      profiler.profile(model, scale_device(base, DvfsPoint{1.2, 1.0})).ipc;
+  EXPECT_GT(ipc_slow, ipc_fast);
+}
+
+TEST(Dvfs, MoreMemoryBandwidthRaisesIpc) {
+  const Profiler profiler(0.0);
+  const cnn::Model model = cnn::zoo::build("densenet121");
+  const DeviceSpec base = device("gtx1080ti");
+  const double ipc_narrow =
+      profiler.profile(model, scale_device(base, DvfsPoint{1.0, 0.6})).ipc;
+  const double ipc_wide =
+      profiler.profile(model, scale_device(base, DvfsPoint{1.0, 1.2})).ipc;
+  EXPECT_GT(ipc_wide, ipc_narrow);
+}
+
+TEST(Dvfs, ScaledElapsedTimeMovesWithCoreClock) {
+  // Wall time should drop when the core speeds up (compute-bound share)
+  // and never increase.
+  const Profiler profiler(0.0);
+  const cnn::Model model = cnn::zoo::build("vgg16");
+  const DeviceSpec base = device("gtx1080ti");
+  const double t_slow =
+      profiler.profile(model, scale_device(base, DvfsPoint{0.6, 1.0}))
+          .elapsed_ms;
+  const double t_fast =
+      profiler.profile(model, scale_device(base, DvfsPoint{1.2, 1.0}))
+          .elapsed_ms;
+  EXPECT_GT(t_slow, t_fast);
+}
+
+}  // namespace
+}  // namespace gpuperf::gpu

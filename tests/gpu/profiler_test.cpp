@@ -1,0 +1,130 @@
+#include "gpu/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/zoo.hpp"
+#include "gpu/device_db.hpp"
+
+namespace gpuperf::gpu {
+namespace {
+
+TEST(Profiler, EndToEndProfileProducesCounters) {
+  const Profiler profiler(0.0);
+  const ProfileResult r =
+      profiler.profile(cnn::zoo::build("MobileNetV2"), device("gtx1080ti"));
+  EXPECT_EQ(r.model_name, "MobileNetV2");
+  EXPECT_EQ(r.device_name, "gtx1080ti");
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_LT(r.ipc, 8.0);
+  EXPECT_GT(r.total_cycles, 0.0);
+  EXPECT_GT(r.elapsed_ms, 0.0);
+  EXPECT_GT(r.thread_instructions, 0);
+  EXPECT_GT(r.kernel_count, 0u);
+  EXPECT_GE(r.memory_bound_fraction, 0.0);
+  EXPECT_LE(r.memory_bound_fraction, 1.0);
+  EXPECT_GT(r.profiling_wall_seconds, 10.0);  // nvprof replay model
+}
+
+TEST(Profiler, DeterministicForSameInputs) {
+  const Profiler profiler(0.02, 7);
+  const cnn::Model model = cnn::zoo::build("alexnet");
+  const ProfileResult a = profiler.profile(model, device("v100s"));
+  const ProfileResult b = profiler.profile(model, device("v100s"));
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+  EXPECT_DOUBLE_EQ(a.total_cycles, b.total_cycles);
+}
+
+TEST(Profiler, NoiseVariesAcrossModelDevicePairs) {
+  const Profiler noisy(0.05, 1);
+  const Profiler clean(0.0, 1);
+  const cnn::Model model = cnn::zoo::build("alexnet");
+  const double with_noise =
+      noisy.profile(model, device("gtx1080ti")).total_cycles;
+  const double without =
+      clean.profile(model, device("gtx1080ti")).total_cycles;
+  EXPECT_NE(with_noise, without);
+  EXPECT_NEAR(with_noise / without, 1.0, 0.25);
+}
+
+TEST(Profiler, CrossDeviceDifferences) {
+  const Profiler profiler(0.0);
+  const cnn::Model model = cnn::zoo::build("resnet50v2");
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  const ptx::ModelInstructionProfile instr = counter.count(compiled);
+
+  const ProfileResult fast =
+      profiler.profile_compiled(compiled, instr, device("v100s"));
+  const ProfileResult slow =
+      profiler.profile_compiled(compiled, instr, device("quadrop1000"));
+  // A V100S finishes the same model far faster than a Quadro P1000.
+  EXPECT_LT(fast.elapsed_ms * 3, slow.elapsed_ms);
+  // Instruction counts are device-independent (same binary).
+  EXPECT_EQ(fast.thread_instructions, slow.thread_instructions);
+}
+
+TEST(Profiler, CompiledPathMatchesConveniencePath) {
+  const Profiler profiler(0.02, 3);
+  const cnn::Model model = cnn::zoo::build("mobilenet");
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  const ptx::ModelInstructionProfile instr = counter.count(compiled);
+  const ProfileResult a =
+      profiler.profile_compiled(compiled, instr, device("gtx1080ti"));
+  const ProfileResult b = profiler.profile(model, device("gtx1080ti"));
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+}
+
+
+namespace {
+const DeviceSpec& device_db_entry() { return device("gtx1080ti"); }
+}  // namespace
+
+TEST(Profiler, PerLayerAttributionCoversWholeModel) {
+  const Profiler profiler(0.0);
+  const cnn::Model model = cnn::zoo::build("MobileNetV2");
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  const ptx::ModelInstructionProfile instr = counter.count(compiled);
+  const gpu::DeviceSpec& device = device_db_entry();
+
+  const auto layers = profiler.profile_layers(compiled, instr, device);
+  ASSERT_FALSE(layers.empty());
+
+  double share = 0.0;
+  std::size_t launches = 0;
+  std::int64_t instructions = 0;
+  for (const auto& lp : layers) {
+    EXPECT_FALSE(lp.layer.empty());
+    EXPECT_GT(lp.time_us, 0.0) << lp.layer;
+    share += lp.time_share;
+    launches += lp.launch_count;
+    instructions += lp.thread_instructions;
+  }
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  EXPECT_EQ(launches, compiled.launches.size());
+  EXPECT_EQ(instructions, instr.total_instructions);
+}
+
+TEST(Profiler, ConvLayersDominateVggTime) {
+  const Profiler profiler(0.0);
+  const cnn::Model model = cnn::zoo::build("vgg16");
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  const ptx::ModelInstructionProfile instr = counter.count(compiled);
+  const auto layers =
+      profiler.profile_layers(compiled, instr, device_db_entry());
+  double conv_share = 0.0;
+  for (const auto& lp : layers)
+    if (lp.layer.find("Conv2D") != std::string::npos) conv_share += lp.time_share;
+  // "Convolutional layers are responsible for over 90 % of the
+  // computation" (paper Section I) — time share is similarly dominant.
+  EXPECT_GT(conv_share, 0.75);
+}
+
+}  // namespace
+}  // namespace gpuperf::gpu

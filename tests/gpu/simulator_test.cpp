@@ -1,0 +1,168 @@
+#include "gpu/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "gpu/device_db.hpp"
+
+namespace gpuperf::gpu {
+namespace {
+
+KernelWorkload sample_workload() {
+  KernelWorkload w;
+  w.kernel = "gp_gemm";
+  w.threads = 1 << 18;
+  w.thread_instructions = 1 << 26;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kFma)] = 1 << 24;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kIntAlu)] = 1 << 24;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kLoadGlobal)] =
+      1 << 23;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kLoadShared)] =
+      1 << 24;
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kMove)] = 1 << 23;
+  w.bytes_read = 64 << 20;
+  w.bytes_written = 16 << 20;
+  return w;
+}
+
+TEST(Simulator, BasicSanity) {
+  const GpuSimulator sim(device("gtx1080ti"));
+  const KernelSimResult r = sim.simulate(sample_workload());
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.time_us, 0.0);
+  EXPECT_GT(r.warp_instructions, 0.0);
+}
+
+TEST(Simulator, MoreBandwidthNeverSlowsMemoryBoundKernels) {
+  KernelWorkload w = sample_workload();
+  // Force memory-bound: huge traffic, light compute.
+  w.class_counts.fill(0);
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kLoadGlobal)] =
+      1 << 20;
+  w.bytes_read = 1LL << 32;
+  DeviceSpec fast = device("gtx1080ti");
+  DeviceSpec slow = fast;
+  slow.memory_bandwidth_gbs /= 2;
+  const double fast_cycles = GpuSimulator(fast).simulate(w).cycles;
+  const double slow_cycles = GpuSimulator(slow).simulate(w).cycles;
+  EXPECT_LT(fast_cycles, slow_cycles);
+  EXPECT_TRUE(GpuSimulator(fast).simulate(w).memory_bound);
+}
+
+TEST(Simulator, MoreInstructionsMoreCycles) {
+  const GpuSimulator sim(device("v100s"));
+  KernelWorkload small = sample_workload();
+  KernelWorkload big = small;
+  for (auto& c : big.class_counts) c *= 4;
+  big.thread_instructions *= 4;
+  EXPECT_GT(sim.simulate(big).cycles, sim.simulate(small).cycles);
+}
+
+TEST(Simulator, BiggerL2ReducesReuseTraffic) {
+  KernelWorkload w = sample_workload();
+  w.class_counts[static_cast<std::size_t>(ptx::OpClass::kLoadGlobal)] =
+      1 << 26;  // heavy reuse traffic
+  DeviceSpec small_l2 = device("gtx1080ti");
+  DeviceSpec big_l2 = small_l2;
+  // Large enough that the miss fraction leaves the clamp ceiling.
+  big_l2.l2_cache_kb *= 64;
+  const double small_cycles = GpuSimulator(small_l2).simulate(w).cycles;
+  const double big_cycles = GpuSimulator(big_l2).simulate(w).cycles;
+  EXPECT_GT(small_cycles, big_cycles);
+}
+
+TEST(Simulator, LowOccupancyPenalized) {
+  const GpuSimulator sim(device("v100s"));
+  KernelWorkload tiny = sample_workload();
+  tiny.threads = 64;  // a fraction of one SM
+  KernelWorkload wide = tiny;
+  wide.threads = 1 << 20;
+  // Same instruction totals, more threads -> better hiding -> fewer
+  // cycles (or equal once saturated).
+  EXPECT_GE(sim.simulate(tiny).cycles, sim.simulate(wide).cycles);
+}
+
+TEST(Simulator, ModelAggregationSumsKernels) {
+  const GpuSimulator sim(device("gtx1080ti"));
+  const KernelWorkload w = sample_workload();
+  const ModelSimResult one = sim.simulate_model({w});
+  const ModelSimResult two = sim.simulate_model({w, w});
+  EXPECT_NEAR(two.total_cycles, 2 * one.total_cycles, 1e-6);
+  EXPECT_EQ(two.kernel_count, 2u);
+  EXPECT_NEAR(two.ipc, one.ipc, 1e-12);  // same mix, same IPC
+}
+
+TEST(Simulator, IpcWithinPhysicalBounds) {
+  const GpuSimulator sim(device("gtx1080ti"));
+  const ModelSimResult r = sim.simulate_model({sample_workload()});
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_LT(r.ipc, 8.0);  // per-SM issue can't exceed scheduler width
+}
+
+TEST(Simulator, NoiseIsDeterministicPerSeed) {
+  SimParams p;
+  p.noise_stddev = 0.05;
+  p.noise_seed = 1234;
+  const GpuSimulator a(device("v100s"), p);
+  const GpuSimulator b(device("v100s"), p);
+  p.noise_seed = 99;
+  const GpuSimulator c(device("v100s"), p);
+  const std::vector<KernelWorkload> w = {sample_workload()};
+  EXPECT_DOUBLE_EQ(a.simulate_model(w).total_cycles,
+                   b.simulate_model(w).total_cycles);
+  EXPECT_NE(a.simulate_model(w).total_cycles,
+            c.simulate_model(w).total_cycles);
+}
+
+TEST(Simulator, NoiseFreeByDefault) {
+  const GpuSimulator sim(device("v100s"));
+  const std::vector<KernelWorkload> w = {sample_workload()};
+  EXPECT_DOUBLE_EQ(sim.simulate_model(w).total_cycles,
+                   sim.simulate_model(w).total_cycles);
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  EXPECT_THROW(GpuSimulator(DeviceSpec{}), CheckError);
+  SimParams p;
+  p.noise_stddev = 0.9;
+  EXPECT_THROW(GpuSimulator(device("v100s"), p), CheckError);
+  const GpuSimulator sim(device("v100s"));
+  EXPECT_THROW(sim.simulate_model({}), CheckError);
+}
+
+TEST(Simulator, PowerModelWithinTdpEnvelope) {
+  const GpuSimulator sim(device("gtx1080ti"));
+  const ModelSimResult r = sim.simulate_model({sample_workload()});
+  EXPECT_GT(r.average_power_w, 0.25 * device("gtx1080ti").tdp_w);
+  EXPECT_LE(r.average_power_w, device("gtx1080ti").tdp_w + 1e-9);
+  EXPECT_NEAR(r.energy_mj, r.average_power_w * r.elapsed_ms, 1e-9);
+}
+
+TEST(Simulator, BusierKernelsDrawMorePower) {
+  const GpuSimulator sim(device("v100s"));
+  KernelWorkload busy = sample_workload();
+  busy.threads = 1 << 22;  // saturate occupancy: utilization ~ 1
+  KernelWorkload idleish = sample_workload();
+  idleish.threads = 256;   // latency-bound: low utilization
+  const double p_busy = sim.simulate_model({busy}).average_power_w;
+  const double p_idle = sim.simulate_model({idleish}).average_power_w;
+  EXPECT_GT(p_busy, p_idle);
+}
+
+TEST(Simulator, SmallerBoardsDrawLessPower) {
+  const std::vector<KernelWorkload> w = {sample_workload()};
+  const double big =
+      GpuSimulator(device("gtx1080ti")).simulate_model(w).average_power_w;
+  const double small =
+      GpuSimulator(device("jetsonxaviernx")).simulate_model(w).average_power_w;
+  EXPECT_GT(big, 3.0 * small);
+}
+
+TEST(Workload, DerivedQuantities) {
+  KernelWorkload w = sample_workload();
+  EXPECT_EQ(w.warps(), (w.threads + 31) / 32);
+  EXPECT_EQ(w.dram_bytes(), w.bytes_read + w.bytes_written);
+}
+
+}  // namespace
+}  // namespace gpuperf::gpu

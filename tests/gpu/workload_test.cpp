@@ -1,0 +1,48 @@
+#include "gpu/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+
+namespace gpuperf::gpu {
+namespace {
+
+TEST(Workload, BuildFromCompiledModel) {
+  const cnn::Model model = cnn::zoo::build("alexnet");
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  const ptx::ModelInstructionProfile profile = counter.count(compiled);
+
+  const auto workloads = build_workloads(compiled, profile);
+  ASSERT_EQ(workloads.size(), compiled.launches.size());
+
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const KernelWorkload& w = workloads[i];
+    EXPECT_EQ(w.kernel, compiled.launches[i].kernel);
+    EXPECT_EQ(w.threads, compiled.launches[i].total_threads());
+    EXPECT_EQ(w.thread_instructions, profile.per_launch[i]);
+    EXPECT_EQ(w.bytes_read, compiled.stats[i].bytes_read);
+    EXPECT_EQ(w.bytes_written, compiled.stats[i].bytes_written);
+    std::int64_t class_sum = 0;
+    for (std::int64_t c : w.class_counts) class_sum += c;
+    EXPECT_EQ(class_sum, w.thread_instructions) << i;
+    total += w.thread_instructions;
+  }
+  EXPECT_EQ(total, profile.total_instructions);
+}
+
+TEST(Workload, RejectsMismatchedInputs) {
+  const cnn::Model model = cnn::zoo::build("alexnet");
+  const ptx::CodeGenerator codegen;
+  const ptx::InstructionCounter counter;
+  const ptx::CompiledModel compiled = codegen.compile(model);
+  ptx::ModelInstructionProfile profile = counter.count(compiled);
+  profile.per_launch.pop_back();
+  EXPECT_THROW(build_workloads(compiled, profile), CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::gpu

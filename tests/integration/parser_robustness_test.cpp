@@ -1,0 +1,88 @@
+// Robustness fuzzing of the PTX front end: random mutations of valid
+// PTX must either parse (possibly into a different but well-formed
+// module) or throw CheckError — never crash, hang, or corrupt memory.
+// The verifier must likewise survive anything the parser accepts.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ptx/codegen.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/verifier.hpp"
+
+namespace gpuperf::ptx {
+namespace {
+
+const std::string& library_text() {
+  static const std::string text =
+      CodeGenerator::kernel_library().to_ptx();
+  return text;
+}
+
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string out = base;
+  const int edits = static_cast<int>(rng.uniform_int(1, 4));
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789%.,;:[]{}()<>@!+- \t\n";
+  for (int e = 0; e < edits; ++e) {
+    if (out.empty()) break;
+    const std::size_t pos = rng.uniform_index(out.size());
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // replace
+        out[pos] = kAlphabet[rng.uniform_index(sizeof(kAlphabet) - 1)];
+        break;
+      case 1:  // delete
+        out.erase(pos, 1);
+        break;
+      default:  // insert
+        out.insert(pos, 1,
+                   kAlphabet[rng.uniform_index(sizeof(kAlphabet) - 1)]);
+        break;
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzzTest, MutatedPtxNeverCrashesTheFrontEnd) {
+  Rng rng(GetParam());
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string mutated = mutate(library_text(), rng);
+    try {
+      const PtxModule mod = parse_ptx(mutated);
+      ++parsed;
+      // Whatever parsed must also be safe to verify and print.
+      (void)verify_module(mod);
+      (void)mod.to_ptx();
+    } catch (const CheckError&) {
+      ++rejected;  // the contract: malformed input fails loudly
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 100);
+  // Single-character edits of a large module frequently land in
+  // whitespace/comments, so some mutants must still parse.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(ParserFuzz, TruncationsAreHandled) {
+  const std::string& text = library_text();
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t cut = rng.uniform_index(text.size());
+    try {
+      (void)parse_ptx(text.substr(0, cut));
+    } catch (const CheckError&) {
+      // expected for most cut points
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

@@ -1,0 +1,96 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset quadratic_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d({"x"}, "y");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(1, 3);
+    d.add_row({x}, x * x + rng.normal(0, 0.02));
+  }
+  return d;
+}
+
+TEST(CrossValidation, FoldsBalancedAndComplete) {
+  Rng rng(1);
+  const auto fold_of = make_folds(62, 5, rng);
+  ASSERT_EQ(fold_of.size(), 62u);
+  std::vector<std::size_t> sizes(5, 0);
+  for (std::size_t f : fold_of) {
+    ASSERT_LT(f, 5u);
+    ++sizes[f];
+  }
+  for (std::size_t s : sizes) {
+    EXPECT_GE(s, 12u);
+    EXPECT_LE(s, 13u);
+  }
+}
+
+TEST(CrossValidation, FoldsDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(make_folds(30, 3, a), make_folds(30, 3, b));
+  Rng a2(7);
+  EXPECT_NE(make_folds(30, 3, a2), make_folds(30, 3, c));
+}
+
+TEST(CrossValidation, RejectsBadConfig) {
+  Rng rng(1);
+  EXPECT_THROW(make_folds(10, 1, rng), CheckError);
+  EXPECT_THROW(make_folds(3, 5, rng), CheckError);
+}
+
+TEST(CrossValidation, EvaluatesEveryRowExactlyOnce) {
+  const Dataset data = quadratic_data(40, 2);
+  const CvResult result = cross_validate(data, 4, "dt", 42);
+  ASSERT_EQ(result.folds.size(), 4u);
+  // Pooled predictions cover every row: the pooled score exists and the
+  // per-fold MAPE mean is finite.
+  EXPECT_GT(result.pooled.mape, 0.0);
+  EXPECT_GE(result.mape_stddev, 0.0);
+}
+
+TEST(CrossValidation, GoodModelScoresWell) {
+  const Dataset data = quadratic_data(200, 3);
+  const CvResult result = cross_validate(data, 5, "knn", 42);
+  EXPECT_LT(result.pooled.mape, 5.0);
+  EXPECT_GT(result.pooled.r2, 0.95);
+}
+
+TEST(CrossValidation, DeterministicAcrossRuns) {
+  const Dataset data = quadratic_data(60, 5);
+  const CvResult a = cross_validate(data, 5, "rf", 42);
+  const CvResult b = cross_validate(data, 5, "rf", 42);
+  EXPECT_DOUBLE_EQ(a.pooled.mape, b.pooled.mape);
+  for (std::size_t i = 0; i < a.folds.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.folds[i].mape, b.folds[i].mape);
+}
+
+TEST(CrossValidation, CustomFactory) {
+  const Dataset data = quadratic_data(50, 7);
+  const CvResult result = cross_validate(
+      data, 5, [] { return make_regressor("linear"); }, 42);
+  // y = x^2 over [1,3] is decently approximated by a line.
+  EXPECT_LT(result.pooled.mape, 15.0);
+  const std::function<std::unique_ptr<Regressor>()> null_factory;
+  EXPECT_THROW(cross_validate(data, 5, null_factory, 42), CheckError);
+}
+
+TEST(CrossValidation, MeanStddevConsistentWithFolds) {
+  const Dataset data = quadratic_data(45, 9);
+  const CvResult r = cross_validate(data, 3, "dt", 42);
+  double mean = 0.0;
+  for (const auto& f : r.folds) mean += f.mape;
+  mean /= static_cast<double>(r.folds.size());
+  EXPECT_NEAR(r.mape_mean, mean, 1e-12);
+}
+
+}  // namespace
+}  // namespace gpuperf::ml

@@ -1,0 +1,124 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset make_dataset(std::size_t n) {
+  Dataset d({"a", "b"}, "y");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    d.add_row({x, 2 * x}, 3 * x, "row" + std::to_string(i));
+  }
+  return d;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = make_dataset(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.n_features(), 2u);
+  EXPECT_EQ(d.feature_index("b"), 1u);
+  EXPECT_THROW(d.feature_index("c"), CheckError);
+  EXPECT_DOUBLE_EQ(d.row(3)[1], 6.0);
+  EXPECT_DOUBLE_EQ(d.target(3), 9.0);
+  EXPECT_EQ(d.tag(3), "row3");
+}
+
+TEST(Dataset, RejectsBadRows) {
+  Dataset d({"a"}, "y");
+  EXPECT_THROW(d.add_row({1.0, 2.0}, 0.0), CheckError);
+  EXPECT_THROW(d.add_row({std::nan("")}, 0.0), CheckError);
+  EXPECT_THROW(d.add_row({1.0}, std::nan("")), CheckError);
+}
+
+TEST(Dataset, SubsetCopiesSelectedRows) {
+  const Dataset d = make_dataset(6);
+  const Dataset s = d.subset({5, 1});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.tag(0), "row5");
+  EXPECT_EQ(s.tag(1), "row1");
+}
+
+TEST(Dataset, SplitSizesAndDisjointness) {
+  const Dataset d = make_dataset(62);
+  Rng rng(3);
+  const auto [train, eval] = d.split(0.7, rng);
+  EXPECT_EQ(train.size() + eval.size(), d.size());
+  EXPECT_EQ(train.size(), 43u);  // round(0.7 * 62)
+
+  std::set<std::string> train_tags, eval_tags;
+  for (std::size_t i = 0; i < train.size(); ++i)
+    train_tags.insert(train.tag(i));
+  for (std::size_t i = 0; i < eval.size(); ++i) eval_tags.insert(eval.tag(i));
+  EXPECT_EQ(train_tags.size(), train.size());
+  for (const auto& t : eval_tags) EXPECT_EQ(train_tags.count(t), 0u);
+}
+
+TEST(Dataset, SplitDeterministicPerSeed) {
+  const Dataset d = make_dataset(20);
+  Rng a(42), b(42), c(43);
+  const auto [ta, ea] = d.split(0.5, a);
+  const auto [tb, eb] = d.split(0.5, b);
+  const auto [tc, ec] = d.split(0.5, c);
+  EXPECT_EQ(ta.tag(0), tb.tag(0));
+  bool differs = false;
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    if (ta.tag(i) != tc.tag(i)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Dataset, SplitKeepsBothSidesNonEmpty) {
+  const Dataset d = make_dataset(3);
+  Rng rng(1);
+  const auto [train, eval] = d.split(0.99, rng);
+  EXPECT_GE(eval.size(), 1u);
+  EXPECT_GE(train.size(), 1u);
+  EXPECT_THROW(d.split(0.0, rng), CheckError);
+  EXPECT_THROW(d.split(1.0, rng), CheckError);
+}
+
+TEST(Dataset, SplitByTagPrefix) {
+  Dataset d({"x"}, "y");
+  d.add_row({1}, 1, "alexnet@gtx1080ti");
+  d.add_row({2}, 2, "alexnet@v100s");
+  d.add_row({3}, 3, "vgg16@gtx1080ti");
+  const auto [keep, held] = d.split_by_tag_prefix({"alexnet"});
+  EXPECT_EQ(keep.size(), 1u);
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_EQ(keep.tag(0), "vgg16@gtx1080ti");
+}
+
+TEST(Dataset, Standardization) {
+  Dataset d({"a", "const"}, "y");
+  d.add_row({1, 5}, 0);
+  d.add_row({3, 5}, 0);
+  const auto st = d.standardization();
+  EXPECT_DOUBLE_EQ(st.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(st.stddev[0], 1.0);  // population stddev of {1,3}
+  EXPECT_DOUBLE_EQ(st.stddev[1], 1.0);  // zero-variance guard
+  const auto z = st.apply({3, 5});
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const Dataset d = make_dataset(4);
+  const Dataset back = Dataset::from_csv(d.to_csv());
+  EXPECT_EQ(back.size(), d.size());
+  EXPECT_EQ(back.feature_names(), d.feature_names());
+  EXPECT_EQ(back.target_name(), d.target_name());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.tag(i), d.tag(i));
+    EXPECT_NEAR(back.target(i), d.target(i), 1e-9);
+    EXPECT_NEAR(back.row(i)[0], d.row(i)[0], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gpuperf::ml

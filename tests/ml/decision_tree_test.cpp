@@ -1,0 +1,196 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset step_data() {
+  // y is a clean two-feature step function a CART tree can fit exactly.
+  Dataset d({"a", "b"}, "y");
+  for (double a = 0; a < 4; ++a)
+    for (double b = 0; b < 4; ++b)
+      d.add_row({a, b}, (a < 2 ? 10.0 : 20.0) + (b < 2 ? 0.0 : 5.0));
+  return d;
+}
+
+TreeParams loose_params() {
+  TreeParams p;
+  p.max_depth = 16;
+  p.min_samples_split = 2;
+  p.min_samples_leaf = 1;
+  return p;
+}
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  DecisionTree tree(loose_params());
+  const Dataset d = step_data();
+  tree.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_DOUBLE_EQ(tree.predict(d.row(i)), d.target(i));
+}
+
+TEST(DecisionTree, ConstantTargetYieldsStump) {
+  Dataset d({"x"}, "y");
+  for (int i = 0; i < 10; ++i) d.add_row({static_cast<double>(i)}, 7.0);
+  DecisionTree tree(loose_params());
+  tree.fit(d);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({100.0}), 7.0);
+}
+
+TEST(DecisionTree, PredictionsBoundedByTrainingTargets) {
+  Rng rng(11);
+  Dataset d({"a", "b"}, "y");
+  for (int i = 0; i < 100; ++i)
+    d.add_row({rng.uniform(0, 1), rng.uniform(0, 1)}, rng.uniform(-3, 3));
+  DecisionTree tree(loose_params());
+  tree.fit(d);
+  for (int i = 0; i < 50; ++i) {
+    const double p = tree.predict({rng.uniform(-1, 2), rng.uniform(-1, 2)});
+    EXPECT_GE(p, -3.0);
+    EXPECT_LE(p, 3.0);
+  }
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  Rng rng(13);
+  Dataset d({"x"}, "y");
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 1);
+    d.add_row({x}, x * x);
+  }
+  TreeParams p = loose_params();
+  p.max_depth = 3;
+  DecisionTree tree(p);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 3u + 1u);  // depth counts nodes on the path
+  EXPECT_LE(tree.leaf_count(), 8u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  Rng rng(17);
+  Dataset d({"x"}, "y");
+  for (int i = 0; i < 64; ++i) d.add_row({rng.uniform(0, 1)},
+                                         rng.uniform(0, 1));
+  TreeParams p = loose_params();
+  p.min_samples_leaf = 5;
+  DecisionTree tree(p);
+  tree.fit(d);
+  for (const auto& node : tree.nodes()) {
+    if (node.feature == DecisionTree::Node::kLeaf) {
+      EXPECT_GE(node.n_samples, 5u);
+    }
+  }
+}
+
+TEST(DecisionTree, ImportancesSumToOneAndPickTheSignalFeature) {
+  Rng rng(19);
+  Dataset d({"noise", "signal"}, "y");
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.uniform(0, 1);
+    d.add_row({rng.uniform(0, 1), s}, s > 0.5 ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  const auto imp = tree.feature_importances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-12);
+  EXPECT_GT(imp[1], 0.9);
+}
+
+TEST(DecisionTree, StumpHasZeroImportances) {
+  Dataset d({"x"}, "y");
+  d.add_row({1.0}, 2.0);
+  d.add_row({2.0}, 2.0);
+  DecisionTree tree;
+  tree.fit(d);
+  const auto imp = tree.feature_importances();
+  EXPECT_DOUBLE_EQ(imp[0], 0.0);
+}
+
+TEST(DecisionTree, DeterministicAcrossFits) {
+  Rng rng(23);
+  Dataset d({"a", "b", "c"}, "y");
+  for (int i = 0; i < 100; ++i)
+    d.add_row({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)},
+              rng.uniform(0, 10));
+  DecisionTree t1, t2;
+  t1.fit(d);
+  t2.fit(d);
+  ASSERT_EQ(t1.nodes().size(), t2.nodes().size());
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(0, 1), rng.uniform(0, 1),
+                                   rng.uniform(0, 1)};
+    EXPECT_DOUBLE_EQ(t1.predict(x), t2.predict(x));
+  }
+}
+
+TEST(DecisionTree, ErrorsOnMisuse) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.is_fitted());
+  EXPECT_THROW(tree.predict({1.0}), CheckError);
+  EXPECT_THROW(tree.feature_importances(), CheckError);
+  TreeParams bad;
+  bad.min_samples_split = 1;
+  EXPECT_THROW(DecisionTree{bad}, CheckError);
+}
+
+TEST(DecisionTree, FitIndexedUsesOnlySelectedRows) {
+  Dataset d({"x"}, "y");
+  d.add_row({0.0}, 0.0);
+  d.add_row({1.0}, 100.0);  // excluded outlier
+  d.add_row({0.1}, 0.0);
+  DecisionTree tree(loose_params());
+  tree.fit_indexed(d, {0, 2}, nullptr);
+  EXPECT_DOUBLE_EQ(tree.predict({1.0}), 0.0);
+}
+
+struct DepthLeafCase {
+  std::size_t max_depth;
+  std::size_t min_leaf;
+};
+
+class TreeParamSweep
+    : public ::testing::TestWithParam<DepthLeafCase> {};
+
+TEST_P(TreeParamSweep, TrainErrorShrinksWithDepthAndLeafFreedom) {
+  Rng rng(29);
+  Dataset d({"x"}, "y");
+  for (int i = 0; i < 256; ++i) {
+    const double x = rng.uniform(0, 1);
+    d.add_row({x}, std::sin(6.28 * x));
+  }
+  TreeParams p;
+  p.max_depth = GetParam().max_depth;
+  p.min_samples_leaf = GetParam().min_leaf;
+  p.min_samples_split = 2 * GetParam().min_leaf;
+  DecisionTree tree(p);
+  tree.fit(d);
+  const double err = rmse(d.targets(), tree.predict_all(d));
+  // A depth-1 stump cannot beat 0.5 RMSE on a sine; deep trees get
+  // close to zero.
+  if (GetParam().max_depth >= 8 && GetParam().min_leaf == 1)
+    EXPECT_LT(err, 0.05);
+  else
+    EXPECT_LT(err, 0.75);
+  EXPECT_LE(tree.depth(), GetParam().max_depth + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeParamSweep,
+    ::testing::Values(DepthLeafCase{1, 1}, DepthLeafCase{2, 1},
+                      DepthLeafCase{4, 1}, DepthLeafCase{8, 1},
+                      DepthLeafCase{12, 1}, DepthLeafCase{8, 4},
+                      DepthLeafCase{8, 16}));
+
+}  // namespace
+}  // namespace gpuperf::ml

@@ -1,0 +1,128 @@
+#include "ml/gradient_boosting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset friedman_like(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d({"a", "b", "c"}, "y");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0, 1);
+    const double b = rng.uniform(0, 1);
+    const double c = rng.uniform(0, 1);
+    d.add_row({a, b, c}, 10 * std::sin(3.1 * a) + 5 * b * b + 2 * c);
+  }
+  return d;
+}
+
+TEST(GradientBoosting, BaseScoreIsTargetMean) {
+  Dataset d({"x"}, "y");
+  d.add_row({0.0}, 2.0);
+  d.add_row({1.0}, 6.0);
+  GradientBoosting model;
+  model.fit(d);
+  EXPECT_DOUBLE_EQ(model.base_score(), 4.0);
+}
+
+TEST(GradientBoosting, FitsNonlinearFunction) {
+  BoostingParams p;
+  p.n_rounds = 150;
+  GradientBoosting model(p, 42);
+  const Dataset train = friedman_like(400, 1);
+  model.fit(train);
+  const Dataset eval = friedman_like(150, 2);
+  EXPECT_GT(r2(eval.targets(), model.predict_all(eval)), 0.9);
+}
+
+TEST(GradientBoosting, MoreRoundsReduceTrainingError) {
+  const Dataset d = friedman_like(200, 3);
+  double prev_rmse = 1e9;
+  for (std::size_t rounds : {5u, 25u, 100u}) {
+    BoostingParams p;
+    p.n_rounds = rounds;
+    GradientBoosting model(p, 7);
+    model.fit(d);
+    const double e = rmse(d.targets(), model.predict_all(d));
+    EXPECT_LT(e, prev_rmse);
+    prev_rmse = e;
+  }
+}
+
+TEST(GradientBoosting, LambdaShrinksPredictionsTowardMean) {
+  const Dataset d = friedman_like(100, 5);
+  BoostingParams weak;
+  weak.n_rounds = 5;
+  weak.lambda = 100.0;
+  BoostingParams strong = weak;
+  strong.lambda = 0.0;
+  GradientBoosting reg(weak, 9), noreg(strong, 9);
+  reg.fit(d);
+  noreg.fit(d);
+  double reg_spread = 0.0, noreg_spread = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    reg_spread += std::fabs(reg.predict(d.row(i)) - reg.base_score());
+    noreg_spread += std::fabs(noreg.predict(d.row(i)) - noreg.base_score());
+  }
+  EXPECT_LT(reg_spread, noreg_spread);
+}
+
+TEST(GradientBoosting, EarlyStopOnExactFit) {
+  // Constant target: the first tree is a stump with zero residual and
+  // training halts long before n_rounds.
+  Dataset d({"x"}, "y");
+  for (int i = 0; i < 10; ++i) d.add_row({static_cast<double>(i)}, 5.0);
+  BoostingParams p;
+  p.n_rounds = 500;
+  GradientBoosting model(p, 1);
+  model.fit(d);
+  EXPECT_LT(model.round_count(), 5u);
+  EXPECT_DOUBLE_EQ(model.predict({3.0}), 5.0);
+}
+
+TEST(GradientBoosting, DeterministicPerSeed) {
+  const Dataset d = friedman_like(150, 11);
+  BoostingParams p;
+  p.n_rounds = 30;
+  p.subsample = 0.7;
+  GradientBoosting a(p, 3), b(p, 3);
+  a.fit(d);
+  b.fit(d);
+  Rng rng(12);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {rng.uniform(0, 1), rng.uniform(0, 1),
+                                   rng.uniform(0, 1)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(GradientBoosting, ImportancesNormalized) {
+  const Dataset d = friedman_like(200, 13);
+  GradientBoosting model(BoostingParams{}, 5);
+  model.fit(d);
+  const auto imp = model.feature_importances();
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GradientBoosting, ErrorsOnMisuse) {
+  GradientBoosting model;
+  EXPECT_THROW(model.predict({1.0}), CheckError);
+  BoostingParams bad;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(GradientBoosting(bad, 1), CheckError);
+  bad = BoostingParams{};
+  bad.subsample = 1.5;
+  EXPECT_THROW(GradientBoosting(bad, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::ml

@@ -1,0 +1,100 @@
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset grid_data() {
+  Dataset d({"x"}, "y");
+  for (int i = 0; i <= 10; ++i)
+    d.add_row({static_cast<double>(i)}, static_cast<double>(i * i));
+  return d;
+}
+
+TEST(Knn, ExactTrainingHitReturnsItsTarget) {
+  KnnRegressor model(3);
+  model.fit(grid_data());
+  EXPECT_DOUBLE_EQ(model.predict({4.0}), 16.0);
+}
+
+TEST(Knn, KOneIsNearestNeighbor) {
+  KnnRegressor model(1);
+  model.fit(grid_data());
+  EXPECT_DOUBLE_EQ(model.predict({4.4}), 16.0);
+  EXPECT_DOUBLE_EQ(model.predict({4.6}), 25.0);
+}
+
+TEST(Knn, UniformWeightingAverages) {
+  KnnRegressor model(2, KnnRegressor::Weighting::kUniform);
+  Dataset d({"x"}, "y");
+  d.add_row({0.0}, 10.0);
+  d.add_row({1.0}, 20.0);
+  d.add_row({100.0}, 1000.0);
+  model.fit(d);
+  EXPECT_DOUBLE_EQ(model.predict({0.5}), 15.0);
+}
+
+TEST(Knn, InverseDistanceWeightsCloserPointsMore) {
+  KnnRegressor model(2, KnnRegressor::Weighting::kInverseDistance);
+  Dataset d({"x"}, "y");
+  d.add_row({0.0}, 0.0);
+  d.add_row({1.0}, 100.0);
+  model.fit(d);
+  const double near_zero = model.predict({0.1});
+  const double near_one = model.predict({0.9});
+  EXPECT_LT(near_zero, 50.0);
+  EXPECT_GT(near_one, 50.0);
+}
+
+TEST(Knn, KLargerThanDatasetClamps) {
+  KnnRegressor model(50, KnnRegressor::Weighting::kUniform);
+  Dataset d({"x"}, "y");
+  d.add_row({0.0}, 1.0);
+  d.add_row({1.0}, 3.0);
+  model.fit(d);
+  EXPECT_DOUBLE_EQ(model.predict({10.0}), 2.0);
+}
+
+TEST(Knn, StandardizationMakesScalesComparable) {
+  // Feature "big" spans millions; without standardization it would
+  // dominate the distance and hide "small".
+  Dataset d({"small", "big"}, "y");
+  d.add_row({0.0, 1e6}, 0.0);
+  d.add_row({1.0, 1e6 + 1}, 100.0);
+  d.add_row({0.0, 2e6}, 50.0);
+  KnnRegressor model(1);
+  model.fit(d);
+  // Query near row 1 in standardized space.
+  EXPECT_DOUBLE_EQ(model.predict({0.9, 1e6}), 100.0);
+}
+
+TEST(Knn, ErrorsBeforeFit) {
+  KnnRegressor model(3);
+  EXPECT_THROW(model.predict({1.0}), CheckError);
+  EXPECT_THROW(KnnRegressor(0), CheckError);
+}
+
+class KnnParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnnParamTest, PredictionsWithinTargetRange) {
+  Rng rng(GetParam());
+  Dataset d({"a", "b"}, "y");
+  for (int i = 0; i < 40; ++i)
+    d.add_row({rng.uniform(0, 1), rng.uniform(0, 1)}, rng.uniform(5, 9));
+  KnnRegressor model(GetParam());
+  model.fit(d);
+  for (int i = 0; i < 20; ++i) {
+    const double p = model.predict({rng.uniform(0, 1), rng.uniform(0, 1)});
+    EXPECT_GE(p, 5.0);
+    EXPECT_LE(p, 9.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnParamTest, ::testing::Values(1, 2, 3, 5, 9));
+
+}  // namespace
+}  // namespace gpuperf::ml

@@ -1,0 +1,85 @@
+#include "ml/linear_regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset linear_data(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d({"a", "b"}, "y");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-10, 10);
+    const double b = rng.uniform(0, 1e6);  // wildly different scales
+    d.add_row({a, b}, 4.0 * a - 3e-6 * b + 7.0 + rng.normal(0, noise));
+  }
+  return d;
+}
+
+TEST(LinearRegression, RecoversCoefficientsNoiseFree) {
+  LinearRegression model;
+  model.fit(linear_data(100, 0.0, 1));
+  ASSERT_EQ(model.coefficients().size(), 2u);
+  EXPECT_NEAR(model.coefficients()[0], 4.0, 1e-8);
+  EXPECT_NEAR(model.coefficients()[1], -3e-6, 1e-12);
+  EXPECT_NEAR(model.intercept(), 7.0, 1e-7);
+}
+
+TEST(LinearRegression, PredictMatchesManualEvaluation) {
+  LinearRegression model;
+  model.fit(linear_data(50, 0.0, 2));
+  const std::vector<double> x = {2.5, 1000.0};
+  double manual = model.intercept();
+  for (std::size_t j = 0; j < x.size(); ++j)
+    manual += model.coefficients()[j] * x[j];
+  EXPECT_DOUBLE_EQ(model.predict(x), manual);
+}
+
+TEST(LinearRegression, NoisyFitStillClose) {
+  LinearRegression model;
+  model.fit(linear_data(500, 0.5, 3));
+  EXPECT_NEAR(model.coefficients()[0], 4.0, 0.05);
+}
+
+TEST(LinearRegression, GoodR2OnHeldOutLinearData) {
+  LinearRegression model;
+  model.fit(linear_data(200, 0.1, 4));
+  const Dataset eval = linear_data(100, 0.1, 5);
+  EXPECT_GT(r2(eval.targets(), model.predict_all(eval)), 0.99);
+}
+
+TEST(LinearRegression, ErrorsBeforeFitAndOnBadWidth) {
+  LinearRegression model;
+  EXPECT_FALSE(model.is_fitted());
+  EXPECT_THROW(model.predict({1.0, 2.0}), CheckError);
+  model.fit(linear_data(20, 0.0, 6));
+  EXPECT_TRUE(model.is_fitted());
+  EXPECT_THROW(model.predict({1.0}), CheckError);
+}
+
+TEST(LinearRegression, RequiresEnoughRows) {
+  Dataset d({"a", "b"}, "y");
+  d.add_row({1, 2}, 3);
+  d.add_row({2, 3}, 4);
+  LinearRegression model;
+  EXPECT_THROW(model.fit(d), CheckError);
+}
+
+TEST(LinearRegression, ConstantFeatureHandled) {
+  Rng rng(7);
+  Dataset d({"a", "const"}, "y");
+  for (int i = 0; i < 30; ++i) {
+    const double a = rng.uniform(-1, 1);
+    d.add_row({a, 5.0}, 2.0 * a + 1.0);
+  }
+  LinearRegression model;
+  model.fit(d);
+  EXPECT_NEAR(model.predict({0.5, 5.0}), 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gpuperf::ml

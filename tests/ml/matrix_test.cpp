@@ -1,0 +1,141 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), CheckError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, CheckError);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  Rng rng(5);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1, 1);
+  EXPECT_LT((a * Matrix::identity(4)).max_abs_diff(a), 1e-12);
+  EXPECT_LT((Matrix::identity(4) * a).max_abs_diff(a), 1e-12);
+}
+
+TEST(Matrix, TransposeTwiceIsIdentityOp) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_LT(t.transposed().max_abs_diff(a), 1e-15);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}};
+  Matrix b{{3, 5}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 7);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2);
+  Matrix c = a;
+  c *= 3.0;
+  EXPECT_DOUBLE_EQ(c(0, 1), 6);
+}
+
+TEST(Matrix, Apply) {
+  Matrix a{{1, 2}, {3, 4}};
+  const auto v = a.apply({1.0, 1.0});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 3);
+  EXPECT_DOUBLE_EQ(v[1], 7);
+}
+
+TEST(LeastSquares, ExactSquareSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  Matrix a{{2, 1}, {1, -1}};
+  const auto x = solve_least_squares(a, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedRecoversPlane) {
+  // y = 3 a - 2 b + 0.5 with noise-free samples.
+  Rng rng(9);
+  Matrix a(50, 3);
+  std::vector<double> b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double u = rng.uniform(-5, 5);
+    const double v = rng.uniform(-5, 5);
+    a(i, 0) = u;
+    a(i, 1) = v;
+    a(i, 2) = 1.0;
+    b[i] = 3.0 * u - 2.0 * v + 0.5;
+  }
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-9);
+  EXPECT_NEAR(x[1], -2.0, 1e-9);
+  EXPECT_NEAR(x[2], 0.5, 1e-9);
+}
+
+TEST(LeastSquares, RankDeficientFallsBackToRidge) {
+  // Two identical columns: infinitely many solutions; ridge picks one
+  // with a finite answer and a good fit.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+    b[i] = 2.0 * static_cast<double>(i + 1);
+  }
+  const auto x = solve_least_squares(a, b);
+  const auto fit = a.apply(x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(fit[i], b[i], 1e-4);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_least_squares(a, {1, 2}), CheckError);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_THROW(dot({1}, {1, 2}), CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::ml

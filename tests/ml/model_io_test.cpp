@@ -1,0 +1,85 @@
+#include "ml/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset random_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d({"a", "b"}, "y");
+  for (std::size_t i = 0; i < n; ++i)
+    d.add_row({rng.uniform(0, 1), rng.uniform(0, 1)}, rng.uniform(0, 10));
+  return d;
+}
+
+TEST(ModelIo, TreeRoundTripPredictsIdentically) {
+  const Dataset d = random_data(120, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  const DecisionTree restored = deserialize_tree(serialize_tree(tree));
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x = {rng.uniform(-1, 2), rng.uniform(-1, 2)};
+    EXPECT_DOUBLE_EQ(restored.predict(x), tree.predict(x));
+  }
+  const auto imp_restored = restored.feature_importances();
+  const auto imp_original = tree.feature_importances();
+  ASSERT_EQ(imp_restored.size(), imp_original.size());
+  for (std::size_t i = 0; i < imp_original.size(); ++i)
+    EXPECT_NEAR(imp_restored[i], imp_original[i], 1e-12);
+}
+
+TEST(ModelIo, TreeFileRoundTrip) {
+  const Dataset d = random_data(60, 3);
+  DecisionTree tree;
+  tree.fit(d);
+  const std::string path = ::testing::TempDir() + "/gpuperf_tree.txt";
+  save_tree(tree, path);
+  const DecisionTree loaded = load_tree(path);
+  EXPECT_DOUBLE_EQ(loaded.predict({0.5, 0.5}), tree.predict({0.5, 0.5}));
+}
+
+TEST(ModelIo, TreeRejectsGarbage) {
+  EXPECT_THROW(deserialize_tree("not a tree"), CheckError);
+  EXPECT_THROW(deserialize_tree("gpuperf-tree v1\nfeatures 0\n"),
+               CheckError);
+  // Truncated node list.
+  EXPECT_THROW(deserialize_tree("gpuperf-tree v1\nfeatures 1\n"
+                                "importances 1\nnodes 2\n-1 0 -1 -1 1 1\n"),
+               CheckError);
+  // Child index out of range.
+  EXPECT_THROW(deserialize_tree("gpuperf-tree v1\nfeatures 1\n"
+                                "importances 1\nnodes 1\n0 0.5 7 8 1 1\n"),
+               CheckError);
+}
+
+TEST(ModelIo, SerializeRequiresFittedTree) {
+  DecisionTree tree;
+  EXPECT_THROW(serialize_tree(tree), CheckError);
+}
+
+TEST(ModelIo, LinearRoundTrip) {
+  const Dataset d = random_data(50, 5);
+  LinearRegression model;
+  model.fit(d);
+  const LinearRegression restored =
+      deserialize_linear(serialize_linear(model));
+  EXPECT_DOUBLE_EQ(restored.intercept(), model.intercept());
+  ASSERT_EQ(restored.coefficients(), model.coefficients());
+  EXPECT_DOUBLE_EQ(restored.predict({0.3, 0.7}),
+                   model.predict({0.3, 0.7}));
+}
+
+TEST(ModelIo, LinearRejectsGarbage) {
+  EXPECT_THROW(deserialize_linear("bogus"), CheckError);
+  EXPECT_THROW(deserialize_linear("gpuperf-linear v1\nintercept 1\n"
+                                  "coefficients\n"),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::ml

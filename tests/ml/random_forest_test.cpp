@@ -1,0 +1,129 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace gpuperf::ml {
+namespace {
+
+Dataset noisy_quadratic(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d({"x", "noise"}, "y");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-2, 2);
+    d.add_row({x, rng.uniform(0, 1)}, x * x + rng.normal(0, 0.05));
+  }
+  return d;
+}
+
+TEST(RandomForest, FitsNonlinearSignal) {
+  ForestParams p;
+  p.n_trees = 50;
+  RandomForest forest(p, 42);
+  const Dataset train = noisy_quadratic(300, 1);
+  forest.fit(train);
+  const Dataset eval = noisy_quadratic(100, 2);
+  EXPECT_GT(r2(eval.targets(), forest.predict_all(eval)), 0.9);
+}
+
+TEST(RandomForest, DeterministicForSeedRegardlessOfThreads) {
+  const Dataset d = noisy_quadratic(100, 3);
+  ForestParams p;
+  p.n_trees = 16;
+  RandomForest a(p, 7), b(p, 7);
+  a.fit(d);
+  b.fit(d);
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<double> x = {rng.uniform(-2, 2), rng.uniform(0, 1)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(RandomForest, DifferentSeedsDifferentForests) {
+  const Dataset d = noisy_quadratic(100, 5);
+  ForestParams p;
+  p.n_trees = 8;
+  RandomForest a(p, 1), b(p, 2);
+  a.fit(d);
+  b.fit(d);
+  bool any_diff = false;
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {rng.uniform(-2, 2), rng.uniform(0, 1)};
+    if (a.predict(x) != b.predict(x)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForest, PredictionIsMeanOfTrees) {
+  const Dataset d = noisy_quadratic(80, 7);
+  ForestParams p;
+  p.n_trees = 5;
+  RandomForest forest(p, 11);
+  forest.fit(d);
+  const std::vector<double> x = {0.5, 0.5};
+  double mean = 0.0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t)
+    mean += forest.tree(t).predict(x);
+  mean /= static_cast<double>(forest.tree_count());
+  EXPECT_NEAR(forest.predict(x), mean, 1e-12);
+}
+
+TEST(RandomForest, ImportancesNormalizedAndSignalDominant) {
+  const Dataset d = noisy_quadratic(300, 9);
+  ForestParams p;
+  p.n_trees = 30;
+  RandomForest forest(p, 13);
+  forest.fit(d);
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.8);  // "x" carries the signal
+}
+
+TEST(RandomForest, ErrorsOnMisuse) {
+  RandomForest forest;
+  EXPECT_FALSE(forest.is_fitted());
+  EXPECT_THROW(forest.predict({1.0, 2.0}), CheckError);
+  EXPECT_THROW(forest.tree(0), CheckError);
+  ForestParams bad;
+  bad.n_trees = 0;
+  EXPECT_THROW(RandomForest(bad, 1), CheckError);
+  bad = ForestParams{};
+  bad.bootstrap_fraction = 0.0;
+  EXPECT_THROW(RandomForest(bad, 1), CheckError);
+}
+
+TEST(RandomForest, SmoothsComparedToSingleTree) {
+  // Forest variance on held-out noise should not exceed a lone
+  // unpruned tree's (bagging reduces variance).
+  const Dataset train = noisy_quadratic(200, 15);
+  const Dataset eval = noisy_quadratic(200, 16);
+
+  TreeParams tp;
+  tp.max_depth = 16;
+  tp.min_samples_split = 2;
+  tp.min_samples_leaf = 1;
+  DecisionTree tree(tp);
+  tree.fit(train);
+
+  ForestParams fp;
+  fp.n_trees = 60;
+  fp.tree = tp;
+  fp.max_features = 2;  // all features: isolate the bagging effect
+  RandomForest forest(fp, 17);
+  forest.fit(train);
+
+  const double tree_rmse = rmse(eval.targets(), tree.predict_all(eval));
+  const double forest_rmse = rmse(eval.targets(), forest.predict_all(eval));
+  EXPECT_LE(forest_rmse, tree_rmse * 1.05);
+}
+
+}  // namespace
+}  // namespace gpuperf::ml

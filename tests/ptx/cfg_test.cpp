@@ -1,0 +1,107 @@
+#include "ptx/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "ptx/codegen.hpp"
+#include "ptx/parser.hpp"
+
+namespace gpuperf::ptx {
+namespace {
+
+PtxKernel loop_kernel() {
+  return parse_ptx(R"(
+.visible .entry k(
+  .param .u32 p_n
+)
+{
+  .reg .pred %p<3>;
+  .reg .u32 %r<4>;
+  mov.u32 %r1, %tid.x;
+  ld.param.u32 %r2, [p_n];
+  setp.ge.s32 %p1, %r1, %r2;
+  @%p1 bra EXIT;
+LOOP:
+  add.s32 %r1, %r1, 1;
+  setp.lt.s32 %p2, %r1, %r2;
+  @%p2 bra LOOP;
+EXIT:
+  ret;
+}
+)").kernels.front();
+}
+
+TEST(Cfg, BlockBoundaries) {
+  const PtxKernel k = loop_kernel();
+  const Cfg cfg = Cfg::build(k);
+  // Blocks: [0..3] prologue+guard, [4..6] loop, [7] ret.
+  ASSERT_EQ(cfg.block_count(), 3u);
+  EXPECT_EQ(cfg.block(0).first, 0u);
+  EXPECT_EQ(cfg.block(0).last, 3u);
+  EXPECT_EQ(cfg.block(1).first, 4u);
+  EXPECT_EQ(cfg.block(1).last, 6u);
+  EXPECT_EQ(cfg.block(2).first, 7u);
+  EXPECT_EQ(cfg.block(0).size(), 4u);
+}
+
+TEST(Cfg, Edges) {
+  const Cfg cfg = Cfg::build(loop_kernel());
+  // Block 0: conditional -> EXIT(2) or fallthrough LOOP(1).
+  ASSERT_EQ(cfg.block(0).succs.size(), 2u);
+  EXPECT_EQ(cfg.block(0).succs[0], 2u);
+  EXPECT_EQ(cfg.block(0).succs[1], 1u);
+  // Block 1: back edge to itself + fallthrough to ret.
+  ASSERT_EQ(cfg.block(1).succs.size(), 2u);
+  EXPECT_EQ(cfg.block(1).succs[0], 1u);
+  EXPECT_EQ(cfg.block(1).succs[1], 2u);
+  // ret has no successors.
+  EXPECT_TRUE(cfg.block(2).succs.empty());
+  // Preds mirror succs.
+  EXPECT_EQ(cfg.block(2).preds.size(), 2u);
+}
+
+TEST(Cfg, BlockOfMapsEveryInstruction) {
+  const PtxKernel k = loop_kernel();
+  const Cfg cfg = Cfg::build(k);
+  for (std::size_t i = 0; i < k.instructions.size(); ++i) {
+    const std::size_t b = cfg.block_of(i);
+    EXPECT_GE(i, cfg.block(b).first);
+    EXPECT_LE(i, cfg.block(b).last);
+  }
+}
+
+TEST(Cfg, LoopDetection) {
+  EXPECT_TRUE(Cfg::build(loop_kernel()).has_loops());
+  const PtxKernel straight = parse_ptx(
+      ".visible .entry s() { .reg .u32 %r<3>;"
+      " mov.u32 %r1, %tid.x; ret; }").kernels.front();
+  EXPECT_FALSE(Cfg::build(straight).has_loops());
+}
+
+TEST(Cfg, ConditionalBlocks) {
+  const Cfg cfg = Cfg::build(loop_kernel());
+  const auto cond = cfg.conditional_blocks();
+  ASSERT_EQ(cond.size(), 2u);
+  EXPECT_EQ(cond[0], 0u);
+  EXPECT_EQ(cond[1], 1u);
+}
+
+TEST(Cfg, EveryLibraryKernelBuilds) {
+  const PtxModule lib = CodeGenerator::kernel_library();
+  for (const auto& kernel : lib.kernels) {
+    const Cfg cfg = Cfg::build(kernel);
+    EXPECT_GE(cfg.block_count(), 2u) << kernel.name;
+    // Entry block exists; final block ends in ret.
+    const auto& last = cfg.block(cfg.block_count() - 1);
+    EXPECT_TRUE(kernel.instructions[last.last].is_exit()) << kernel.name;
+  }
+}
+
+TEST(Cfg, RejectsEmptyKernel) {
+  PtxKernel k;
+  k.name = "empty";
+  EXPECT_THROW(Cfg::build(k), CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

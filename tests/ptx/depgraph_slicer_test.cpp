@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ptx/codegen.hpp"
+#include "ptx/depgraph.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/slicer.hpp"
+
+namespace gpuperf::ptx {
+namespace {
+
+PtxKernel example_kernel() {
+  // %f-register math is off the control path; only %r1/%r2/%p1 decide
+  // the branch.
+  return parse_ptx(R"(
+.visible .entry k(
+  .param .u64 p_a,
+  .param .u32 p_n
+)
+{
+  .reg .pred %p<2>;
+  .reg .u32 %r<4>;
+  .reg .f32 %f<4>;
+  .reg .u64 %rd<4>;
+  mov.u32 %r1, %tid.x;
+  ld.param.u32 %r2, [p_n];
+  ld.param.u64 %rd1, [p_a];
+  mul.wide.s32 %rd2, %r1, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  ld.global.f32 %f1, [%rd3];
+  mul.f32 %f2, %f1, 0f40000000;
+  st.global.f32 [%rd3], %f2;
+  setp.ge.s32 %p1, %r1, %r2;
+  @%p1 bra EXIT;
+  add.s32 %r3, %r1, 1;
+EXIT:
+  ret;
+}
+)").kernels.front();
+}
+
+TEST(DependencyGraph, EdgesFollowDefUse) {
+  const PtxKernel k = example_kernel();
+  const DependencyGraph g = DependencyGraph::build(k);
+  EXPECT_EQ(g.node_count(), k.instructions.size());
+  // mul.wide (%rd2 <- %r1) depends on the mov defining %r1.
+  const auto& deps = g.deps(3);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], 0u);
+  // setp depends on %r1 (inst 0) and %r2 (inst 1).
+  const auto& setp_deps = g.deps(8);
+  ASSERT_EQ(setp_deps.size(), 2u);
+  EXPECT_EQ(setp_deps[0], 0u);
+  EXPECT_EQ(setp_deps[1], 1u);
+  // The mov has no register inputs.
+  EXPECT_TRUE(g.deps(0).empty());
+}
+
+TEST(DependencyGraph, DefsOf) {
+  const DependencyGraph g = DependencyGraph::build(example_kernel());
+  ASSERT_EQ(g.defs_of("%r1").size(), 1u);
+  EXPECT_EQ(g.defs_of("%r1")[0], 0u);
+  EXPECT_TRUE(g.defs_of("%r99").empty());
+  EXPECT_GT(g.edge_count(), 5u);
+}
+
+TEST(Slicer, SliceContainsExactlyTheBranchFeeders) {
+  const PtxKernel k = example_kernel();
+  const Slice slice =
+      compute_slice(k, DependencyGraph::build(k));
+  // In slice: mov %r1 (0), ld.param %r2 (1), setp (8).
+  EXPECT_TRUE(slice.in_slice[0]);
+  EXPECT_TRUE(slice.in_slice[1]);
+  EXPECT_TRUE(slice.in_slice[8]);
+  // Not in slice: the float math and its address chain.
+  EXPECT_FALSE(slice.in_slice[2]);  // ld.param p_a
+  EXPECT_FALSE(slice.in_slice[5]);  // ld.global
+  EXPECT_FALSE(slice.in_slice[6]);  // mul.f32
+  EXPECT_FALSE(slice.in_slice[7]);  // st.global
+  EXPECT_EQ(slice.slice_size(), 3u);
+  // Tracked registers are the slice outputs.
+  EXPECT_EQ(slice.tracked_registers.count("%r1"), 1u);
+  EXPECT_EQ(slice.tracked_registers.count("%p1"), 1u);
+  EXPECT_EQ(slice.tracked_registers.count("%f1"), 0u);
+}
+
+TEST(Slicer, LibraryKernelsHaveSmallSlices) {
+  // The speed claim of the paper's dynamic code analysis: only a small
+  // fraction of each kernel needs evaluation.
+  const PtxModule lib = CodeGenerator::kernel_library();
+  for (const auto& kernel : lib.kernels) {
+    const Slice slice =
+        compute_slice(kernel, DependencyGraph::build(kernel));
+    EXPECT_GT(slice.slice_size(), 0u) << kernel.name;
+    EXPECT_LT(static_cast<double>(slice.slice_size()),
+              0.5 * static_cast<double>(kernel.instructions.size()))
+        << kernel.name << ": slice should be well under half the kernel";
+  }
+}
+
+TEST(Slicer, KernelWithoutBranchesHasEmptySlice) {
+  const PtxKernel k = parse_ptx(
+      ".visible .entry s() { .reg .u32 %r<3>;"
+      " mov.u32 %r1, %tid.x; add.s32 %r2, %r1, 1; ret; }").kernels.front();
+  const Slice slice = compute_slice(k, DependencyGraph::build(k));
+  EXPECT_EQ(slice.slice_size(), 0u);
+  EXPECT_TRUE(slice.tracked_registers.empty());
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

@@ -1,0 +1,105 @@
+#include "ptx/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::ptx {
+namespace {
+
+TEST(Operand, Rendering) {
+  EXPECT_EQ(operand_to_string(RegOperand{"%r7"}), "%r7");
+  EXPECT_EQ(operand_to_string(ImmOperand{42.0, false}), "42");
+  EXPECT_EQ(operand_to_string(ImmOperand{-3.0, false}), "-3");
+  EXPECT_EQ(operand_to_string(SpecialOperand{SpecialReg::kTidX}), "%tid.x");
+  EXPECT_EQ(operand_to_string(MemOperand{"%rd2", 0}), "[%rd2]");
+  EXPECT_EQ(operand_to_string(MemOperand{"%rd2", 4}), "[%rd2+4]");
+  EXPECT_EQ(operand_to_string(MemOperand{"p_n", 0}), "[p_n]");
+  EXPECT_EQ(operand_to_string(LabelOperand{"LOOP"}), "LOOP");
+}
+
+TEST(Operand, FloatImmediateRendersAsHexBits) {
+  // 1.0f == 0x3F800000.
+  EXPECT_EQ(operand_to_string(ImmOperand{1.0, true}), "0f3F800000");
+  EXPECT_EQ(operand_to_string(ImmOperand{0.0, true}), "0f00000000");
+}
+
+Instruction make_add() {
+  Instruction inst;
+  inst.opcode = Opcode::kAdd;
+  inst.type = PtxType::kS32;
+  inst.dsts = {RegOperand{"%r3"}};
+  inst.srcs = {RegOperand{"%r1"}, RegOperand{"%r2"}};
+  return inst;
+}
+
+TEST(Instruction, ToStringBasicForms) {
+  EXPECT_EQ(make_add().to_string(), "add.s32 \t%r3, %r1, %r2;");
+
+  Instruction setp;
+  setp.opcode = Opcode::kSetp;
+  setp.type = PtxType::kU32;
+  setp.cmp = CompareOp::kLt;
+  setp.dsts = {RegOperand{"%p1"}};
+  setp.srcs = {RegOperand{"%r1"}, ImmOperand{10.0, false}};
+  EXPECT_EQ(setp.to_string(), "setp.lt.u32 \t%p1, %r1, 10;");
+
+  Instruction ld;
+  ld.opcode = Opcode::kLd;
+  ld.type = PtxType::kF32;
+  ld.space = StateSpace::kGlobal;
+  ld.dsts = {RegOperand{"%f1"}};
+  ld.srcs = {MemOperand{"%rd1", 8}};
+  EXPECT_EQ(ld.to_string(), "ld.global.f32 \t%f1, [%rd1+8];");
+
+  Instruction bra;
+  bra.opcode = Opcode::kBra;
+  bra.srcs = {LabelOperand{"EXIT"}};
+  bra.guard = "%p1";
+  bra.guard_negated = true;
+  EXPECT_EQ(bra.to_string(), "@!%p1 bra \tEXIT;");
+
+  Instruction ret;
+  ret.opcode = Opcode::kRet;
+  EXPECT_EQ(ret.to_string(), "ret;");
+}
+
+TEST(Instruction, DefsAndUses) {
+  const Instruction add = make_add();
+  EXPECT_EQ(add.defs(), (std::vector<std::string>{"%r3"}));
+  EXPECT_EQ(add.uses(), (std::vector<std::string>{"%r1", "%r2"}));
+}
+
+TEST(Instruction, UsesIncludeMemoryBaseRegistersAndGuards) {
+  Instruction st;
+  st.opcode = Opcode::kSt;
+  st.type = PtxType::kF32;
+  st.space = StateSpace::kGlobal;
+  st.srcs = {MemOperand{"%rd1", 0}, RegOperand{"%f2"}};
+  st.guard = "%p3";
+  const auto uses = st.uses();
+  EXPECT_EQ(uses, (std::vector<std::string>{"%rd1", "%f2", "%p3"}));
+  EXPECT_TRUE(st.defs().empty());
+}
+
+TEST(Instruction, ParamBasesAreNotRegisterUses) {
+  Instruction ld;
+  ld.opcode = Opcode::kLd;
+  ld.space = StateSpace::kParam;
+  ld.type = PtxType::kU32;
+  ld.dsts = {RegOperand{"%r1"}};
+  ld.srcs = {MemOperand{"p_n", 0}};
+  EXPECT_TRUE(ld.uses().empty());
+}
+
+TEST(Instruction, Predicates) {
+  Instruction bra;
+  bra.opcode = Opcode::kBra;
+  EXPECT_TRUE(bra.is_branch());
+  EXPECT_FALSE(bra.is_exit());
+  Instruction ret;
+  ret.opcode = Opcode::kRet;
+  EXPECT_TRUE(ret.is_exit());
+  EXPECT_FALSE(ret.is_branch());
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

@@ -1,0 +1,94 @@
+#include "ptx/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuperf::ptx {
+namespace {
+
+TEST(Isa, OpcodeNameRoundTrip) {
+  const Opcode all[] = {
+      Opcode::kMov,  Opcode::kLd,   Opcode::kSt,     Opcode::kAdd,
+      Opcode::kSub,  Opcode::kMul,  Opcode::kMulLo,  Opcode::kMulWide,
+      Opcode::kMad,  Opcode::kFma,  Opcode::kDiv,    Opcode::kRem,
+      Opcode::kAnd,  Opcode::kOr,   Opcode::kXor,    Opcode::kNot,
+      Opcode::kShl,  Opcode::kShr,  Opcode::kSetp,   Opcode::kSelp,
+      Opcode::kBra,  Opcode::kRet,  Opcode::kBar,    Opcode::kCvt,
+      Opcode::kCvta, Opcode::kMin,  Opcode::kMax,    Opcode::kNeg,
+      Opcode::kAbs,  Opcode::kRcp,  Opcode::kSqrt,   Opcode::kEx2,
+      Opcode::kLg2};
+  for (Opcode op : all) {
+    const auto back = opcode_from_name(opcode_name(op));
+    ASSERT_TRUE(back.has_value()) << opcode_name(op);
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(opcode_from_name("nonsense").has_value());
+}
+
+TEST(Isa, TypeSuffixRoundTrip) {
+  const PtxType all[] = {PtxType::kPred, PtxType::kU16, PtxType::kU32,
+                         PtxType::kU64,  PtxType::kS32, PtxType::kS64,
+                         PtxType::kF32,  PtxType::kF64, PtxType::kB32,
+                         PtxType::kB64};
+  for (PtxType t : all) {
+    const auto back = type_from_suffix(type_suffix(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(type_from_suffix("q128").has_value());
+}
+
+TEST(Isa, TypeProperties) {
+  EXPECT_TRUE(is_float_type(PtxType::kF32));
+  EXPECT_TRUE(is_float_type(PtxType::kF64));
+  EXPECT_FALSE(is_float_type(PtxType::kS32));
+  EXPECT_EQ(type_bytes(PtxType::kF32), 4);
+  EXPECT_EQ(type_bytes(PtxType::kU64), 8);
+  EXPECT_EQ(type_bytes(PtxType::kU16), 2);
+  EXPECT_EQ(type_bytes(PtxType::kPred), 1);
+}
+
+TEST(Isa, SpecialRegRoundTrip) {
+  const SpecialReg all[] = {SpecialReg::kTidX, SpecialReg::kCtaidX,
+                            SpecialReg::kNtidX, SpecialReg::kNctaidX};
+  for (SpecialReg r : all) {
+    const auto back = special_reg_from_name(special_reg_name(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_FALSE(special_reg_from_name("%tid.y").has_value());
+}
+
+TEST(Isa, CompareRoundTrip) {
+  const CompareOp all[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                           CompareOp::kGe, CompareOp::kEq, CompareOp::kNe};
+  for (CompareOp c : all)
+    EXPECT_EQ(*compare_from_name(compare_name(c)), c);
+}
+
+TEST(Isa, Classification) {
+  EXPECT_EQ(classify(Opcode::kFma, PtxType::kF32, StateSpace::kNone),
+            OpClass::kFma);
+  EXPECT_EQ(classify(Opcode::kMad, PtxType::kS32, StateSpace::kNone),
+            OpClass::kIntAlu);
+  EXPECT_EQ(classify(Opcode::kLd, PtxType::kF32, StateSpace::kGlobal),
+            OpClass::kLoadGlobal);
+  EXPECT_EQ(classify(Opcode::kLd, PtxType::kF32, StateSpace::kShared),
+            OpClass::kLoadShared);
+  EXPECT_EQ(classify(Opcode::kLd, PtxType::kU64, StateSpace::kParam),
+            OpClass::kLoadParam);
+  EXPECT_EQ(classify(Opcode::kSt, PtxType::kF32, StateSpace::kGlobal),
+            OpClass::kStoreGlobal);
+  EXPECT_EQ(classify(Opcode::kBra, PtxType::kU32, StateSpace::kNone),
+            OpClass::kControl);
+  EXPECT_EQ(classify(Opcode::kRcp, PtxType::kF32, StateSpace::kNone),
+            OpClass::kSfu);
+  EXPECT_EQ(classify(Opcode::kAdd, PtxType::kF32, StateSpace::kNone),
+            OpClass::kFloatAlu);
+  EXPECT_EQ(classify(Opcode::kAdd, PtxType::kS32, StateSpace::kNone),
+            OpClass::kIntAlu);
+  EXPECT_EQ(classify(Opcode::kMov, PtxType::kU32, StateSpace::kNone),
+            OpClass::kMove);
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

@@ -1,0 +1,99 @@
+#include "ptx/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+namespace {
+
+std::vector<std::string> texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const auto& t : tokens)
+    if (!t.is(TokenKind::kEnd)) out.push_back(t.text);
+  return out;
+}
+
+TEST(Lexer, BasicInstruction) {
+  const auto tokens = lex("mov.u32 \t%r1, %ctaid.x;");
+  const auto t = texts(tokens);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0], "mov.u32");
+  EXPECT_EQ(t[1], "%r1");
+  EXPECT_EQ(t[2], ",");
+  EXPECT_EQ(t[3], "%ctaid.x");
+  EXPECT_EQ(t[4], ";");
+}
+
+TEST(Lexer, GuardTokens) {
+  const auto tokens = lex("@!%p1 bra LBB0_2;");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::kAt));
+  EXPECT_TRUE(tokens[1].is(TokenKind::kBang));
+  EXPECT_EQ(tokens[2].text, "%p1");
+  EXPECT_EQ(tokens[3].text, "bra");
+  EXPECT_EQ(tokens[4].text, "LBB0_2");
+}
+
+TEST(Lexer, MemoryOperand) {
+  const auto tokens = lex("ld.global.f32 %f1, [%rd2+4];");
+  bool saw_bracket = false, saw_plus = false;
+  for (const auto& tok : tokens) {
+    saw_bracket |= tok.is(TokenKind::kLBracket);
+    saw_plus |= tok.is(TokenKind::kPlus);
+  }
+  EXPECT_TRUE(saw_bracket);
+  EXPECT_TRUE(saw_plus);
+}
+
+TEST(Lexer, Numbers) {
+  const auto tokens = lex("42 -7 0f3F800000");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kNumber));
+  EXPECT_EQ(tokens[1].text, "-7");
+  EXPECT_EQ(tokens[2].text, "0f3F800000");
+}
+
+TEST(Lexer, CommentsStripped) {
+  const auto tokens = lex("// line comment\nmov.u32 %r1, 0; /* block\n"
+                          "comment */ ret;");
+  const auto t = texts(tokens);
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[0], "mov.u32");
+  EXPECT_EQ(t[5], "ret");
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto tokens = lex("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(Lexer, DirectivesAndDecls) {
+  const auto tokens =
+      lex(".reg .pred %p<14>;\n.visible .entry gp_copy(");
+  const auto t = texts(tokens);
+  EXPECT_EQ(t[0], ".reg");
+  EXPECT_EQ(t[1], ".pred");
+  EXPECT_EQ(t[2], "%p");
+  EXPECT_EQ(t[3], "<");
+  EXPECT_EQ(t[4], "14");
+  EXPECT_EQ(t[5], ">");
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  EXPECT_THROW(lex("mov /* never closed"), CheckError);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(lex("mov.u32 %r1, #3;"), CheckError);
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::kEnd));
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

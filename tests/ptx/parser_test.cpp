@@ -1,0 +1,153 @@
+#include "ptx/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "ptx/codegen.hpp"
+
+namespace gpuperf::ptx {
+namespace {
+
+constexpr const char* kTinyKernel = R"(
+.version 7.0
+.target sm_70
+.address_size 64
+
+.visible .entry tiny(
+  .param .u64 p_dst,
+  .param .u32 p_n
+)
+.reqntid 256, 1, 1
+{
+  .reg .pred %p<3>;
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+
+  mov.u32 	%r1, %ctaid.x;
+  mov.u32 	%r2, %ntid.x;
+  mov.u32 	%r3, %tid.x;
+  mad.lo.s32 	%r4, %r1, %r2, %r3;
+  ld.param.u32 	%r5, [p_n];
+  setp.ge.s32 	%p1, %r4, %r5;
+  @%p1 bra 	EXIT;
+LOOP:
+  add.s32 	%r4, %r4, 1;
+  setp.lt.s32 	%p2, %r4, %r5;
+  @%p2 bra 	LOOP;
+EXIT:
+  ret;
+}
+)";
+
+TEST(Parser, ParsesModuleDirectives) {
+  const PtxModule mod = parse_ptx(kTinyKernel);
+  EXPECT_EQ(mod.version, "7.0");
+  EXPECT_EQ(mod.target, "sm_70");
+  EXPECT_EQ(mod.address_size, 64);
+  ASSERT_EQ(mod.kernels.size(), 1u);
+}
+
+TEST(Parser, ParsesKernelStructure) {
+  const PtxKernel k = parse_ptx(kTinyKernel).kernels.front();
+  EXPECT_EQ(k.name, "tiny");
+  ASSERT_EQ(k.params.size(), 2u);
+  EXPECT_EQ(k.params[0].name, "p_dst");
+  EXPECT_TRUE(k.params[0].is_pointer);
+  EXPECT_EQ(k.params[1].type, PtxType::kU32);
+  EXPECT_EQ(k.reqntid, 256);
+  EXPECT_EQ(k.reg_decls.size(), 3u);
+  EXPECT_EQ(k.instructions.size(), 11u);
+  EXPECT_EQ(k.label_target("LOOP"), 7u);
+  EXPECT_EQ(k.label_target("EXIT"), 10u);
+  EXPECT_THROW(k.label_target("NOPE"), CheckError);
+}
+
+TEST(Parser, DecodesInstructionDetails) {
+  const PtxKernel k = parse_ptx(kTinyKernel).kernels.front();
+  const Instruction& mad = k.instructions[3];
+  EXPECT_EQ(mad.opcode, Opcode::kMad);
+  EXPECT_EQ(mad.type, PtxType::kS32);
+  ASSERT_EQ(mad.dsts.size(), 1u);
+  ASSERT_EQ(mad.srcs.size(), 3u);
+
+  const Instruction& ldp = k.instructions[4];
+  EXPECT_EQ(ldp.opcode, Opcode::kLd);
+  EXPECT_EQ(ldp.space, StateSpace::kParam);
+  const auto* mem = std::get_if<MemOperand>(&ldp.srcs.front());
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->base, "p_n");
+
+  const Instruction& setp = k.instructions[5];
+  EXPECT_EQ(setp.opcode, Opcode::kSetp);
+  ASSERT_TRUE(setp.cmp.has_value());
+  EXPECT_EQ(*setp.cmp, CompareOp::kGe);
+
+  const Instruction& bra = k.instructions[6];
+  EXPECT_EQ(bra.opcode, Opcode::kBra);
+  EXPECT_EQ(bra.guard, "%p1");
+  EXPECT_FALSE(bra.guard_negated);
+}
+
+TEST(Parser, GuardNegation) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry g() { .reg .pred %p<2>; @!%p1 bra END;\nEND: ret; }");
+  const Instruction& bra = mod.kernels.front().instructions.front();
+  EXPECT_TRUE(bra.guard_negated);
+  EXPECT_EQ(bra.guard, "%p1");
+}
+
+TEST(Parser, FloatImmediates) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry f() { .reg .f32 %f<3>;"
+      " mov.f32 %f1, 0f3F800000; ret; }");
+  const auto* imm = std::get_if<ImmOperand>(
+      &mod.kernels.front().instructions.front().srcs.front());
+  ASSERT_NE(imm, nullptr);
+  EXPECT_TRUE(imm->is_float);
+  EXPECT_FLOAT_EQ(static_cast<float>(imm->value), 1.0f);
+}
+
+TEST(Parser, SharedDeclaration) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry s() { .shared .align 4 .b8 smem[2048]; ret; }");
+  EXPECT_EQ(mod.kernels.front().shared_bytes, 2048);
+}
+
+TEST(Parser, GeneratedLibraryRoundTripsExactly) {
+  const PtxModule original = CodeGenerator::kernel_library();
+  const std::string text1 = original.to_ptx();
+  const PtxModule reparsed = parse_ptx(text1);
+  ASSERT_EQ(reparsed.kernels.size(), original.kernels.size());
+  // Printing the reparsed module reproduces the text byte-for-byte:
+  // the strongest round-trip guarantee.
+  EXPECT_EQ(reparsed.to_ptx(), text1);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_ptx(".version 7.0\n.target sm_70\nbogus!");
+    FAIL() << "expected parse error";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownOpcode) {
+  EXPECT_THROW(
+      parse_ptx(".visible .entry b() { frobnicate.u32 %r1, %r2; ret; }"),
+      CheckError);
+}
+
+TEST(Parser, RejectsMissingType) {
+  EXPECT_THROW(parse_ptx(".visible .entry b() { add %r1, %r2, %r3; ret; }"),
+               CheckError);
+}
+
+TEST(Parser, RejectsBadCompare) {
+  EXPECT_THROW(
+      parse_ptx(".visible .entry b() { setp.zz.u32 %p1, %r1, %r2; ret; }"),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

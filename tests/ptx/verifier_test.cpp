@@ -1,0 +1,123 @@
+#include "ptx/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "ptx/codegen.hpp"
+#include "ptx/parser.hpp"
+
+namespace gpuperf::ptx {
+namespace {
+
+TEST(Verifier, GeneratedLibraryIsClean) {
+  const auto issues = verify_module(CodeGenerator::kernel_library());
+  for (const auto& issue : issues) ADD_FAILURE() << issue.message;
+  EXPECT_TRUE(issues.empty());
+  verify_or_throw(CodeGenerator::kernel_library());  // must not throw
+}
+
+TEST(Verifier, ParsedLibraryIsClean) {
+  const PtxModule mod =
+      parse_ptx(CodeGenerator::kernel_library().to_ptx());
+  EXPECT_TRUE(verify_module(mod).empty());
+}
+
+TEST(Verifier, FlagsUndefinedBranchTarget) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry k() { .reg .pred %p<2>; .reg .u32 %r<2>;"
+      " mov.u32 %r1, %tid.x; setp.gt.s32 %p1, %r1, 0;"
+      " @%p1 bra NOWHERE; ret; }");
+  const auto issues = verify_kernel(mod.kernels.front());
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("undefined label"), std::string::npos);
+  EXPECT_THROW(verify_or_throw(mod), CheckError);
+}
+
+TEST(Verifier, FlagsUndeclaredRegister) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry k() { .reg .u32 %r<2>;"
+      " mov.u32 %r1, %tid.x; add.s32 %r5, %r1, 1; ret; }");
+  const auto issues = verify_kernel(mod.kernels.front());
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("exceeds declared range"),
+            std::string::npos);
+}
+
+TEST(Verifier, FlagsMissingDeclarationPrefix) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry k() { .reg .u32 %r<2>;"
+      " mov.f32 %f1, 0f00000000; ret; }");
+  const auto issues = verify_kernel(mod.kernels.front());
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("no matching .reg declaration"),
+            std::string::npos);
+}
+
+TEST(Verifier, FlagsNonPredicateGuard) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry k() { .reg .u32 %r<3>;"
+      " mov.u32 %r1, %tid.x;\nL: @%r1 bra L; }");
+  bool found = false;
+  for (const auto& issue : verify_kernel(mod.kernels.front()))
+    if (issue.message.find("not a predicate register") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, FlagsFallOffTheEnd) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry k() { .reg .u32 %r<2>; mov.u32 %r1, %tid.x; }");
+  bool found = false;
+  for (const auto& issue : verify_kernel(mod.kernels.front()))
+    if (issue.message.find("fall off the end") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, FlagsSharedUseWithoutDeclaration) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry k() { .reg .u64 %rd<2>; .reg .f32 %f<2>;"
+      " mov.u64 %rd1, 0; ld.shared.f32 %f1, [%rd1]; ret; }");
+  bool found = false;
+  for (const auto& issue : verify_kernel(mod.kernels.front()))
+    if (issue.message.find(".shared declaration") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, FlagsUnknownParamBase) {
+  const PtxModule mod = parse_ptx(
+      ".visible .entry k(\n .param .u32 p_n\n) { .reg .u32 %r<2>;"
+      " ld.param.u32 %r1, [p_other]; ret; }");
+  bool found = false;
+  for (const auto& issue : verify_kernel(mod.kernels.front()))
+    if (issue.message.find("neither a register nor a declared parameter") !=
+        std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, FlagsMalformedSetp) {
+  PtxKernel k = parse_ptx(
+      ".visible .entry k() { .reg .pred %p<2>; .reg .u32 %r<3>;"
+      " setp.lt.s32 %p1, %r1, %r2; ret; }").kernels.front();
+  // Strip the compare op to simulate a hand-built malformed instruction.
+  k.reg_decls.push_back(RegDecl{PtxType::kU32, "%r", 3});
+  k.instructions.front().cmp.reset();
+  bool found = false;
+  for (const auto& issue : verify_kernel(k))
+    if (issue.message.find("setp without compare op") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, KernelLevelIssuesUseSentinelIndex) {
+  PtxKernel k;
+  k.name = "";
+  const auto issues = verify_kernel(k);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].instruction_index, VerifyIssue::kKernelLevel);
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx

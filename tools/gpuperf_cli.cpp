@@ -1,0 +1,263 @@
+// gpuperf command-line tool: the library's workflow without writing
+// C++.
+//
+//   gpuperf models                          list the Table I zoo
+//   gpuperf devices                         list known GPGPUs
+//   gpuperf analyze <model> [--layers]      static analysis report
+//   gpuperf ptx [--model <name>]            print the kernel library or
+//                                           a model's launch plan
+//   gpuperf dataset [--out <csv>] [--devices a,b] [--extended]
+//   gpuperf train --out <file> [--seed N]   train the DT, save it
+//   gpuperf predict <model> <device> [--tree <file>]
+//   gpuperf rank <model>                    DSE ranking over all devices
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/dse.hpp"
+#include "core/estimator.hpp"
+#include "gpu/device_db.hpp"
+#include "ml/model_io.hpp"
+#include "ptx/codegen.hpp"
+#include "ptx/counter.hpp"
+
+namespace {
+
+using namespace gpuperf;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // --key value / --key
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--"))
+        args.flags[key] = argv[++i];
+      else
+        args.flags[key] = "";
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gpuperf <command> [args]\n"
+      "  models                         list the CNN zoo\n"
+      "  devices                        list known GPGPUs\n"
+      "  analyze <model> [--layers]     static analysis of a zoo model\n"
+      "  ptx [--model <name>]           kernel library / launch plan\n"
+      "  dataset [--out f.csv] [--devices a,b] [--extended]\n"
+      "  train --out <file> [--seed N]  train + save the Decision Tree\n"
+      "  predict <model> <device> [--tree <file>]\n"
+      "  rank <model>                   DSE ranking over all devices\n");
+  return 2;
+}
+
+int cmd_models() {
+  TextTable table("CNN zoo (paper Table I)");
+  table.set_header({"name", "input", "trainable params"});
+  const cnn::StaticAnalyzer analyzer;
+  for (const auto& entry : cnn::zoo::all_models()) {
+    const cnn::Model model = entry.build();
+    const auto report = analyzer.analyze(model);
+    const auto in = model.input_shape();
+    table.add_row({entry.name,
+                   std::to_string(in.h) + "x" + std::to_string(in.w),
+                   with_commas(report.trainable_params)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_devices() {
+  TextTable table("GPGPU database");
+  table.set_header({"id", "name", "arch", "SMs", "cores", "boost MHz",
+                    "BW GB/s", "L2 KB"});
+  for (const auto& d : gpu::device_database())
+    table.add_row({d.name, d.full_name, d.architecture,
+                   std::to_string(d.sm_count), std::to_string(d.cuda_cores),
+                   fixed(d.boost_clock_mhz, 0),
+                   fixed(d.memory_bandwidth_gbs, 0),
+                   std::to_string(d.l2_cache_kb)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string& name = args.positional.front();
+  if (!cnn::zoo::has_model(name)) {
+    std::fprintf(stderr, "unknown model '%s' (try `gpuperf models`)\n",
+                 name.c_str());
+    return 1;
+  }
+  const auto report =
+      cnn::StaticAnalyzer().analyze(cnn::zoo::build(name));
+  std::printf("%s",
+              to_string(report, args.flags.count("layers") > 0).c_str());
+  return 0;
+}
+
+int cmd_ptx(const Args& args) {
+  const auto it = args.flags.find("model");
+  if (it == args.flags.end()) {
+    std::printf("%s", ptx::CodeGenerator::kernel_library().to_ptx().c_str());
+    return 0;
+  }
+  if (!cnn::zoo::has_model(it->second)) {
+    std::fprintf(stderr, "unknown model '%s'\n", it->second.c_str());
+    return 1;
+  }
+  const ptx::CompiledModel compiled =
+      ptx::CodeGenerator().compile(cnn::zoo::build(it->second));
+  const ptx::InstructionCounter counter;
+  const auto profile = counter.count(compiled);
+  TextTable table("launch plan of " + it->second);
+  table.set_header({"#", "kernel", "grid", "block", "instructions"});
+  for (std::size_t i = 0; i < compiled.launches.size(); ++i) {
+    const auto& l = compiled.launches[i];
+    table.add_row({std::to_string(i), l.kernel,
+                   std::to_string(l.grid_dim), std::to_string(l.block_dim),
+                   with_commas(profile.per_launch[i])});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("total: %s dynamic instructions over %lld launches\n",
+              with_commas(profile.total_instructions).c_str(),
+              static_cast<long long>(profile.launch_count));
+  return 0;
+}
+
+int cmd_dataset(const Args& args) {
+  core::DatasetOptions options;
+  if (const auto it = args.flags.find("devices"); it != args.flags.end())
+    options.devices = split(it->second, ',');
+  options.extended_cnn_features = args.flags.count("extended") > 0;
+  std::fprintf(stderr, "building dataset...\n");
+  const ml::Dataset data = core::DatasetBuilder(options).build();
+  const CsvDocument csv = data.to_csv();
+  if (const auto it = args.flags.find("out"); it != args.flags.end()) {
+    csv_save(csv, it->second);
+    std::fprintf(stderr, "wrote %zu rows to %s\n", data.size(),
+                 it->second.c_str());
+  } else {
+    std::printf("%s", csv_write(csv).c_str());
+  }
+  return 0;
+}
+
+std::uint64_t seed_from(const Args& args) {
+  const auto it = args.flags.find("seed");
+  return it == args.flags.end()
+             ? 42
+             : static_cast<std::uint64_t>(parse_int(it->second));
+}
+
+int cmd_train(const Args& args) {
+  const auto out = args.flags.find("out");
+  if (out == args.flags.end()) return usage();
+  std::fprintf(stderr, "building dataset and training decision tree...\n");
+  core::DatasetBuilder builder;
+  core::PerformanceEstimator estimator("dt", seed_from(args));
+  estimator.train(builder.build());
+  const auto* tree =
+      dynamic_cast<const ml::DecisionTree*>(&estimator.model());
+  GP_CHECK(tree != nullptr);
+  ml::save_tree(*tree, out->second);
+  std::fprintf(stderr, "saved decision tree (%zu nodes) to %s\n",
+               tree->nodes().size(), out->second.c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const std::string& model_name = args.positional[0];
+  const std::string& device_name = args.positional[1];
+  if (!cnn::zoo::has_model(model_name) || !gpu::has_device(device_name)) {
+    std::fprintf(stderr, "unknown model or device\n");
+    return 1;
+  }
+
+  core::FeatureExtractor extractor;
+  const core::ModelFeatures& features =
+      extractor.for_zoo_model(model_name);
+  const auto x = core::FeatureExtractor::feature_vector(
+      features, gpu::device(device_name));
+
+  double ipc = 0.0;
+  if (const auto it = args.flags.find("tree"); it != args.flags.end()) {
+    const ml::DecisionTree tree = ml::load_tree(it->second);
+    ipc = tree.predict(x);
+  } else {
+    std::fprintf(stderr, "no --tree given; training from scratch...\n");
+    core::DatasetBuilder builder;
+    core::PerformanceEstimator estimator("dt", seed_from(args));
+    estimator.train(builder.build());
+    ipc = estimator.predict(x);
+  }
+  std::printf("%s on %s: predicted IPC %.4f\n", model_name.c_str(),
+              device_name.c_str(), ipc);
+  return 0;
+}
+
+int cmd_rank(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string& model_name = args.positional.front();
+  if (!cnn::zoo::has_model(model_name)) {
+    std::fprintf(stderr, "unknown model '%s'\n", model_name.c_str());
+    return 1;
+  }
+  core::DatasetBuilder builder;
+  core::PerformanceEstimator estimator("dt", seed_from(args));
+  estimator.train(builder.build());
+  core::DseExplorer dse(estimator);
+  std::vector<std::string> devices;
+  for (const auto& d : gpu::device_database()) devices.push_back(d.name);
+  TextTable table("predicted ranking for " + model_name);
+  table.set_header({"rank", "device", "predicted IPC"});
+  int rank = 1;
+  for (const auto& r : dse.rank_devices(model_name, devices))
+    table.add_row({std::to_string(rank++), r.device,
+                   fixed(r.predicted_ipc, 4)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv);
+  try {
+    if (command == "models") return cmd_models();
+    if (command == "devices") return cmd_devices();
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "ptx") return cmd_ptx(args);
+    if (command == "dataset") return cmd_dataset(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "rank") return cmd_rank(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
