@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cv.cpp" "bench/CMakeFiles/ablation_cv.dir/ablation_cv.cpp.o" "gcc" "bench/CMakeFiles/ablation_cv.dir/ablation_cv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

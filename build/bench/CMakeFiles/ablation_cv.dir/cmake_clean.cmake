@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cv.dir/ablation_cv.cpp.o"
+  "CMakeFiles/ablation_cv.dir/ablation_cv.cpp.o.d"
+  "ablation_cv"
+  "ablation_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extended_features.dir/ablation_extended_features.cpp.o"
+  "CMakeFiles/ablation_extended_features.dir/ablation_extended_features.cpp.o.d"
+  "ablation_extended_features"
+  "ablation_extended_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extended_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simulator_speed.dir/ablation_simulator_speed.cpp.o"
+  "CMakeFiles/ablation_simulator_speed.dir/ablation_simulator_speed.cpp.o.d"
+  "ablation_simulator_speed"
+  "ablation_simulator_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simulator_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

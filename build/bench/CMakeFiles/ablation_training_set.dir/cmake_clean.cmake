@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_training_set.dir/ablation_training_set.cpp.o"
+  "CMakeFiles/ablation_training_set.dir/ablation_training_set.cpp.o.d"
+  "ablation_training_set"
+  "ablation_training_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_predicted_vs_actual.dir/fig4_predicted_vs_actual.cpp.o"
+  "CMakeFiles/fig4_predicted_vs_actual.dir/fig4_predicted_vs_actual.cpp.o.d"
+  "fig4_predicted_vs_actual"
+  "fig4_predicted_vs_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_predicted_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_batch_extension.dir/fig_batch_extension.cpp.o"
+  "CMakeFiles/fig_batch_extension.dir/fig_batch_extension.cpp.o.d"
+  "fig_batch_extension"
+  "fig_batch_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_batch_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

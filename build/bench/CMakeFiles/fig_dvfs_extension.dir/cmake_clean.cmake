@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_dvfs_extension.dir/fig_dvfs_extension.cpp.o"
+  "CMakeFiles/fig_dvfs_extension.dir/fig_dvfs_extension.cpp.o.d"
+  "fig_dvfs_extension"
+  "fig_dvfs_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_dvfs_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

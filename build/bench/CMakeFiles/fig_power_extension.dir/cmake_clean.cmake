@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_power_extension.dir/fig_power_extension.cpp.o"
+  "CMakeFiles/fig_power_extension.dir/fig_power_extension.cpp.o.d"
+  "fig_power_extension"
+  "fig_power_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_power_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

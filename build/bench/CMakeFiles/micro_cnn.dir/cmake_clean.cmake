@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cnn.dir/micro_cnn.cpp.o"
+  "CMakeFiles/micro_cnn.dir/micro_cnn.cpp.o.d"
+  "micro_cnn"
+  "micro_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

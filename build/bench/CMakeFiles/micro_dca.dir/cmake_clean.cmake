@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dca.dir/micro_dca.cpp.o"
+  "CMakeFiles/micro_dca.dir/micro_dca.cpp.o.d"
+  "micro_dca"
+  "micro_dca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_model_zoo.dir/table1_model_zoo.cpp.o"
+  "CMakeFiles/table1_model_zoo.dir/table1_model_zoo.cpp.o.d"
+  "table1_model_zoo"
+  "table1_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_feature_importance.dir/table3_feature_importance.cpp.o"
+  "CMakeFiles/table3_feature_importance.dir/table3_feature_importance.cpp.o.d"
+  "table3_feature_importance"
+  "table3_feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

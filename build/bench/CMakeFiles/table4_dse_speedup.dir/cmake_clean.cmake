@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_dse_speedup.dir/table4_dse_speedup.cpp.o"
+  "CMakeFiles/table4_dse_speedup.dir/table4_dse_speedup.cpp.o.d"
+  "table4_dse_speedup"
+  "table4_dse_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_dse_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_cnn.dir/custom_cnn.cpp.o"
+  "CMakeFiles/custom_cnn.dir/custom_cnn.cpp.o.d"
+  "custom_cnn"
+  "custom_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_report.dir/zoo_report.cpp.o"
+  "CMakeFiles/zoo_report.dir/zoo_report.cpp.o.d"
+  "zoo_report"
+  "zoo_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnn/layer.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/layer.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/layer.cpp.o.d"
+  "/root/repo/src/cnn/model.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/model.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/model.cpp.o.d"
+  "/root/repo/src/cnn/model_io.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/model_io.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/model_io.cpp.o.d"
+  "/root/repo/src/cnn/shape.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/shape.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/shape.cpp.o.d"
+  "/root/repo/src/cnn/static_analyzer.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/static_analyzer.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/static_analyzer.cpp.o.d"
+  "/root/repo/src/cnn/zoo.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo.cpp.o.d"
+  "/root/repo/src/cnn/zoo_bit.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_bit.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_bit.cpp.o.d"
+  "/root/repo/src/cnn/zoo_densenet.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_densenet.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_densenet.cpp.o.d"
+  "/root/repo/src/cnn/zoo_efficientnet.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_efficientnet.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_efficientnet.cpp.o.d"
+  "/root/repo/src/cnn/zoo_extended.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_extended.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_extended.cpp.o.d"
+  "/root/repo/src/cnn/zoo_inception.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_inception.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_inception.cpp.o.d"
+  "/root/repo/src/cnn/zoo_misc.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_misc.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_misc.cpp.o.d"
+  "/root/repo/src/cnn/zoo_mobilenet.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_mobilenet.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_mobilenet.cpp.o.d"
+  "/root/repo/src/cnn/zoo_nasnet.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_nasnet.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_nasnet.cpp.o.d"
+  "/root/repo/src/cnn/zoo_resnet.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_resnet.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_resnet.cpp.o.d"
+  "/root/repo/src/cnn/zoo_vgg.cpp" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_vgg.cpp.o" "gcc" "src/CMakeFiles/gpuperf_cnn.dir/cnn/zoo_vgg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

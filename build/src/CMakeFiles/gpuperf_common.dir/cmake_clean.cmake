@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_common.dir/common/csv.cpp.o"
+  "CMakeFiles/gpuperf_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/gpuperf_common.dir/common/log.cpp.o"
+  "CMakeFiles/gpuperf_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/gpuperf_common.dir/common/rng.cpp.o"
+  "CMakeFiles/gpuperf_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/gpuperf_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/gpuperf_common.dir/common/stopwatch.cpp.o.d"
+  "CMakeFiles/gpuperf_common.dir/common/strings.cpp.o"
+  "CMakeFiles/gpuperf_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/gpuperf_common.dir/common/table.cpp.o"
+  "CMakeFiles/gpuperf_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/gpuperf_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/gpuperf_common.dir/common/thread_pool.cpp.o.d"
+  "libgpuperf_common.a"
+  "libgpuperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

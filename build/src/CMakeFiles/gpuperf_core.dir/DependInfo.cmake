@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset_builder.cpp" "src/CMakeFiles/gpuperf_core.dir/core/dataset_builder.cpp.o" "gcc" "src/CMakeFiles/gpuperf_core.dir/core/dataset_builder.cpp.o.d"
+  "/root/repo/src/core/dse.cpp" "src/CMakeFiles/gpuperf_core.dir/core/dse.cpp.o" "gcc" "src/CMakeFiles/gpuperf_core.dir/core/dse.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/CMakeFiles/gpuperf_core.dir/core/estimator.cpp.o" "gcc" "src/CMakeFiles/gpuperf_core.dir/core/estimator.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/CMakeFiles/gpuperf_core.dir/core/features.cpp.o" "gcc" "src/CMakeFiles/gpuperf_core.dir/core/features.cpp.o.d"
+  "/root/repo/src/core/model_selection.cpp" "src/CMakeFiles/gpuperf_core.dir/core/model_selection.cpp.o" "gcc" "src/CMakeFiles/gpuperf_core.dir/core/model_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_core.dir/core/dataset_builder.cpp.o"
+  "CMakeFiles/gpuperf_core.dir/core/dataset_builder.cpp.o.d"
+  "CMakeFiles/gpuperf_core.dir/core/dse.cpp.o"
+  "CMakeFiles/gpuperf_core.dir/core/dse.cpp.o.d"
+  "CMakeFiles/gpuperf_core.dir/core/estimator.cpp.o"
+  "CMakeFiles/gpuperf_core.dir/core/estimator.cpp.o.d"
+  "CMakeFiles/gpuperf_core.dir/core/features.cpp.o"
+  "CMakeFiles/gpuperf_core.dir/core/features.cpp.o.d"
+  "CMakeFiles/gpuperf_core.dir/core/model_selection.cpp.o"
+  "CMakeFiles/gpuperf_core.dir/core/model_selection.cpp.o.d"
+  "libgpuperf_core.a"
+  "libgpuperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cycle_sim.cpp" "src/CMakeFiles/gpuperf_gpu.dir/gpu/cycle_sim.cpp.o" "gcc" "src/CMakeFiles/gpuperf_gpu.dir/gpu/cycle_sim.cpp.o.d"
+  "/root/repo/src/gpu/device_db.cpp" "src/CMakeFiles/gpuperf_gpu.dir/gpu/device_db.cpp.o" "gcc" "src/CMakeFiles/gpuperf_gpu.dir/gpu/device_db.cpp.o.d"
+  "/root/repo/src/gpu/device_spec.cpp" "src/CMakeFiles/gpuperf_gpu.dir/gpu/device_spec.cpp.o" "gcc" "src/CMakeFiles/gpuperf_gpu.dir/gpu/device_spec.cpp.o.d"
+  "/root/repo/src/gpu/dvfs.cpp" "src/CMakeFiles/gpuperf_gpu.dir/gpu/dvfs.cpp.o" "gcc" "src/CMakeFiles/gpuperf_gpu.dir/gpu/dvfs.cpp.o.d"
+  "/root/repo/src/gpu/profiler.cpp" "src/CMakeFiles/gpuperf_gpu.dir/gpu/profiler.cpp.o" "gcc" "src/CMakeFiles/gpuperf_gpu.dir/gpu/profiler.cpp.o.d"
+  "/root/repo/src/gpu/simulator.cpp" "src/CMakeFiles/gpuperf_gpu.dir/gpu/simulator.cpp.o" "gcc" "src/CMakeFiles/gpuperf_gpu.dir/gpu/simulator.cpp.o.d"
+  "/root/repo/src/gpu/workload.cpp" "src/CMakeFiles/gpuperf_gpu.dir/gpu/workload.cpp.o" "gcc" "src/CMakeFiles/gpuperf_gpu.dir/gpu/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

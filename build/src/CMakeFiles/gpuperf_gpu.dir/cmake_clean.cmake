@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_gpu.dir/gpu/cycle_sim.cpp.o"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/cycle_sim.cpp.o.d"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/device_db.cpp.o"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/device_db.cpp.o.d"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/device_spec.cpp.o"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/device_spec.cpp.o.d"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/dvfs.cpp.o"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/dvfs.cpp.o.d"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/profiler.cpp.o"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/profiler.cpp.o.d"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/simulator.cpp.o"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/simulator.cpp.o.d"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/workload.cpp.o"
+  "CMakeFiles/gpuperf_gpu.dir/gpu/workload.cpp.o.d"
+  "libgpuperf_gpu.a"
+  "libgpuperf_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

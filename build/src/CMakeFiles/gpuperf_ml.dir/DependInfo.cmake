@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/cross_validation.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/gradient_boosting.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/linear_regression.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_io.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/model_io.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/model_io.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/ml/regressor.cpp" "src/CMakeFiles/gpuperf_ml.dir/ml/regressor.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ml.dir/ml/regressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_ml.dir/ml/cross_validation.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/cross_validation.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/gradient_boosting.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/gradient_boosting.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/knn.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/knn.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/linear_regression.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/linear_regression.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/matrix.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/matrix.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/model_io.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/model_io.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/random_forest.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/random_forest.cpp.o.d"
+  "CMakeFiles/gpuperf_ml.dir/ml/regressor.cpp.o"
+  "CMakeFiles/gpuperf_ml.dir/ml/regressor.cpp.o.d"
+  "libgpuperf_ml.a"
+  "libgpuperf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptx/cfg.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/cfg.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/cfg.cpp.o.d"
+  "/root/repo/src/ptx/codegen.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/codegen.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/codegen.cpp.o.d"
+  "/root/repo/src/ptx/counter.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/counter.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/counter.cpp.o.d"
+  "/root/repo/src/ptx/depgraph.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/depgraph.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/depgraph.cpp.o.d"
+  "/root/repo/src/ptx/instruction.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/instruction.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/instruction.cpp.o.d"
+  "/root/repo/src/ptx/interpreter.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/interpreter.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/interpreter.cpp.o.d"
+  "/root/repo/src/ptx/isa.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/isa.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/isa.cpp.o.d"
+  "/root/repo/src/ptx/lexer.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/lexer.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/lexer.cpp.o.d"
+  "/root/repo/src/ptx/module.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/module.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/module.cpp.o.d"
+  "/root/repo/src/ptx/parser.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/parser.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/parser.cpp.o.d"
+  "/root/repo/src/ptx/slicer.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/slicer.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/slicer.cpp.o.d"
+  "/root/repo/src/ptx/symexec.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/symexec.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/symexec.cpp.o.d"
+  "/root/repo/src/ptx/verifier.cpp" "src/CMakeFiles/gpuperf_ptx.dir/ptx/verifier.cpp.o" "gcc" "src/CMakeFiles/gpuperf_ptx.dir/ptx/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_ptx.dir/ptx/cfg.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/cfg.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/codegen.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/codegen.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/counter.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/counter.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/depgraph.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/depgraph.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/instruction.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/instruction.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/interpreter.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/interpreter.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/isa.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/isa.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/lexer.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/lexer.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/module.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/module.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/parser.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/parser.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/slicer.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/slicer.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/symexec.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/symexec.cpp.o.d"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/verifier.cpp.o"
+  "CMakeFiles/gpuperf_ptx.dir/ptx/verifier.cpp.o.d"
+  "libgpuperf_ptx.a"
+  "libgpuperf_ptx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cnn/layer_test.cpp" "tests/CMakeFiles/tests_cnn.dir/cnn/layer_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cnn.dir/cnn/layer_test.cpp.o.d"
+  "/root/repo/tests/cnn/model_io_test.cpp" "tests/CMakeFiles/tests_cnn.dir/cnn/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cnn.dir/cnn/model_io_test.cpp.o.d"
+  "/root/repo/tests/cnn/model_test.cpp" "tests/CMakeFiles/tests_cnn.dir/cnn/model_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cnn.dir/cnn/model_test.cpp.o.d"
+  "/root/repo/tests/cnn/shape_test.cpp" "tests/CMakeFiles/tests_cnn.dir/cnn/shape_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cnn.dir/cnn/shape_test.cpp.o.d"
+  "/root/repo/tests/cnn/static_analyzer_test.cpp" "tests/CMakeFiles/tests_cnn.dir/cnn/static_analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cnn.dir/cnn/static_analyzer_test.cpp.o.d"
+  "/root/repo/tests/cnn/zoo_neurons_test.cpp" "tests/CMakeFiles/tests_cnn.dir/cnn/zoo_neurons_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cnn.dir/cnn/zoo_neurons_test.cpp.o.d"
+  "/root/repo/tests/cnn/zoo_test.cpp" "tests/CMakeFiles/tests_cnn.dir/cnn/zoo_test.cpp.o" "gcc" "tests/CMakeFiles/tests_cnn.dir/cnn/zoo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cnn.dir/cnn/layer_test.cpp.o"
+  "CMakeFiles/tests_cnn.dir/cnn/layer_test.cpp.o.d"
+  "CMakeFiles/tests_cnn.dir/cnn/model_io_test.cpp.o"
+  "CMakeFiles/tests_cnn.dir/cnn/model_io_test.cpp.o.d"
+  "CMakeFiles/tests_cnn.dir/cnn/model_test.cpp.o"
+  "CMakeFiles/tests_cnn.dir/cnn/model_test.cpp.o.d"
+  "CMakeFiles/tests_cnn.dir/cnn/shape_test.cpp.o"
+  "CMakeFiles/tests_cnn.dir/cnn/shape_test.cpp.o.d"
+  "CMakeFiles/tests_cnn.dir/cnn/static_analyzer_test.cpp.o"
+  "CMakeFiles/tests_cnn.dir/cnn/static_analyzer_test.cpp.o.d"
+  "CMakeFiles/tests_cnn.dir/cnn/zoo_neurons_test.cpp.o"
+  "CMakeFiles/tests_cnn.dir/cnn/zoo_neurons_test.cpp.o.d"
+  "CMakeFiles/tests_cnn.dir/cnn/zoo_test.cpp.o"
+  "CMakeFiles/tests_cnn.dir/cnn/zoo_test.cpp.o.d"
+  "tests_cnn"
+  "tests_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common/csv_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/csv_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/log_stopwatch_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/log_stopwatch_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/strings_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/strings_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/table_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/table_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/thread_pool_test.cpp.o.d"
+  "tests_common"
+  "tests_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

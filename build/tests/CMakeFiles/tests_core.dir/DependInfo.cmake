@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dataset_builder_test.cpp" "tests/CMakeFiles/tests_core.dir/core/dataset_builder_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/dataset_builder_test.cpp.o.d"
+  "/root/repo/tests/core/dse_test.cpp" "tests/CMakeFiles/tests_core.dir/core/dse_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/dse_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/CMakeFiles/tests_core.dir/core/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/features_test.cpp" "tests/CMakeFiles/tests_core.dir/core/features_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/features_test.cpp.o.d"
+  "/root/repo/tests/core/model_selection_test.cpp" "tests/CMakeFiles/tests_core.dir/core/model_selection_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/model_selection_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/dataset_builder_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/dataset_builder_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/dse_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/dse_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/estimator_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/estimator_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/features_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/features_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/model_selection_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/model_selection_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/cycle_sim_test.cpp" "tests/CMakeFiles/tests_gpu.dir/gpu/cycle_sim_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gpu.dir/gpu/cycle_sim_test.cpp.o.d"
+  "/root/repo/tests/gpu/device_test.cpp" "tests/CMakeFiles/tests_gpu.dir/gpu/device_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gpu.dir/gpu/device_test.cpp.o.d"
+  "/root/repo/tests/gpu/dvfs_test.cpp" "tests/CMakeFiles/tests_gpu.dir/gpu/dvfs_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gpu.dir/gpu/dvfs_test.cpp.o.d"
+  "/root/repo/tests/gpu/profiler_test.cpp" "tests/CMakeFiles/tests_gpu.dir/gpu/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gpu.dir/gpu/profiler_test.cpp.o.d"
+  "/root/repo/tests/gpu/simulator_test.cpp" "tests/CMakeFiles/tests_gpu.dir/gpu/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gpu.dir/gpu/simulator_test.cpp.o.d"
+  "/root/repo/tests/gpu/workload_test.cpp" "tests/CMakeFiles/tests_gpu.dir/gpu/workload_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gpu.dir/gpu/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

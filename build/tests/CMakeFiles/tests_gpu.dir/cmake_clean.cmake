@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_gpu.dir/gpu/cycle_sim_test.cpp.o"
+  "CMakeFiles/tests_gpu.dir/gpu/cycle_sim_test.cpp.o.d"
+  "CMakeFiles/tests_gpu.dir/gpu/device_test.cpp.o"
+  "CMakeFiles/tests_gpu.dir/gpu/device_test.cpp.o.d"
+  "CMakeFiles/tests_gpu.dir/gpu/dvfs_test.cpp.o"
+  "CMakeFiles/tests_gpu.dir/gpu/dvfs_test.cpp.o.d"
+  "CMakeFiles/tests_gpu.dir/gpu/profiler_test.cpp.o"
+  "CMakeFiles/tests_gpu.dir/gpu/profiler_test.cpp.o.d"
+  "CMakeFiles/tests_gpu.dir/gpu/simulator_test.cpp.o"
+  "CMakeFiles/tests_gpu.dir/gpu/simulator_test.cpp.o.d"
+  "CMakeFiles/tests_gpu.dir/gpu/workload_test.cpp.o"
+  "CMakeFiles/tests_gpu.dir/gpu/workload_test.cpp.o.d"
+  "tests_gpu"
+  "tests_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration/dca_property_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/dca_property_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/parser_robustness_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/parser_robustness_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/pipeline_test.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

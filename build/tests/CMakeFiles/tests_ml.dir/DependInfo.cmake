@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/cross_validation_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/gradient_boosting_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/gradient_boosting_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/gradient_boosting_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/knn_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/knn_test.cpp.o.d"
+  "/root/repo/tests/ml/linear_regression_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/linear_regression_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/linear_regression_test.cpp.o.d"
+  "/root/repo/tests/ml/matrix_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/matrix_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/model_io_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o.d"
+  "/root/repo/tests/ml/random_forest_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/random_forest_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/random_forest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

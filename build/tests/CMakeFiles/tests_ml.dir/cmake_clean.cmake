@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ml.dir/ml/cross_validation_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/cross_validation_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/gradient_boosting_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/gradient_boosting_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/knn_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/knn_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/linear_regression_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/linear_regression_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/matrix_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/matrix_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/random_forest_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/random_forest_test.cpp.o.d"
+  "tests_ml"
+  "tests_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

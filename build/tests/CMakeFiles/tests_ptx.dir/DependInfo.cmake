@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ptx/cfg_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/cfg_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/cfg_test.cpp.o.d"
+  "/root/repo/tests/ptx/codegen_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/codegen_test.cpp.o.d"
+  "/root/repo/tests/ptx/counter_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/counter_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/counter_test.cpp.o.d"
+  "/root/repo/tests/ptx/depgraph_slicer_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/depgraph_slicer_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/depgraph_slicer_test.cpp.o.d"
+  "/root/repo/tests/ptx/instruction_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/instruction_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/instruction_test.cpp.o.d"
+  "/root/repo/tests/ptx/interpreter_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/interpreter_test.cpp.o.d"
+  "/root/repo/tests/ptx/isa_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/isa_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/isa_test.cpp.o.d"
+  "/root/repo/tests/ptx/lexer_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/lexer_test.cpp.o.d"
+  "/root/repo/tests/ptx/parser_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/parser_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/parser_test.cpp.o.d"
+  "/root/repo/tests/ptx/symexec_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/symexec_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/symexec_test.cpp.o.d"
+  "/root/repo/tests/ptx/verifier_test.cpp" "tests/CMakeFiles/tests_ptx.dir/ptx/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ptx.dir/ptx/verifier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpuperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ptx.dir/ptx/cfg_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/cfg_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/codegen_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/codegen_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/counter_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/counter_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/depgraph_slicer_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/depgraph_slicer_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/instruction_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/instruction_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/interpreter_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/interpreter_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/isa_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/isa_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/lexer_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/lexer_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/parser_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/parser_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/symexec_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/symexec_test.cpp.o.d"
+  "CMakeFiles/tests_ptx.dir/ptx/verifier_test.cpp.o"
+  "CMakeFiles/tests_ptx.dir/ptx/verifier_test.cpp.o.d"
+  "tests_ptx"
+  "tests_ptx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

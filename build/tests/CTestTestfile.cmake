@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tests_common "/root/repo/build/tests/tests_common")
+set_tests_properties(tests_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;gpuperf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_ml "/root/repo/build/tests/tests_ml")
+set_tests_properties(tests_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;gpuperf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_cnn "/root/repo/build/tests/tests_cnn")
+set_tests_properties(tests_cnn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;31;gpuperf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_ptx "/root/repo/build/tests/tests_ptx")
+set_tests_properties(tests_ptx PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;41;gpuperf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_gpu "/root/repo/build/tests/tests_gpu")
+set_tests_properties(tests_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;55;gpuperf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_integration "/root/repo/build/tests/tests_integration")
+set_tests_properties(tests_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;64;gpuperf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tests_core "/root/repo/build/tests/tests_core")
+set_tests_properties(tests_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;70;gpuperf_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuperf_cli.dir/gpuperf_cli.cpp.o"
+  "CMakeFiles/gpuperf_cli.dir/gpuperf_cli.cpp.o.d"
+  "gpuperf"
+  "gpuperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuperf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
