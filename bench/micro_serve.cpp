@@ -1,0 +1,124 @@
+// Microbenchmarks of the estimation service: cold predictions (full
+// DCA) vs cache hits, the protocol overhead on a warm path, and burst
+// handling with the micro-batcher on vs off.  The cold/hit pair is the
+// headline number — the service exists because a warm predict is
+// orders of magnitude cheaper than a cold one.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace {
+
+using namespace gpuperf;
+
+serve::ServeOptions bench_options() {
+  serve::ServeOptions options;
+  // Small training subset: the benches measure serving, not training.
+  options.train_models = {"alexnet", "mobilenet", "MobileNetV2", "vgg16"};
+  return options;
+}
+
+serve::ServeSession& shared_session() {
+  static serve::ServeSession session(bench_options());
+  return session;
+}
+
+// A cold predict pays for static analysis + PTX codegen + sliced
+// symbolic execution.  Clearing the caches each iteration re-exposes
+// that full path (the clear itself is a few map erases — noise).
+void BM_PredictCold(benchmark::State& state) {
+  serve::ServeSession& session = shared_session();
+  for (auto _ : state) {
+    session.reset_caches();
+    benchmark::DoNotOptimize(session.predict("mobilenet", "v100s"));
+  }
+}
+BENCHMARK(BM_PredictCold)->Unit(benchmark::kMicrosecond);
+
+// A warm predict is a result-cache lookup.
+void BM_PredictCacheHit(benchmark::State& state) {
+  serve::ServeSession& session = shared_session();
+  session.predict("mobilenet", "v100s");  // prime
+  for (auto _ : state)
+    benchmark::DoNotOptimize(session.predict("mobilenet", "v100s"));
+}
+BENCHMARK(BM_PredictCacheHit)->Unit(benchmark::kMicrosecond);
+
+// Feature-cache hit but result-cache miss: DCA is amortized, only the
+// tree walk and bookkeeping run.  Alternating devices on one model
+// keeps the feature entry warm while forcing a fresh prediction.
+void BM_PredictFeatureHitResultMiss(benchmark::State& state) {
+  serve::ServeSession& session = shared_session();
+  session.predict("mobilenet", "v100s");  // prime the feature cache
+  const std::string devices[] = {"gtx1080ti", "teslat4"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    session.reset_result_cache();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        session.predict("mobilenet", devices[i++ % 2]));
+  }
+}
+BENCHMARK(BM_PredictFeatureHitResultMiss)->Unit(benchmark::kMicrosecond);
+
+// The full wire-facing path on a warm cache: parse + dispatch +
+// metrics + JSON serialization.
+void BM_HandleLineCacheHit(benchmark::State& state) {
+  serve::ServeSession& session = shared_session();
+  session.handle_line("predict mobilenet v100s");  // prime
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        session.handle_line("predict mobilenet v100s"));
+}
+BENCHMARK(BM_HandleLineCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_StatsEndpoint(benchmark::State& state) {
+  serve::ServeSession& session = shared_session();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(session.handle_line("stats"));
+}
+BENCHMARK(BM_StatsEndpoint)->Unit(benchmark::kMicrosecond);
+
+// Burst of concurrent predicts for one model across several devices,
+// caches cleared each iteration so every burst pays one DCA.  Arg(1)
+// routes through the micro-batcher (requests grouped per model, one
+// feature fetch per group, predicts spread over the pool); Arg(0) runs
+// each request inline on its client thread — the single-flight feature
+// cache is then the only deduplication.
+void BM_BurstPredicts(benchmark::State& state) {
+  serve::ServeOptions options = bench_options();
+  options.batching = state.range(0) != 0;
+  options.n_threads = 4;
+  serve::ServeSession session(options);
+  session.predict("mobilenet", "v100s");  // pay training/first-touch once
+  const std::vector<std::string> devices = {"gtx1080ti", "v100s",
+                                            "teslat4"};
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    session.reset_caches();
+    state.ResumeTiming();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c)
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i)
+          benchmark::DoNotOptimize(session.predict(
+              "mobilenet", devices[(c + i) % devices.size()]));
+      });
+    for (auto& client : clients) client.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kClients * kPerClient);
+  state.SetLabel(options.batching ? "batched" : "serial");
+}
+BENCHMARK(BM_BurstPredicts)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

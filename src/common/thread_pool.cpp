@@ -35,6 +35,11 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });

@@ -1,0 +1,85 @@
+#include "serve/batcher.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace gpuperf::serve {
+
+PredictBatcher::PredictBatcher(ThreadPool& pool, GroupFn predict_group)
+    : pool_(pool), predict_group_(std::move(predict_group)) {
+  GP_CHECK(predict_group_ != nullptr);
+}
+
+std::future<double> PredictBatcher::submit(const std::string& model,
+                                           const gpu::DeviceSpec& device) {
+  Job job;
+  job.model = model;
+  job.device = &device;
+  std::future<double> result = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+    if (flushing_) return result;  // the current leader will take it
+    flushing_ = true;
+  }
+  // Leader: drain until the queue stays empty.  Dispatch happens
+  // outside the lock, so requests arriving mid-flush form the next
+  // batch instead of waiting behind it.
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) {
+        flushing_ = false;
+        return result;
+      }
+      batch.swap(queue_);
+    }
+    dispatch(std::move(batch));
+  }
+}
+
+void PredictBatcher::dispatch(std::vector<Job> batch) {
+  batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  std::map<std::string, std::vector<Job>> groups;
+  for (Job& job : batch) groups[job.model].push_back(std::move(job));
+  for (auto& [model, jobs] : groups) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+    while (jobs.size() > seen &&
+           !max_batch_.compare_exchange_weak(seen, jobs.size(),
+                                             std::memory_order_relaxed)) {
+    }
+    auto group = std::make_shared<std::vector<Job>>(std::move(jobs));
+    const std::string name = model;
+    pool_.submit([this, name, group] {
+      std::vector<const gpu::DeviceSpec*> devices;
+      devices.reserve(group->size());
+      for (const Job& job : *group) devices.push_back(job.device);
+      try {
+        const std::vector<double> ipc = predict_group_(name, devices);
+        GP_CHECK(ipc.size() == group->size());
+        for (std::size_t i = 0; i < group->size(); ++i)
+          (*group)[i].promise.set_value(ipc[i]);
+      } catch (...) {
+        for (Job& job : *group)
+          job.promise.set_exception(std::current_exception());
+      }
+    });
+  }
+}
+
+BatcherStats PredictBatcher::stats() const {
+  BatcherStats out;
+  out.flushes = flushes_.load();
+  out.batches = batches_.load();
+  out.batched_requests = batched_requests_.load();
+  out.max_batch = max_batch_.load();
+  return out;
+}
+
+}  // namespace gpuperf::serve

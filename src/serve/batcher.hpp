@@ -1,0 +1,69 @@
+// Group-commit micro-batching for predict requests.
+//
+// A request that arrives while no flush is running becomes the batch
+// leader and flushes immediately (zero added latency when idle); while
+// it drains, further requests pile into the queue and ship as one
+// batch on the next round — so bursts of concurrent requests for the
+// same model collapse into a single dynamic-code-analysis pass.  Each
+// per-model group is dispatched to the shared thread pool; results come
+// back through per-request futures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gpu/device_spec.hpp"
+
+namespace gpuperf::serve {
+
+struct BatcherStats {
+  std::uint64_t flushes = 0;          // drain rounds led by a request
+  std::uint64_t batches = 0;          // per-model groups dispatched
+  std::uint64_t batched_requests = 0; // requests that went through
+  std::uint64_t max_batch = 0;        // largest per-model group seen
+};
+
+class PredictBatcher {
+ public:
+  /// `predict_group` scores one model on several devices in a single
+  /// pass (features fetched once); it runs on pool workers and may
+  /// throw — the exception is forwarded to every request of the group.
+  using GroupFn = std::function<std::vector<double>(
+      const std::string& model,
+      const std::vector<const gpu::DeviceSpec*>& devices)>;
+
+  PredictBatcher(ThreadPool& pool, GroupFn predict_group);
+
+  /// Enqueue one prediction; the future resolves when its batch ran.
+  std::future<double> submit(const std::string& model,
+                             const gpu::DeviceSpec& device);
+
+  BatcherStats stats() const;
+
+ private:
+  struct Job {
+    std::string model;
+    const gpu::DeviceSpec* device;
+    std::promise<double> promise;
+  };
+
+  void dispatch(std::vector<Job> batch);
+
+  ThreadPool& pool_;
+  GroupFn predict_group_;
+  std::mutex mutex_;
+  std::vector<Job> queue_;
+  bool flushing_ = false;
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+};
+
+}  // namespace gpuperf::serve

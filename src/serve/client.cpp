@@ -1,0 +1,68 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace gpuperf::serve {
+
+TcpClient::TcpClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  GP_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  GP_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "bad host address '" << host << "' (use an IPv4 literal)");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    GP_CHECK_MSG(false, "connect to " << host << ":" << port
+                                      << " failed: " << std::strerror(err));
+  }
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string TcpClient::request(const std::string& line) {
+  const std::string out = line + "\n";
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      GP_CHECK_MSG(false, "send failed: " << std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!response.empty() && response.back() == '\r')
+        response.pop_back();
+      return response;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    GP_CHECK_MSG(n > 0, "server closed the connection mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace gpuperf::serve

@@ -1,0 +1,28 @@
+// Minimal blocking client for the gpuperf serve line protocol: send a
+// request line, read the single JSON response line.  Used by the
+// `gpuperf client` subcommand, the server tests and the CI smoke test.
+#pragma once
+
+#include <string>
+
+namespace gpuperf::serve {
+
+class TcpClient {
+ public:
+  /// Connects immediately; GP_CHECK-fails if the server is unreachable.
+  TcpClient(const std::string& host, int port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Send one request line (the trailing newline is added here) and
+  /// block for the response line, returned without its newline.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the previous response line
+};
+
+}  // namespace gpuperf::serve

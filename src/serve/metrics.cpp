@@ -1,0 +1,132 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "serve/protocol.hpp"
+
+namespace gpuperf::serve {
+
+namespace {
+
+// Bucket i covers (kMinSeconds * r^(i-1), kMinSeconds * r^i]; the last
+// bucket is open-ended.
+constexpr double kMinSeconds = 1e-6;
+constexpr double kMaxSeconds = 100.0;
+const double kRatio =
+    std::pow(kMaxSeconds / kMinSeconds,
+             1.0 / (LatencyHistogram::kBuckets - 1));
+
+}  // namespace
+
+double LatencyHistogram::bucket_upper_bound(int bucket) {
+  return kMinSeconds * std::pow(kRatio, bucket);
+}
+
+int LatencyHistogram::bucket_for(double seconds) {
+  if (seconds <= kMinSeconds) return 0;
+  const int b = static_cast<int>(
+      std::ceil(std::log(seconds / kMinSeconds) / std::log(kRatio)));
+  return std::min(b, kBuckets - 1);
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;
+  buckets_[bucket_for(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto nanos = static_cast<std::uint64_t>(seconds * 1e9);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::uint64_t n = count_.load();
+  return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  const std::uint64_t n = count_.load();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(p * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      const double hi = bucket_upper_bound(b);
+      const double lo = b == 0 ? 0.0 : bucket_upper_bound(b - 1);
+      return lo == 0.0 ? hi : std::sqrt(lo * hi);  // geometric midpoint
+    }
+  }
+  return bucket_upper_bound(kBuckets - 1);
+}
+
+EndpointMetrics& MetricsRegistry::endpoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = endpoints_[name];
+  if (!slot) slot = std::make_unique<EndpointMetrics>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, const EndpointMetrics*>>
+MetricsRegistry::sorted_endpoints() const {
+  std::vector<std::pair<std::string, const EndpointMetrics*>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(endpoints_.size());
+  for (const auto& [name, metrics] : endpoints_)
+    out.emplace_back(name, metrics.get());
+  return out;  // std::map iteration order is already sorted
+}
+
+void MetricsRegistry::write_json(JsonWriter& json) const {
+  json.field("uptime_seconds", uptime_seconds());
+  json.field("in_flight", static_cast<std::int64_t>(in_flight()));
+  json.begin_object("endpoints");
+  for (const auto& [name, metrics] : sorted_endpoints()) {
+    json.begin_object(name);
+    json.field("requests", metrics->requests.load());
+    json.field("errors", metrics->errors.load());
+    json.field("p50_ms", metrics->latency.percentile(0.50) * 1e3);
+    json.field("p95_ms", metrics->latency.percentile(0.95) * 1e3);
+    json.field("mean_ms", metrics->latency.mean_seconds() * 1e3);
+    json.field("max_ms", metrics->latency.max_seconds() * 1e3);
+    json.end_object();
+  }
+  json.end_object();
+}
+
+std::string MetricsRegistry::summary() const {
+  std::ostringstream os;
+  os << "served for " << fixed(uptime_seconds(), 1) << " s\n";
+  for (const auto& [name, metrics] : sorted_endpoints()) {
+    const std::uint64_t n = metrics->requests.load();
+    if (n == 0) continue;
+    os << "  " << name << ": " << n << " requests, "
+       << metrics->errors.load() << " errors, p50 "
+       << fixed(metrics->latency.percentile(0.50) * 1e3, 3) << " ms, p95 "
+       << fixed(metrics->latency.percentile(0.95) * 1e3, 3) << " ms\n";
+  }
+  return os.str();
+}
+
+MetricsRegistry::ScopedRequest::ScopedRequest(MetricsRegistry& registry,
+                                              EndpointMetrics& endpoint)
+    : registry_(registry), endpoint_(endpoint) {
+  registry_.in_flight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::ScopedRequest::~ScopedRequest() {
+  endpoint_.requests.fetch_add(1, std::memory_order_relaxed);
+  if (error_) endpoint_.errors.fetch_add(1, std::memory_order_relaxed);
+  endpoint_.latency.record(watch_.elapsed_seconds());
+  registry_.in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace gpuperf::serve

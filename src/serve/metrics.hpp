@@ -1,0 +1,106 @@
+// Service metrics: per-endpoint request/error counters and log-bucketed
+// latency histograms (p50/p95), plus an in-flight gauge.  Everything is
+// lock-free on the hot path (atomic bumps); the registry map itself is
+// mutex-guarded but endpoints are created once and then only read.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace gpuperf::serve {
+
+class JsonWriter;
+
+/// Geometric-bucket latency histogram: 64 buckets spanning 1 µs to
+/// ~100 s (ratio ~1.34 per bucket), so percentile error is bounded at
+/// ~±15 % anywhere in the range — plenty for p50/p95 service stats.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double seconds);
+
+  std::uint64_t count() const { return count_.load(); }
+  double total_seconds() const {
+    return static_cast<double>(total_nanos_.load()) * 1e-9;
+  }
+  double mean_seconds() const;
+  double max_seconds() const {
+    return static_cast<double>(max_nanos_.load()) * 1e-9;
+  }
+  /// p in (0, 1]; returns 0 when nothing was recorded.  The answer is
+  /// the geometric midpoint of the bucket holding the p-quantile.
+  double percentile(double p) const;
+
+ private:
+  static double bucket_upper_bound(int bucket);
+  static int bucket_for(double seconds);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_nanos_{0};
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+struct EndpointMetrics {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  LatencyHistogram latency;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the returned reference stays valid for the
+  /// registry's lifetime.
+  EndpointMetrics& endpoint(const std::string& name);
+
+  std::int64_t in_flight() const { return in_flight_.load(); }
+  double uptime_seconds() const { return uptime_.elapsed_seconds(); }
+
+  /// Emit {"uptime_seconds":..,"in_flight":..,"endpoints":{...}} fields
+  /// into an already-open JSON object.
+  void write_json(JsonWriter& json) const;
+
+  /// Human-readable shutdown summary (one line per endpoint).
+  std::string summary() const;
+
+  /// RAII request tracker: bumps the in-flight gauge, then records
+  /// latency + outcome on destruction.
+  class ScopedRequest {
+   public:
+    ScopedRequest(MetricsRegistry& registry, EndpointMetrics& endpoint);
+    ~ScopedRequest();
+    ScopedRequest(const ScopedRequest&) = delete;
+    ScopedRequest& operator=(const ScopedRequest&) = delete;
+    void mark_error() { error_ = true; }
+
+   private:
+    MetricsRegistry& registry_;
+    EndpointMetrics& endpoint_;
+    Stopwatch watch_;
+    bool error_ = false;
+  };
+
+ private:
+  std::vector<std::pair<std::string, const EndpointMetrics*>>
+  sorted_endpoints() const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<EndpointMetrics>> endpoints_;
+  std::atomic<std::int64_t> in_flight_{0};
+  Stopwatch uptime_;
+};
+
+}  // namespace gpuperf::serve

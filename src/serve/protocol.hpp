@@ -1,0 +1,95 @@
+// Wire protocol of the gpuperf estimation service (docs/SERVER.md):
+// newline-delimited requests in the CLI's word grammar
+// ("predict resnet50v2 teslat4"), newline-delimited single-line JSON
+// responses.  The command parser here is also the CLI's argv parser —
+// one grammar, one implementation, shared tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuperf::serve {
+
+/// Words split into positional arguments and --flags.
+///
+/// Grammar (fixes the historical argv parser, which silently swallowed
+/// flag values that start with "--"):
+///   --key=value   explicit form; value may contain anything, even "--"
+///   --key value   value is the next word unless it starts with "--"
+///   --key         bare flag; stored with an empty value
+///   --            everything after a lone "--" is positional
+struct ParsedCommand {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool has_flag(const std::string& key) const {
+    return flags.count(key) > 0;
+  }
+  std::string flag_or(const std::string& key,
+                      const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+ParsedCommand parse_command(const std::vector<std::string>& words);
+
+/// One service request: the verb ("predict", "rank", "analyze",
+/// "stats", "ping", "shutdown") plus the parsed remainder of the line.
+struct Request {
+  std::string verb;
+  ParsedCommand cmd;
+  std::string raw;  // the original line, for error messages
+};
+
+/// Split a request line on whitespace and parse it.  An empty or
+/// all-whitespace line yields an empty verb.
+Request parse_request(const std::string& line);
+
+/// A serialized single-line JSON response plus the out-of-band
+/// shutdown signal the server acts on.
+struct Response {
+  bool ok = false;
+  std::string body;  // single-line JSON, no trailing newline
+  bool shutdown_requested = false;
+};
+
+Response error_response(const std::string& message);
+
+/// Minimal streaming JSON writer: enough of the format for the
+/// protocol's flat-ish responses (objects, arrays, scalars), with
+/// correct string escaping and non-finite doubles mapped to null.
+/// Output never contains a newline, so one response is one line.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  void key(std::string_view k);
+  void scalar(std::string_view text);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+}  // namespace gpuperf::serve

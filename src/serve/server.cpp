@@ -1,0 +1,175 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace gpuperf::serve {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(ServeSession& session, Options options)
+    : session_(session), options_(std::move(options)) {
+  GP_CHECK(options_.port >= 0 && options_.port <= 65535);
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  GP_CHECK_MSG(!running_.load(), "server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  GP_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  GP_CHECK_MSG(::inet_pton(AF_INET, options_.bind_address.c_str(),
+                           &addr.sin_addr) == 1,
+               "bad bind address '" << options_.bind_address << "'");
+
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    GP_CHECK_MSG(false, "bind to " << options_.bind_address << ":"
+                                   << options_.port
+                                   << " failed: " << std::strerror(err));
+  }
+  GP_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+               "listen() failed: " << std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  GP_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                         &len) == 0);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  GP_LOG(kInfo) << "serve: listening on " << options_.bind_address << ":"
+                << port_;
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_fds_.insert(fd);
+    connections_.emplace_back(
+        [this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool close_requested = false;
+  while (!close_requested) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // client went away or stop() shut the socket down
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty() || line == "\r") continue;
+      const Response response = session_.handle(parse_request(line));
+      if (!send_all(fd, response.body + "\n")) {
+        close_requested = true;
+        break;
+      }
+      if (response.shutdown_requested) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          stop_requested_.store(true);
+        }
+        cv_.notify_all();
+        close_requested = true;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_fds_.erase(fd);
+}
+
+bool TcpServer::wait_for_stop(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto done = [this] {
+    return stop_requested_.load() || stopping_.load();
+  };
+  if (timeout_ms < 0)
+    cv_.wait(lock, done);
+  else
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), done);
+  return stop_requested_.load();
+}
+
+void TcpServer::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_.store(true);
+  }
+  cv_.notify_all();
+  // Closing the listener pops the acceptor out of accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // Unblock connection reads, then join.
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) t.join();
+}
+
+}  // namespace gpuperf::serve

@@ -1,0 +1,79 @@
+// TCP front-end of the estimation service: newline-delimited requests
+// in, one JSON line out per request, connections stay open for
+// pipelining.  One acceptor thread plus one lightweight thread per
+// connection; the heavy lifting (DCA, prediction) happens on the
+// session's worker pool via the micro-batcher, so connection threads
+// mostly block on I/O.
+//
+// POSIX sockets only (the project targets Linux); loopback by default.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace gpuperf::serve {
+
+class TcpServer {
+ public:
+  struct Options {
+    /// 0 picks an ephemeral port; read the result from port().
+    int port = 0;
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// The session must outlive the server.
+  TcpServer(ServeSession& session, Options options);
+  explicit TcpServer(ServeSession& session)
+      : TcpServer(session, Options()) {}
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind + listen + spawn the acceptor; GP_CHECK-fails if the port is
+  /// taken.
+  void start();
+
+  /// The bound port (valid after start()).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(); }
+
+  /// True once a client sent `shutdown` (the server keeps accepting
+  /// until stop() — the owner decides when to wind down).
+  bool stop_requested() const { return stop_requested_.load(); }
+
+  /// Block until a shutdown request arrives or `timeout_ms` elapses
+  /// (timeout_ms < 0 = forever).  Returns stop_requested().
+  bool wait_for_stop(int timeout_ms = -1);
+
+  /// Close the listener, unblock and join every connection thread.
+  /// Idempotent; must not be called from a connection thread.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ServeSession& session_;
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> connections_;
+  std::set<int> open_fds_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace gpuperf::serve

@@ -1,0 +1,305 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "core/dataset_builder.hpp"
+#include "gpu/device_db.hpp"
+
+namespace gpuperf::serve {
+
+namespace {
+
+core::PerformanceEstimator make_estimator(const ServeOptions& options) {
+  if (!options.tree_path.empty())
+    return core::PerformanceEstimator::load(options.tree_path);
+  core::DatasetOptions dataset;
+  dataset.models = options.train_models;
+  dataset.devices = options.train_devices;
+  core::PerformanceEstimator estimator(options.regressor_id, options.seed);
+  estimator.train(core::DatasetBuilder(dataset).build());
+  return estimator;
+}
+
+std::string result_key(const std::string& model,
+                       const std::string& device) {
+  return model + '\x1f' + device;
+}
+
+}  // namespace
+
+ServeSession::ServeSession(ServeOptions options)
+    : options_(std::move(options)),
+      estimator_(make_estimator(options_)),
+      static_reports_(options_.cache_capacity, options_.cache_shards),
+      features_(options_.cache_capacity, options_.cache_shards),
+      results_(options_.cache_capacity, options_.cache_shards),
+      pool_(options_.n_threads) {
+  batcher_ = std::make_unique<PredictBatcher>(
+      pool_, [this](const std::string& model,
+                    const std::vector<const gpu::DeviceSpec*>& devices) {
+        return predict_group(model, devices);
+      });
+  // One-shot estimator callers share the service's DCA cache too.
+  estimator_.set_feature_provider(
+      [this](const std::string& model) { return features_for(model); });
+}
+
+ServeSession::FeaturePtr ServeSession::features_for(
+    const std::string& model) {
+  GP_CHECK_MSG(cnn::zoo::has_model(model),
+               "unknown model '" << model << "'");
+  return features_.get_or_compute(model, [&] {
+    return std::make_shared<const core::ModelFeatures>(
+        extractor_.compute(cnn::zoo::build(model)));
+  });
+}
+
+std::vector<double> ServeSession::predict_group(
+    const std::string& model,
+    const std::vector<const gpu::DeviceSpec*>& devices) {
+  const FeaturePtr features = features_for(model);
+  std::vector<double> out;
+  out.reserve(devices.size());
+  for (const gpu::DeviceSpec* device : devices)
+    out.push_back(estimator_.predict(*features, *device));
+  return out;
+}
+
+ServeSession::PredictOutcome ServeSession::predict_ipc(
+    const std::string& model, const gpu::DeviceSpec& device) {
+  const std::string key = result_key(model, device.name);
+  if (const auto cached = results_.get(key)) return {*cached, true};
+  double ipc = 0.0;
+  if (options_.batching) {
+    ipc = batcher_->submit(model, device).get();
+  } else {
+    ipc = predict_group(model, {&device}).front();
+  }
+  results_.put(key, std::make_shared<const double>(ipc));
+  return {ipc, false};
+}
+
+double ServeSession::predict(const std::string& model,
+                             const std::string& device) {
+  GP_CHECK_MSG(gpu::has_device(device),
+               "unknown device '" << device << "'");
+  return predict_ipc(model, gpu::device(device)).ipc;
+}
+
+Response ServeSession::do_predict(const Request& request) {
+  if (request.cmd.positional.size() < 2)
+    return error_response("usage: predict <model> <device>");
+  const std::string& model = request.cmd.positional[0];
+  const std::string& device = request.cmd.positional[1];
+  if (!cnn::zoo::has_model(model))
+    return error_response("unknown model '" + model + "'");
+  if (!gpu::has_device(device))
+    return error_response("unknown device '" + device + "'");
+
+  const PredictOutcome outcome = predict_ipc(model, gpu::device(device));
+
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "predict")
+      .field("model", std::string_view(model))
+      .field("device", std::string_view(device))
+      .field("ipc", outcome.ipc)
+      .field("cached", outcome.cached)
+      .end_object();
+  return Response{true, json.str(), false};
+}
+
+Response ServeSession::do_rank(const Request& request) {
+  if (request.cmd.positional.empty())
+    return error_response("usage: rank <model>");
+  const std::string& model = request.cmd.positional.front();
+  if (!cnn::zoo::has_model(model))
+    return error_response("unknown model '" + model + "'");
+
+  struct Row {
+    const gpu::DeviceSpec* device;
+    double ipc;
+    double throughput;
+  };
+  std::vector<Row> rows;
+  for (const gpu::DeviceSpec& device : gpu::device_database()) {
+    const double ipc = predict_ipc(model, device).ipc;
+    rows.push_back(
+        {&device, ipc, ipc * device.sm_count * device.boost_clock_mhz});
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.throughput > b.throughput;
+  });
+
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "rank")
+      .field("model", std::string_view(model));
+  json.begin_array("ranking");
+  for (const Row& row : rows) {
+    json.begin_object()
+        .field("device", std::string_view(row.device->name))
+        .field("ipc", row.ipc)
+        .field("throughput_proxy", row.throughput)
+        .end_object();
+  }
+  json.end_array().end_object();
+  return Response{true, json.str(), false};
+}
+
+Response ServeSession::do_analyze(const Request& request) {
+  if (request.cmd.positional.empty())
+    return error_response("usage: analyze <model>");
+  const std::string& model = request.cmd.positional.front();
+  if (!cnn::zoo::has_model(model))
+    return error_response("unknown model '" + model + "'");
+
+  const auto report = static_reports_.get_or_compute(model, [&] {
+    return std::make_shared<const cnn::ModelReport>(
+        analyzer_.analyze(cnn::zoo::build(model)));
+  });
+
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "analyze")
+      .field("model", std::string_view(model))
+      .field("trainable_params", report->trainable_params)
+      .field("total_params", report->total_params)
+      .field("neurons", report->neurons)
+      .field("macs", report->macs)
+      .field("flops", report->flops)
+      .field("weighted_layers", report->weighted_layers)
+      .end_object();
+  return Response{true, json.str(), false};
+}
+
+namespace {
+
+void write_cache_json(JsonWriter& json, std::string_view name,
+                      const CacheStats& stats) {
+  json.begin_object(name)
+      .field("hits", stats.hits)
+      .field("misses", stats.misses)
+      .field("evictions", stats.evictions)
+      .field("size", static_cast<std::uint64_t>(stats.size))
+      .end_object();
+}
+
+}  // namespace
+
+std::string ServeSession::stats_json() {
+  JsonWriter json;
+  json.begin_object().field("ok", true).field("endpoint", "stats");
+  metrics_.write_json(json);
+  json.begin_object("caches");
+  write_cache_json(json, "static", static_reports_.stats());
+  write_cache_json(json, "features", features_.stats());
+  write_cache_json(json, "results", results_.stats());
+  json.end_object();
+  const BatcherStats batch = batcher_->stats();
+  json.begin_object("batch")
+      .field("flushes", batch.flushes)
+      .field("batches", batch.batches)
+      .field("batched_requests", batch.batched_requests)
+      .field("max_batch", batch.max_batch)
+      .end_object();
+  json.begin_object("estimator")
+      .field("regressor", std::string_view(estimator_.regressor_id()))
+      .field("trained", estimator_.is_trained())
+      .field("threads", static_cast<std::uint64_t>(pool_.size()))
+      .field("batching", options_.batching)
+      .end_object();
+  json.end_object();
+  return json.str();
+}
+
+Response ServeSession::do_stats() {
+  return Response{true, stats_json(), false};
+}
+
+Response ServeSession::do_ping() const {
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "ping")
+      .end_object();
+  return Response{true, json.str(), false};
+}
+
+Response ServeSession::do_shutdown() const {
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "shutdown")
+      .end_object();
+  return Response{true, json.str(), true};
+}
+
+Response ServeSession::handle(const Request& request) {
+  static const char* kKnown[] = {"predict", "rank",    "analyze",
+                                 "stats",   "ping",    "shutdown"};
+  const bool known =
+      std::find(std::begin(kKnown), std::end(kKnown), request.verb) !=
+      std::end(kKnown);
+  EndpointMetrics& endpoint =
+      metrics_.endpoint(known ? request.verb : "unknown");
+  MetricsRegistry::ScopedRequest scope(metrics_, endpoint);
+  if (!known) {
+    scope.mark_error();
+    return error_response("unknown command '" + request.verb +
+                          "' (try: predict, rank, analyze, stats, ping, "
+                          "shutdown)");
+  }
+  try {
+    Response response;
+    if (request.verb == "predict") response = do_predict(request);
+    else if (request.verb == "rank") response = do_rank(request);
+    else if (request.verb == "analyze") response = do_analyze(request);
+    else if (request.verb == "stats") response = do_stats();
+    else if (request.verb == "ping") response = do_ping();
+    else response = do_shutdown();
+    if (!response.ok) scope.mark_error();
+    return response;
+  } catch (const std::exception& e) {
+    scope.mark_error();
+    return error_response(e.what());
+  }
+}
+
+std::string ServeSession::handle_line(const std::string& line) {
+  return handle(parse_request(line)).body;
+}
+
+void ServeSession::reset_caches() {
+  static_reports_.clear();
+  features_.clear();
+  results_.clear();
+}
+
+std::string ServeSession::summary() const {
+  std::ostringstream os;
+  os << metrics_.summary();
+  const auto line = [&os](const char* name, const CacheStats& stats) {
+    const std::uint64_t total = stats.hits + stats.misses;
+    os << "  " << name << " cache: " << stats.hits << "/" << total
+       << " hits, " << stats.evictions << " evictions\n";
+  };
+  line("static", static_reports_.stats());
+  line("feature", features_.stats());
+  line("result", results_.stats());
+  const BatcherStats batch = batcher_->stats();
+  os << "  batcher: " << batch.batched_requests << " requests in "
+     << batch.batches << " batches (max batch " << batch.max_batch
+     << ")\n";
+  return os.str();
+}
+
+}  // namespace gpuperf::serve

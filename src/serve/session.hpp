@@ -1,0 +1,115 @@
+// In-process estimation service: everything `gpuperf serve` does minus
+// the sockets.  Owns a trained PerformanceEstimator, the three result
+// caches (static analysis, DCA features, predictions), the predict
+// micro-batcher and the metrics registry; tests, examples and benches
+// drive it directly, the TCP server forwards lines to it.
+//
+// handle() is safe to call from many threads at once: the estimator is
+// trained in the constructor and only its const predict path runs
+// afterwards, all caches are internally synchronized, and feature
+// computation is single-flight per model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cnn/static_analyzer.hpp"
+#include "common/thread_pool.hpp"
+#include "core/estimator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace gpuperf::serve {
+
+struct ServeOptions {
+  std::string regressor_id = "dt";
+  std::uint64_t seed = 42;
+  /// Training subset (zoo names); empty = the full Table I zoo.
+  std::vector<std::string> train_models;
+  /// Training devices; empty = the paper's two (GTX 1080 Ti, V100S).
+  std::vector<std::string> train_devices;
+  /// Load a serialized Decision Tree instead of training from scratch.
+  std::string tree_path;
+  /// Entry budget for each of the three caches.
+  std::size_t cache_capacity = 256;
+  std::size_t cache_shards = 8;
+  /// Worker pool size for batched predictions; 0 = hardware threads.
+  std::size_t n_threads = 0;
+  /// Route predict requests through the micro-batcher (off = inline
+  /// execution on the caller thread; the caches still apply).
+  bool batching = true;
+};
+
+class ServeSession {
+ public:
+  explicit ServeSession(ServeOptions options = {});
+
+  /// Dispatch one request; never throws — failures become
+  /// {"ok":false,...} responses and count as endpoint errors.
+  Response handle(const Request& request);
+
+  /// Parse + handle + serialize: the line in, the JSON line out.
+  std::string handle_line(const std::string& line);
+
+  /// Convenience predict with the full cache/batcher path (used by the
+  /// in-process examples and benches).  Throws on unknown names.
+  double predict(const std::string& model, const std::string& device);
+
+  /// Drop every cached static report, feature vector and prediction
+  /// (for cold-path measurements; counters are not reset).
+  void reset_caches();
+
+  /// Drop only cached predictions; DCA features stay warm.
+  void reset_result_cache() { results_.clear(); }
+
+  const core::PerformanceEstimator& estimator() const { return estimator_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  CacheStats feature_cache_stats() const { return features_.stats(); }
+  CacheStats result_cache_stats() const { return results_.stats(); }
+  BatcherStats batcher_stats() const { return batcher_->stats(); }
+
+  /// The stats endpoint's JSON (also handy without a Request).
+  std::string stats_json();
+
+  /// Human-readable shutdown summary: endpoint traffic + cache hit
+  /// rates.
+  std::string summary() const;
+
+ private:
+  using FeaturePtr = std::shared_ptr<const core::ModelFeatures>;
+
+  Response do_predict(const Request& request);
+  Response do_rank(const Request& request);
+  Response do_analyze(const Request& request);
+  Response do_stats();
+  Response do_ping() const;
+  Response do_shutdown() const;
+
+  FeaturePtr features_for(const std::string& model);
+  std::vector<double> predict_group(
+      const std::string& model,
+      const std::vector<const gpu::DeviceSpec*>& devices);
+  struct PredictOutcome {
+    double ipc = 0.0;
+    bool cached = false;  // served from the result cache
+  };
+  PredictOutcome predict_ipc(const std::string& model,
+                             const gpu::DeviceSpec& device);
+
+  ServeOptions options_;
+  core::PerformanceEstimator estimator_;
+  core::FeatureExtractor extractor_;
+  cnn::StaticAnalyzer analyzer_;
+  ShardedLruCache<cnn::ModelReport> static_reports_;
+  ShardedLruCache<core::ModelFeatures> features_;
+  ShardedLruCache<double> results_;
+  ThreadPool pool_;
+  std::unique_ptr<PredictBatcher> batcher_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace gpuperf::serve

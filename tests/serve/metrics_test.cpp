@@ -1,0 +1,111 @@
+#include "serve/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace gpuperf::serve {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.percentile(0.5), 0.0);
+  EXPECT_EQ(histogram.mean_seconds(), 0.0);
+  EXPECT_EQ(histogram.max_seconds(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesBracketTheSamples) {
+  LatencyHistogram histogram;
+  // 90 fast requests at ~1 ms, 10 slow at ~1 s.
+  for (int i = 0; i < 90; ++i) histogram.record(1e-3);
+  for (int i = 0; i < 10; ++i) histogram.record(1.0);
+  EXPECT_EQ(histogram.count(), 100u);
+  const double p50 = histogram.percentile(0.50);
+  const double p95 = histogram.percentile(0.95);
+  // Geometric buckets are ~±15 % wide; assert the right decade.
+  EXPECT_GT(p50, 0.5e-3);
+  EXPECT_LT(p50, 2e-3);
+  EXPECT_GT(p95, 0.5);
+  EXPECT_LT(p95, 2.0);
+  EXPECT_NEAR(histogram.mean_seconds(), (90 * 1e-3 + 10 * 1.0) / 100.0,
+              1e-3);
+  EXPECT_NEAR(histogram.max_seconds(), 1.0, 1e-6);
+}
+
+TEST(LatencyHistogram, ClampsOutOfRangeSamples) {
+  LatencyHistogram histogram;
+  histogram.record(-1.0);    // negative → treated as 0
+  histogram.record(1e-9);    // below the first bucket
+  histogram.record(1e6);     // beyond the last bucket
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_GT(histogram.percentile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecording) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) histogram.record(1e-3);
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, EndpointIsStable) {
+  MetricsRegistry registry;
+  EndpointMetrics& a = registry.endpoint("predict");
+  EndpointMetrics& b = registry.endpoint("predict");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, ScopedRequestRecords) {
+  MetricsRegistry registry;
+  EndpointMetrics& endpoint = registry.endpoint("predict");
+  {
+    MetricsRegistry::ScopedRequest scope(registry, endpoint);
+    EXPECT_EQ(registry.in_flight(), 1);
+  }
+  EXPECT_EQ(registry.in_flight(), 0);
+  EXPECT_EQ(endpoint.requests.load(), 1u);
+  EXPECT_EQ(endpoint.errors.load(), 0u);
+  EXPECT_EQ(endpoint.latency.count(), 1u);
+  {
+    MetricsRegistry::ScopedRequest scope(registry, endpoint);
+    scope.mark_error();
+  }
+  EXPECT_EQ(endpoint.errors.load(), 1u);
+}
+
+TEST(MetricsRegistry, JsonContainsEndpoints) {
+  MetricsRegistry registry;
+  { MetricsRegistry::ScopedRequest s(registry, registry.endpoint("rank")); }
+  JsonWriter json;
+  json.begin_object();
+  registry.write_json(json);
+  json.end_object();
+  const std::string& text = json.str();
+  EXPECT_NE(text.find("\"endpoints\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank\""), std::string::npos);
+  EXPECT_NE(text.find("\"p95_ms\""), std::string::npos);
+  EXPECT_NE(text.find("\"in_flight\":0"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SummarySkipsIdleEndpoints) {
+  MetricsRegistry registry;
+  registry.endpoint("idle");
+  { MetricsRegistry::ScopedRequest s(registry, registry.endpoint("busy")); }
+  const std::string text = registry.summary();
+  EXPECT_NE(text.find("busy"), std::string::npos);
+  EXPECT_EQ(text.find("idle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuperf::serve

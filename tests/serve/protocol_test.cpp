@@ -1,0 +1,120 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gpuperf::serve {
+namespace {
+
+TEST(ParseCommand, PositionalAndFlags) {
+  const ParsedCommand cmd =
+      parse_command({"resnet50v2", "teslat4", "--tree", "dt.txt"});
+  ASSERT_EQ(cmd.positional.size(), 2u);
+  EXPECT_EQ(cmd.positional[0], "resnet50v2");
+  EXPECT_EQ(cmd.positional[1], "teslat4");
+  EXPECT_EQ(cmd.flag_or("tree", ""), "dt.txt");
+}
+
+TEST(ParseCommand, BareFlagHasEmptyValue) {
+  const ParsedCommand cmd = parse_command({"vgg16", "--layers"});
+  EXPECT_TRUE(cmd.has_flag("layers"));
+  EXPECT_EQ(cmd.flag_or("layers", "x"), "");
+}
+
+TEST(ParseCommand, FlagFollowedByFlagIsNotSwallowed) {
+  // Historical CLI bug: `--out` at the end or followed by another flag
+  // must not eat the next flag, and both flags must survive.
+  const ParsedCommand cmd = parse_command({"--out", "--extended"});
+  EXPECT_TRUE(cmd.has_flag("out"));
+  EXPECT_EQ(cmd.flag_or("out", "x"), "");
+  EXPECT_TRUE(cmd.has_flag("extended"));
+}
+
+TEST(ParseCommand, EqualsFormTakesValuesStartingWithDashes) {
+  // The explicit form carries values the space form cannot.
+  const ParsedCommand cmd =
+      parse_command({"--out=--weird-name.csv", "--seed=42"});
+  EXPECT_EQ(cmd.flag_or("out", ""), "--weird-name.csv");
+  EXPECT_EQ(cmd.flag_or("seed", ""), "42");
+}
+
+TEST(ParseCommand, EqualsFormKeepsLaterEqualSigns) {
+  const ParsedCommand cmd = parse_command({"--filter=a=b"});
+  EXPECT_EQ(cmd.flag_or("filter", ""), "a=b");
+}
+
+TEST(ParseCommand, DoubleDashEndsFlagParsing) {
+  const ParsedCommand cmd = parse_command({"--seed", "7", "--", "--model"});
+  EXPECT_EQ(cmd.flag_or("seed", ""), "7");
+  ASSERT_EQ(cmd.positional.size(), 1u);
+  EXPECT_EQ(cmd.positional[0], "--model");
+}
+
+TEST(ParseRequest, VerbAndRemainder) {
+  const Request request = parse_request("predict resnet50v2 teslat4\r");
+  EXPECT_EQ(request.verb, "predict");
+  ASSERT_EQ(request.cmd.positional.size(), 2u);
+  EXPECT_EQ(request.cmd.positional[0], "resnet50v2");
+}
+
+TEST(ParseRequest, EmptyLine) {
+  EXPECT_EQ(parse_request("").verb, "");
+  EXPECT_EQ(parse_request("   \t ").verb, "");
+}
+
+TEST(ParseRequest, CollapsesWhitespace) {
+  const Request request = parse_request("  rank   vgg16  ");
+  EXPECT_EQ(request.verb, "rank");
+  ASSERT_EQ(request.cmd.positional.size(), 1u);
+  EXPECT_EQ(request.cmd.positional[0], "vgg16");
+}
+
+TEST(JsonWriter, ScalarsAndNesting) {
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("name", "alex\"net")
+      .field("ipc", 2.5)
+      .field("count", static_cast<std::int64_t>(-3));
+  json.begin_object("inner").field("x", std::uint64_t{7}).end_object();
+  json.begin_array("items");
+  json.begin_object().field("a", 1.0).end_object();
+  json.begin_object().field("a", 2.0).end_object();
+  json.end_array().end_object();
+  EXPECT_EQ(json.str(),
+            "{\"ok\":true,\"name\":\"alex\\\"net\",\"ipc\":2.5,"
+            "\"count\":-3,\"inner\":{\"x\":7},"
+            "\"items\":[{\"a\":1},{\"a\":2}]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_object()
+      .field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .end_object();
+  EXPECT_EQ(json.str(), "{\"nan\":null,\"inf\":null}");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc\x01"), "a\\nb\\tc\\u0001");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+}
+
+TEST(JsonWriter, OutputHasNoNewline) {
+  JsonWriter json;
+  json.begin_object().field("text", "line1\nline2").end_object();
+  EXPECT_EQ(json.str().find('\n'), std::string::npos);
+}
+
+TEST(ErrorResponse, Shape) {
+  const Response response = error_response("boom");
+  EXPECT_FALSE(response.ok);
+  EXPECT_FALSE(response.shutdown_requested);
+  EXPECT_EQ(response.body, "{\"ok\":false,\"error\":\"boom\"}");
+}
+
+}  // namespace
+}  // namespace gpuperf::serve

@@ -1,0 +1,209 @@
+#include "serve/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "cnn/static_analyzer.hpp"
+#include "cnn/zoo.hpp"
+#include "core/dataset_builder.hpp"
+#include "gpu/device_db.hpp"
+
+namespace gpuperf::serve {
+namespace {
+
+ServeOptions tiny_options() {
+  ServeOptions options;
+  options.train_models = {"alexnet", "mobilenet", "MobileNetV2", "vgg16"};
+  options.n_threads = 2;
+  return options;
+}
+
+ServeSession& shared_session() {
+  static ServeSession session(tiny_options());
+  return session;
+}
+
+/// Pull a numeric field out of a flat JSON response.
+double json_number(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = body.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << body;
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+}
+
+bool is_ok(const std::string& body) {
+  return body.find("\"ok\":true") != std::string::npos;
+}
+
+TEST(ServeSession, PredictMatchesStandaloneEstimator) {
+  // Same dataset, same seed, same regressor → bit-identical prediction.
+  core::DatasetOptions dataset;
+  dataset.models = tiny_options().train_models;
+  core::PerformanceEstimator estimator("dt", 42);
+  estimator.train(core::DatasetBuilder(dataset).build());
+  const double expected =
+      estimator.predict("alexnet", gpu::device("gtx1080ti"));
+
+  EXPECT_DOUBLE_EQ(shared_session().predict("alexnet", "gtx1080ti"),
+                   expected);
+}
+
+TEST(ServeSession, RepeatedPredictHitsResultCache) {
+  ServeSession& session = shared_session();
+  const CacheStats before = session.result_cache_stats();
+  const std::string first =
+      session.handle_line("predict MobileNetV2 teslat4");
+  const std::string second =
+      session.handle_line("predict MobileNetV2 teslat4");
+  ASSERT_TRUE(is_ok(first)) << first;
+  ASSERT_TRUE(is_ok(second)) << second;
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos) << first;
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos) << second;
+  EXPECT_DOUBLE_EQ(json_number(first, "ipc"), json_number(second, "ipc"));
+  EXPECT_GT(session.result_cache_stats().hits, before.hits);
+}
+
+TEST(ServeSession, FeatureCacheSharedAcrossDevices) {
+  ServeSession session(tiny_options());
+  session.predict("alexnet", "gtx1080ti");
+  const CacheStats after_first = session.feature_cache_stats();
+  session.predict("alexnet", "v100s");  // same model, new device
+  const CacheStats after_second = session.feature_cache_stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_second.misses, 1u);  // DCA ran exactly once
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST(ServeSession, ConcurrentPredictsAreConsistentAndBatched) {
+  ServeSession session(tiny_options());
+  const std::vector<std::string> devices = {"gtx1080ti", "v100s",
+                                            "teslat4"};
+  constexpr int kThreads = 9;
+  std::vector<double> ipc(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      ipc[t] = session.predict("mobilenet", devices[t % devices.size()]);
+    });
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_GT(ipc[t], 0.0);
+    // Same (model, device) must agree regardless of batching order.
+    EXPECT_DOUBLE_EQ(ipc[t], ipc[t % devices.size()]);
+  }
+  const CacheStats features = session.feature_cache_stats();
+  EXPECT_EQ(features.misses, 1u);  // single-flight DCA
+  EXPECT_GE(session.batcher_stats().batched_requests, 1u);
+}
+
+TEST(ServeSession, BatchingOffStillServes) {
+  ServeOptions options = tiny_options();
+  options.batching = false;
+  ServeSession session(options);
+  const double ipc = session.predict("alexnet", "teslat4");
+  EXPECT_GT(ipc, 0.0);
+  EXPECT_EQ(session.batcher_stats().batched_requests, 0u);
+  EXPECT_DOUBLE_EQ(shared_session().predict("alexnet", "teslat4"), ipc);
+}
+
+TEST(ServeSession, AnalyzeMatchesStaticAnalyzer) {
+  const std::string body =
+      shared_session().handle_line("analyze MobileNetV2");
+  ASSERT_TRUE(is_ok(body)) << body;
+  const auto report =
+      cnn::StaticAnalyzer().analyze(cnn::zoo::build("MobileNetV2"));
+  EXPECT_EQ(static_cast<std::int64_t>(json_number(body, "trainable_params")),
+            report.trainable_params);
+  EXPECT_EQ(static_cast<std::int64_t>(json_number(body, "weighted_layers")),
+            report.weighted_layers);
+}
+
+TEST(ServeSession, RankListsEveryDevice) {
+  const std::string body = shared_session().handle_line("rank alexnet");
+  ASSERT_TRUE(is_ok(body)) << body;
+  for (const auto& device : gpu::device_database())
+    EXPECT_NE(body.find("\"" + device.name + "\""), std::string::npos)
+        << device.name;
+  // Ranking is sorted by the throughput proxy, best first.
+  const std::size_t first = body.find("\"throughput_proxy\":");
+  ASSERT_NE(first, std::string::npos);
+  double previous = json_number(body.substr(first), "throughput_proxy");
+  for (std::size_t pos = body.find("\"throughput_proxy\":", first + 1);
+       pos != std::string::npos;
+       pos = body.find("\"throughput_proxy\":", pos + 1)) {
+    const double value = json_number(body.substr(pos), "throughput_proxy");
+    EXPECT_LE(value, previous + 1e-9);
+    previous = value;
+  }
+}
+
+TEST(ServeSession, StatsReportsEndpointsAndCaches) {
+  ServeSession& session = shared_session();
+  session.handle_line("predict alexnet gtx1080ti");
+  const std::string body = session.handle_line("stats");
+  ASSERT_TRUE(is_ok(body)) << body;
+  for (const char* field :
+       {"\"endpoints\"", "\"predict\"", "\"p50_ms\"", "\"p95_ms\"",
+        "\"caches\"", "\"features\"", "\"results\"", "\"batch\"",
+        "\"in_flight\"", "\"uptime_seconds\"", "\"regressor\""})
+    EXPECT_NE(body.find(field), std::string::npos) << field;
+}
+
+TEST(ServeSession, ErrorsAreResponsesNotExceptions) {
+  ServeSession& session = shared_session();
+  const std::string unknown_verb = session.handle_line("frobnicate");
+  EXPECT_NE(unknown_verb.find("\"ok\":false"), std::string::npos);
+  const std::string unknown_model =
+      session.handle_line("predict notamodel gtx1080ti");
+  EXPECT_NE(unknown_model.find("unknown model"), std::string::npos);
+  const std::string unknown_device =
+      session.handle_line("predict alexnet notadevice");
+  EXPECT_NE(unknown_device.find("unknown device"), std::string::npos);
+  const std::string missing_args = session.handle_line("predict");
+  EXPECT_NE(missing_args.find("\"ok\":false"), std::string::npos);
+  const std::string empty = session.handle_line("");
+  EXPECT_NE(empty.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ServeSession, ShutdownVerbSignalsButResponds) {
+  ServeSession session(tiny_options());
+  const Response response = session.handle(parse_request("shutdown"));
+  EXPECT_TRUE(response.ok);
+  EXPECT_TRUE(response.shutdown_requested);
+}
+
+TEST(ServeSession, PingIsCheap) {
+  const std::string body = shared_session().handle_line("ping");
+  EXPECT_TRUE(is_ok(body)) << body;
+}
+
+TEST(ServeSession, ResetCachesForcesRecompute) {
+  ServeSession session(tiny_options());
+  session.predict("alexnet", "gtx1080ti");
+  session.reset_caches();
+  EXPECT_EQ(session.feature_cache_stats().size, 0u);
+  session.predict("alexnet", "gtx1080ti");
+  EXPECT_EQ(session.feature_cache_stats().misses, 2u);
+}
+
+TEST(ServeSession, EstimatorHookSharesServeCache) {
+  // The injected feature provider routes one-shot estimator predicts
+  // through the service's DCA cache: no second DCA for a model the
+  // service already analyzed.
+  ServeSession session(tiny_options());
+  session.predict("vgg16", "gtx1080ti");
+  const CacheStats before = session.feature_cache_stats();
+  auto& estimator =
+      const_cast<core::PerformanceEstimator&>(session.estimator());
+  estimator.predict("vgg16", gpu::device("teslat4"));
+  const CacheStats after = session.feature_cache_stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GT(after.hits, before.hits);
+}
+
+}  // namespace
+}  // namespace gpuperf::serve

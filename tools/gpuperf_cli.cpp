@@ -10,6 +10,13 @@
 //   gpuperf train --out <file> [--seed N]   train the DT, save it
 //   gpuperf predict <model> <device> [--tree <file>]
 //   gpuperf rank <model>                    DSE ranking over all devices
+//   gpuperf serve [--port N] [--threads K]  long-lived estimation daemon
+//   gpuperf client <request...> [--port N]  one request to a daemon
+//
+// Flags accept both `--key value` and the explicit `--key=value` form
+// (required when the value itself starts with "--"); the grammar is
+// serve::parse_command, shared with the server's wire protocol.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -29,31 +36,23 @@
 #include "ml/model_io.hpp"
 #include "ptx/codegen.hpp"
 #include "ptx/counter.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
 
 namespace {
 
 using namespace gpuperf;
 
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;  // --key value / --key
-};
+constexpr int kDefaultPort = 8471;
+
+using Args = serve::ParsedCommand;
 
 Args parse_args(int argc, char** argv) {
-  Args args;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (starts_with(arg, "--")) {
-      const std::string key = arg.substr(2);
-      if (i + 1 < argc && !starts_with(argv[i + 1], "--"))
-        args.flags[key] = argv[++i];
-      else
-        args.flags[key] = "";
-    } else {
-      args.positional.push_back(arg);
-    }
-  }
-  return args;
+  std::vector<std::string> words;
+  for (int i = 2; i < argc; ++i) words.emplace_back(argv[i]);
+  return serve::parse_command(words);
 }
 
 int usage() {
@@ -67,7 +66,11 @@ int usage() {
       "  dataset [--out f.csv] [--devices a,b] [--extended]\n"
       "  train --out <file> [--seed N]  train + save the Decision Tree\n"
       "  predict <model> <device> [--tree <file>]\n"
-      "  rank <model>                   DSE ranking over all devices\n");
+      "  rank <model>                   DSE ranking over all devices\n"
+      "  serve [--port N] [--threads K] [--tree <file>] [--models a,b]\n"
+      "        [--regressor id] [--no-batch]   estimation daemon\n"
+      "  client <request...> [--host H] [--port N]\n"
+      "        e.g. `gpuperf client predict resnet50v2 teslat4`\n");
   return 2;
 }
 
@@ -240,6 +243,62 @@ int cmd_rank(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions options;
+  if (const auto it = args.flags.find("models"); it != args.flags.end())
+    options.train_models = split(it->second, ',');
+  if (const auto it = args.flags.find("devices"); it != args.flags.end())
+    options.train_devices = split(it->second, ',');
+  options.tree_path = args.flag_or("tree", "");
+  options.regressor_id = args.flag_or("regressor", "dt");
+  options.seed = seed_from(args);
+  if (const auto it = args.flags.find("threads"); it != args.flags.end())
+    options.n_threads = static_cast<std::size_t>(parse_int(it->second));
+  if (const auto it = args.flags.find("cache"); it != args.flags.end())
+    options.cache_capacity =
+        static_cast<std::size_t>(parse_int(it->second));
+  options.batching = !args.has_flag("no-batch");
+
+  if (options.tree_path.empty())
+    std::fprintf(stderr, "training %s estimator...\n",
+                 options.regressor_id.c_str());
+  serve::ServeSession session(options);
+
+  serve::TcpServer::Options server_options;
+  server_options.port =
+      static_cast<int>(parse_int(args.flag_or("port", "0")));
+  if (server_options.port == 0 && !args.has_flag("port"))
+    server_options.port = kDefaultPort;
+  serve::TcpServer server(session, server_options);
+  server.start();
+  // The smoke tests and scripts parse this exact line.
+  std::printf("gpuperf serve listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, [](int) { g_interrupted = 1; });
+  std::signal(SIGTERM, [](int) { g_interrupted = 1; });
+  while (!server.stop_requested() && !g_interrupted)
+    server.wait_for_stop(200);
+  server.stop();
+  std::fprintf(stderr, "%s", session.summary().c_str());
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string host = args.flag_or("host", "127.0.0.1");
+  const int port =
+      static_cast<int>(parse_int(args.flag_or("port",
+                                              std::to_string(kDefaultPort))));
+  serve::TcpClient client(host, port);
+  const std::string response = client.request(join(args.positional, " "));
+  std::printf("%s\n", response.c_str());
+  // Mirror the server's verdict in the exit code.
+  return starts_with(response, "{\"ok\":true") ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,6 +314,8 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "rank") return cmd_rank(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "client") return cmd_client(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
