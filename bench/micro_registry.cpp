@@ -1,0 +1,152 @@
+// Microbenchmarks of the model registry (docs/REGISTRY.md): bundle
+// load + verify, the hot-swap a `reload` request pays, and the warm
+// restart a persistent DCA feature store buys over a cold one.  The
+// warm/cold restart pair is the headline number — loading serialized
+// features is file I/O, recomputing them is static analysis + PTX
+// codegen + sliced symbolic execution per model.  main() asserts the
+// warm path executed zero DCA passes before running the benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/estimator.hpp"
+#include "registry/registry.hpp"
+#include "serve/session.hpp"
+
+namespace {
+
+using namespace gpuperf;
+
+const std::vector<std::string> kBenchModels = {"alexnet", "mobilenet",
+                                               "MobileNetV2", "vgg16"};
+
+std::string bench_dir(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("gpuperf_bench_" + name))
+      .string();
+}
+
+/// A registry with one dt and one knn bundle, built once.
+const std::string& bench_registry() {
+  static const std::string root = [] {
+    const std::string dir = bench_dir("registry");
+    std::filesystem::remove_all(dir);
+    core::DatasetOptions dataset;
+    dataset.models = kBenchModels;
+    const ml::Dataset data = core::DatasetBuilder(dataset).build();
+    registry::ModelRegistry reg(dir);
+    core::PerformanceEstimator dt("dt", 42);
+    dt.train(data);
+    reg.publish(dt, {});
+    core::PerformanceEstimator knn("knn", 42);
+    knn.train(data);
+    reg.publish(knn, {});
+    return dir;
+  }();
+  return root;
+}
+
+// Bundle load: manifest parse, checksum verification over the model
+// text, model deserialization, schema validation.
+void BM_BundleLoad(benchmark::State& state) {
+  registry::ModelRegistry reg(bench_registry());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(reg.load("v0001"));
+}
+BENCHMARK(BM_BundleLoad)->Unit(benchmark::kMicrosecond);
+
+// The full hot-swap a live server pays per `reload` request: bundle
+// load + estimator install + prediction-cache invalidation.  In-flight
+// predicts keep their snapshot, so this latency never blocks them.
+void BM_HotSwap(benchmark::State& state) {
+  serve::ServeOptions options;
+  options.registry_dir = bench_registry();
+  options.n_threads = 2;
+  serve::ServeSession session(options);
+  std::size_t i = 0;
+  for (auto _ : state)
+    session.reload(++i % 2 == 0 ? "v0001" : "v0002");
+}
+BENCHMARK(BM_HotSwap)->Unit(benchmark::kMicrosecond);
+
+// Server restart with an empty feature store: every first predict runs
+// the full DCA pipeline.
+void BM_RestartCold(benchmark::State& state) {
+  serve::ServeOptions options;
+  options.registry_dir = bench_registry();
+  options.n_threads = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string store = bench_dir("cold_store");
+    std::filesystem::remove_all(store);
+    options.feature_store_dir = store;
+    state.ResumeTiming();
+    serve::ServeSession session(options);
+    for (const auto& model : kBenchModels)
+      benchmark::DoNotOptimize(session.predict(model, "v100s"));
+  }
+}
+BENCHMARK(BM_RestartCold)->Unit(benchmark::kMillisecond);
+
+// Server restart against a populated feature store: the DCA features
+// stream in from disk, zero slicing/symexec runs.
+void BM_RestartWarm(benchmark::State& state) {
+  serve::ServeOptions options;
+  options.registry_dir = bench_registry();
+  options.feature_store_dir = bench_dir("warm_store");
+  options.n_threads = 2;
+  std::filesystem::remove_all(options.feature_store_dir);
+  {
+    serve::ServeSession primer(options);
+    for (const auto& model : kBenchModels) primer.predict(model, "v100s");
+  }
+  for (auto _ : state) {
+    serve::ServeSession session(options);
+    for (const auto& model : kBenchModels)
+      benchmark::DoNotOptimize(session.predict(model, "v100s"));
+    if (session.dca_compute_count() != 0) {
+      state.SkipWithError("warm restart ran DCA — feature store broken");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_RestartWarm)->Unit(benchmark::kMillisecond);
+
+/// The acceptance check behind BM_RestartWarm, run unconditionally so
+/// a plain `./micro_registry` run verifies it even with filters set.
+bool verify_warm_restart_runs_no_dca() {
+  serve::ServeOptions options;
+  options.registry_dir = bench_registry();
+  options.feature_store_dir = bench_dir("verify_store");
+  options.n_threads = 2;
+  std::filesystem::remove_all(options.feature_store_dir);
+  {
+    serve::ServeSession primer(options);
+    for (const auto& model : kBenchModels) primer.predict(model, "v100s");
+  }
+  serve::ServeSession warm(options);
+  for (const auto& model : kBenchModels) warm.predict(model, "v100s");
+  std::printf("warm restart: %llu DCA passes, %llu feature-store hits\n",
+              static_cast<unsigned long long>(warm.dca_compute_count()),
+              static_cast<unsigned long long>(
+                  warm.feature_store_hit_count()));
+  return warm.dca_compute_count() == 0 &&
+         warm.feature_store_hit_count() == kBenchModels.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!verify_warm_restart_runs_no_dca()) {
+    std::fprintf(stderr,
+                 "FAIL: warm restart recomputed DCA features\n");
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -67,21 +67,27 @@ const ml::Regressor& PerformanceEstimator::model() const {
 }
 
 void PerformanceEstimator::save(const std::string& path) const {
-  GP_CHECK_MSG(regressor_id_ == "dt",
-               "only the Decision Tree estimator is serializable");
-  const auto* tree = dynamic_cast<const ml::DecisionTree*>(regressor_.get());
-  GP_CHECK(tree != nullptr && tree->is_fitted());
-  ml::save_tree(*tree, path);
+  GP_CHECK_MSG(is_trained(), "save before train");
+  ml::save_regressor(*regressor_, path);
 }
 
 PerformanceEstimator PerformanceEstimator::load(const std::string& path) {
-  PerformanceEstimator est("dt");
-  auto tree = std::make_unique<ml::DecisionTree>(ml::load_tree(path));
-  GP_CHECK_MSG(tree->nodes().size() >= 1 &&
-                   tree->feature_importances().size() ==
-                       FeatureExtractor::feature_names().size(),
-               "tree file does not match the estimator feature schema");
-  est.regressor_ = std::move(tree);
+  ml::LoadedRegressor loaded = ml::load_regressor(path);
+  return adopt(std::move(loaded.id), std::move(loaded.model));
+}
+
+PerformanceEstimator PerformanceEstimator::adopt(
+    std::string regressor_id, std::unique_ptr<ml::Regressor> model) {
+  GP_CHECK(model != nullptr);
+  GP_CHECK_MSG(model->is_fitted(), "adopt of an unfitted model");
+  GP_CHECK_MSG(
+      model->n_features() == FeatureExtractor::feature_names().size(),
+      "model '" << regressor_id
+                << "' does not match the estimator feature schema ("
+                << model->n_features() << " features vs "
+                << FeatureExtractor::feature_names().size() << ")");
+  PerformanceEstimator est(std::move(regressor_id));
+  est.regressor_ = std::move(model);
   return est;
 }
 

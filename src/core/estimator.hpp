@@ -68,10 +68,18 @@ class PerformanceEstimator {
   double last_dca_seconds() const { return last_dca_seconds_; }
   double last_predict_seconds() const { return last_predict_seconds_; }
 
-  /// Persist / restore a trained Decision Tree estimator (only "dt"
-  /// supports serialization; other algorithms GP_CHECK-fail).
+  /// Persist / restore a trained estimator.  Every paper regressor
+  /// serializes (ml/model_io); load() detects the algorithm from the
+  /// file header and validates the feature width against the
+  /// extractor's schema.
   void save(const std::string& path) const;
   static PerformanceEstimator load(const std::string& path);
+
+  /// Wrap an already-restored regressor (the registry's load path).
+  /// GP_CHECK-fails unless the model is fitted with this estimator's
+  /// feature schema width.
+  static PerformanceEstimator adopt(std::string regressor_id,
+                                    std::unique_ptr<ml::Regressor> model);
 
   FeatureExtractor& extractor() { return extractor_; }
 

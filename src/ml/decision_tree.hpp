@@ -33,6 +33,7 @@ class DecisionTree final : public Regressor {
   bool is_fitted() const override { return !nodes_.empty(); }
   double predict(const std::vector<double>& x) const override;
   std::vector<double> feature_importances() const override;
+  std::size_t n_features() const override { return n_features_; }
 
   /// Fit on an index subset of `data` (bootstrap sample), with an RNG
   /// for feature subsampling.  Used by RandomForest; rng may be null

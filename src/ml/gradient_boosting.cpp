@@ -85,6 +85,26 @@ double GradientBoosting::predict(const std::vector<double>& x) const {
   return y;
 }
 
+const DecisionTree& GradientBoosting::tree(std::size_t i) const {
+  GP_CHECK(i < trees_.size());
+  return *trees_[i];
+}
+
+void GradientBoosting::restore(
+    std::vector<std::unique_ptr<DecisionTree>> trees, double base_score,
+    double learning_rate, std::size_t n_features) {
+  GP_CHECK_MSG(!trees.empty(), "boosting restore needs at least one tree");
+  GP_CHECK(learning_rate > 0.0 && learning_rate <= 1.0);
+  GP_CHECK(n_features >= 1);
+  for (const auto& t : trees) GP_CHECK(t != nullptr && t->is_fitted());
+  trees_ = std::move(trees);
+  base_score_ = base_score;
+  params_.learning_rate = learning_rate;
+  params_.n_rounds = trees_.size();
+  n_features_ = n_features;
+  fitted_ = true;
+}
+
 std::vector<double> GradientBoosting::feature_importances() const {
   GP_CHECK_MSG(fitted_, "importances before fit");
   std::vector<double> out(n_features_, 0.0);

@@ -31,12 +31,20 @@ class GradientBoosting final : public Regressor {
   void fit(const Dataset& data) override;
   bool is_fitted() const override { return fitted_; }
   double predict(const std::vector<double>& x) const override;
+  std::size_t n_features() const override { return n_features_; }
 
   /// Mean of member trees' normalized importances.
   std::vector<double> feature_importances() const override;
 
   std::size_t round_count() const { return trees_.size(); }
   double base_score() const { return base_score_; }
+  double learning_rate() const { return params_.learning_rate; }
+  const DecisionTree& tree(std::size_t i) const;
+
+  /// Rebuild from serialized state (model_io).
+  void restore(std::vector<std::unique_ptr<DecisionTree>> trees,
+               double base_score, double learning_rate,
+               std::size_t n_features);
 
  private:
   BoostingParams params_;

@@ -26,6 +26,23 @@ void KnnRegressor::fit(const Dataset& data) {
   fitted_ = true;
 }
 
+void KnnRegressor::restore(Dataset::Standardization st,
+                           std::vector<std::vector<double>> points,
+                           std::vector<double> targets, std::size_t k,
+                           Weighting weighting) {
+  GP_CHECK(k >= 1);
+  GP_CHECK_MSG(!points.empty() && points.size() == targets.size(),
+               "K-NN restore needs a consistent training set");
+  GP_CHECK(!st.mean.empty() && st.mean.size() == st.stddev.size());
+  for (const auto& p : points) GP_CHECK(p.size() == st.mean.size());
+  st_ = std::move(st);
+  points_ = std::move(points);
+  targets_ = std::move(targets);
+  k_ = k;
+  weighting_ = weighting;
+  fitted_ = true;
+}
+
 double KnnRegressor::predict(const std::vector<double>& x) const {
   GP_CHECK_MSG(fitted_, "predict before fit");
   GP_CHECK(x.size() == st_.mean.size());

@@ -19,8 +19,21 @@ class KnnRegressor final : public Regressor {
   void fit(const Dataset& data) override;
   bool is_fitted() const override { return fitted_; }
   double predict(const std::vector<double>& x) const override;
+  std::size_t n_features() const override { return st_.mean.size(); }
 
   std::size_t k() const { return k_; }
+  Weighting weighting() const { return weighting_; }
+  const Dataset::Standardization& standardization() const { return st_; }
+  const std::vector<std::vector<double>>& points() const { return points_; }
+  const std::vector<double>& targets() const { return targets_; }
+
+  /// Rebuild from serialized state (model_io): the embedded training
+  /// set (already standardized) plus the standardization that produced
+  /// it.
+  void restore(Dataset::Standardization st,
+               std::vector<std::vector<double>> points,
+               std::vector<double> targets, std::size_t k,
+               Weighting weighting);
 
  private:
   std::size_t k_;

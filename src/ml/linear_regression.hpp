@@ -15,6 +15,7 @@ class LinearRegression final : public Regressor {
   void fit(const Dataset& data) override;
   bool is_fitted() const override { return fitted_; }
   double predict(const std::vector<double>& x) const override;
+  std::size_t n_features() const override { return coef_.size(); }
 
   /// Weights (one per feature) and the intercept term.
   const std::vector<double>& coefficients() const { return coef_; }

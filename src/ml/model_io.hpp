@@ -2,15 +2,21 @@
 // the training phase can be shipped and reloaded without retraining
 // (the paper's deployment story: train once, predict anywhere).
 //
-// Format: line-oriented, human-diffable.  Only the models that make
-// sense to persist are supported (DecisionTree, LinearRegression);
-// ensembles serialize as repeated tree sections.
+// Format: line-oriented, human-diffable.  Every paper regressor
+// round-trips: DecisionTree and LinearRegression as flat sections,
+// RandomForest and GradientBoosting as an ensemble header followed by
+// repeated tree sections, K-NN as its standardization plus the embedded
+// (standardized) training set.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "ml/decision_tree.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/knn.hpp"
 #include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
 
 namespace gpuperf::ml {
 
@@ -22,7 +28,33 @@ DecisionTree deserialize_tree(const std::string& text);
 std::string serialize_linear(const LinearRegression& model);
 LinearRegression deserialize_linear(const std::string& text);
 
+std::string serialize_forest(const RandomForest& forest);
+RandomForest deserialize_forest(const std::string& text);
+
+std::string serialize_boosting(const GradientBoosting& model);
+GradientBoosting deserialize_boosting(const std::string& text);
+
+std::string serialize_knn(const KnnRegressor& model);
+KnnRegressor deserialize_knn(const std::string& text);
+
+/// Serialize any fitted regressor from make_regressor; GP_CHECK-fails
+/// on an unknown concrete type or an unfitted model.
+std::string serialize_regressor(const Regressor& model);
+
+/// A deserialized regressor plus the make_regressor id its header
+/// mapped to ("dt", "linear", "rf", "xgb", "knn").
+struct LoadedRegressor {
+  std::string id;
+  std::unique_ptr<Regressor> model;
+};
+
+/// Detect the format from the header line and rebuild the model.
+LoadedRegressor deserialize_regressor(const std::string& text);
+
 void save_tree(const DecisionTree& tree, const std::string& path);
 DecisionTree load_tree(const std::string& path);
+
+void save_regressor(const Regressor& model, const std::string& path);
+LoadedRegressor load_regressor(const std::string& path);
 
 }  // namespace gpuperf::ml

@@ -72,4 +72,14 @@ const DecisionTree& RandomForest::tree(std::size_t i) const {
   return *trees_[i];
 }
 
+void RandomForest::restore(std::vector<std::unique_ptr<DecisionTree>> trees,
+                           std::size_t n_features) {
+  GP_CHECK_MSG(!trees.empty(), "forest restore needs at least one tree");
+  GP_CHECK(n_features >= 1);
+  for (const auto& t : trees) GP_CHECK(t != nullptr && t->is_fitted());
+  trees_ = std::move(trees);
+  n_features_ = n_features;
+  params_.n_trees = trees_.size();
+}
+
 }  // namespace gpuperf::ml

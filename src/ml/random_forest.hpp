@@ -29,12 +29,17 @@ class RandomForest final : public Regressor {
   void fit(const Dataset& data) override;
   bool is_fitted() const override { return !trees_.empty(); }
   double predict(const std::vector<double>& x) const override;
+  std::size_t n_features() const override { return n_features_; }
 
   /// Mean of the member trees' normalized importances.
   std::vector<double> feature_importances() const override;
 
   std::size_t tree_count() const { return trees_.size(); }
   const DecisionTree& tree(std::size_t i) const;
+
+  /// Rebuild from serialized state (model_io).
+  void restore(std::vector<std::unique_ptr<DecisionTree>> trees,
+               std::size_t n_features);
 
  private:
   ForestParams params_;

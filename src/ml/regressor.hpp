@@ -31,6 +31,11 @@ class Regressor {
   /// Predict every row of a dataset.
   std::vector<double> predict_all(const Dataset& data) const;
 
+  /// Width of the training feature schema; 0 before fit.  Lets generic
+  /// consumers (model_io, the registry) validate a deserialized model
+  /// against an expected schema without knowing the concrete type.
+  virtual std::size_t n_features() const = 0;
+
   /// Per-feature importances summing to 1.  Empty for algorithms
   /// without a natural importance notion (K-NN); tree models report
   /// normalized impurity decrease (the paper's Table III).

@@ -1,0 +1,137 @@
+#include "registry/feature_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cnn/model_io.hpp"
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "registry/hash.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gpuperf::registry {
+
+namespace {
+
+std::string full_precision(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// The checksummed payload: every line of the entry except the trailing
+/// checksum line itself.
+std::string entry_body(std::uint64_t topology,
+                       const core::ModelFeatures& f) {
+  std::ostringstream os;
+  os << "gpuperf-features v1\n";
+  os << "topology " << hex64(topology) << "\n";
+  os << "model " << f.model_name << "\n";
+  os << "executed_instructions " << f.executed_instructions << "\n";
+  os << "trainable_params " << f.trainable_params << "\n";
+  os << "macs " << f.macs << "\n";
+  os << "neurons " << f.neurons << "\n";
+  os << "weighted_layers " << f.weighted_layers << "\n";
+  os << "dca_seconds " << full_precision(f.dca_seconds) << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+FeatureStore::FeatureStore(std::string root) : root_(std::move(root)) {
+  GP_CHECK_MSG(!root_.empty(), "feature store root must not be empty");
+  fs::create_directories(root_);
+}
+
+std::string FeatureStore::entry_path(std::uint64_t topology) const {
+  return (fs::path(root_) / (hex64(topology) + ".features")).string();
+}
+
+std::uint64_t FeatureStore::topology_hash(const cnn::Model& model) {
+  return fnv1a64(cnn::serialize_model(model));
+}
+
+std::shared_ptr<const core::ModelFeatures> FeatureStore::get(
+    std::uint64_t topology) const {
+  std::ifstream in(entry_path(topology), std::ios::binary);
+  if (!in.good()) return nullptr;
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string text = os.str();
+
+  // Split off the trailing checksum line and verify the body.
+  const std::size_t marker = text.rfind("checksum ");
+  if (marker == std::string::npos || (marker > 0 && text[marker - 1] != '\n'))
+    return nullptr;
+  const std::string body = text.substr(0, marker);
+  const std::string checksum_line =
+      std::string(trim(text.substr(marker)));
+
+  auto out = std::make_shared<core::ModelFeatures>();
+  std::uint64_t stored_topology = 0;
+  std::uint64_t stored_checksum = 0;
+  bool have_checksum = false;
+  try {
+    const auto parts = split_ws(checksum_line);
+    if (parts.size() == 2 && parts[0] == "checksum") {
+      stored_checksum = parse_hex64(parts[1]);
+      have_checksum = true;
+    }
+    std::istringstream is(body);
+    std::string line;
+    if (!std::getline(is, line) || trim(line) != "gpuperf-features v1")
+      return nullptr;
+    while (std::getline(is, line)) {
+      const auto kv = split_ws(line);
+      if (kv.size() != 2) return nullptr;
+      if (kv[0] == "topology") stored_topology = parse_hex64(kv[1]);
+      else if (kv[0] == "model") out->model_name = kv[1];
+      else if (kv[0] == "executed_instructions")
+        out->executed_instructions = parse_int(kv[1]);
+      else if (kv[0] == "trainable_params")
+        out->trainable_params = parse_int(kv[1]);
+      else if (kv[0] == "macs") out->macs = parse_int(kv[1]);
+      else if (kv[0] == "neurons") out->neurons = parse_int(kv[1]);
+      else if (kv[0] == "weighted_layers")
+        out->weighted_layers = parse_int(kv[1]);
+      else if (kv[0] == "dca_seconds") out->dca_seconds = parse_double(kv[1]);
+      else
+        return nullptr;
+    }
+  } catch (const CheckError&) {
+    return nullptr;  // unparsable numbers → treat as a miss
+  }
+  if (!have_checksum || stored_checksum != fnv1a64(body)) return nullptr;
+  if (stored_topology != topology) return nullptr;
+  return out;
+}
+
+void FeatureStore::put(std::uint64_t topology,
+                       const core::ModelFeatures& features) {
+  const std::string body = entry_body(topology, features);
+  const fs::path final_path = entry_path(topology);
+  const fs::path tmp = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    GP_CHECK_MSG(out.good(),
+                 "cannot open '" << tmp.string() << "' for writing");
+    out << body << "checksum " << hex64(fnv1a64(body)) << "\n";
+    out.flush();
+    GP_CHECK_MSG(out.good(), "write to '" << tmp.string() << "' failed");
+  }
+  fs::rename(tmp, final_path);
+}
+
+std::size_t FeatureStore::size() const {
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(root_))
+    if (entry.is_regular_file() &&
+        ends_with(entry.path().filename().string(), ".features"))
+      ++count;
+  return count;
+}
+
+}  // namespace gpuperf::registry

@@ -1,0 +1,56 @@
+// Persistent DCA feature store: the expensive half of a prediction
+// (static analysis + PTX codegen + sliced symbolic execution) cached
+// *across processes*.  A restarted server warm-starts from here and
+// never re-runs slicing/symexec for a model it has seen before.
+//
+// Entries are content-addressed by the hash of the CNN's canonical
+// text serialization (cnn::serialize_model): the same architecture maps
+// to the same file regardless of its zoo name, and any topology edit
+// gets a fresh address.  The paper's DCA features (executed
+// instructions, trainable parameters) are device-independent, so one
+// entry serves every device; device features join the vector at
+// feature_vector() time.
+//
+// One file per entry ("<hex>.features"), line-oriented, checksummed.
+// A corrupt or mismatched entry reads as a miss — callers recompute and
+// overwrite, so the store is self-healing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cnn/model.hpp"
+#include "core/features.hpp"
+
+namespace gpuperf::registry {
+
+class FeatureStore {
+ public:
+  /// Opens (creating directories as needed) the store at `root`.
+  explicit FeatureStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Content address of a CNN topology.
+  static std::uint64_t topology_hash(const cnn::Model& model);
+
+  /// nullptr on miss — including a corrupt, truncated or
+  /// wrong-topology entry (never throws for bad on-disk data).
+  std::shared_ptr<const core::ModelFeatures> get(
+      std::uint64_t topology) const;
+
+  /// Atomically persist (write temp + rename, overwriting any previous
+  /// entry at this address).
+  void put(std::uint64_t topology, const core::ModelFeatures& features);
+
+  /// Number of entries on disk.
+  std::size_t size() const;
+
+ private:
+  std::string entry_path(std::uint64_t topology) const;
+
+  std::string root_;
+};
+
+}  // namespace gpuperf::registry

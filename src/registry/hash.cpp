@@ -1,0 +1,33 @@
+#include "registry/hash.hpp"
+
+#include "common/check.hpp"
+
+namespace gpuperf::registry {
+
+std::string hex64(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex64(std::string_view s) {
+  GP_CHECK_MSG(!s.empty() && s.size() <= 16, "bad hex64 '" << s << "'");
+  std::uint64_t out = 0;
+  for (const char c : s) {
+    out <<= 4;
+    if (c >= '0' && c <= '9') out |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      out |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      out |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else
+      GP_CHECK_MSG(false, "bad hex digit in '" << s << "'");
+  }
+  return out;
+}
+
+}  // namespace gpuperf::registry

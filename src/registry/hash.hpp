@@ -1,0 +1,31 @@
+// Content hashing for registry artifacts: FNV-1a 64-bit over text, plus
+// the fixed-width hex spelling used in manifests and feature-store file
+// names.  Not cryptographic — the registry guards against corruption
+// and schema drift, not adversaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gpuperf::registry {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t h = kFnvOffset) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 16 lowercase hex digits, zero-padded.
+std::string hex64(std::uint64_t value);
+
+/// Inverse of hex64; GP_CHECK-fails on anything but 1–16 hex digits.
+std::uint64_t parse_hex64(std::string_view s);
+
+}  // namespace gpuperf::registry

@@ -1,0 +1,50 @@
+// The bundle manifest: everything a consumer needs to decide whether a
+// serialized model is loadable (schema hashes, checksums) and whether
+// it is *good* (holdout CV metrics), without touching the model file.
+//
+// Line-oriented "key value" text after a versioned header, one field
+// per line, order-insensitive on parse — human-diffable like the rest
+// of the repo's file formats (docs/FILE_FORMATS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpuperf::registry {
+
+struct Manifest {
+  /// Bundle format revision, bumped on incompatible layout changes.
+  int schema_version = 1;
+  /// make_regressor id of the serialized model ("dt", "rf", ...).
+  std::string regressor_id;
+  /// fnv1a64 over the joined feature-name schema the model was trained
+  /// on; a loader whose FeatureExtractor hashes differently must
+  /// refuse the bundle.
+  std::uint64_t feature_schema_hash = 0;
+  std::size_t n_features = 0;
+  /// Training configuration, for provenance and retraining.
+  std::uint64_t seed = 42;
+  std::vector<std::string> train_models;   // empty = the full Table I zoo
+  std::vector<std::string> train_devices;  // empty = the paper's two GPUs
+  /// Holdout cross-validation metrics (0 folds = no CV was run, so the
+  /// publish gate cannot compare this bundle).
+  std::size_t cv_folds = 0;
+  double cv_mape = 0.0;
+  double cv_r2 = 0.0;
+  /// Serialized model: file name inside the bundle directory plus the
+  /// fnv1a64 of its exact byte content.
+  std::string model_file = "model.txt";
+  std::uint64_t model_checksum = 0;
+};
+
+std::string serialize_manifest(const Manifest& manifest);
+
+/// GP_CHECK-fails on a bad header, a malformed line, or a missing
+/// required field.
+Manifest deserialize_manifest(const std::string& text);
+
+/// Hash of a feature schema (the names joined with commas).
+std::uint64_t feature_schema_hash(const std::vector<std::string>& names);
+
+}  // namespace gpuperf::registry

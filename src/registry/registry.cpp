@@ -1,0 +1,203 @@
+#include "registry/registry.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "ml/model_io.hpp"
+#include "registry/hash.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gpuperf::registry {
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GP_CHECK_MSG(in.good(), "cannot open '" << path.string() << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  GP_CHECK_MSG(!in.bad(), "read of '" << path.string() << "' failed");
+  return os.str();
+}
+
+/// Durable write: the data reaches the disk before this returns, so a
+/// subsequent rename publishes a complete file or nothing.
+void write_file_synced(const fs::path& path, const std::string& content) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    GP_CHECK_MSG(out.good(),
+                 "cannot open '" << path.string() << "' for writing");
+    out << content;
+    out.flush();
+    GP_CHECK_MSG(out.good(), "write to '" << path.string() << "' failed");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  GP_CHECK_MSG(fd >= 0, "cannot reopen '" << path.string() << "' to sync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  GP_CHECK_MSG(rc == 0, "fsync of '" << path.string() << "' failed");
+}
+
+/// fsync a directory so a rename inside it is durable.
+void sync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort on exotic filesystems
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool is_version_name(const std::string& name) {
+  if (name.size() != 5 || name[0] != 'v') return false;
+  return std::all_of(name.begin() + 1, name.end(),
+                     [](char c) { return c >= '0' && c <= '9'; });
+}
+
+std::string version_name(int number) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "v%04d", number);
+  return buf;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::string root) : root_(std::move(root)) {
+  GP_CHECK_MSG(!root_.empty(), "registry root must not be empty");
+  fs::create_directories(root_);
+}
+
+std::string ModelRegistry::version_dir(const std::string& version) const {
+  return (fs::path(root_) / version).string();
+}
+
+std::vector<std::string> ModelRegistry::versions() const {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (is_version_name(name)) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ModelRegistry::latest_version() const {
+  const fs::path pointer = fs::path(root_) / "LATEST";
+  if (!fs::exists(pointer)) return "";
+  const std::string name = std::string(trim(read_file(pointer)));
+  GP_CHECK_MSG(is_version_name(name),
+               "corrupt LATEST pointer: '" << name << "'");
+  return name;
+}
+
+Manifest ModelRegistry::manifest(const std::string& version) const {
+  const fs::path dir = version_dir(version);
+  GP_CHECK_MSG(fs::is_directory(dir),
+               "no bundle '" << version << "' in " << root_);
+  return deserialize_manifest(read_file(dir / "MANIFEST"));
+}
+
+std::string ModelRegistry::publish(
+    const core::PerformanceEstimator& estimator, Manifest manifest,
+    PublishOptions options) {
+  GP_CHECK_MSG(estimator.is_trained(), "publish of an untrained estimator");
+
+  // Gate against the live bundle before writing anything.
+  const std::string live = latest_version();
+  if (!live.empty() && !options.force && manifest.cv_folds > 0) {
+    const Manifest live_manifest = this->manifest(live);
+    if (live_manifest.cv_folds > 0) {
+      GP_CHECK_MSG(
+          manifest.cv_mape <=
+              live_manifest.cv_mape + options.max_mape_regression,
+          "publish gate: CV MAPE " << manifest.cv_mape
+              << "% regresses past live bundle " << live << " ("
+              << live_manifest.cv_mape << "%) by more than "
+              << options.max_mape_regression
+              << " points; pass force to override");
+    }
+  }
+
+  // Stamp the machine-owned manifest fields.
+  const std::string model_text =
+      ml::serialize_regressor(estimator.model());
+  manifest.schema_version = 1;
+  manifest.regressor_id = estimator.regressor_id();
+  manifest.feature_schema_hash =
+      feature_schema_hash(core::FeatureExtractor::feature_names());
+  manifest.n_features = core::FeatureExtractor::feature_names().size();
+  manifest.model_file = "model.txt";
+  manifest.model_checksum = fnv1a64(model_text);
+
+  const std::vector<std::string> existing = versions();
+  const int next =
+      existing.empty()
+          ? 1
+          : static_cast<int>(parse_int(existing.back().substr(1))) + 1;
+  const std::string version = version_name(next);
+
+  // Stage, sync, rename: readers either see the whole bundle or none.
+  const fs::path root(root_);
+  const fs::path staging = root / (".staging-" + version);
+  fs::remove_all(staging);
+  fs::create_directories(staging);
+  write_file_synced(staging / manifest.model_file, model_text);
+  write_file_synced(staging / "MANIFEST", serialize_manifest(manifest));
+  sync_dir(staging);
+  fs::rename(staging, root / version);
+  sync_dir(root);
+
+  set_latest(version);
+  return version;
+}
+
+void ModelRegistry::set_latest(const std::string& version) {
+  GP_CHECK_MSG(is_version_name(version),
+               "bad version name '" << version << "'");
+  GP_CHECK_MSG(fs::is_directory(version_dir(version)),
+               "no bundle '" << version << "' in " << root_);
+  const fs::path root(root_);
+  const fs::path tmp = root / "LATEST.tmp";
+  write_file_synced(tmp, version + "\n");
+  fs::rename(tmp, root / "LATEST");
+  sync_dir(root);
+}
+
+Bundle ModelRegistry::load(const std::string& version) const {
+  std::string target = version;
+  if (target.empty()) {
+    target = latest_version();
+    GP_CHECK_MSG(!target.empty(), "registry " << root_ << " is empty");
+  }
+
+  const Manifest m = manifest(target);
+  GP_CHECK_MSG(
+      m.feature_schema_hash ==
+          feature_schema_hash(core::FeatureExtractor::feature_names()),
+      "bundle " << target << " was trained on a different feature schema");
+
+  const std::string model_text =
+      read_file(fs::path(version_dir(target)) / m.model_file);
+  GP_CHECK_MSG(fnv1a64(model_text) == m.model_checksum,
+               "bundle " << target << " model checksum mismatch — "
+                         << m.model_file << " is corrupt");
+
+  ml::LoadedRegressor loaded = ml::deserialize_regressor(model_text);
+  GP_CHECK_MSG(loaded.id == m.regressor_id,
+               "bundle " << target << " manifest says '" << m.regressor_id
+                         << "' but the model file holds '" << loaded.id
+                         << "'");
+  return Bundle{target, m,
+                core::PerformanceEstimator::adopt(std::move(loaded.id),
+                                                  std::move(loaded.model))};
+}
+
+}  // namespace gpuperf::registry

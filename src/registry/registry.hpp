@@ -1,0 +1,89 @@
+// Versioned on-disk store for trained estimators — the "train once,
+// predict anywhere" half of the paper's T_est = t_dca + n·t_pm speedup
+// argument made durable: a trained regressor is a shipped artifact
+// (bundle), not process state.
+//
+// Layout:
+//   <root>/
+//     v0001/              one immutable bundle per version
+//       MANIFEST          registry::Manifest (schema, metrics, checksum)
+//       model.txt         ml::serialize_regressor output
+//     v0002/ ...
+//     LATEST              name of the live version ("v0002")
+//
+// Publishing is atomic: the bundle is staged in a dot-directory,
+// fsynced, renamed into place, and only then does LATEST move (itself
+// via write-temp + rename).  Readers therefore never observe a partial
+// bundle, and a crashed publisher leaves only an ignorable .staging
+// directory.  Publishing is also *gated*: a bundle whose CV MAPE
+// regresses past the live bundle's by more than the configured margin
+// is refused unless forced.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "registry/manifest.hpp"
+
+namespace gpuperf::registry {
+
+struct PublishOptions {
+  /// Maximum tolerated CV-MAPE regression, in percentage points over
+  /// the live bundle (new_mape <= live_mape + margin).  Only enforced
+  /// when both bundles carry CV metrics.
+  double max_mape_regression = 1.0;
+  /// Publish even past the gate (records the metrics regardless).
+  bool force = false;
+};
+
+/// A verified, loaded bundle.
+struct Bundle {
+  std::string version;
+  Manifest manifest;
+  core::PerformanceEstimator estimator;
+};
+
+class ModelRegistry {
+ public:
+  /// Opens (creating directories as needed) the registry at `root`.
+  explicit ModelRegistry(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// All published versions, ascending ("v0001", "v0002", ...).
+  std::vector<std::string> versions() const;
+
+  /// The LATEST pointer's target; empty string when nothing is
+  /// published yet.
+  std::string latest_version() const;
+  bool empty() const { return latest_version().empty(); }
+
+  /// Atomically publish a trained estimator under the next version and
+  /// advance LATEST.  The caller fills the manifest's provenance and CV
+  /// fields; schema hash, feature count, model file and checksum are
+  /// stamped here.  Returns the new version name.  GP_CHECK-fails when
+  /// the gate refuses (see PublishOptions) — nothing is written in
+  /// that case.
+  std::string publish(const core::PerformanceEstimator& estimator,
+                      Manifest manifest, PublishOptions options = {});
+
+  /// Parse one bundle's manifest without loading the model.
+  Manifest manifest(const std::string& version) const;
+
+  /// Load + verify a bundle; empty version means LATEST.  GP_CHECK-
+  /// fails on a missing version, checksum mismatch, malformed manifest
+  /// or model, or a feature schema differing from this build's
+  /// FeatureExtractor.
+  Bundle load(const std::string& version = "") const;
+
+  /// Point LATEST at an existing version — rollback (or roll-forward).
+  void set_latest(const std::string& version);
+
+ private:
+  std::string version_dir(const std::string& version) const;
+
+  std::string root_;
+};
+
+}  // namespace gpuperf::registry

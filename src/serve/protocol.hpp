@@ -38,7 +38,8 @@ struct ParsedCommand {
 ParsedCommand parse_command(const std::vector<std::string>& words);
 
 /// One service request: the verb ("predict", "rank", "analyze",
-/// "stats", "ping", "shutdown") plus the parsed remainder of the line.
+/// "reload", "model_info", "stats", "ping", "shutdown") plus the
+/// parsed remainder of the line.
 struct Request {
   std::string verb;
   ParsedCommand cmd;

@@ -1,29 +1,21 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
 #include "cnn/zoo.hpp"
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/strings.hpp"
 #include "core/dataset_builder.hpp"
 #include "gpu/device_db.hpp"
+#include "registry/hash.hpp"
 
 namespace gpuperf::serve {
 
 namespace {
-
-core::PerformanceEstimator make_estimator(const ServeOptions& options) {
-  if (!options.tree_path.empty())
-    return core::PerformanceEstimator::load(options.tree_path);
-  core::DatasetOptions dataset;
-  dataset.models = options.train_models;
-  dataset.devices = options.train_devices;
-  core::PerformanceEstimator estimator(options.regressor_id, options.seed);
-  estimator.train(core::DatasetBuilder(dataset).build());
-  return estimator;
-}
 
 std::string result_key(const std::string& model,
                        const std::string& device) {
@@ -34,39 +26,164 @@ std::string result_key(const std::string& model,
 
 ServeSession::ServeSession(ServeOptions options)
     : options_(std::move(options)),
-      estimator_(make_estimator(options_)),
       static_reports_(options_.cache_capacity, options_.cache_shards),
       features_(options_.cache_capacity, options_.cache_shards),
       results_(options_.cache_capacity, options_.cache_shards),
       pool_(options_.n_threads) {
+  if (!options_.registry_dir.empty())
+    registry_ =
+        std::make_unique<registry::ModelRegistry>(options_.registry_dir);
+  if (!options_.feature_store_dir.empty())
+    feature_store_ =
+        std::make_unique<registry::FeatureStore>(options_.feature_store_dir);
+
   batcher_ = std::make_unique<PredictBatcher>(
       pool_, [this](const std::string& model,
                     const std::vector<const gpu::DeviceSpec*>& devices) {
         return predict_group(model, devices);
       });
+
+  if (registry_) {
+    registry::Bundle bundle = registry_->load(options_.registry_version);
+    std::string version = bundle.version;
+    install_estimator(std::move(bundle.estimator), std::move(version),
+                      std::move(bundle.manifest), "registry");
+  } else if (!options_.tree_path.empty()) {
+    install_estimator(
+        core::PerformanceEstimator::load(options_.tree_path), "", {},
+        "file");
+  } else {
+    core::DatasetOptions dataset;
+    dataset.models = options_.train_models;
+    dataset.devices = options_.train_devices;
+    core::PerformanceEstimator estimator(options_.regressor_id,
+                                         options_.seed);
+    estimator.train(core::DatasetBuilder(dataset).build());
+    install_estimator(std::move(estimator), "", {}, "trained");
+  }
+
+  if (registry_ && options_.registry_poll_ms > 0) start_polling();
+}
+
+ServeSession::~ServeSession() {
+  if (poll_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(poll_mutex_);
+      poll_stop_ = true;
+    }
+    poll_cv_.notify_all();
+    poll_thread_.join();
+  }
+}
+
+void ServeSession::install_estimator(core::PerformanceEstimator estimator,
+                                     std::string version,
+                                     registry::Manifest manifest,
+                                     std::string source) {
+  auto owned = std::make_shared<core::PerformanceEstimator>(
+      std::move(estimator));
   // One-shot estimator callers share the service's DCA cache too.
-  estimator_.set_feature_provider(
+  owned->set_feature_provider(
       [this](const std::string& model) { return features_for(model); });
+  std::lock_guard<std::mutex> lock(estimator_mutex_);
+  estimator_ = std::move(owned);
+  live_version_ = std::move(version);
+  live_manifest_ = std::move(manifest);
+  model_source_ = std::move(source);
+}
+
+std::shared_ptr<const core::PerformanceEstimator>
+ServeSession::estimator_ptr() const {
+  std::lock_guard<std::mutex> lock(estimator_mutex_);
+  return estimator_;
+}
+
+const core::PerformanceEstimator& ServeSession::estimator() const {
+  std::lock_guard<std::mutex> lock(estimator_mutex_);
+  return *estimator_;
+}
+
+std::string ServeSession::live_version() const {
+  std::lock_guard<std::mutex> lock(estimator_mutex_);
+  return live_version_;
+}
+
+std::string ServeSession::reload(const std::string& version) {
+  GP_CHECK_MSG(registry_ != nullptr,
+               "no registry configured (start with --registry)");
+  registry::Bundle bundle = registry_->load(version);
+  const std::string installed = bundle.version;
+  install_estimator(std::move(bundle.estimator), installed,
+                    std::move(bundle.manifest), "registry");
+  // Predictions from the previous model must not be served as fresh;
+  // DCA features are model-intrinsic and stay warm.
+  results_.clear();
+  reloads_.fetch_add(1);
+  return installed;
+}
+
+void ServeSession::start_polling() {
+  poll_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(poll_mutex_);
+    while (!poll_stop_) {
+      poll_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.registry_poll_ms));
+      if (poll_stop_) break;
+      lock.unlock();
+      try {
+        const std::string latest = registry_->latest_version();
+        if (!latest.empty() && latest != live_version()) {
+          reload(latest);
+          GP_LOG(kInfo) << "registry poll: hot-reloaded " << latest;
+        }
+      } catch (const std::exception& e) {
+        GP_LOG(kWarn) << "registry poll reload failed: " << e.what();
+      }
+      lock.lock();
+    }
+  });
+}
+
+ServeSession::FeaturePtr ServeSession::compute_features(
+    const std::string& model) {
+  const cnn::Model cnn_model = cnn::zoo::build(model);
+  if (feature_store_) {
+    const std::uint64_t key =
+        registry::FeatureStore::topology_hash(cnn_model);
+    if (FeaturePtr stored = feature_store_->get(key)) {
+      store_hits_.fetch_add(1);
+      return stored;
+    }
+    auto computed = std::make_shared<const core::ModelFeatures>(
+        extractor_.compute(cnn_model));
+    dca_computes_.fetch_add(1);
+    feature_store_->put(key, *computed);
+    return computed;
+  }
+  dca_computes_.fetch_add(1);
+  return std::make_shared<const core::ModelFeatures>(
+      extractor_.compute(cnn_model));
 }
 
 ServeSession::FeaturePtr ServeSession::features_for(
     const std::string& model) {
   GP_CHECK_MSG(cnn::zoo::has_model(model),
                "unknown model '" << model << "'");
-  return features_.get_or_compute(model, [&] {
-    return std::make_shared<const core::ModelFeatures>(
-        extractor_.compute(cnn::zoo::build(model)));
-  });
+  return features_.get_or_compute(model,
+                                  [&] { return compute_features(model); });
 }
 
 std::vector<double> ServeSession::predict_group(
     const std::string& model,
     const std::vector<const gpu::DeviceSpec*>& devices) {
+  // One snapshot for the whole group: a hot-reload mid-flight cannot
+  // mix two models' predictions inside a batch.
+  const auto estimator = estimator_ptr();
   const FeaturePtr features = features_for(model);
   std::vector<double> out;
   out.reserve(devices.size());
   for (const gpu::DeviceSpec* device : devices)
-    out.push_back(estimator_.predict(*features, *device));
+    out.push_back(estimator->predict(*features, *device));
   return out;
 }
 
@@ -181,6 +298,60 @@ Response ServeSession::do_analyze(const Request& request) {
   return Response{true, json.str(), false};
 }
 
+Response ServeSession::do_reload(const Request& request) {
+  if (!registry_)
+    return error_response(
+        "no registry configured (start the server with --registry)");
+  const std::string version = request.cmd.flag_or("version", "");
+  const std::string installed = reload(version);
+
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "reload")
+      .field("version", std::string_view(installed))
+      .field("regressor",
+             std::string_view(estimator_ptr()->regressor_id()))
+      .field("reloads", reload_count())
+      .end_object();
+  return Response{true, json.str(), false};
+}
+
+Response ServeSession::do_model_info() {
+  // Snapshot the live bundle state in one critical section.
+  std::string version, source, regressor;
+  registry::Manifest manifest;
+  {
+    std::lock_guard<std::mutex> lock(estimator_mutex_);
+    version = live_version_;
+    source = model_source_;
+    manifest = live_manifest_;
+    regressor = estimator_->regressor_id();
+  }
+
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "model_info")
+      .field("source", std::string_view(source))
+      .field("version", std::string_view(version))
+      .field("regressor", std::string_view(regressor))
+      .field("reloads", reload_count());
+  if (source == "registry") {
+    json.field("cv_folds", static_cast<std::uint64_t>(manifest.cv_folds))
+        .field("cv_mape", manifest.cv_mape)
+        .field("cv_r2", manifest.cv_r2)
+        .field("feature_schema",
+               std::string_view(
+                   registry::hex64(manifest.feature_schema_hash)))
+        .field("model_checksum",
+               std::string_view(registry::hex64(manifest.model_checksum)))
+        .field("seed", manifest.seed);
+  }
+  json.end_object();
+  return Response{true, json.str(), false};
+}
+
 namespace {
 
 void write_cache_json(JsonWriter& json, std::string_view name,
@@ -204,6 +375,10 @@ std::string ServeSession::stats_json() {
   write_cache_json(json, "features", features_.stats());
   write_cache_json(json, "results", results_.stats());
   json.end_object();
+  json.begin_object("dca")
+      .field("computes", dca_compute_count())
+      .field("store_hits", feature_store_hit_count())
+      .end_object();
   const BatcherStats batch = batcher_->stats();
   json.begin_object("batch")
       .field("flushes", batch.flushes)
@@ -211,9 +386,12 @@ std::string ServeSession::stats_json() {
       .field("batched_requests", batch.batched_requests)
       .field("max_batch", batch.max_batch)
       .end_object();
+  const auto estimator = estimator_ptr();
   json.begin_object("estimator")
-      .field("regressor", std::string_view(estimator_.regressor_id()))
-      .field("trained", estimator_.is_trained())
+      .field("regressor", std::string_view(estimator->regressor_id()))
+      .field("trained", estimator->is_trained())
+      .field("version", std::string_view(live_version()))
+      .field("reloads", reload_count())
       .field("threads", static_cast<std::uint64_t>(pool_.size()))
       .field("batching", options_.batching)
       .end_object();
@@ -244,8 +422,9 @@ Response ServeSession::do_shutdown() const {
 }
 
 Response ServeSession::handle(const Request& request) {
-  static const char* kKnown[] = {"predict", "rank",    "analyze",
-                                 "stats",   "ping",    "shutdown"};
+  static const char* kKnown[] = {"predict", "rank",       "analyze",
+                                 "reload",  "model_info", "stats",
+                                 "ping",    "shutdown"};
   const bool known =
       std::find(std::begin(kKnown), std::end(kKnown), request.verb) !=
       std::end(kKnown);
@@ -255,14 +434,16 @@ Response ServeSession::handle(const Request& request) {
   if (!known) {
     scope.mark_error();
     return error_response("unknown command '" + request.verb +
-                          "' (try: predict, rank, analyze, stats, ping, "
-                          "shutdown)");
+                          "' (try: predict, rank, analyze, reload, "
+                          "model_info, stats, ping, shutdown)");
   }
   try {
     Response response;
     if (request.verb == "predict") response = do_predict(request);
     else if (request.verb == "rank") response = do_rank(request);
     else if (request.verb == "analyze") response = do_analyze(request);
+    else if (request.verb == "reload") response = do_reload(request);
+    else if (request.verb == "model_info") response = do_model_info();
     else if (request.verb == "stats") response = do_stats();
     else if (request.verb == "ping") response = do_ping();
     else response = do_shutdown();
@@ -287,6 +468,13 @@ void ServeSession::reset_caches() {
 std::string ServeSession::summary() const {
   std::ostringstream os;
   os << metrics_.summary();
+  {
+    std::lock_guard<std::mutex> lock(estimator_mutex_);
+    os << "  model: " << model_source_;
+    if (!live_version_.empty()) os << " " << live_version_;
+    os << " (" << estimator_->regressor_id() << "), " << reloads_.load()
+       << " reloads\n";
+  }
   const auto line = [&os](const char* name, const CacheStats& stats) {
     const std::uint64_t total = stats.hits + stats.misses;
     os << "  " << name << " cache: " << stats.hits << "/" << total
@@ -295,6 +483,8 @@ std::string ServeSession::summary() const {
   line("static", static_reports_.stats());
   line("feature", features_.stats());
   line("result", results_.stats());
+  os << "  dca: " << dca_computes_.load() << " computed, "
+     << store_hits_.load() << " from the persistent store\n";
   const BatcherStats batch = batcher_->stats();
   os << "  batcher: " << batch.batched_requests << " requests in "
      << batch.batches << " batches (max batch " << batch.max_batch

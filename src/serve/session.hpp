@@ -4,20 +4,29 @@
 // micro-batcher and the metrics registry; tests, examples and benches
 // drive it directly, the TCP server forwards lines to it.
 //
-// handle() is safe to call from many threads at once: the estimator is
-// trained in the constructor and only its const predict path runs
-// afterwards, all caches are internally synchronized, and feature
-// computation is single-flight per model.
+// handle() is safe to call from many threads at once: all caches are
+// internally synchronized, feature computation is single-flight per
+// model, and the estimator is published behind a swappable shared_ptr —
+// every request takes one snapshot and uses it throughout, so a
+// concurrent hot-reload (the `reload` endpoint, or registry polling)
+// can never produce a torn read.  Swapping in a new bundle invalidates
+// the prediction cache; DCA features are model-intrinsic and survive.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cnn/static_analyzer.hpp"
 #include "common/thread_pool.hpp"
 #include "core/estimator.hpp"
+#include "registry/feature_store.hpp"
+#include "registry/registry.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
@@ -32,8 +41,21 @@ struct ServeOptions {
   std::vector<std::string> train_models;
   /// Training devices; empty = the paper's two (GTX 1080 Ti, V100S).
   std::vector<std::string> train_devices;
-  /// Load a serialized Decision Tree instead of training from scratch.
+  /// Load a serialized model file instead of training from scratch.
   std::string tree_path;
+  /// Serve from a model registry (docs/REGISTRY.md): load this
+  /// directory's LATEST bundle (or `registry_version`) at startup and
+  /// accept `reload` requests.  Takes precedence over tree_path and
+  /// training.
+  std::string registry_dir;
+  /// Pin a specific bundle version at startup; empty = LATEST.
+  std::string registry_version;
+  /// Persistent DCA feature store: warm-start directory shared across
+  /// server restarts (empty = in-memory caches only).
+  std::string feature_store_dir;
+  /// When > 0 and a registry is configured, poll the LATEST pointer
+  /// every this many milliseconds and hot-reload on a version change.
+  int registry_poll_ms = 0;
   /// Entry budget for each of the three caches.
   std::size_t cache_capacity = 256;
   std::size_t cache_shards = 8;
@@ -47,6 +69,10 @@ struct ServeOptions {
 class ServeSession {
  public:
   explicit ServeSession(ServeOptions options = {});
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
 
   /// Dispatch one request; never throws — failures become
   /// {"ok":false,...} responses and count as endpoint errors.
@@ -59,6 +85,13 @@ class ServeSession {
   /// in-process examples and benches).  Throws on unknown names.
   double predict(const std::string& model, const std::string& device);
 
+  /// Hot-swap the estimator to a registry bundle (empty = LATEST) and
+  /// drop cached predictions.  Requires a configured registry; throws
+  /// on a missing/corrupt bundle, in which case the live model keeps
+  /// serving.  Returns the installed version.  In-flight predicts
+  /// finish on whichever estimator they snapshotted.
+  std::string reload(const std::string& version = "");
+
   /// Drop every cached static report, feature vector and prediction
   /// (for cold-path measurements; counters are not reset).
   void reset_caches();
@@ -66,7 +99,25 @@ class ServeSession {
   /// Drop only cached predictions; DCA features stay warm.
   void reset_result_cache() { results_.clear(); }
 
-  const core::PerformanceEstimator& estimator() const { return estimator_; }
+  /// The live estimator.  The reference stays valid until the next
+  /// reload; concurrent readers should hold estimator_ptr() instead.
+  const core::PerformanceEstimator& estimator() const;
+  std::shared_ptr<const core::PerformanceEstimator> estimator_ptr() const;
+
+  /// Version of the live registry bundle ("" when not serving from a
+  /// registry) and the number of completed hot-reloads.
+  std::string live_version() const;
+  std::uint64_t reload_count() const { return reloads_.load(); }
+
+  /// Dynamic-code-analysis passes actually executed by this session
+  /// (a persistent-feature-store hit avoids one; the warm-restart
+  /// bench asserts this stays 0).
+  std::uint64_t dca_compute_count() const { return dca_computes_.load(); }
+  /// Feature vectors served from the persistent store.
+  std::uint64_t feature_store_hit_count() const {
+    return store_hits_.load();
+  }
+
   MetricsRegistry& metrics() { return metrics_; }
   CacheStats feature_cache_stats() const { return features_.stats(); }
   CacheStats result_cache_stats() const { return results_.stats(); }
@@ -85,11 +136,14 @@ class ServeSession {
   Response do_predict(const Request& request);
   Response do_rank(const Request& request);
   Response do_analyze(const Request& request);
+  Response do_reload(const Request& request);
+  Response do_model_info();
   Response do_stats();
   Response do_ping() const;
   Response do_shutdown() const;
 
   FeaturePtr features_for(const std::string& model);
+  FeaturePtr compute_features(const std::string& model);
   std::vector<double> predict_group(
       const std::string& model,
       const std::vector<const gpu::DeviceSpec*>& devices);
@@ -100,8 +154,23 @@ class ServeSession {
   PredictOutcome predict_ipc(const std::string& model,
                              const gpu::DeviceSpec& device);
 
+  /// Publish `estimator` as the live model (wires the feature-provider
+  /// hook, swaps the shared_ptr).
+  void install_estimator(core::PerformanceEstimator estimator,
+                         std::string version, registry::Manifest manifest,
+                         std::string source);
+  void start_polling();
+
   ServeOptions options_;
-  core::PerformanceEstimator estimator_;
+  std::unique_ptr<registry::ModelRegistry> registry_;
+  std::unique_ptr<registry::FeatureStore> feature_store_;
+
+  mutable std::mutex estimator_mutex_;
+  std::shared_ptr<const core::PerformanceEstimator> estimator_;
+  std::string live_version_;          // guarded by estimator_mutex_
+  registry::Manifest live_manifest_;  // guarded by estimator_mutex_
+  std::string model_source_;          // "registry" | "file" | "trained"
+
   core::FeatureExtractor extractor_;
   cnn::StaticAnalyzer analyzer_;
   ShardedLruCache<cnn::ModelReport> static_reports_;
@@ -110,6 +179,15 @@ class ServeSession {
   ThreadPool pool_;
   std::unique_ptr<PredictBatcher> batcher_;
   MetricsRegistry metrics_;
+
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> dca_computes_{0};
+  std::atomic<std::uint64_t> store_hits_{0};
+
+  std::mutex poll_mutex_;
+  std::condition_variable poll_cv_;
+  bool poll_stop_ = false;
+  std::thread poll_thread_;
 };
 
 }  // namespace gpuperf::serve

@@ -149,10 +149,23 @@ TEST(Estimator, SaveLoadRoundTrip) {
                      est.predict(tiny_dataset().row(i)));
 }
 
-TEST(Estimator, OnlyTreeEstimatorsSerialize) {
-  PerformanceEstimator knn("knn", 42);
-  knn.train(tiny_dataset());
-  EXPECT_THROW(knn.save(::testing::TempDir() + "/x.txt"), CheckError);
+TEST(Estimator, EveryRegressorIdSerializes) {
+  for (const auto& id : ml::regressor_ids()) {
+    PerformanceEstimator est(id, 42);
+    est.train(tiny_dataset());
+    const std::string path =
+        ::testing::TempDir() + "/gpuperf_est_" + id + ".txt";
+    est.save(path);
+    PerformanceEstimator loaded = PerformanceEstimator::load(path);
+    EXPECT_EQ(loaded.regressor_id(), id);
+    for (std::size_t i = 0; i < tiny_dataset().size(); ++i)
+      EXPECT_DOUBLE_EQ(loaded.predict(tiny_dataset().row(i)),
+                       est.predict(tiny_dataset().row(i)))
+          << id;
+  }
+}
+
+TEST(Estimator, UntrainedEstimatorRefusesToSerialize) {
   PerformanceEstimator untrained("dt", 42);
   EXPECT_THROW(untrained.save(::testing::TempDir() + "/y.txt"), CheckError);
 }

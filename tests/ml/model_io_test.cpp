@@ -81,5 +81,113 @@ TEST(ModelIo, LinearRejectsGarbage) {
                CheckError);
 }
 
+TEST(ModelIo, ForestRoundTripPredictsIdentically) {
+  const Dataset d = random_data(80, 7);
+  ForestParams params;
+  params.n_trees = 12;
+  RandomForest forest(params, 7);
+  forest.fit(d);
+  const RandomForest restored =
+      deserialize_forest(serialize_forest(forest));
+  EXPECT_EQ(restored.tree_count(), forest.tree_count());
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(-1, 2), rng.uniform(-1, 2)};
+    EXPECT_DOUBLE_EQ(restored.predict(x), forest.predict(x));
+  }
+}
+
+TEST(ModelIo, ForestRejectsGarbage) {
+  EXPECT_THROW(deserialize_forest("bogus"), CheckError);
+  // Header promises two trees but carries none.
+  EXPECT_THROW(deserialize_forest("gpuperf-forest v1\ntrees 2 features 1\n"),
+               CheckError);
+}
+
+TEST(ModelIo, BoostingRoundTripPredictsIdentically) {
+  const Dataset d = random_data(80, 9);
+  BoostingParams params;
+  params.n_rounds = 15;
+  GradientBoosting model(params, 9);
+  model.fit(d);
+  const GradientBoosting restored =
+      deserialize_boosting(serialize_boosting(model));
+  EXPECT_EQ(restored.round_count(), model.round_count());
+  EXPECT_DOUBLE_EQ(restored.base_score(), model.base_score());
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(-1, 2), rng.uniform(-1, 2)};
+    EXPECT_DOUBLE_EQ(restored.predict(x), model.predict(x));
+  }
+}
+
+TEST(ModelIo, BoostingRejectsGarbage) {
+  EXPECT_THROW(deserialize_boosting("bogus"), CheckError);
+  EXPECT_THROW(
+      deserialize_boosting("gpuperf-boosting v1\nrounds 1 features 1\n"
+                           "base_score 0.5\nlearning_rate 0.1\n"),
+      CheckError);
+}
+
+TEST(ModelIo, KnnRoundTripPredictsIdentically) {
+  const Dataset d = random_data(40, 11);
+  KnnRegressor model(4, KnnRegressor::Weighting::kInverseDistance);
+  model.fit(d);
+  const KnnRegressor restored = deserialize_knn(serialize_knn(model));
+  EXPECT_EQ(restored.k(), model.k());
+  EXPECT_EQ(restored.weighting(), model.weighting());
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(-1, 2), rng.uniform(-1, 2)};
+    EXPECT_DOUBLE_EQ(restored.predict(x), model.predict(x));
+  }
+}
+
+TEST(ModelIo, KnnRejectsGarbage) {
+  EXPECT_THROW(deserialize_knn("bogus"), CheckError);
+  // Row count promises more rows than the body carries.
+  EXPECT_THROW(deserialize_knn("gpuperf-knn v1\nk 3 weighting inverse\n"
+                               "rows 2 features 1\nmean 0\nstddev 1\n"
+                               "row 0.5 1\n"),
+               CheckError);
+}
+
+TEST(ModelIo, GenericRoundTripForEveryRegressorId) {
+  const Dataset d = random_data(60, 13);
+  for (const auto& id : regressor_ids()) {
+    const auto model = make_regressor(id, 13);
+    model->fit(d);
+    const std::string text = serialize_regressor(*model);
+    LoadedRegressor loaded = deserialize_regressor(text);
+    EXPECT_EQ(loaded.id, id);
+    ASSERT_TRUE(loaded.model != nullptr) << id;
+    EXPECT_TRUE(loaded.model->is_fitted()) << id;
+    EXPECT_EQ(loaded.model->n_features(), 2u) << id;
+    Rng rng(14);
+    for (int i = 0; i < 20; ++i) {
+      const std::vector<double> x = {rng.uniform(-1, 2),
+                                     rng.uniform(-1, 2)};
+      EXPECT_DOUBLE_EQ(loaded.model->predict(x), model->predict(x)) << id;
+    }
+  }
+}
+
+TEST(ModelIo, GenericDeserializeRejectsUnknownHeader) {
+  EXPECT_THROW(deserialize_regressor("gpuperf-mlp v1\n"), CheckError);
+  EXPECT_THROW(deserialize_regressor(""), CheckError);
+}
+
+TEST(ModelIo, GenericFileRoundTrip) {
+  const Dataset d = random_data(60, 15);
+  const auto model = make_regressor("rf", 15);
+  model->fit(d);
+  const std::string path = ::testing::TempDir() + "/gpuperf_generic.txt";
+  save_regressor(*model, path);
+  LoadedRegressor loaded = load_regressor(path);
+  EXPECT_EQ(loaded.id, "rf");
+  EXPECT_DOUBLE_EQ(loaded.model->predict({0.4, 0.6}),
+                   model->predict({0.4, 0.6}));
+}
+
 }  // namespace
 }  // namespace gpuperf::ml

@@ -1,0 +1,120 @@
+#include "registry/feature_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cnn/zoo.hpp"
+#include "registry/hash.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gpuperf::registry {
+namespace {
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "/gpuperf_fs_" + name;
+  fs::remove_all(root);
+  return root;
+}
+
+core::ModelFeatures sample_features() {
+  core::ModelFeatures f;
+  f.model_name = "alexnet";
+  f.executed_instructions = 123456789;
+  f.trainable_params = 62378344;
+  f.macs = 714188480;
+  f.neurons = 650000;
+  f.weighted_layers = 8;
+  f.dca_seconds = 0.125;
+  return f;
+}
+
+TEST(FeatureStore, MissOnUnknownTopology) {
+  FeatureStore store(fresh_root("miss"));
+  EXPECT_EQ(store.get(0x1234), nullptr);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(FeatureStore, PutGetRoundTrip) {
+  FeatureStore store(fresh_root("roundtrip"));
+  const core::ModelFeatures f = sample_features();
+  store.put(0xabcd, f);
+  EXPECT_EQ(store.size(), 1u);
+
+  const auto back = store.get(0xabcd);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->model_name, f.model_name);
+  EXPECT_EQ(back->executed_instructions, f.executed_instructions);
+  EXPECT_EQ(back->trainable_params, f.trainable_params);
+  EXPECT_EQ(back->macs, f.macs);
+  EXPECT_EQ(back->neurons, f.neurons);
+  EXPECT_EQ(back->weighted_layers, f.weighted_layers);
+  EXPECT_DOUBLE_EQ(back->dca_seconds, f.dca_seconds);
+}
+
+TEST(FeatureStore, OverwriteReplacesEntry) {
+  FeatureStore store(fresh_root("overwrite"));
+  core::ModelFeatures f = sample_features();
+  store.put(0xabcd, f);
+  f.executed_instructions = 42;
+  store.put(0xabcd, f);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get(0xabcd)->executed_instructions, 42);
+}
+
+TEST(FeatureStore, CorruptEntryReadsAsMiss) {
+  const std::string root = fresh_root("corrupt");
+  FeatureStore store(root);
+  store.put(0xabcd, sample_features());
+
+  const fs::path entry = fs::path(root) / (hex64(0xabcd) + ".features");
+  ASSERT_TRUE(fs::exists(entry));
+  {
+    std::ifstream in(entry);
+    std::ostringstream os;
+    os << in.rdbuf();
+    std::string text = os.str();
+    text[text.find("123456789")] = '9';  // flip a digit: checksum breaks
+    std::ofstream out(entry, std::ios::trunc);
+    out << text;
+  }
+  EXPECT_EQ(store.get(0xabcd), nullptr);
+
+  // Truncation is also a miss, not an error.
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << "gpuperf-features v1\n";
+  }
+  EXPECT_EQ(store.get(0xabcd), nullptr);
+
+  // Callers recompute and overwrite: the store self-heals.
+  store.put(0xabcd, sample_features());
+  EXPECT_NE(store.get(0xabcd), nullptr);
+}
+
+TEST(FeatureStore, WrongTopologyInEntryIsMiss) {
+  const std::string root = fresh_root("wrong_topo");
+  FeatureStore store(root);
+  store.put(0x1111, sample_features());
+  // Copy the valid entry to a different address: the embedded topology
+  // no longer matches the file name, so it must not be served.
+  fs::copy_file(fs::path(root) / (hex64(0x1111) + ".features"),
+                fs::path(root) / (hex64(0x2222) + ".features"));
+  EXPECT_NE(store.get(0x1111), nullptr);
+  EXPECT_EQ(store.get(0x2222), nullptr);
+}
+
+TEST(FeatureStore, TopologyHashSeparatesModels) {
+  const auto h1 = FeatureStore::topology_hash(cnn::zoo::build("alexnet"));
+  const auto h2 = FeatureStore::topology_hash(cnn::zoo::build("vgg16"));
+  const auto h1_again =
+      FeatureStore::topology_hash(cnn::zoo::build("alexnet"));
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, h1_again);
+}
+
+}  // namespace
+}  // namespace gpuperf::registry

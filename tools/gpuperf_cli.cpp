@@ -7,8 +7,8 @@
 //   gpuperf ptx [--model <name>]            print the kernel library or
 //                                           a model's launch plan
 //   gpuperf dataset [--out <csv>] [--devices a,b] [--extended]
-//   gpuperf train --out <file> [--seed N]   train the DT, save it
-//   gpuperf predict <model> <device> [--tree <file>]
+//   gpuperf train --out <file> | --registry <dir>   train + save/publish
+//   gpuperf predict <model> <device> [--tree <file>] [--registry <dir>]
 //   gpuperf rank <model>                    DSE ranking over all devices
 //   gpuperf serve [--port N] [--threads K]  long-lived estimation daemon
 //   gpuperf client <request...> [--port N]  one request to a daemon
@@ -16,6 +16,7 @@
 // Flags accept both `--key value` and the explicit `--key=value` form
 // (required when the value itself starts with "--"); the grammar is
 // serve::parse_command, shared with the server's wire protocol.
+#include <cstdlib>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -33,9 +34,11 @@
 #include "core/dse.hpp"
 #include "core/estimator.hpp"
 #include "gpu/device_db.hpp"
+#include "ml/cross_validation.hpp"
 #include "ml/model_io.hpp"
 #include "ptx/codegen.hpp"
 #include "ptx/counter.hpp"
+#include "registry/registry.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -64,11 +67,15 @@ int usage() {
       "  analyze <model> [--layers]     static analysis of a zoo model\n"
       "  ptx [--model <name>]           kernel library / launch plan\n"
       "  dataset [--out f.csv] [--devices a,b] [--extended]\n"
-      "  train --out <file> [--seed N]  train + save the Decision Tree\n"
-      "  predict <model> <device> [--tree <file>]\n"
+      "  train --out <file> | --registry <dir>   train + save or publish\n"
+      "        [--regressor id] [--seed N] [--models a,b] [--devices a,b]\n"
+      "        [--folds K] [--max-regress PP] [--force]\n"
+      "  predict <model> <device> [--tree <file>] [--registry <dir>]\n"
+      "        (also honors $GPUPERF_REGISTRY when no --tree is given)\n"
       "  rank <model>                   DSE ranking over all devices\n"
       "  serve [--port N] [--threads K] [--tree <file>] [--models a,b]\n"
-      "        [--regressor id] [--no-batch]   estimation daemon\n"
+      "        [--regressor id] [--no-batch] [--registry <dir>]\n"
+      "        [--version vNNNN] [--feature-store <dir>] [--poll-ms N]\n"
       "  client <request...> [--host H] [--port N]\n"
       "        e.g. `gpuperf client predict resnet50v2 teslat4`\n");
   return 2;
@@ -175,17 +182,56 @@ std::uint64_t seed_from(const Args& args) {
 
 int cmd_train(const Args& args) {
   const auto out = args.flags.find("out");
-  if (out == args.flags.end()) return usage();
-  std::fprintf(stderr, "building dataset and training decision tree...\n");
-  core::DatasetBuilder builder;
-  core::PerformanceEstimator estimator("dt", seed_from(args));
-  estimator.train(builder.build());
-  const auto* tree =
-      dynamic_cast<const ml::DecisionTree*>(&estimator.model());
-  GP_CHECK(tree != nullptr);
-  ml::save_tree(*tree, out->second);
-  std::fprintf(stderr, "saved decision tree (%zu nodes) to %s\n",
-               tree->nodes().size(), out->second.c_str());
+  const auto reg = args.flags.find("registry");
+  if (out == args.flags.end() && reg == args.flags.end()) return usage();
+
+  core::DatasetOptions data_options;
+  if (const auto it = args.flags.find("models"); it != args.flags.end())
+    data_options.models = split(it->second, ',');
+  if (const auto it = args.flags.find("devices"); it != args.flags.end())
+    data_options.devices = split(it->second, ',');
+  const std::string regressor_id = args.flag_or("regressor", "dt");
+  const std::uint64_t seed = seed_from(args);
+
+  std::fprintf(stderr, "building dataset and training %s estimator...\n",
+               regressor_id.c_str());
+  const ml::Dataset data = core::DatasetBuilder(data_options).build();
+  core::PerformanceEstimator estimator(regressor_id, seed);
+  estimator.train(data);
+
+  if (out != args.flags.end()) {
+    estimator.save(out->second);
+    std::fprintf(stderr, "saved %s model to %s\n", regressor_id.c_str(),
+                 out->second.c_str());
+  }
+  if (reg != args.flags.end()) {
+    const auto folds =
+        static_cast<std::size_t>(parse_int(args.flag_or("folds", "5")));
+    registry::Manifest manifest;
+    manifest.regressor_id = regressor_id;
+    manifest.seed = seed;
+    manifest.train_models = data_options.models;
+    manifest.train_devices = data_options.devices;
+    if (folds > 1) {
+      std::fprintf(stderr, "running %zu-fold cross-validation...\n", folds);
+      const ml::CvResult cv =
+          ml::cross_validate(data, folds, regressor_id, seed);
+      manifest.cv_folds = folds;
+      manifest.cv_mape = cv.pooled.mape;
+      manifest.cv_r2 = cv.pooled.r2;
+    }
+    registry::PublishOptions publish_options;
+    publish_options.force = args.has_flag("force");
+    if (const auto it = args.flags.find("max-regress");
+        it != args.flags.end())
+      publish_options.max_mape_regression = parse_double(it->second);
+    registry::ModelRegistry registry(reg->second);
+    const std::string version =
+        registry.publish(estimator, manifest, publish_options);
+    std::printf("published %s bundle %s to %s (cv mape %.2f%%, r2 %.3f)\n",
+                regressor_id.c_str(), version.c_str(), reg->second.c_str(),
+                manifest.cv_mape, manifest.cv_r2);
+  }
   return 0;
 }
 
@@ -204,10 +250,27 @@ int cmd_predict(const Args& args) {
   const auto x = core::FeatureExtractor::feature_vector(
       features, gpu::device(device_name));
 
+  // Model source precedence: an explicit --tree file, then a registry
+  // (--registry flag or $GPUPERF_REGISTRY) with a published bundle,
+  // then the historical retrain-from-scratch slow path.
+  std::string registry_dir = args.flag_or("registry", "");
+  if (registry_dir.empty())
+    if (const char* env = std::getenv("GPUPERF_REGISTRY"))
+      registry_dir = env;
+
   double ipc = 0.0;
   if (const auto it = args.flags.find("tree"); it != args.flags.end()) {
     const ml::DecisionTree tree = ml::load_tree(it->second);
     ipc = tree.predict(x);
+  } else if (!registry_dir.empty() &&
+             !registry::ModelRegistry(registry_dir).empty()) {
+    const registry::Bundle bundle =
+        registry::ModelRegistry(registry_dir)
+            .load(args.flag_or("version", ""));
+    std::fprintf(stderr, "loaded %s bundle %s from %s\n",
+                 bundle.manifest.regressor_id.c_str(),
+                 bundle.version.c_str(), registry_dir.c_str());
+    ipc = bundle.estimator.predict(x);
   } else {
     std::fprintf(stderr, "no --tree given; training from scratch...\n");
     core::DatasetBuilder builder;
@@ -253,6 +316,11 @@ int cmd_serve(const Args& args) {
     options.train_devices = split(it->second, ',');
   options.tree_path = args.flag_or("tree", "");
   options.regressor_id = args.flag_or("regressor", "dt");
+  options.registry_dir = args.flag_or("registry", "");
+  options.registry_version = args.flag_or("version", "");
+  options.feature_store_dir = args.flag_or("feature-store", "");
+  options.registry_poll_ms =
+      static_cast<int>(parse_int(args.flag_or("poll-ms", "0")));
   options.seed = seed_from(args);
   if (const auto it = args.flags.find("threads"); it != args.flags.end())
     options.n_threads = static_cast<std::size_t>(parse_int(it->second));
@@ -261,7 +329,10 @@ int cmd_serve(const Args& args) {
         static_cast<std::size_t>(parse_int(it->second));
   options.batching = !args.has_flag("no-batch");
 
-  if (options.tree_path.empty())
+  if (!options.registry_dir.empty())
+    std::fprintf(stderr, "loading bundle from registry %s...\n",
+                 options.registry_dir.c_str());
+  else if (options.tree_path.empty())
     std::fprintf(stderr, "training %s estimator...\n",
                  options.regressor_id.c_str());
   serve::ServeSession session(options);
