@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "serve/session.hpp"
 
 namespace {
@@ -65,6 +66,29 @@ void BM_PredictFeatureHitResultMiss(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictFeatureHitResultMiss)->Unit(benchmark::kMicrosecond);
+
+#ifdef GPUPERF_FAULT_INJECTION
+// The degraded path: DCA is forced to fail, so every predict falls
+// back to static-features-only estimation with an imputed
+// executed-instructions value (docs/ROBUSTNESS.md).  Degraded results
+// are never cached, so each iteration pays the full fallback:
+// single-flight miss + failed compute + static-report lookup +
+// estimator walk.  This is the latency floor a client sees when the
+// analysis budget trips — it must sit near the warm path, far from the
+// cold one.
+void BM_PredictDegraded(benchmark::State& state) {
+  serve::ServeSession session(bench_options());
+  // Seed the imputation mean and the static-report cache with one
+  // healthy pass before arming the fault.
+  session.predict("alexnet", "v100s");
+  session.handle_line("analyze mobilenet");
+  fault::ScopedFault fail_dca("dca.compute", fault::Spec{});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        session.handle_line("predict mobilenet v100s"));
+}
+BENCHMARK(BM_PredictDegraded)->Unit(benchmark::kMicrosecond);
+#endif  // GPUPERF_FAULT_INJECTION
 
 // The full wire-facing path on a warm cache: parse + dispatch +
 // metrics + JSON serialization.

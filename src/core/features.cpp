@@ -7,7 +7,8 @@
 
 namespace gpuperf::core {
 
-ModelFeatures FeatureExtractor::compute(const cnn::Model& model) const {
+ModelFeatures FeatureExtractor::compute(const cnn::Model& model,
+                                        const Deadline& deadline) const {
   ModelFeatures out;
   out.model_name = model.name();
 
@@ -20,7 +21,8 @@ ModelFeatures FeatureExtractor::compute(const cnn::Model& model) const {
 
   Stopwatch dca_watch;
   const ptx::CompiledModel compiled = codegen_.compile(model);
-  const ptx::ModelInstructionProfile profile = counter_.count(compiled);
+  const ptx::ModelInstructionProfile profile =
+      counter_.count(compiled, deadline);
   out.executed_instructions = profile.total_instructions;
   out.dca_seconds = dca_watch.elapsed_seconds();
   return out;

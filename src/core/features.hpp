@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cnn/model.hpp"
+#include "common/deadline.hpp"
 #include "gpu/device_spec.hpp"
 #include "ptx/counter.hpp"
 
@@ -30,8 +31,10 @@ struct ModelFeatures {
 class FeatureExtractor {
  public:
   /// Static analysis + PTX generation + sliced symbolic execution for
-  /// one model.
-  ModelFeatures compute(const cnn::Model& model) const;
+  /// one model.  `deadline` bounds the dynamic code analysis; expiry
+  /// throws AnalysisTimeout (the static half is never the bottleneck).
+  ModelFeatures compute(const cnn::Model& model,
+                        const Deadline& deadline = {}) const;
 
   /// Cached compute() for zoo models, keyed by Table I name.
   const ModelFeatures& for_zoo_model(const std::string& name);

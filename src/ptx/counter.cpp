@@ -15,15 +15,15 @@ InstructionCounter::InstructionCounter() {
 }
 
 ExecutionCounts InstructionCounter::count_launch(
-    const KernelLaunch& launch) const {
+    const KernelLaunch& launch, const Deadline& deadline) const {
   const auto it = executors_.find(launch.kernel);
   GP_CHECK_MSG(it != executors_.end(),
                "no executor for kernel '" << launch.kernel << "'");
-  return it->second.run(launch);
+  return it->second.run(launch, deadline);
 }
 
 ModelInstructionProfile InstructionCounter::count(
-    const CompiledModel& model) const {
+    const CompiledModel& model, const Deadline& deadline) const {
   ModelInstructionProfile profile;
   profile.model_name = model.model_name;
   profile.launch_count = static_cast<std::int64_t>(model.launches.size());
@@ -31,7 +31,7 @@ ModelInstructionProfile InstructionCounter::count(
   profile.per_launch_class.reserve(model.launches.size());
 
   for (const KernelLaunch& launch : model.launches) {
-    const ExecutionCounts counts = count_launch(launch);
+    const ExecutionCounts counts = count_launch(launch, deadline);
     profile.total_instructions += counts.total;
     for (std::size_t c = 0; c < kOpClassCount; ++c)
       profile.by_class[c] += counts.by_class[c];

@@ -32,10 +32,14 @@ class InstructionCounter {
   /// any CompiledModel over the same kernel library.
   InstructionCounter();
 
-  ModelInstructionProfile count(const CompiledModel& model) const;
+  /// `deadline` spans the whole model (every launch shares it); expiry
+  /// throws AnalysisTimeout from inside the symbolic executor.
+  ModelInstructionProfile count(const CompiledModel& model,
+                                const Deadline& deadline = {}) const;
 
   /// Counts for a single launch (exposed for tests and benches).
-  ExecutionCounts count_launch(const KernelLaunch& launch) const;
+  ExecutionCounts count_launch(const KernelLaunch& launch,
+                               const Deadline& deadline = {}) const;
 
  private:
   PtxModule module_;

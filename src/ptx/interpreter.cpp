@@ -21,8 +21,8 @@ struct Cell {
 }  // namespace
 
 ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
-                                     std::int64_t ctaid,
-                                     std::int64_t tid) const {
+                                     std::int64_t ctaid, std::int64_t tid,
+                                     const Deadline& deadline) const {
   GP_CHECK(ctaid >= 0 && ctaid < launch.grid_dim);
   GP_CHECK(tid >= 0 && tid < launch.block_dim);
 
@@ -75,6 +75,7 @@ ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
   while (pc < kernel_.instructions.size()) {
     GP_CHECK_MSG(counts.total < kStepLimit,
                  "interpreter step limit in " << kernel_.name);
+    deadline.charge(kernel_.name.c_str());
     const Instruction& inst = kernel_.instructions[pc];
     ++counts.total;
     ++counts.by_class[static_cast<std::size_t>(
@@ -258,11 +259,12 @@ ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
   return counts;  // fell off the end (no ret) — treated as exit
 }
 
-ThreadCounts Interpreter::run_all(const KernelLaunch& launch) const {
+ThreadCounts Interpreter::run_all(const KernelLaunch& launch,
+                                  const Deadline& deadline) const {
   ThreadCounts total;
   for (std::int64_t ct = 0; ct < launch.grid_dim; ++ct) {
     for (std::int64_t t = 0; t < launch.block_dim; ++t) {
-      const ThreadCounts c = run_thread(launch, ct, t);
+      const ThreadCounts c = run_thread(launch, ct, t, deadline);
       total.total += c.total;
       for (std::size_t i = 0; i < c.by_class.size(); ++i)
         total.by_class[i] += c.by_class[i];

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/deadline.hpp"
 #include "ptx/module.hpp"
 
 namespace gpuperf::ptx {
@@ -25,13 +26,16 @@ class Interpreter {
   /// Execute one thread (ctaid, tid) of a launch.  Global loads return
   /// zero; shared memory is a private scratch map (block-level
   /// interleavings do not affect instruction counts in the supported
-  /// kernel fragment).
+  /// kernel fragment).  Throws AnalysisTimeout when `deadline` expires
+  /// (one charge() per executed instruction).
   ThreadCounts run_thread(const KernelLaunch& launch, std::int64_t ctaid,
-                          std::int64_t tid) const;
+                          std::int64_t tid,
+                          const Deadline& deadline = {}) const;
 
   /// Sum run_thread over the entire launch (brute force; use only on
-  /// small launches / in tests).
-  ThreadCounts run_all(const KernelLaunch& launch) const;
+  /// small launches / in tests).  The deadline spans all threads.
+  ThreadCounts run_all(const KernelLaunch& launch,
+                       const Deadline& deadline = {}) const;
 
  private:
   const PtxKernel& kernel_;

@@ -13,7 +13,8 @@ std::size_t Slice::slice_size() const {
   return n;
 }
 
-Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph) {
+Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph,
+                    const Deadline& deadline) {
   const auto& ins = kernel.instructions;
   GP_CHECK(graph.node_count() == ins.size());
 
@@ -36,6 +37,7 @@ Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph) {
 
   // Backward closure over data dependencies.
   while (!worklist.empty()) {
+    deadline.charge("slicer");
     const std::size_t i = worklist.front();
     worklist.pop_front();
     for (std::size_t dep : graph.deps(i)) mark(dep);

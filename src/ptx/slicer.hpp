@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "ptx/depgraph.hpp"
 #include "ptx/module.hpp"
 
@@ -26,7 +27,9 @@ struct Slice {
 };
 
 /// Slice criteria: every branch guard, every instruction guard, and the
-/// transitive data dependencies of both.
-Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph);
+/// transitive data dependencies of both.  Throws AnalysisTimeout when
+/// `deadline` expires during the backward closure.
+Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph,
+                    const Deadline& deadline = {});
 
 }  // namespace gpuperf::ptx

@@ -312,10 +312,11 @@ struct SymbolicExecutor::Impl {
   std::vector<std::array<i64, kOpClassCount>> block_hist;
   std::vector<i64> block_size;
 
-  explicit Impl(const PtxKernel& k)
+  explicit Impl(const PtxKernel& k, const Deadline& deadline)
       : kernel(k),
         cfg(Cfg::build(kernel)),
-        slice(compute_slice(kernel, DependencyGraph::build(kernel))) {
+        slice(compute_slice(kernel, DependencyGraph::build(kernel),
+                            deadline)) {
     block_hist.resize(cfg.block_count());
     block_size.resize(cfg.block_count());
     for (std::size_t b = 0; b < cfg.block_count(); ++b) {
@@ -595,7 +596,8 @@ struct SymbolicExecutor::Impl {
     return 0;
   }
 
-  ExecutionCounts run(const KernelLaunch& launch) const {
+  ExecutionCounts run(const KernelLaunch& launch,
+                      const Deadline& deadline) const {
     GP_CHECK(launch.grid_dim >= 1 && launch.block_dim >= 1);
 
     std::vector<i64> global_block_exec(cfg.block_count(), 0);
@@ -618,6 +620,7 @@ struct SymbolicExecutor::Impl {
         GP_CHECK_MSG(++steps < kStepLimit,
                      "symbolic execution step limit exceeded in "
                          << kernel.name);
+        deadline.charge(kernel.name.c_str());
         const BasicBlock& block = cfg.block(st.block);
         st.counts[st.block] += 1;
 
@@ -769,16 +772,18 @@ struct SymbolicExecutor::Impl {
   }
 };
 
-SymbolicExecutor::SymbolicExecutor(const PtxKernel& kernel)
-    : impl_(std::make_unique<Impl>(kernel)) {}
+SymbolicExecutor::SymbolicExecutor(const PtxKernel& kernel,
+                                   const Deadline& deadline)
+    : impl_(std::make_unique<Impl>(kernel, deadline)) {}
 
 SymbolicExecutor::~SymbolicExecutor() = default;
 SymbolicExecutor::SymbolicExecutor(SymbolicExecutor&&) noexcept = default;
 SymbolicExecutor& SymbolicExecutor::operator=(SymbolicExecutor&&) noexcept =
     default;
 
-ExecutionCounts SymbolicExecutor::run(const KernelLaunch& launch) const {
-  return impl_->run(launch);
+ExecutionCounts SymbolicExecutor::run(const KernelLaunch& launch,
+                                      const Deadline& deadline) const {
+  return impl_->run(launch, deadline);
 }
 
 const Cfg& SymbolicExecutor::cfg() const { return impl_->cfg; }

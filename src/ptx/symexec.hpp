@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "ptx/cfg.hpp"
 #include "ptx/module.hpp"
 #include "ptx/slicer.hpp"
@@ -38,8 +39,10 @@ struct ExecutionCounts {
 class SymbolicExecutor {
  public:
   /// Analyzes the kernel once (CFG, dependency graph, slice); run() can
-  /// then be called for many launches.
-  explicit SymbolicExecutor(const PtxKernel& kernel);
+  /// then be called for many launches.  `deadline` bounds the one-time
+  /// analysis (it is not retained).
+  explicit SymbolicExecutor(const PtxKernel& kernel,
+                            const Deadline& deadline = {});
   ~SymbolicExecutor();
 
   SymbolicExecutor(SymbolicExecutor&&) noexcept;
@@ -47,8 +50,11 @@ class SymbolicExecutor {
 
   /// Count the dynamic instructions of one launch.  GP_CHECK-fails on
   /// kernels outside the supported fragment (branches on loaded data,
-  /// non-affine divergence) and on diverging loops.
-  ExecutionCounts run(const KernelLaunch& launch) const;
+  /// non-affine divergence) and on diverging loops.  Throws
+  /// AnalysisTimeout when `deadline` expires mid-run (one charge() per
+  /// symbolic block step).
+  ExecutionCounts run(const KernelLaunch& launch,
+                      const Deadline& deadline = {}) const;
 
   const Cfg& cfg() const;
   const Slice& slice() const;

@@ -6,6 +6,7 @@
 
 #include "cnn/model_io.hpp"
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/strings.hpp"
 #include "registry/hash.hpp"
 
@@ -56,6 +57,8 @@ std::uint64_t FeatureStore::topology_hash(const cnn::Model& model) {
 
 std::shared_ptr<const core::ModelFeatures> FeatureStore::get(
     std::uint64_t topology) const {
+  GPUPERF_FAULT_POINT("store.get");  // a dead volume: read throws
+  if (GPUPERF_FAULT_CORRUPT("store.get")) return nullptr;
   std::ifstream in(entry_path(topology), std::ios::binary);
   if (!in.good()) return nullptr;
   std::ostringstream os;
@@ -111,6 +114,7 @@ std::shared_ptr<const core::ModelFeatures> FeatureStore::get(
 
 void FeatureStore::put(std::uint64_t topology,
                        const core::ModelFeatures& features) {
+  GPUPERF_FAULT_POINT("store.put");  // a full/dead volume: write throws
   const std::string body = entry_body(topology, features);
   const fs::path final_path = entry_path(topology);
   const fs::path tmp = final_path.string() + ".tmp";
@@ -132,6 +136,29 @@ std::size_t FeatureStore::size() const {
         ends_with(entry.path().filename().string(), ".features"))
       ++count;
   return count;
+}
+
+FeatureStore::Aggregate FeatureStore::aggregate() const {
+  Aggregate out;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    if (!entry.is_regular_file() || !ends_with(name, ".features"))
+      continue;
+    std::uint64_t topology = 0;
+    try {
+      topology = parse_hex64(name.substr(0, name.size() - 9));
+    } catch (const CheckError&) {
+      continue;  // stray file with a .features suffix
+    }
+    // get() re-validates checksum + topology, so a corrupt entry can
+    // never poison the aggregate.
+    if (const auto features = get(topology)) {
+      out.entries += 1;
+      out.executed_instruction_sum += features->executed_instructions;
+      out.trainable_param_sum += features->trainable_params;
+    }
+  }
+  return out;
 }
 
 }  // namespace gpuperf::registry

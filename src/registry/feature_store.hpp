@@ -47,6 +47,16 @@ class FeatureStore {
   /// Number of entries on disk.
   std::size_t size() const;
 
+  /// Scan of every valid entry, for warm-starting the degraded-path
+  /// imputation (docs/ROBUSTNESS.md): corrupt entries are skipped, so
+  /// this never throws for bad on-disk data.
+  struct Aggregate {
+    std::uint64_t entries = 0;
+    std::int64_t executed_instruction_sum = 0;
+    std::int64_t trainable_param_sum = 0;
+  };
+  Aggregate aggregate() const;
+
  private:
   std::string entry_path(std::uint64_t topology) const;
 

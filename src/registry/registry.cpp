@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/strings.hpp"
 #include "ml/model_io.hpp"
 #include "registry/hash.hpp"
@@ -90,6 +91,7 @@ std::vector<std::string> ModelRegistry::versions() const {
 }
 
 std::string ModelRegistry::latest_version() const {
+  GPUPERF_FAULT_POINT("registry.latest");  // dead volume / unreadable
   const fs::path pointer = fs::path(root_) / "LATEST";
   if (!fs::exists(pointer)) return "";
   const std::string name = std::string(trim(read_file(pointer)));
@@ -184,8 +186,13 @@ Bundle ModelRegistry::load(const std::string& version) const {
           feature_schema_hash(core::FeatureExtractor::feature_names()),
       "bundle " << target << " was trained on a different feature schema");
 
-  const std::string model_text =
+  GPUPERF_FAULT_POINT("registry.load");
+  std::string model_text =
       read_file(fs::path(version_dir(target)) / m.model_file);
+  // A corrupted bundle read: one flipped byte must trip the checksum
+  // gate below, never install a silently wrong model.
+  if (GPUPERF_FAULT_CORRUPT("registry.load") && !model_text.empty())
+    model_text[0] ^= 0x01;
   GP_CHECK_MSG(fnv1a64(model_text) == m.model_checksum,
                "bundle " << target << " model checksum mismatch — "
                          << m.model_file << " is corrupt");

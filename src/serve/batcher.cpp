@@ -2,23 +2,43 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
+#include "serve/errors.hpp"
 
 namespace gpuperf::serve {
 
-PredictBatcher::PredictBatcher(ThreadPool& pool, GroupFn predict_group)
-    : pool_(pool), predict_group_(std::move(predict_group)) {
+PredictBatcher::PredictBatcher(ThreadPool& pool, GroupFn predict_group,
+                               std::size_t max_outstanding)
+    : pool_(pool),
+      predict_group_(std::move(predict_group)),
+      max_outstanding_(max_outstanding) {
   GP_CHECK(predict_group_ != nullptr);
 }
 
 std::future<double> PredictBatcher::submit(const std::string& model,
-                                           const gpu::DeviceSpec& device) {
+                                           const gpu::DeviceSpec& device,
+                                           const Deadline& deadline) {
+  if (max_outstanding_ > 0) {
+    const std::int64_t pending =
+        outstanding_.load(std::memory_order_relaxed);
+    if (pending >= static_cast<std::int64_t>(max_outstanding_)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream os;
+      os << "predict queue full (" << pending << " outstanding, bound "
+         << max_outstanding_ << ")";
+      throw ServeError(ErrorCode::kOverloaded, os.str());
+    }
+  }
   Job job;
   job.model = model;
   job.device = &device;
+  job.deadline = deadline;
   std::future<double> result = job.promise.get_future();
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
@@ -27,7 +47,9 @@ std::future<double> PredictBatcher::submit(const std::string& model,
   }
   // Leader: drain until the queue stays empty.  Dispatch happens
   // outside the lock, so requests arriving mid-flush form the next
-  // batch instead of waiting behind it.
+  // batch instead of waiting behind it.  dispatch() never throws — any
+  // group failure lands in that group's futures — so flushing_ cannot
+  // get stuck true.
   flushes_.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     std::vector<Job> batch;
@@ -43,6 +65,22 @@ std::future<double> PredictBatcher::submit(const std::string& model,
   }
 }
 
+/// Resolve one job exactly once, tolerating an already-satisfied
+/// promise (possible only if predict_group lied about its result size
+/// after a partial delivery — the remaining jobs still get the error).
+void PredictBatcher::settle(Job& job, const double* ipc,
+                            std::exception_ptr error) {
+  try {
+    if (error)
+      job.promise.set_exception(error);
+    else
+      job.promise.set_value(*ipc);
+  } catch (const std::future_error&) {
+    // already satisfied — nothing left to deliver
+  }
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 void PredictBatcher::dispatch(std::vector<Job> batch) {
   batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
   std::map<std::string, std::vector<Job>> groups;
@@ -55,21 +93,41 @@ void PredictBatcher::dispatch(std::vector<Job> batch) {
                                              std::memory_order_relaxed)) {
     }
     auto group = std::make_shared<std::vector<Job>>(std::move(jobs));
+    // The group must honor its most patient member; a tight deadline
+    // from one request must not cut short a batch-mate's budget.
+    Deadline deadline;
+    if (!group->empty()) {
+      deadline = group->front().deadline;
+      for (std::size_t i = 1; i < group->size(); ++i)
+        deadline = Deadline::loosest(deadline, (*group)[i].deadline);
+    }
     const std::string name = model;
-    pool_.submit([this, name, group] {
+    auto worker = [this, name, group, deadline] {
       std::vector<const gpu::DeviceSpec*> devices;
       devices.reserve(group->size());
       for (const Job& job : *group) devices.push_back(job.device);
+      std::vector<double> ipc;
+      std::exception_ptr failure;
       try {
-        const std::vector<double> ipc = predict_group_(name, devices);
-        GP_CHECK(ipc.size() == group->size());
-        for (std::size_t i = 0; i < group->size(); ++i)
-          (*group)[i].promise.set_value(ipc[i]);
+        GPUPERF_FAULT_POINT_D("batcher.dispatch", &deadline);
+        ipc = predict_group_(name, devices, deadline);
+        GP_CHECK_MSG(ipc.size() == group->size(),
+                     "predict_group returned " << ipc.size()
+                         << " results for a group of " << group->size());
       } catch (...) {
-        for (Job& job : *group)
-          job.promise.set_exception(std::current_exception());
+        failure = std::current_exception();
       }
-    });
+      for (std::size_t i = 0; i < group->size(); ++i)
+        settle((*group)[i], failure ? nullptr : &ipc[i], failure);
+    };
+    try {
+      pool_.submit(std::move(worker));
+    } catch (...) {
+      // The pool refused the task (shutting down / resource failure):
+      // the group's waiters must still hear about it.
+      const std::exception_ptr error = std::current_exception();
+      for (Job& job : *group) settle(job, nullptr, error);
+    }
   }
 }
 
@@ -79,6 +137,7 @@ BatcherStats PredictBatcher::stats() const {
   out.batches = batches_.load();
   out.batched_requests = batched_requests_.load();
   out.max_batch = max_batch_.load();
+  out.shed = shed_.load();
   return out;
 }
 

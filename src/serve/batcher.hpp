@@ -7,6 +7,13 @@
 // same model collapse into a single dynamic-code-analysis pass.  Each
 // per-model group is dispatched to the shared thread pool; results come
 // back through per-request futures.
+//
+// Fault tolerance: every job carries its request's Deadline (a group
+// honors the most generous of its members), the number of outstanding
+// jobs is bounded (submit sheds with a typed `overloaded` error beyond
+// it), and any failure — predict_group throwing, a size-mismatched
+// result, even the pool refusing the task — is fanned out to *every*
+// future of the group, so no waiter can leak.
 #pragma once
 
 #include <atomic>
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/thread_pool.hpp"
 #include "gpu/device_spec.hpp"
 
@@ -27,6 +35,7 @@ struct BatcherStats {
   std::uint64_t batches = 0;          // per-model groups dispatched
   std::uint64_t batched_requests = 0; // requests that went through
   std::uint64_t max_batch = 0;        // largest per-model group seen
+  std::uint64_t shed = 0;             // rejected by the outstanding bound
 };
 
 class PredictBatcher {
@@ -34,15 +43,21 @@ class PredictBatcher {
   /// `predict_group` scores one model on several devices in a single
   /// pass (features fetched once); it runs on pool workers and may
   /// throw — the exception is forwarded to every request of the group.
+  /// The deadline is the loosest of the group's members.
   using GroupFn = std::function<std::vector<double>(
       const std::string& model,
-      const std::vector<const gpu::DeviceSpec*>& devices)>;
+      const std::vector<const gpu::DeviceSpec*>& devices,
+      const Deadline& deadline)>;
 
-  PredictBatcher(ThreadPool& pool, GroupFn predict_group);
+  /// `max_outstanding` bounds submitted-but-unresolved jobs; 0 means
+  /// unbounded.  Beyond it submit() throws ServeError(kOverloaded).
+  PredictBatcher(ThreadPool& pool, GroupFn predict_group,
+                 std::size_t max_outstanding = 0);
 
   /// Enqueue one prediction; the future resolves when its batch ran.
   std::future<double> submit(const std::string& model,
-                             const gpu::DeviceSpec& device);
+                             const gpu::DeviceSpec& device,
+                             const Deadline& deadline = {});
 
   BatcherStats stats() const;
 
@@ -50,20 +65,25 @@ class PredictBatcher {
   struct Job {
     std::string model;
     const gpu::DeviceSpec* device;
+    Deadline deadline;
     std::promise<double> promise;
   };
 
   void dispatch(std::vector<Job> batch);
+  void settle(Job& job, const double* ipc, std::exception_ptr error);
 
   ThreadPool& pool_;
   GroupFn predict_group_;
+  const std::size_t max_outstanding_;
   std::mutex mutex_;
   std::vector<Job> queue_;
   bool flushing_ = false;
+  std::atomic<std::int64_t> outstanding_{0};
   std::atomic<std::uint64_t> flushes_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> shed_{0};
 };
 
 }  // namespace gpuperf::serve

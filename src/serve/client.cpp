@@ -1,34 +1,95 @@
 #include "serve/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <thread>
 
 #include "common/check.hpp"
 
 namespace gpuperf::serve {
 
-TcpClient::TcpClient(const std::string& host, int port) {
+namespace {
+
+void set_socket_timeout(int fd, int option, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+bool is_timeout_errno(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT;
+}
+
+}  // namespace
+
+TcpClient::TcpClient(const std::string& host, int port, Options options) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   GP_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  GP_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
-               "bad host address '" << host << "' (use an IPv4 literal)");
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd_);
     fd_ = -1;
-    GP_CHECK_MSG(false, "connect to " << host << ":" << port
-                                      << " failed: " << std::strerror(err));
+    GP_CHECK_MSG(false,
+                 "bad host address '" << host << "' (use an IPv4 literal)");
   }
+
+  const std::string where = host + ":" + std::to_string(port);
+  const auto fail = [this, &where](const std::string& what,
+                                   bool timed_out) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ClientError("connect to " + where + " " + what, timed_out);
+  };
+
+  // Non-blocking connect + poll: an unreachable host fails after
+  // connect_timeout_ms instead of the kernel's minutes-long default.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS)
+      fail(std::string("failed: ") + std::strerror(errno), false);
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    const int timeout =
+        options.connect_timeout_ms > 0 ? options.connect_timeout_ms : -1;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0)
+      fail("timed out after " + std::to_string(options.connect_timeout_ms) +
+               " ms",
+           true);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc < 0 ||
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0)
+      fail(std::string("failed: ") + std::strerror(err != 0 ? err : errno),
+           false);
+  }
+  ::fcntl(fd_, F_SETFL, flags);  // back to blocking for request()
+
+  set_socket_timeout(fd_, SO_RCVTIMEO, options.io_timeout_ms);
+  set_socket_timeout(fd_, SO_SNDTIMEO, options.io_timeout_ms);
 }
 
 TcpClient::~TcpClient() {
@@ -43,7 +104,11 @@ std::string TcpClient::request(const std::string& line) {
         ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      GP_CHECK_MSG(false, "send failed: " << std::strerror(errno));
+      const int err = errno;
+      if (n < 0 && is_timeout_errno(err))
+        throw ClientError("send timed out", true);
+      throw ClientError(std::string("send failed: ") + std::strerror(err),
+                        false);
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -60,9 +125,48 @@ std::string TcpClient::request(const std::string& line) {
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
-    GP_CHECK_MSG(n > 0, "server closed the connection mid-response");
+    if (n < 0 && is_timeout_errno(errno))
+      throw ClientError("response timed out", true);
+    if (n <= 0)
+      throw ClientError("server closed the connection mid-response",
+                        false);
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+std::string request_with_retry(const std::string& host, int port,
+                               const std::string& line, RetryPolicy policy,
+                               TcpClient::Options options) {
+  GP_CHECK_MSG(policy.attempts > 0, "retry policy needs >= 1 attempt");
+  std::mt19937_64 rng(policy.seed != 0 ? policy.seed
+                                       : 0x9e3779b97f4a7c15ULL);
+  std::string last_error;
+  int backoff_ms = policy.base_backoff_ms;
+  for (int attempt = 0; attempt < policy.attempts; ++attempt) {
+    if (attempt > 0) {
+      std::uniform_int_distribution<int> jitter(0, std::max(1, backoff_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(jitter(rng)));
+      backoff_ms = std::min(backoff_ms * 2, policy.max_backoff_ms);
+    }
+    try {
+      TcpClient client(host, port, options);
+      const std::string response = client.request(line);
+      // Shedding is the one server answer worth retrying: the server is
+      // up and will likely have capacity after the backoff.
+      if (response.find("\"code\":\"overloaded\"") != std::string::npos) {
+        last_error = "server overloaded";
+        continue;
+      }
+      return response;
+    } catch (const ClientError& e) {
+      last_error = e.what();
+    }
+  }
+  throw ClientError("request to " + host + ":" + std::to_string(port) +
+                        " failed after " +
+                        std::to_string(policy.attempts) +
+                        " attempts; last error: " + last_error,
+                    false);
 }
 
 }  // namespace gpuperf::serve

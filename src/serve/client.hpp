@@ -1,16 +1,48 @@
 // Minimal blocking client for the gpuperf serve line protocol: send a
 // request line, read the single JSON response line.  Used by the
 // `gpuperf client` subcommand, the server tests and the CI smoke test.
+//
+// Every socket operation is bounded: connect via non-blocking
+// connect+poll, send/recv via SO_SNDTIMEO/SO_RCVTIMEO — a hung server
+// surfaces as a ClientError with timed_out() set instead of blocking
+// the CLI forever.  request_with_retry() adds exponential backoff with
+// jitter on top for transient failures and `overloaded` shedding.
 #pragma once
 
+#include <cstdint>
 #include <string>
+
+#include "common/check.hpp"
 
 namespace gpuperf::serve {
 
+/// Connection or I/O failure talking to a server.  Derives from
+/// CheckError (a dead or hung peer is a caller-visible condition, not
+/// an internal bug); timed_out() distinguishes "a configured timeout
+/// expired" from "the peer refused or dropped the connection".
+class ClientError : public CheckError {
+ public:
+  ClientError(const std::string& what, bool timed_out)
+      : CheckError(what), timed_out_(timed_out) {}
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  bool timed_out_;
+};
+
 class TcpClient {
  public:
-  /// Connects immediately; GP_CHECK-fails if the server is unreachable.
-  TcpClient(const std::string& host, int port);
+  struct Options {
+    /// 0 disables the corresponding timeout (fully blocking).
+    int connect_timeout_ms = 5000;
+    int io_timeout_ms = 30000;
+  };
+
+  /// Connects immediately; throws ClientError if the server is
+  /// unreachable or the connect timeout expires.
+  TcpClient(const std::string& host, int port, Options options);
+  TcpClient(const std::string& host, int port)
+      : TcpClient(host, port, Options()) {}
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;
@@ -18,11 +50,33 @@ class TcpClient {
 
   /// Send one request line (the trailing newline is added here) and
   /// block for the response line, returned without its newline.
+  /// Throws ClientError on a drop or an I/O timeout.
   std::string request(const std::string& line);
 
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes read past the previous response line
 };
+
+/// Backoff schedule for request_with_retry.
+struct RetryPolicy {
+  int attempts = 4;
+  /// Sleep before retry k is uniform in [0, base * 2^(k-1)], capped at
+  /// max — full jitter, so synchronized clients spread out instead of
+  /// hammering a recovering server in lockstep.
+  int base_backoff_ms = 100;
+  int max_backoff_ms = 2000;
+  /// Jitter source; 0 picks a fixed default (still deterministic).
+  std::uint64_t seed = 0;
+};
+
+/// One request over a fresh connection, retried per `policy` on
+/// connect failure, I/O timeout, dropped connection, or an
+/// {"code":"overloaded"} response.  Returns the first non-overloaded
+/// response; throws ClientError when every attempt fails.
+std::string request_with_retry(const std::string& host, int port,
+                               const std::string& line,
+                               RetryPolicy policy = {},
+                               TcpClient::Options options = {});
 
 }  // namespace gpuperf::serve

@@ -1,0 +1,58 @@
+// Typed error taxonomy of the serving layer (docs/ROBUSTNESS.md): every
+// failure a client can observe maps to exactly one machine-readable
+// code, emitted as the "code" field of {"ok":false,...} responses.
+// Clients branch on the code, never on the human-readable message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace gpuperf::serve {
+
+enum class ErrorCode {
+  /// The request itself is malformed: unknown verb, missing arguments,
+  /// unknown model/device names, unparsable flag values.  Retrying the
+  /// same request can never succeed.
+  kInvalidRequest,
+  /// The analysis deadline or step budget expired before DCA finished.
+  /// Retrying with a larger --deadline-ms may succeed; so may the same
+  /// request later (the single-flight entry was erased for retry).
+  kAnalysisTimeout,
+  /// DCA or prediction failed for a reason other than time (unsupported
+  /// kernel fragment, internal invariant, injected fault).
+  kAnalysisFailed,
+  /// Admission control shed the request (in-flight or queue bound hit).
+  /// Retrying after a backoff is the intended client behavior.
+  kOverloaded,
+  /// No servable model: registry reload failed, bundle corrupt/missing.
+  kModelUnavailable,
+  /// Degradation itself failed after the primary path already had —
+  /// surfaced only when the static-features fallback throws too.
+  kDegraded,
+};
+
+std::string_view error_code_name(ErrorCode code);
+
+/// A serve-layer failure that already knows its wire code.  handle()
+/// maps it straight through; everything else is classified by type
+/// (AnalysisTimeout → analysis_timeout, CheckError → invalid_request,
+/// other exceptions → analysis_failed).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// {"ok":false,"code":"...","error":"..."}; `retry_after_ms` > 0 adds a
+/// client backoff hint (used by overloaded responses).
+Response error_response(ErrorCode code, const std::string& message,
+                        std::int64_t retry_after_ms = 0);
+
+}  // namespace gpuperf::serve

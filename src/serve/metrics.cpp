@@ -75,6 +75,20 @@ EndpointMetrics& MetricsRegistry::endpoint(const std::string& name) {
   return *slot;
 }
 
+std::atomic<std::uint64_t>& MetricsRegistry::counter(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->load();
+}
+
 std::vector<std::pair<std::string, const EndpointMetrics*>>
 MetricsRegistry::sorted_endpoints() const {
   std::vector<std::pair<std::string, const EndpointMetrics*>> out;
@@ -100,6 +114,13 @@ void MetricsRegistry::write_json(JsonWriter& json) const {
     json.end_object();
   }
   json.end_object();
+  json.begin_object("counters");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : counters_)
+      json.field(name, value->load());
+  }
+  json.end_object();
 }
 
 std::string MetricsRegistry::summary() const {
@@ -112,6 +133,17 @@ std::string MetricsRegistry::summary() const {
        << metrics->errors.load() << " errors, p50 "
        << fixed(metrics->latency.percentile(0.50) * 1e3, 3) << " ms, p95 "
        << fixed(metrics->latency.percentile(0.95) * 1e3, 3) << " ms\n";
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool any = false;
+    for (const auto& [name, value] : counters_) {
+      const std::uint64_t v = value->load();
+      if (v == 0) continue;
+      os << (any ? ", " : "  ") << name << " " << v;
+      any = true;
+    }
+    if (any) os << "\n";
   }
   return os.str();
 }

@@ -66,6 +66,13 @@ class MetricsRegistry {
   /// registry's lifetime.
   EndpointMetrics& endpoint(const std::string& name);
 
+  /// Find-or-create a named monotonic counter (degraded responses,
+  /// analysis timeouts, shed requests, ...); same lifetime guarantee.
+  std::atomic<std::uint64_t>& counter(const std::string& name);
+
+  /// Current value of a named counter; 0 when it was never bumped.
+  std::uint64_t counter_value(const std::string& name) const;
+
   std::int64_t in_flight() const { return in_flight_.load(); }
   double uptime_seconds() const { return uptime_.elapsed_seconds(); }
 
@@ -99,6 +106,8 @@ class MetricsRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<EndpointMetrics>> endpoints_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>
+      counters_;
   std::atomic<std::int64_t> in_flight_{0};
   Stopwatch uptime_;
 };

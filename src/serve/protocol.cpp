@@ -45,9 +45,13 @@ Request parse_request(const std::string& line) {
 }
 
 Response error_response(const std::string& message) {
+  // Untyped legacy form: callers that know better use the ErrorCode
+  // overload in serve/errors.hpp.  Everything routed here is a request
+  // the server could never satisfy, hence invalid_request.
   JsonWriter json;
   json.begin_object()
       .field("ok", false)
+      .field("code", "invalid_request")
       .field("error", std::string_view(message))
       .end_object();
   return Response{false, json.str(), false};

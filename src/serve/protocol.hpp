@@ -58,6 +58,9 @@ struct Response {
   bool shutdown_requested = false;
 };
 
+/// Untyped error (always carries code "invalid_request"); failures with
+/// a richer classification use the ErrorCode overload in
+/// serve/errors.hpp.
 Response error_response(const std::string& message);
 
 /// Minimal streaming JSON writer: enough of the format for the

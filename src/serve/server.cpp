@@ -132,8 +132,11 @@ void TcpServer::serve_connection(int fd) {
     buffer.erase(0, start);
   }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(mutex_);
-  open_fds_.erase(fd);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_fds_.erase(fd);
+  }
+  cv_.notify_all();  // drain() waits for open_fds_ to empty
 }
 
 bool TcpServer::wait_for_stop(int timeout_ms) {
@@ -146,6 +149,29 @@ bool TcpServer::wait_for_stop(int timeout_ms) {
   else
     cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), done);
   return stop_requested_.load();
+}
+
+bool TcpServer::drain(int timeout_ms) {
+  if (!running_.load()) return true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_.store(true);  // racing accepts are closed immediately
+  }
+  cv_.notify_all();
+  // Closing the listener stops new connections; the acceptor thread is
+  // joined later by stop(), which tolerates the already-closed fd.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // SHUT_RD only: once a connection finishes the requests it already
+  // read, its next recv returns 0 and the thread exits cleanly — while
+  // the response for any request still in flight goes out intact.
+  for (const int fd : open_fds_) ::shutdown(fd, SHUT_RD);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [this] { return open_fds_.empty(); });
 }
 
 void TcpServer::stop() {

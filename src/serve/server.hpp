@@ -54,6 +54,14 @@ class TcpServer {
   /// (timeout_ms < 0 = forever).  Returns stop_requested().
   bool wait_for_stop(int timeout_ms = -1);
 
+  /// Graceful drain (the SIGINT/SIGTERM path): close the listener so no
+  /// new connections arrive, half-close every open connection for
+  /// reading — in-flight requests still write their responses — and
+  /// wait up to `timeout_ms` for the connections to finish.  Returns
+  /// true when every connection drained in time.  Call stop() after to
+  /// join the threads; stragglers are then cut off hard.
+  bool drain(int timeout_ms);
+
   /// Close the listener, unblock and join every connection thread.
   /// Idempotent; must not be called from a connection thread.
   void stop();

@@ -7,11 +7,13 @@
 
 #include "cnn/zoo.hpp"
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "core/dataset_builder.hpp"
 #include "gpu/device_db.hpp"
 #include "registry/hash.hpp"
+#include "serve/errors.hpp"
 
 namespace gpuperf::serve {
 
@@ -38,10 +40,28 @@ ServeSession::ServeSession(ServeOptions options)
         std::make_unique<registry::FeatureStore>(options_.feature_store_dir);
 
   batcher_ = std::make_unique<PredictBatcher>(
-      pool_, [this](const std::string& model,
-                    const std::vector<const gpu::DeviceSpec*>& devices) {
-        return predict_group(model, devices);
-      });
+      pool_,
+      [this](const std::string& model,
+             const std::vector<const gpu::DeviceSpec*>& devices,
+             const Deadline& deadline) {
+        return predict_group(model, devices, deadline);
+      },
+      options_.max_queue);
+
+  // Warm-start the degraded-path imputation from every DCA result the
+  // persistent store already holds: a fresh process can then serve a
+  // sensible fallback before its first successful DCA pass.
+  if (feature_store_) {
+    try {
+      const auto aggregate = feature_store_->aggregate();
+      observed_instruction_sum_.store(aggregate.executed_instruction_sum);
+      observed_instruction_count_.store(aggregate.entries);
+    } catch (const std::exception& e) {
+      // The store being unreadable must not stop the server: the
+      // imputation just starts cold.
+      GP_LOG(kWarn) << "feature store scan failed: " << e.what();
+    }
+  }
 
   if (registry_) {
     registry::Bundle bundle = registry_->load(options_.registry_version);
@@ -124,10 +144,22 @@ std::string ServeSession::reload(const std::string& version) {
 
 void ServeSession::start_polling() {
   poll_thread_ = std::thread([this] {
+    // On consecutive failures (dead registry volume, corrupt LATEST)
+    // the poll interval doubles up to a cap, so a broken registry costs
+    // a handful of reads per minute instead of a hot loop at --poll-ms;
+    // one warning per failure streak keeps the log readable.
+    int failure_streak = 0;
+    constexpr int kMaxBackoffMs = 30'000;
     std::unique_lock<std::mutex> lock(poll_mutex_);
     while (!poll_stop_) {
-      poll_cv_.wait_for(
-          lock, std::chrono::milliseconds(options_.registry_poll_ms));
+      const int base = std::max(1, options_.registry_poll_ms);
+      int wait_ms = base;
+      for (int i = 0; i < std::min(failure_streak, 16) &&
+                      wait_ms < kMaxBackoffMs;
+           ++i)
+        wait_ms *= 2;
+      wait_ms = std::min(wait_ms, kMaxBackoffMs);
+      poll_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms));
       if (poll_stop_) break;
       lock.unlock();
       try {
@@ -136,8 +168,16 @@ void ServeSession::start_polling() {
           reload(latest);
           GP_LOG(kInfo) << "registry poll: hot-reloaded " << latest;
         }
+        if (failure_streak > 0)
+          GP_LOG(kInfo) << "registry poll recovered after "
+                        << failure_streak << " failures";
+        failure_streak = 0;
       } catch (const std::exception& e) {
-        GP_LOG(kWarn) << "registry poll reload failed: " << e.what();
+        metrics_.counter("registry_poll_failures").fetch_add(1);
+        if (failure_streak == 0)
+          GP_LOG(kWarn) << "registry poll failed (backing off): "
+                        << e.what();
+        ++failure_streak;
       }
       lock.lock();
     }
@@ -145,41 +185,64 @@ void ServeSession::start_polling() {
 }
 
 ServeSession::FeaturePtr ServeSession::compute_features(
-    const std::string& model) {
+    const std::string& model, const Deadline& deadline) {
   const cnn::Model cnn_model = cnn::zoo::build(model);
+  GPUPERF_FAULT_POINT_D("dca.compute", &deadline);
   if (feature_store_) {
     const std::uint64_t key =
         registry::FeatureStore::topology_hash(cnn_model);
-    if (FeaturePtr stored = feature_store_->get(key)) {
-      store_hits_.fetch_add(1);
-      return stored;
+    try {
+      if (FeaturePtr stored = feature_store_->get(key)) {
+        store_hits_.fetch_add(1);
+        observe_instructions(stored->executed_instructions);
+        return stored;
+      }
+    } catch (const std::exception& e) {
+      // An unreadable store is a miss, not a failed request.
+      GP_LOG(kWarn) << "feature store read failed: " << e.what();
+      metrics_.counter("store_read_failures").fetch_add(1);
     }
     auto computed = std::make_shared<const core::ModelFeatures>(
-        extractor_.compute(cnn_model));
+        extractor_.compute(cnn_model, deadline));
     dca_computes_.fetch_add(1);
-    feature_store_->put(key, *computed);
+    observe_instructions(computed->executed_instructions);
+    try {
+      feature_store_->put(key, *computed);
+    } catch (const std::exception& e) {
+      // The features are in hand — failing to persist them must not
+      // fail the prediction.
+      GP_LOG(kWarn) << "feature store write failed: " << e.what();
+      metrics_.counter("store_write_failures").fetch_add(1);
+    }
     return computed;
   }
+  auto computed = std::make_shared<const core::ModelFeatures>(
+      extractor_.compute(cnn_model, deadline));
   dca_computes_.fetch_add(1);
-  return std::make_shared<const core::ModelFeatures>(
-      extractor_.compute(cnn_model));
+  observe_instructions(computed->executed_instructions);
+  return computed;
 }
 
 ServeSession::FeaturePtr ServeSession::features_for(
-    const std::string& model) {
+    const std::string& model, const Deadline& deadline) {
   GP_CHECK_MSG(cnn::zoo::has_model(model),
                "unknown model '" << model << "'");
-  return features_.get_or_compute(model,
-                                  [&] { return compute_features(model); });
+  // Single-flight: concurrent requests for one model share a compute.
+  // If the winner's deadline expires, the cache propagates the
+  // AnalysisTimeout to every waiter AND erases the entry, so the next
+  // request retries with its own (possibly longer) budget.
+  return features_.get_or_compute(
+      model, [&] { return compute_features(model, deadline); });
 }
 
 std::vector<double> ServeSession::predict_group(
     const std::string& model,
-    const std::vector<const gpu::DeviceSpec*>& devices) {
+    const std::vector<const gpu::DeviceSpec*>& devices,
+    const Deadline& deadline) {
   // One snapshot for the whole group: a hot-reload mid-flight cannot
   // mix two models' predictions inside a batch.
   const auto estimator = estimator_ptr();
-  const FeaturePtr features = features_for(model);
+  const FeaturePtr features = features_for(model, deadline);
   std::vector<double> out;
   out.reserve(devices.size());
   for (const gpu::DeviceSpec* device : devices)
@@ -188,24 +251,99 @@ std::vector<double> ServeSession::predict_group(
 }
 
 ServeSession::PredictOutcome ServeSession::predict_ipc(
-    const std::string& model, const gpu::DeviceSpec& device) {
+    const std::string& model, const gpu::DeviceSpec& device,
+    const Deadline& deadline) {
   const std::string key = result_key(model, device.name);
-  if (const auto cached = results_.get(key)) return {*cached, true};
+  if (const auto cached = results_.get(key)) return {*cached, true, false};
   double ipc = 0.0;
   if (options_.batching) {
-    ipc = batcher_->submit(model, device).get();
+    ipc = batcher_->submit(model, device, deadline).get();
   } else {
-    ipc = predict_group(model, {&device}).front();
+    ipc = predict_group(model, {&device}, deadline).front();
   }
   results_.put(key, std::make_shared<const double>(ipc));
-  return {ipc, false};
+  return {ipc, false, false};
+}
+
+ServeSession::PredictOutcome ServeSession::predict_or_degrade(
+    const std::string& model, const gpu::DeviceSpec& device,
+    const Deadline& deadline, bool allow_degrade) {
+  try {
+    return predict_ipc(model, device, deadline);
+  } catch (const ServeError&) {
+    throw;  // overload shedding must reach the client as overloaded
+  } catch (const AnalysisTimeout&) {
+    metrics_.counter("analysis_timeouts").fetch_add(1);
+    if (!allow_degrade) throw;
+  } catch (const std::exception&) {
+    metrics_.counter("analysis_failures").fetch_add(1);
+    if (!allow_degrade) throw;
+  }
+  return predict_degraded(model, device);
+}
+
+void ServeSession::observe_instructions(
+    std::int64_t executed_instructions) {
+  observed_instruction_sum_.fetch_add(executed_instructions,
+                                      std::memory_order_relaxed);
+  observed_instruction_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t ServeSession::imputed_executed_instructions(
+    std::int64_t trainable_params) const {
+  const std::uint64_t n = observed_instruction_count_.load();
+  if (n > 0)
+    return observed_instruction_sum_.load() /
+           static_cast<std::int64_t>(n);
+  // Cold start with no DCA observations at all: a params-proportional
+  // guess keeps the feature in a plausible order of magnitude.
+  constexpr std::int64_t kInstructionsPerParam = 16;
+  return trainable_params * kInstructionsPerParam;
+}
+
+ServeSession::PredictOutcome ServeSession::predict_degraded(
+    const std::string& model, const gpu::DeviceSpec& device) {
+  const auto report = static_reports_.get_or_compute(model, [&] {
+    return std::make_shared<const cnn::ModelReport>(
+        analyzer_.analyze(cnn::zoo::build(model)));
+  });
+  core::ModelFeatures features;
+  features.model_name = model;
+  features.trainable_params = report->trainable_params;
+  features.macs = report->macs;
+  features.neurons = report->neurons;
+  features.weighted_layers = report->weighted_layers;
+  features.executed_instructions =
+      imputed_executed_instructions(report->trainable_params);
+  const double ipc = estimator_ptr()->predict(features, device);
+  metrics_.counter("degraded").fetch_add(1);
+  // Deliberately NOT stored in the result cache: the next request
+  // should attempt the full analysis, not inherit the fallback.
+  return {ipc, false, true};
+}
+
+Deadline ServeSession::deadline_for(const Request& request) const {
+  std::int64_t ms = options_.default_deadline_ms;
+  const std::string flag = request.cmd.flag_or("deadline-ms", "");
+  if (!flag.empty()) ms = parse_int(flag);
+  Deadline deadline = ms > 0 ? Deadline::after_ms(ms) : Deadline();
+  if (options_.dca_step_budget > 0)
+    deadline.with_step_budget(options_.dca_step_budget);
+  return deadline;
 }
 
 double ServeSession::predict(const std::string& model,
                              const std::string& device) {
   GP_CHECK_MSG(gpu::has_device(device),
                "unknown device '" << device << "'");
-  return predict_ipc(model, gpu::device(device)).ipc;
+  Deadline deadline;
+  if (options_.default_deadline_ms > 0)
+    deadline = Deadline::after_ms(options_.default_deadline_ms);
+  if (options_.dca_step_budget > 0)
+    deadline.with_step_budget(options_.dca_step_budget);
+  return predict_or_degrade(model, gpu::device(device), deadline,
+                            options_.degradation)
+      .ipc;
 }
 
 Response ServeSession::do_predict(const Request& request) {
@@ -218,7 +356,10 @@ Response ServeSession::do_predict(const Request& request) {
   if (!gpu::has_device(device))
     return error_response("unknown device '" + device + "'");
 
-  const PredictOutcome outcome = predict_ipc(model, gpu::device(device));
+  const bool allow_degrade =
+      options_.degradation && !request.cmd.has_flag("no-degrade");
+  const PredictOutcome outcome = predict_or_degrade(
+      model, gpu::device(device), deadline_for(request), allow_degrade);
 
   JsonWriter json;
   json.begin_object()
@@ -228,6 +369,7 @@ Response ServeSession::do_predict(const Request& request) {
       .field("device", std::string_view(device))
       .field("ipc", outcome.ipc)
       .field("cached", outcome.cached)
+      .field("degraded", outcome.degraded)
       .end_object();
   return Response{true, json.str(), false};
 }
@@ -239,16 +381,25 @@ Response ServeSession::do_rank(const Request& request) {
   if (!cnn::zoo::has_model(model))
     return error_response("unknown model '" + model + "'");
 
+  // One deadline spans the whole ranking: the expensive DCA pass runs
+  // once (features are device-independent) so per-device budgets would
+  // only multiply the allowance.
+  const Deadline deadline = deadline_for(request);
+  const bool allow_degrade =
+      options_.degradation && !request.cmd.has_flag("no-degrade");
   struct Row {
     const gpu::DeviceSpec* device;
     double ipc;
     double throughput;
   };
   std::vector<Row> rows;
+  bool degraded = false;
   for (const gpu::DeviceSpec& device : gpu::device_database()) {
-    const double ipc = predict_ipc(model, device).ipc;
-    rows.push_back(
-        {&device, ipc, ipc * device.sm_count * device.boost_clock_mhz});
+    const PredictOutcome outcome =
+        predict_or_degrade(model, device, deadline, allow_degrade);
+    degraded = degraded || outcome.degraded;
+    rows.push_back({&device, outcome.ipc,
+                    outcome.ipc * device.sm_count * device.boost_clock_mhz});
   }
   std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return a.throughput > b.throughput;
@@ -258,7 +409,8 @@ Response ServeSession::do_rank(const Request& request) {
   json.begin_object()
       .field("ok", true)
       .field("endpoint", "rank")
-      .field("model", std::string_view(model));
+      .field("model", std::string_view(model))
+      .field("degraded", degraded);
   json.begin_array("ranking");
   for (const Row& row : rows) {
     json.begin_object()
@@ -303,7 +455,14 @@ Response ServeSession::do_reload(const Request& request) {
     return error_response(
         "no registry configured (start the server with --registry)");
   const std::string version = request.cmd.flag_or("version", "");
-  const std::string installed = reload(version);
+  std::string installed;
+  try {
+    installed = reload(version);
+  } catch (const std::exception& e) {
+    // A missing or corrupt bundle: the previously installed model keeps
+    // serving; the client gets a retryable typed code.
+    throw ServeError(ErrorCode::kModelUnavailable, e.what());
+  }
 
   JsonWriter json;
   json.begin_object()
@@ -385,6 +544,16 @@ std::string ServeSession::stats_json() {
       .field("batches", batch.batches)
       .field("batched_requests", batch.batched_requests)
       .field("max_batch", batch.max_batch)
+      .field("shed", batch.shed)
+      .end_object();
+  json.begin_object("limits")
+      .field("default_deadline_ms",
+             static_cast<std::int64_t>(options_.default_deadline_ms))
+      .field("dca_step_budget", options_.dca_step_budget)
+      .field("degradation", options_.degradation)
+      .field("max_in_flight",
+             static_cast<std::uint64_t>(options_.max_in_flight))
+      .field("max_queue", static_cast<std::uint64_t>(options_.max_queue))
       .end_object();
   const auto estimator = estimator_ptr();
   json.begin_object("estimator")
@@ -437,6 +606,26 @@ Response ServeSession::handle(const Request& request) {
                           "' (try: predict, rank, analyze, reload, "
                           "model_info, stats, ping, shutdown)");
   }
+
+  // Admission control: analysis-heavy verbs are shed once the in-flight
+  // gauge (which already counts this request) passes the bound.  Cheap
+  // verbs — ping, stats, shutdown — always get through, so the server
+  // stays observable and stoppable under overload.
+  const bool heavy = request.verb == "predict" || request.verb == "rank" ||
+                     request.verb == "analyze";
+  if (heavy && options_.max_in_flight > 0 &&
+      metrics_.in_flight() >
+          static_cast<std::int64_t>(options_.max_in_flight)) {
+    metrics_.counter("shed_overloaded").fetch_add(1);
+    scope.mark_error();
+    return error_response(
+        ErrorCode::kOverloaded,
+        "server at capacity (" +
+            std::to_string(options_.max_in_flight) +
+            " requests in flight)",
+        /*retry_after_ms=*/100);
+  }
+
   try {
     Response response;
     if (request.verb == "predict") response = do_predict(request);
@@ -449,9 +638,21 @@ Response ServeSession::handle(const Request& request) {
     else response = do_shutdown();
     if (!response.ok) scope.mark_error();
     return response;
+  } catch (const ServeError& e) {
+    scope.mark_error();
+    return error_response(e.code(), e.what(),
+                          e.code() == ErrorCode::kOverloaded ? 100 : 0);
+  } catch (const AnalysisTimeout& e) {
+    scope.mark_error();
+    return error_response(ErrorCode::kAnalysisTimeout, e.what());
+  } catch (const CheckError& e) {
+    // GP_CHECK failures on request-derived values (bad flag syntax,
+    // malformed numbers) are the caller's fault.
+    scope.mark_error();
+    return error_response(ErrorCode::kInvalidRequest, e.what());
   } catch (const std::exception& e) {
     scope.mark_error();
-    return error_response(e.what());
+    return error_response(ErrorCode::kAnalysisFailed, e.what());
   }
 }
 

@@ -64,6 +64,22 @@ struct ServeOptions {
   /// Route predict requests through the micro-batcher (off = inline
   /// execution on the caller thread; the caches still apply).
   bool batching = true;
+  /// Analysis deadline applied to predict/rank requests that don't
+  /// carry their own --deadline-ms; 0 = unlimited.
+  int default_deadline_ms = 0;
+  /// Hard cap on symbolic-execution steps per DCA pass (a second line
+  /// of defense when no wall-clock deadline is set); 0 = unlimited.
+  std::uint64_t dca_step_budget = 0;
+  /// When DCA times out or fails, serve a static-features-only
+  /// prediction marked degraded:true instead of a typed error
+  /// (overridable per request with --no-degrade).
+  bool degradation = true;
+  /// Shed predict/rank/analyze with `overloaded` once this many
+  /// requests are already in flight; 0 = unlimited.
+  std::size_t max_in_flight = 0;
+  /// Bound on outstanding predicts inside the micro-batcher; beyond it
+  /// submit sheds with `overloaded`.  0 = unbounded.
+  std::size_t max_queue = 0;
 };
 
 class ServeSession {
@@ -142,17 +158,40 @@ class ServeSession {
   Response do_ping() const;
   Response do_shutdown() const;
 
-  FeaturePtr features_for(const std::string& model);
-  FeaturePtr compute_features(const std::string& model);
+  FeaturePtr features_for(const std::string& model,
+                          const Deadline& deadline = {});
+  FeaturePtr compute_features(const std::string& model,
+                              const Deadline& deadline);
   std::vector<double> predict_group(
       const std::string& model,
-      const std::vector<const gpu::DeviceSpec*>& devices);
+      const std::vector<const gpu::DeviceSpec*>& devices,
+      const Deadline& deadline);
   struct PredictOutcome {
     double ipc = 0.0;
-    bool cached = false;  // served from the result cache
+    bool cached = false;    // served from the result cache
+    bool degraded = false;  // static-features fallback, not full DCA
   };
   PredictOutcome predict_ipc(const std::string& model,
-                             const gpu::DeviceSpec& device);
+                             const gpu::DeviceSpec& device,
+                             const Deadline& deadline);
+  /// predict_ipc, falling back to predict_degraded on AnalysisTimeout
+  /// or analysis failure when `allow_degrade` (overload shedding is
+  /// never swallowed — it propagates as ServeError).
+  PredictOutcome predict_or_degrade(const std::string& model,
+                                    const gpu::DeviceSpec& device,
+                                    const Deadline& deadline,
+                                    bool allow_degrade);
+  /// Static-features-only prediction: trainable params from the (cheap)
+  /// static analyzer, executed instructions imputed from the running
+  /// mean of completed DCA passes.  Never cached as a fresh result.
+  PredictOutcome predict_degraded(const std::string& model,
+                                  const gpu::DeviceSpec& device);
+  /// The per-request deadline: --deadline-ms on the request, else the
+  /// configured default; plus the configured step budget.
+  Deadline deadline_for(const Request& request) const;
+  void observe_instructions(std::int64_t executed_instructions);
+  std::int64_t imputed_executed_instructions(
+      std::int64_t trainable_params) const;
 
   /// Publish `estimator` as the live model (wires the feature-provider
   /// hook, swaps the shared_ptr).
@@ -183,6 +222,14 @@ class ServeSession {
   std::atomic<std::uint64_t> reloads_{0};
   std::atomic<std::uint64_t> dca_computes_{0};
   std::atomic<std::uint64_t> store_hits_{0};
+
+  // Running mean of executed_instructions over every DCA result this
+  // session has seen (warm-started from the feature store) — the
+  // degraded path's imputation source.  The paper's Gini analysis puts
+  // executed-instructions importance at only 0.014, so an imputed value
+  // still yields a useful prediction.
+  std::atomic<std::int64_t> observed_instruction_sum_{0};
+  std::atomic<std::uint64_t> observed_instruction_count_{0};
 
   std::mutex poll_mutex_;
   std::condition_variable poll_cv_;

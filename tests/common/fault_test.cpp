@@ -1,0 +1,138 @@
+// The fault-injection registry itself: arming, firing, counting,
+// auto-disarm, spec parsing.  The chaos suite (tests/serve/chaos_test)
+// builds on these primitives; here they are verified in isolation.
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+#ifdef GPUPERF_FAULT_INJECTION
+
+namespace gpuperf::fault {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FaultTest, DisarmedSiteIsANoop) {
+  point("nobody.armed.this");
+  EXPECT_FALSE(corrupt("nobody.armed.this"));
+  EXPECT_EQ(hits("nobody.armed.this"), 0u);
+}
+
+TEST_F(FaultTest, ThrowActionFiresAndCounts) {
+  arm("t.site", Spec{});
+  EXPECT_THROW(point("t.site"), FaultInjected);
+  EXPECT_THROW(point("t.site"), FaultInjected);
+  EXPECT_EQ(hits("t.site"), 2u);
+  disarm("t.site");
+  point("t.site");  // disarmed again: no throw
+}
+
+TEST_F(FaultTest, TimeoutActionThrowsAnalysisTimeout) {
+  Spec spec;
+  spec.action = Action::kTimeout;
+  arm("t.timeout", spec);
+  EXPECT_THROW(point("t.timeout"), AnalysisTimeout);
+}
+
+TEST_F(FaultTest, CountedSpecAutoDisarms) {
+  Spec spec;
+  spec.remaining = 2;
+  arm("t.counted", spec);
+  EXPECT_THROW(point("t.counted"), FaultInjected);
+  EXPECT_THROW(point("t.counted"), FaultInjected);
+  point("t.counted");  // third call: spent, no fault
+  EXPECT_EQ(hits("t.counted"), 2u);
+}
+
+TEST_F(FaultTest, CorruptOnlyFiresThroughCorruptQuery) {
+  Spec spec;
+  spec.action = Action::kCorrupt;
+  arm("t.corrupt", spec);
+  point("t.corrupt");  // a corrupt spec never makes point() throw
+  EXPECT_TRUE(corrupt("t.corrupt"));
+  // And a throw spec never answers the corrupt query.
+  arm("t.throw", Spec{});
+  EXPECT_FALSE(corrupt("t.throw"));
+}
+
+TEST_F(FaultTest, DelayHonorsTheCallersDeadline) {
+  Spec spec;
+  spec.action = Action::kDelay;
+  spec.delay_ms = 5000;
+  arm("t.delay", spec);
+  const Deadline deadline = Deadline::after_ms(20);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(point("t.delay", &deadline), AnalysisTimeout);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+  // The 5 s delay was cut short by the 20 ms deadline.
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST_F(FaultTest, SpecStringArmsMultipleSites) {
+  arm_from_spec("a.one=throw*2;a.two=timeout;a.three=corrupt");
+  EXPECT_THROW(point("a.one"), FaultInjected);
+  EXPECT_THROW(point("a.two"), AnalysisTimeout);
+  EXPECT_TRUE(corrupt("a.three"));
+  EXPECT_THROW(point("a.one"), FaultInjected);
+  point("a.one");  // *2 exhausted
+}
+
+TEST_F(FaultTest, SpecStringParsesDelayParameter) {
+  arm_from_spec("a.slow=delay:1");
+  const auto start = std::chrono::steady_clock::now();
+  point("a.slow");
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 1);
+}
+
+TEST_F(FaultTest, MalformedSpecIsRejected) {
+  EXPECT_THROW(arm_from_spec("no-equals-sign"), CheckError);
+  EXPECT_THROW(arm_from_spec("site=frobnicate"), CheckError);
+}
+
+TEST_F(FaultTest, EnvSpecArmsWithoutDeadlock) {
+  // Regression: $GPUPERF_FAULT is parsed under a call_once whose lambda
+  // arms sites; arm() re-entering that call_once deadlocked the first
+  // point() of any env-armed process.  A fresh child process (threadsafe
+  // death test) is the only place the env parse can still be pristine.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        ::alarm(5);  // a regression deadlocks rather than fails
+        ::setenv("GPUPERF_FAULT", "env.site=throw*1", 1);
+        try {
+          point("env.site");
+        } catch (const FaultInjected&) {
+          std::_Exit(0);
+        }
+        std::_Exit(1);
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("t.scoped", Spec{});
+    EXPECT_THROW(point("t.scoped"), FaultInjected);
+  }
+  point("t.scoped");  // out of scope: disarmed
+}
+
+}  // namespace
+}  // namespace gpuperf::fault
+
+#endif  // GPUPERF_FAULT_INJECTION

@@ -1,0 +1,142 @@
+// The micro-batcher's fault-tolerance contract: a failing group fans
+// its error out to *every* waiter, the batcher stays usable afterwards,
+// and the outstanding-jobs bound sheds with a typed `overloaded`.
+#include "serve/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "gpu/device_db.hpp"
+#include "serve/errors.hpp"
+
+namespace gpuperf::serve {
+namespace {
+
+std::vector<double> ones(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+TEST(PredictBatcher, GroupFailureReachesEveryWaiter) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  PredictBatcher batcher(
+      pool, [&](const std::string&,
+                const std::vector<const gpu::DeviceSpec*>& devices,
+                const Deadline&) -> std::vector<double> {
+        calls.fetch_add(1);
+        if (calls.load() == 1) throw std::runtime_error("group boom");
+        return ones(devices.size());
+      });
+
+  const gpu::DeviceSpec& device = gpu::device_database().front();
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(batcher.submit("alexnet", device));
+  int failures = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "group boom");
+      ++failures;
+    }
+  }
+  // Every waiter of the failed group(s) heard about the failure; none
+  // hung and none got a silent default value.
+  EXPECT_GT(failures, 0);
+  pool.wait();
+
+  // The batcher survives the failure and serves the next request.
+  EXPECT_DOUBLE_EQ(batcher.submit("alexnet", device).get(), 1.0);
+}
+
+TEST(PredictBatcher, SizeMismatchIsAnErrorNotAWrongAnswer) {
+  ThreadPool pool(2);
+  PredictBatcher batcher(
+      pool,
+      [&](const std::string&, const std::vector<const gpu::DeviceSpec*>&,
+          const Deadline&) { return ones(99); });
+  auto future =
+      batcher.submit("alexnet", gpu::device_database().front());
+  EXPECT_THROW(future.get(), CheckError);
+  pool.wait();
+}
+
+TEST(PredictBatcher, OutstandingBoundShedsWithTypedOverload) {
+  ThreadPool pool(2);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  PredictBatcher batcher(
+      pool,
+      [&](const std::string&,
+          const std::vector<const gpu::DeviceSpec*>& devices,
+          const Deadline&) {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+        return ones(devices.size());
+      },
+      /*max_outstanding=*/3);
+
+  const gpu::DeviceSpec& device = gpu::device_database().front();
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(batcher.submit("alexnet", device));
+
+  // The bound is reached: the 4th submit sheds with a typed code
+  // instead of queueing unboundedly behind the stuck group.
+  try {
+    batcher.submit("alexnet", device);
+    FAIL() << "expected ServeError(kOverloaded)";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+  EXPECT_EQ(batcher.stats().shed, 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (auto& f : futures) EXPECT_DOUBLE_EQ(f.get(), 1.0);
+  pool.wait();
+
+  // Capacity freed: submits are accepted again.
+  EXPECT_DOUBLE_EQ(batcher.submit("alexnet", device).get(), 1.0);
+}
+
+TEST(PredictBatcher, GroupDeadlineIsTheLoosestMember) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::vector<bool> unlimited_seen;
+  PredictBatcher batcher(
+      pool, [&](const std::string&,
+                const std::vector<const gpu::DeviceSpec*>& devices,
+                const Deadline& deadline) {
+        std::lock_guard<std::mutex> lock(mutex);
+        unlimited_seen.push_back(deadline.unlimited());
+        return ones(devices.size());
+      });
+  const gpu::DeviceSpec& device = gpu::device_database().front();
+  // A single tightly-bounded request keeps its own deadline...
+  batcher.submit("alexnet", device, Deadline::after_ms(10'000)).get();
+  // ...but is not allowed to tighten an unbounded batch-mate: that
+  // combination must run unbounded.  (Single submits flush immediately,
+  // so exercise loosest() directly for determinism.)
+  const Deadline merged =
+      Deadline::loosest(Deadline::after_ms(10), Deadline());
+  EXPECT_TRUE(merged.unlimited());
+  pool.wait();
+  ASSERT_EQ(unlimited_seen.size(), 1u);
+  EXPECT_FALSE(unlimited_seen[0]);
+}
+
+}  // namespace
+}  // namespace gpuperf::serve

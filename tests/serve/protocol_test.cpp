@@ -110,10 +110,14 @@ TEST(JsonWriter, OutputHasNoNewline) {
 }
 
 TEST(ErrorResponse, Shape) {
+  // Every error carries a machine-readable code; the legacy overload
+  // classifies as invalid_request (docs/ROBUSTNESS.md).
   const Response response = error_response("boom");
   EXPECT_FALSE(response.ok);
   EXPECT_FALSE(response.shutdown_requested);
-  EXPECT_EQ(response.body, "{\"ok\":false,\"error\":\"boom\"}");
+  EXPECT_EQ(response.body,
+            "{\"ok\":false,\"code\":\"invalid_request\","
+            "\"error\":\"boom\"}");
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 // Flags accept both `--key value` and the explicit `--key=value` form
 // (required when the value itself starts with "--"); the grammar is
 // serve::parse_command, shared with the server's wire protocol.
+#include <algorithm>
 #include <cstdlib>
 #include <csignal>
 #include <cstdio>
@@ -76,7 +77,10 @@ int usage() {
       "  serve [--port N] [--threads K] [--tree <file>] [--models a,b]\n"
       "        [--regressor id] [--no-batch] [--registry <dir>]\n"
       "        [--version vNNNN] [--feature-store <dir>] [--poll-ms N]\n"
-      "  client <request...> [--host H] [--port N]\n"
+      "        [--deadline-ms N] [--step-budget N] [--no-degrade]\n"
+      "        [--max-inflight N] [--max-queue N]\n"
+      "  client <request...> [--host H] [--port N] [--timeout-ms N]\n"
+      "        [--retries N] (backoff with jitter on failure/overload)\n"
       "        e.g. `gpuperf client predict resnet50v2 teslat4`\n");
   return 2;
 }
@@ -328,6 +332,15 @@ int cmd_serve(const Args& args) {
     options.cache_capacity =
         static_cast<std::size_t>(parse_int(it->second));
   options.batching = !args.has_flag("no-batch");
+  options.default_deadline_ms =
+      static_cast<int>(parse_int(args.flag_or("deadline-ms", "0")));
+  options.dca_step_budget = static_cast<std::uint64_t>(
+      parse_int(args.flag_or("step-budget", "0")));
+  options.degradation = !args.has_flag("no-degrade");
+  options.max_in_flight =
+      static_cast<std::size_t>(parse_int(args.flag_or("max-inflight", "0")));
+  options.max_queue =
+      static_cast<std::size_t>(parse_int(args.flag_or("max-queue", "0")));
 
   if (!options.registry_dir.empty())
     std::fprintf(stderr, "loading bundle from registry %s...\n",
@@ -352,6 +365,16 @@ int cmd_serve(const Args& args) {
   std::signal(SIGTERM, [](int) { g_interrupted = 1; });
   while (!server.stop_requested() && !g_interrupted)
     server.wait_for_stop(200);
+
+  // Graceful shutdown: stop accepting, let in-flight requests finish
+  // (bounded), then print the traffic summary and exit cleanly — a
+  // SIGTERM'd server under load never drops a half-answered request.
+  const int drain_ms =
+      static_cast<int>(parse_int(args.flag_or("drain-ms", "5000")));
+  if (g_interrupted) std::fprintf(stderr, "\nshutting down: draining...\n");
+  if (!server.drain(drain_ms))
+    std::fprintf(stderr, "drain timed out after %d ms; closing\n",
+                 drain_ms);
   server.stop();
   std::fprintf(stderr, "%s", session.summary().c_str());
   return 0;
@@ -363,8 +386,16 @@ int cmd_client(const Args& args) {
   const int port =
       static_cast<int>(parse_int(args.flag_or("port",
                                               std::to_string(kDefaultPort))));
-  serve::TcpClient client(host, port);
-  const std::string response = client.request(join(args.positional, " "));
+  serve::TcpClient::Options client_options;
+  client_options.io_timeout_ms =
+      static_cast<int>(parse_int(args.flag_or("timeout-ms", "30000")));
+  client_options.connect_timeout_ms =
+      std::min(client_options.io_timeout_ms, 5000);
+  serve::RetryPolicy policy;
+  policy.attempts =
+      static_cast<int>(parse_int(args.flag_or("retries", "3"))) + 1;
+  const std::string response = serve::request_with_retry(
+      host, port, join(args.positional, " "), policy, client_options);
   std::printf("%s\n", response.c_str());
   // Mirror the server's verdict in the exit code.
   return starts_with(response, "{\"ok\":true") ? 0 : 1;
