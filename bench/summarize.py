@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fold a google-benchmark JSON report into a compact per-stage summary.
+
+Usage: summarize.py <benchmark_out.json> <summary_out.json>
+
+Run the benchmark binary with --benchmark_repetitions=N and
+--benchmark_out_format=json; this script groups the raw repetition
+entries by benchmark name and emits, per stage:
+
+  {"name", "reps", "p50_ns", "p95_ns", "mean_ns", "ops_per_sec"}
+
+p50/p95 are computed over the per-repetition real_time samples
+(linear interpolation); ops_per_sec is 1e9 / p50_ns, i.e. how many
+times the stage runs per second at the median.  Aggregate rows that
+google-benchmark appends (_mean/_median/_stddev/_cv) are skipped —
+we compute our own statistics from the raw repetitions.
+"""
+import json
+import sys
+
+
+def percentile(samples, q):
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = q * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    by_name = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        by_name.setdefault(b["name"], []).append(float(b["real_time"]))
+
+    stages = []
+    for name, samples in sorted(by_name.items()):
+        p50 = percentile(samples, 0.50)
+        stages.append({
+            "name": name,
+            "reps": len(samples),
+            "p50_ns": round(p50, 1),
+            "p95_ns": round(percentile(samples, 0.95), 1),
+            "mean_ns": round(sum(samples) / len(samples), 1),
+            "ops_per_sec": round(1e9 / p50, 2) if p50 > 0 else None,
+        })
+
+    summary = {"context": report.get("context", {}), "stages": stages}
+    with open(sys.argv[2], "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    for s in stages:
+        print(f"{s['name']:45s} p50={s['p50_ns']:>12.1f}ns "
+              f"p95={s['p95_ns']:>12.1f}ns ops/s={s['ops_per_sec']}")
+
+
+if __name__ == "__main__":
+    main()

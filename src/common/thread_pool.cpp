@@ -50,24 +50,60 @@ void ThreadPool::wait() {
   }
 }
 
+namespace {
+thread_local ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (size() == 1 || n == 1) {
-    // Run inline: no cross-thread hop, and exceptions propagate directly.
+  if (size() == 1 || n == 1 || current() == this) {
+    // Run inline: single worker, trivial n, or a nested call from one
+    // of this pool's own workers (queueing and blocking on siblings
+    // could deadlock).  Exceptions propagate directly.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t shards = std::min(size(), n);
-  for (std::size_t s = 0; s < shards; ++s) {
-    submit([next, n, &fn] {
-      for (std::size_t i = next->fetch_add(1); i < n;
-           i = next->fetch_add(1))
+
+  // Per-invocation context: index claim counter, completion count and
+  // first error all live here, so concurrent invocations sharing the
+  // pool are fully independent.
+  struct Ctx {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::size_t shards = 0;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->shards = std::min(size() + 1, n);  // +1: the caller works too
+
+  auto run_shard = [ctx, n, &fn] {
+    try {
+      for (std::size_t i = ctx->next.fetch_add(1); i < n;
+           i = ctx->next.fetch_add(1)) {
+        if (ctx->failed.load(std::memory_order_relaxed)) break;
         fn(i);
-    });
-  }
-  wait();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(ctx->mutex);
+      if (!ctx->error) ctx->error = std::current_exception();
+      ctx->failed.store(true, std::memory_order_relaxed);
+    }
+    if (ctx->done.fetch_add(1) + 1 == ctx->shards) {
+      std::lock_guard<std::mutex> lock(ctx->mutex);
+      ctx->cv.notify_all();
+    }
+  };
+
+  for (std::size_t s = 0; s + 1 < ctx->shards; ++s) submit(run_shard);
+  run_shard();  // caller participates instead of idling
+
+  std::unique_lock<std::mutex> lock(ctx->mutex);
+  ctx->cv.wait(lock, [&] { return ctx->done.load() == ctx->shards; });
+  if (ctx->error) std::rethrow_exception(ctx->error);
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -75,7 +111,10 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
+ThreadPool* ThreadPool::current() { return tls_current_pool; }
+
 void ThreadPool::worker_loop() {
+  tls_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {

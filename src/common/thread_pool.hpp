@@ -60,11 +60,20 @@ class ThreadPool {
   void wait();
 
   /// Run fn(i) for i in [0, n), distributing across the pool and
-  /// blocking until done.  Rethrows the first task exception.
+  /// blocking until done; the calling thread participates in the work.
+  /// Rethrows the first exception thrown by any fn(i).  Error state is
+  /// per-invocation (not pool-global), so concurrent parallel_for calls
+  /// on a shared pool never observe each other's failures; a nested
+  /// call from inside one of this pool's own workers runs inline
+  /// instead of deadlocking on its own queue.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool (lazily created).
   static ThreadPool& shared();
+
+  /// The pool whose worker is executing the calling thread, or nullptr
+  /// when called from a non-worker thread.
+  static ThreadPool* current();
 
  private:
   void worker_loop();

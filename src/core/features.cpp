@@ -24,6 +24,8 @@ ModelFeatures FeatureExtractor::compute(const cnn::Model& model,
   const ptx::ModelInstructionProfile profile =
       counter_.count(compiled, deadline);
   out.executed_instructions = profile.total_instructions;
+  // Wall time of codegen + counting.  Counting is memoized per launch
+  // config, so a repeat model reports its true (near-zero) warm cost.
   out.dca_seconds = dca_watch.elapsed_seconds();
   return out;
 }

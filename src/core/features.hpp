@@ -53,6 +53,9 @@ class FeatureExtractor {
 
  private:
   ptx::CodeGenerator codegen_;
+  // Binds to the process-shared kernel-library analysis (parse + slice
+  // once per process); count() memoizes per-launch results, so repeat
+  // extractions cost codegen only.
   ptx::InstructionCounter counter_;
   std::map<std::string, ModelFeatures> cache_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "cnn/static_analyzer.hpp"
+#include "ptx/parser.hpp"
 
 namespace gpuperf::ptx {
 
@@ -157,6 +158,7 @@ class Kb {
     decl(PtxType::kF32, "%f", next_f_);
     decl(PtxType::kU32, "%r", next_r_);
     decl(PtxType::kU64, "%rd", next_rd_);
+    k_.intern_registers();
     return std::move(k_);
   }
 
@@ -778,6 +780,11 @@ PtxModule CodeGenerator::kernel_library() {
   mod.kernels.push_back(k_gap());
   mod.kernels.push_back(k_softmax());
   return mod;
+}
+
+const PtxModule& CodeGenerator::parsed_kernel_library() {
+  static const PtxModule module = parse_ptx(kernel_library().to_ptx());
+  return module;
 }
 
 namespace {

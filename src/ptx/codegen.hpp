@@ -49,6 +49,12 @@ class CodeGenerator {
   /// The full fixed kernel library, independent of any model.
   static PtxModule kernel_library();
 
+  /// kernel_library() round-tripped through its textual PTX form and
+  /// parsed — the form every analysis consumes.  Parsed exactly once
+  /// per process and shared; callers must not mutate it (take a copy
+  /// for that).
+  static const PtxModule& parsed_kernel_library();
+
   /// Lower a model to launches over the kernel library.  `batch` > 1
   /// scales every activation-sized index space (weights stay shared),
   /// modeling batched inference.

@@ -1,45 +1,167 @@
 #include "ptx/counter.hpp"
 
+#include <atomic>
+#include <cstdio>
+
 #include "common/check.hpp"
+#include "common/sharded_cache.hpp"
+#include "common/thread_pool.hpp"
 #include "ptx/parser.hpp"
 
 namespace gpuperf::ptx {
 
-InstructionCounter::InstructionCounter() {
-  // Round-trip the kernel library through its textual form: the
-  // analysis operates on *parsed* PTX, exactly as it would on nvcc
-  // output.
-  module_ = parse_ptx(CodeGenerator::kernel_library().to_ptx());
-  for (const auto& kernel : module_.kernels)
-    executors_.emplace(kernel.name, SymbolicExecutor(kernel));
+namespace {
+
+/// FNV-1a over the module's textual form: a cheap, stable fingerprint
+/// that keeps memo entries from distinct modules apart even when kernel
+/// names collide.
+std::string module_fingerprint(const PtxModule& module) {
+  const std::string text = module.to_ptx();
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
+
+/// Process-wide launch-result memo.  Leaked intentionally: executors
+/// and serve sessions may consult it during static destruction.
+ShardedLruCache<ExecutionCounts>& memo() {
+  static auto* cache = new ShardedLruCache<ExecutionCounts>(4096, 16);
+  return *cache;
+}
+
+std::atomic<std::uint64_t> g_parallel_tasks{0};
+
+/// Launches with at least this many entries fan out across the shared
+/// pool; below it the queue/join overhead outweighs the win.
+constexpr std::size_t kParallelThreshold = 8;
+
+}  // namespace
+
+struct InstructionCounter::Library {
+  PtxModule module;
+  std::map<std::string, SymbolicExecutor> executors;
+  std::string fingerprint;
+
+  explicit Library(PtxModule mod) : module(std::move(mod)) {
+    fingerprint = module_fingerprint(module);
+    for (const auto& kernel : module.kernels)
+      executors.emplace(kernel.name, SymbolicExecutor(kernel));
+  }
+};
+
+InstructionCounter::InstructionCounter() {
+  // The analysis operates on *parsed* PTX, exactly as it would on nvcc
+  // output; the parse and the per-kernel slices happen once per
+  // process (CodeGenerator::parsed_kernel_library) and are shared by
+  // every default-constructed counter.
+  static const std::shared_ptr<const Library> shared_library =
+      std::make_shared<const Library>(CodeGenerator::parsed_kernel_library());
+  lib_ = shared_library;
+}
+
+InstructionCounter::InstructionCounter(const PtxModule& module)
+    : lib_(std::make_shared<const Library>(module)) {}
 
 ExecutionCounts InstructionCounter::count_launch(
     const KernelLaunch& launch, const Deadline& deadline) const {
-  const auto it = executors_.find(launch.kernel);
-  GP_CHECK_MSG(it != executors_.end(),
+  const auto it = lib_->executors.find(launch.kernel);
+  GP_CHECK_MSG(it != lib_->executors.end(),
                "no executor for kernel '" << launch.kernel << "'");
-  return it->second.run(launch, deadline);
+  const SymbolicExecutor& executor = it->second;
+
+  // Key on everything that can influence the result: the module, the
+  // kernel, the grid geometry and the values of the parameters the
+  // slice actually reads.  Pointer-typed arguments (synthetic buffer
+  // addresses) are off the slice and deliberately excluded — launches
+  // that differ only in buffers share one entry.
+  std::string key;
+  key.reserve(96);
+  key += lib_->fingerprint;
+  key += '|';
+  key += launch.kernel;
+  key += '|';
+  key += std::to_string(launch.grid_dim);
+  key += 'x';
+  key += std::to_string(launch.block_dim);
+  for (const std::string& param : executor.slice_params()) {
+    key += '|';
+    key += param;
+    key += '=';
+    const auto arg = launch.args.find(param);
+    // A missing argument fails inside run() (and is not cached).
+    key += arg == launch.args.end() ? "?" : std::to_string(arg->second);
+  }
+
+  return *memo().get_or_compute(key, [&] {
+    return std::make_shared<const ExecutionCounts>(
+        executor.run(launch, deadline));
+  });
 }
 
 ModelInstructionProfile InstructionCounter::count(
     const CompiledModel& model, const Deadline& deadline) const {
+  const std::size_t n = model.launches.size();
   ModelInstructionProfile profile;
   profile.model_name = model.model_name;
-  profile.launch_count = static_cast<std::int64_t>(model.launches.size());
-  profile.per_launch.reserve(model.launches.size());
-  profile.per_launch_class.reserve(model.launches.size());
+  profile.launch_count = static_cast<std::int64_t>(n);
 
-  for (const KernelLaunch& launch : model.launches) {
-    const ExecutionCounts counts = count_launch(launch, deadline);
+  std::vector<ExecutionCounts> results(n);
+  ThreadPool& pool = ThreadPool::shared();
+  if (n >= kParallelThreshold && pool.size() > 1) {
+    // Deadline charges are not thread-safe on a shared object; each
+    // task charges a private copy and the surplus is folded back into
+    // the caller's deadline after the join, so total step accounting
+    // matches the serial path.
+    const Deadline base = deadline;
+    const std::uint64_t base_steps = base.steps_charged();
+    std::atomic<std::uint64_t> task_steps{0};
+    pool.parallel_for(n, [&](std::size_t i) {
+      Deadline task_deadline = base;
+      results[i] = count_launch(model.launches[i], task_deadline);
+      task_steps.fetch_add(task_deadline.steps_charged() - base_steps,
+                           std::memory_order_relaxed);
+      g_parallel_tasks.fetch_add(1, std::memory_order_relaxed);
+    });
+    const std::uint64_t folded = task_steps.load();
+    if (folded > 0) deadline.charge("dca.count", folded);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      results[i] = count_launch(model.launches[i], deadline);
+  }
+
+  // Deterministic reduction in launch order, independent of which
+  // thread produced which result.
+  profile.per_launch.reserve(n);
+  profile.per_launch_class.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ExecutionCounts& counts = results[i];
     profile.total_instructions += counts.total;
     for (std::size_t c = 0; c < kOpClassCount; ++c)
       profile.by_class[c] += counts.by_class[c];
-    profile.total_threads += launch.total_threads();
+    profile.total_threads += model.launches[i].total_threads();
     profile.per_launch.push_back(counts.total);
     profile.per_launch_class.push_back(counts.by_class);
   }
   return profile;
 }
+
+InstructionCounter::MemoStats InstructionCounter::memo_stats() {
+  const CacheStats cache = memo().stats();
+  MemoStats out;
+  out.hits = cache.hits;
+  out.misses = cache.misses;
+  out.evictions = cache.evictions;
+  out.size = cache.size;
+  out.parallel_tasks = g_parallel_tasks.load();
+  return out;
+}
+
+void InstructionCounter::reset_memo() { memo().clear(); }
 
 }  // namespace gpuperf::ptx

@@ -2,10 +2,21 @@
 // builds one symbolic executor per kernel, runs every launch, and
 // aggregates — this is the "total number of PTX instructions" predictor
 // p of the paper's training vector d = (y, p, c1..cm, t).
+//
+// Fast path (the t_dca term of the paper's T_est = t_dca + n*t_pm):
+//   - the default constructor shares one process-wide parsed kernel
+//     library and its per-kernel executors (parse + slice once, ever);
+//   - count_launch() results are memoized in a process-wide sharded
+//     single-flight cache keyed on (module fingerprint, kernel, grid,
+//     block, slice-relevant parameter values) — launches differing only
+//     in buffer pointers hit the same entry;
+//   - count() fans independent launches across ThreadPool::shared()
+//     with a deterministic index-ordered reduction.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,22 +39,50 @@ struct ModelInstructionProfile {
 
 class InstructionCounter {
  public:
-  /// Analyze the module's kernels once; count() may then be called for
-  /// any CompiledModel over the same kernel library.
+  /// Binds to the process-wide shared kernel library analysis (built on
+  /// first use); construction is O(1) afterwards — no PTX re-parse, no
+  /// slice recomputation.
   InstructionCounter();
 
+  /// Analyze a caller-provided, already-parsed module instead (no text
+  /// round trip).  The analysis is private to this counter but launch
+  /// results still share the process-wide memo (the key includes the
+  /// module fingerprint, so distinct modules never collide).
+  explicit InstructionCounter(const PtxModule& module);
+
   /// `deadline` spans the whole model (every launch shares it); expiry
-  /// throws AnalysisTimeout from inside the symbolic executor.
+  /// throws AnalysisTimeout from inside the symbolic executor.  When
+  /// the model has enough launches the per-launch work is spread across
+  /// ThreadPool::shared(); each task charges a private deadline copy
+  /// and the totals are folded back afterwards, so step accounting
+  /// matches the serial path.
   ModelInstructionProfile count(const CompiledModel& model,
                                 const Deadline& deadline = {}) const;
 
   /// Counts for a single launch (exposed for tests and benches).
+  /// Memoized: concurrent calls with the same key execute the symbolic
+  /// run once (single-flight); a run that throws (timeout, unsupported
+  /// fragment) is never cached and later calls retry.
   ExecutionCounts count_launch(const KernelLaunch& launch,
                                const Deadline& deadline = {}) const;
 
+  /// Cumulative process-wide fast-path statistics.
+  struct MemoStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::uint64_t parallel_tasks = 0;
+  };
+  static MemoStats memo_stats();
+
+  /// Drop every memoized launch result (benchmarks; tests needing a
+  /// cold cache).  Hit/miss/parallel counters keep accumulating.
+  static void reset_memo();
+
  private:
-  PtxModule module_;
-  std::map<std::string, SymbolicExecutor> executors_;
+  struct Library;  // parsed module + executors + fingerprint
+  std::shared_ptr<const Library> lib_;
 };
 
 }  // namespace gpuperf::ptx

@@ -7,19 +7,24 @@
 namespace gpuperf::ptx {
 
 DependencyGraph DependencyGraph::build(const PtxKernel& kernel) {
+  GP_CHECK_MSG(kernel.registers_interned(),
+               "DependencyGraph::build requires interned registers in "
+                   << kernel.name);
   DependencyGraph g;
   const auto& ins = kernel.instructions;
   g.deps_.resize(ins.size());
+  g.reg_names_ = kernel.register_names;
+  g.defs_by_id_.resize(kernel.register_count());
 
   for (std::size_t i = 0; i < ins.size(); ++i)
-    for (const std::string& reg : ins[i].defs()) g.defs_[reg].push_back(i);
+    for (int id : ins[i].def_ids()) g.defs_by_id_[id].push_back(i);
 
   for (std::size_t i = 0; i < ins.size(); ++i) {
     std::vector<std::size_t>& d = g.deps_[i];
-    for (const std::string& reg : ins[i].uses()) {
-      const auto it = g.defs_.find(reg);
-      if (it == g.defs_.end()) continue;  // undef read: param-free reg
-      d.insert(d.end(), it->second.begin(), it->second.end());
+    for (int id : ins[i].use_ids()) {
+      const auto& defs = g.defs_by_id_[id];
+      if (defs.empty()) continue;  // undef read: param-free reg
+      d.insert(d.end(), defs.begin(), defs.end());
     }
     std::sort(d.begin(), d.end());
     d.erase(std::unique(d.begin(), d.end()), d.end());
@@ -32,10 +37,17 @@ const std::vector<std::size_t>& DependencyGraph::deps(std::size_t i) const {
   return deps_[i];
 }
 
+const std::vector<std::size_t>& DependencyGraph::defs_of_id(int reg_id) const {
+  if (reg_id < 0 || static_cast<std::size_t>(reg_id) >= defs_by_id_.size())
+    return empty_;
+  return defs_by_id_[reg_id];
+}
+
 const std::vector<std::size_t>& DependencyGraph::defs_of(
     const std::string& reg) const {
-  const auto it = defs_.find(reg);
-  return it == defs_.end() ? empty_ : it->second;
+  for (std::size_t id = 0; id < reg_names_.size(); ++id)
+    if (reg_names_[id] == reg) return defs_by_id_[id];
+  return empty_;
 }
 
 std::size_t DependencyGraph::edge_count() const {

@@ -17,6 +17,8 @@ namespace gpuperf::ptx {
 
 class DependencyGraph {
  public:
+  /// Requires kernel.registers_interned(); def/use sites are indexed by
+  /// interned register id so graph construction never hashes strings.
   static DependencyGraph build(const PtxKernel& kernel);
 
   std::size_t node_count() const { return deps_.size(); }
@@ -24,14 +26,19 @@ class DependencyGraph {
   /// Instructions whose outputs instruction i may read.
   const std::vector<std::size_t>& deps(std::size_t i) const;
 
-  /// All definition sites of a register.
+  /// All definition sites of a register, by interned id (hot path).
+  const std::vector<std::size_t>& defs_of_id(int reg_id) const;
+
+  /// Name-keyed lookup kept for tests and diagnostics; linear scan of
+  /// the kernel's register table.
   const std::vector<std::size_t>& defs_of(const std::string& reg) const;
 
   std::size_t edge_count() const;
 
  private:
   std::vector<std::vector<std::size_t>> deps_;
-  std::unordered_map<std::string, std::vector<std::size_t>> defs_;
+  std::vector<std::vector<std::size_t>> defs_by_id_;
+  std::vector<std::string> reg_names_;  // id -> name, for defs_of(string)
   std::vector<std::size_t> empty_;
 };
 

@@ -14,9 +14,13 @@
 namespace gpuperf::ptx {
 
 /// Virtual register reference, e.g. "%r12", "%rd3", "%f7", "%p1".
+/// `id` is the kernel-local interned index assigned by
+/// PtxKernel::intern_registers(); -1 until interning runs.  Equality
+/// ignores ids so parse/print round trips compare structurally.
 struct RegOperand {
   std::string name;
-  bool operator==(const RegOperand&) const = default;
+  int id = -1;
+  bool operator==(const RegOperand& o) const { return name == o.name; }
 };
 
 /// Integer or floating immediate.
@@ -34,11 +38,16 @@ struct SpecialOperand {
 };
 
 /// Memory operand [base+offset] for ld/st; base is a register name or,
-/// for ld.param, a kernel parameter name.
+/// for ld.param, a kernel parameter name.  `base_reg_id` is the
+/// interned id when base is a register, -1 otherwise (parameter base
+/// or not yet interned).  Equality ignores ids.
 struct MemOperand {
   std::string base;
   std::int64_t offset = 0;
-  bool operator==(const MemOperand&) const = default;
+  int base_reg_id = -1;
+  bool operator==(const MemOperand& o) const {
+    return base == o.base && offset == o.offset;
+  }
 };
 
 /// Branch target.
@@ -64,12 +73,18 @@ struct Instruction {
 
   std::string guard;          // predicate register name, empty = none
   bool guard_negated = false;
+  int guard_id = -1;          // interned id of guard, -1 = none/uninterned
 
   /// Registers written / read (guard included in reads).  Special
   /// registers and parameters are not virtual registers and are
   /// excluded.
   std::vector<std::string> defs() const;
   std::vector<std::string> uses() const;
+
+  /// Interned-id variants of defs()/uses(); valid only after
+  /// PtxKernel::intern_registers() has stamped ids into operands.
+  std::vector<int> def_ids() const;
+  std::vector<int> use_ids() const;
 
   bool is_branch() const { return opcode == Opcode::kBra; }
   bool is_exit() const { return opcode == Opcode::kRet; }

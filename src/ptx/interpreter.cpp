@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <unordered_map>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -26,7 +27,7 @@ ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
   GP_CHECK(ctaid >= 0 && ctaid < launch.grid_dim);
   GP_CHECK(tid >= 0 && tid < launch.block_dim);
 
-  std::unordered_map<std::string, Cell> regs;
+  std::vector<Cell> regs(kernel_.register_count());
   std::unordered_map<std::int64_t, double> shared;
 
   ThreadCounts counts;
@@ -35,8 +36,8 @@ ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
 
   auto cell = [&](const Operand& op) -> Cell {
     if (const auto* r = std::get_if<RegOperand>(&op)) {
-      const auto it = regs.find(r->name);
-      return it == regs.end() ? Cell{} : it->second;
+      GP_DCHECK(r->id >= 0 && static_cast<std::size_t>(r->id) < regs.size());
+      return regs[r->id];
     }
     if (const auto* imm = std::get_if<ImmOperand>(&op)) {
       Cell c;
@@ -60,15 +61,12 @@ ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
 
   auto store = [&](const Operand& op, Cell c) {
     const auto* r = std::get_if<RegOperand>(&op);
-    GP_CHECK(r != nullptr);
-    regs[r->name] = c;
+    GP_CHECK(r != nullptr && r->id >= 0);
+    regs[r->id] = c;
   };
 
   auto mem_address = [&](const MemOperand& mem) -> std::int64_t {
-    if (!mem.base.empty() && mem.base.front() == '%') {
-      const auto it = regs.find(mem.base);
-      return (it == regs.end() ? 0 : it->second.i) + mem.offset;
-    }
+    if (mem.base_reg_id >= 0) return regs[mem.base_reg_id].i + mem.offset;
     return mem.offset;  // parameter bases handled separately
   };
 
@@ -82,9 +80,8 @@ ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
         classify(inst.opcode, inst.type, inst.space))];
 
     bool guard_pass = true;
-    if (!inst.guard.empty()) {
-      const auto it = regs.find(inst.guard);
-      const bool p = it != regs.end() && it->second.pred;
+    if (inst.guard_id >= 0) {
+      const bool p = regs[inst.guard_id].pred;
       guard_pass = inst.guard_negated ? !p : p;
     }
 
@@ -238,8 +235,8 @@ ThreadCounts Interpreter::run_thread(const KernelLaunch& launch,
       }
       case Opcode::kSelp: {
         const auto* pr = std::get_if<RegOperand>(&inst.srcs[2]);
-        GP_CHECK(pr != nullptr);
-        const bool p = regs[pr->name].pred;
+        GP_CHECK(pr != nullptr && pr->id >= 0);
+        const bool p = regs[pr->id].pred;
         store(inst.dsts.front(), p ? src(0) : src(1));
         break;
       }

@@ -21,7 +21,12 @@ struct ThreadCounts {
 
 class Interpreter {
  public:
-  explicit Interpreter(const PtxKernel& kernel) : kernel_(kernel) {}
+  /// Copies the kernel and interns its registers so each thread's
+  /// register file is a dense vector indexed by id (no string hashing
+  /// on the instruction dispatch path).
+  explicit Interpreter(const PtxKernel& kernel) : kernel_(kernel) {
+    kernel_.intern_registers();
+  }
 
   /// Execute one thread (ctaid, tid) of a launch.  Global loads return
   /// zero; shared memory is a private scratch map (block-level
@@ -38,7 +43,7 @@ class Interpreter {
                        const Deadline& deadline = {}) const;
 
  private:
-  const PtxKernel& kernel_;
+  PtxKernel kernel_;
 };
 
 }  // namespace gpuperf::ptx

@@ -44,6 +44,22 @@ class PtxKernel {
 
   /// Render as PTX text (entry directive, params, reg decls, body).
   std::string to_ptx() const;
+
+  /// Assign dense kernel-local ids to every virtual register (operands,
+  /// memory bases, guards) in first-appearance order and stamp them
+  /// into the instruction stream.  Idempotent; both the parser and the
+  /// code generator call this, so downstream analyses (depgraph,
+  /// slicer, symexec, interpreter) can index vectors instead of
+  /// hashing register-name strings.
+  void intern_registers();
+  bool registers_interned() const { return interned_; }
+
+  /// Number of distinct virtual registers; names are indexed by id.
+  std::size_t register_count() const { return register_names.size(); }
+  std::vector<std::string> register_names;
+
+ private:
+  bool interned_ = false;
 };
 
 class PtxModule {

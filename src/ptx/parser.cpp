@@ -142,6 +142,7 @@ class Parser {
       }
     }
     expect(TokenKind::kRBrace);
+    kernel.intern_registers();
     return kernel;
   }
 

@@ -31,8 +31,8 @@ Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph,
     }
   };
   for (std::size_t i = 0; i < ins.size(); ++i) {
-    if (ins[i].guard.empty()) continue;
-    for (std::size_t def : graph.defs_of(ins[i].guard)) mark(def);
+    if (ins[i].guard_id < 0) continue;
+    for (std::size_t def : graph.defs_of_id(ins[i].guard_id)) mark(def);
   }
 
   // Backward closure over data dependencies.

@@ -285,7 +285,10 @@ std::vector<std::pair<Box, bool>> split_box(const Value& pred,
   return out;
 }
 
-using Env = std::unordered_map<std::string, Value>;
+// Dense environment indexed by interned register id; a default
+// (kUnknown) entry plays the role the old string-keyed map gave to an
+// absent key, so no per-step hashing remains on the hot path.
+using Env = std::vector<Value>;
 
 /// Back-edge snapshot for loop acceleration.
 struct Snapshot {
@@ -311,12 +314,24 @@ struct SymbolicExecutor::Impl {
   // Per-block opclass histograms and sizes.
   std::vector<std::array<i64, kOpClassCount>> block_hist;
   std::vector<i64> block_size;
+  // Kernel parameters read by in-slice ld.param instructions — the only
+  // launch arguments that can influence counts (memo key material).
+  std::vector<std::string> slice_params;
 
-  explicit Impl(const PtxKernel& k, const Deadline& deadline)
-      : kernel(k),
-        cfg(Cfg::build(kernel)),
-        slice(compute_slice(kernel, DependencyGraph::build(kernel),
-                            deadline)) {
+  explicit Impl(const PtxKernel& k, const Deadline& deadline) : kernel(k) {
+    kernel.intern_registers();  // no-op for parser/codegen output
+    cfg = Cfg::build(kernel);
+    slice = compute_slice(kernel, DependencyGraph::build(kernel), deadline);
+    for (std::size_t i = 0; i < kernel.instructions.size(); ++i) {
+      const Instruction& inst = kernel.instructions[i];
+      if (!slice.in_slice[i] || inst.opcode != Opcode::kLd ||
+          inst.space != StateSpace::kParam)
+        continue;
+      if (const auto* mem = std::get_if<MemOperand>(&inst.srcs.front()))
+        if (std::find(slice_params.begin(), slice_params.end(), mem->base) ==
+            slice_params.end())
+          slice_params.push_back(mem->base);
+    }
     block_hist.resize(cfg.block_count());
     block_size.resize(cfg.block_count());
     for (std::size_t b = 0; b < cfg.block_count(); ++b) {
@@ -335,8 +350,9 @@ struct SymbolicExecutor::Impl {
   Value eval_operand(const Operand& op, const Env& env,
                      const KernelLaunch& launch) const {
     if (const auto* r = std::get_if<RegOperand>(&op)) {
-      const auto it = env.find(r->name);
-      return it == env.end() ? Value::unknown() : it->second;
+      GP_DCHECK(r->id >= 0 &&
+                static_cast<std::size_t>(r->id) < env.size());
+      return env[r->id];
     }
     if (const auto* imm = std::get_if<ImmOperand>(&op)) {
       if (imm->is_float) return Value::unknown();
@@ -368,8 +384,8 @@ struct SymbolicExecutor::Impl {
     auto set_dst = [&](Value v) {
       GP_CHECK(inst.dsts.size() == 1);
       const auto* r = std::get_if<RegOperand>(&inst.dsts.front());
-      GP_CHECK(r != nullptr);
-      env[r->name] = v;
+      GP_CHECK(r != nullptr && r->id >= 0);
+      env[r->id] = v;
     };
     auto affine_add = [](const Value& a, const Value& b, i64 sign) {
       if (a.kind != Value::Kind::kInt || b.kind != Value::Kind::kInt)
@@ -606,6 +622,7 @@ struct SymbolicExecutor::Impl {
     State init;
     init.box = Box{0, launch.grid_dim, 0, launch.block_dim};
     init.block = cfg.entry();
+    init.env.assign(kernel.register_count(), Value::unknown());
     init.counts.assign(cfg.block_count(), 0);
     work.push_back(std::move(init));
 
@@ -656,13 +673,13 @@ struct SymbolicExecutor::Impl {
           continue;
         }
 
-        const auto pit = st.env.find(term.guard);
-        GP_CHECK_MSG(pit != st.env.end() &&
-                         pit->second.kind == Value::Kind::kPred,
+        GP_DCHECK(term.guard_id >= 0 &&
+                  static_cast<std::size_t>(term.guard_id) < st.env.size());
+        GP_CHECK_MSG(st.env[term.guard_id].kind == Value::Kind::kPred,
                      "branch on unknown predicate '"
                          << term.guard << "' in " << kernel.name
                          << " (data-dependent branch?)");
-        Value pred = pit->second;
+        Value pred = st.env[term.guard_id];
         if (term.guard_negated) pred = negate_pred(pred);
 
         const Tri tri = eval_pred(pred, st.box);
@@ -705,26 +722,27 @@ struct SymbolicExecutor::Impl {
 
             // Register deltas must match between consecutive snapshots
             // (affine coefficients unchanged, c0 advancing linearly).
-            std::unordered_map<std::string, i64> reg_delta;
-            for (const auto& [name, v2] : s2.env) {
+            std::vector<std::pair<int, i64>> reg_delta;
+            reg_delta.reserve(s2.env.size());
+            for (std::size_t id = 0; id < s2.env.size(); ++id) {
+              const Value& v2 = s2.env[id];
               if (v2.kind != Value::Kind::kInt) continue;
-              const auto i1 = s1.env.find(name);
-              const auto i0 = s0.env.find(name);
-              if (i1 == s1.env.end() || i0 == s0.env.end() ||
-                  i1->second.kind != Value::Kind::kInt ||
-                  i0->second.kind != Value::Kind::kInt ||
-                  i1->second.c_ct != v2.c_ct || i1->second.c_t != v2.c_t ||
-                  i0->second.c_ct != v2.c_ct || i0->second.c_t != v2.c_t) {
+              const Value& v1 = s1.env[id];
+              const Value& v0 = s0.env[id];
+              if (v1.kind != Value::Kind::kInt ||
+                  v0.kind != Value::Kind::kInt ||
+                  v1.c_ct != v2.c_ct || v1.c_t != v2.c_t ||
+                  v0.c_ct != v2.c_ct || v0.c_t != v2.c_t) {
                 consistent = false;
                 break;
               }
-              const i64 d21 = v2.c0 - i1->second.c0;
-              const i64 d10 = i1->second.c0 - i0->second.c0;
+              const i64 d21 = v2.c0 - v1.c0;
+              const i64 d10 = v1.c0 - v0.c0;
               if (d21 != d10) {
                 consistent = false;
                 break;
               }
-              reg_delta[name] = d21;
+              reg_delta.emplace_back(static_cast<int>(id), d21);
             }
 
             std::vector<i64> count_delta(st.counts.size(), 0);
@@ -748,8 +766,8 @@ struct SymbolicExecutor::Impl {
               GP_CHECK_MSG(k != 0, "non-terminating loop in " << kernel.name);
               const i64 ff = k - 1;  // iterations to fast-forward
               if (ff > 0) {
-                for (auto& [name, delta] : reg_delta)
-                  st.env[name].c0 += ff * delta;
+                for (const auto& [id, delta] : reg_delta)
+                  st.env[id].c0 += ff * delta;
                 for (std::size_t b = 0; b < st.counts.size(); ++b)
                   st.counts[b] += ff * count_delta[b];
                 history.clear();
@@ -789,5 +807,8 @@ ExecutionCounts SymbolicExecutor::run(const KernelLaunch& launch,
 const Cfg& SymbolicExecutor::cfg() const { return impl_->cfg; }
 const Slice& SymbolicExecutor::slice() const { return impl_->slice; }
 const PtxKernel& SymbolicExecutor::kernel() const { return impl_->kernel; }
+const std::vector<std::string>& SymbolicExecutor::slice_params() const {
+  return impl_->slice_params;
+}
 
 }  // namespace gpuperf::ptx

@@ -60,6 +60,13 @@ class SymbolicExecutor {
   const Slice& slice() const;
   const PtxKernel& kernel() const;
 
+  /// Kernel parameters read by in-slice ld.param instructions — the
+  /// only launch arguments that can change run()'s result.  Launches
+  /// differing solely in other arguments (e.g. buffer pointers) yield
+  /// identical counts, which is what makes launch-config memoization
+  /// effective.
+  const std::vector<std::string>& slice_params() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

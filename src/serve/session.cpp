@@ -12,6 +12,7 @@
 #include "common/strings.hpp"
 #include "core/dataset_builder.hpp"
 #include "gpu/device_db.hpp"
+#include "ptx/counter.hpp"
 #include "registry/hash.hpp"
 #include "serve/errors.hpp"
 
@@ -526,6 +527,13 @@ void write_cache_json(JsonWriter& json, std::string_view name,
 }  // namespace
 
 std::string ServeSession::stats_json() {
+  // Sync the process-wide DCA fast-path counters into the registry so
+  // they appear under "counters" alongside the serve-local ones.
+  const auto memo = ptx::InstructionCounter::memo_stats();
+  metrics_.counter("dca_memo_hits").store(memo.hits);
+  metrics_.counter("dca_memo_misses").store(memo.misses);
+  metrics_.counter("dca_parallel_tasks").store(memo.parallel_tasks);
+
   JsonWriter json;
   json.begin_object().field("ok", true).field("endpoint", "stats");
   metrics_.write_json(json);
@@ -537,6 +545,9 @@ std::string ServeSession::stats_json() {
   json.begin_object("dca")
       .field("computes", dca_compute_count())
       .field("store_hits", feature_store_hit_count())
+      .field("memo_hits", memo.hits)
+      .field("memo_misses", memo.misses)
+      .field("parallel_tasks", memo.parallel_tasks)
       .end_object();
   const BatcherStats batch = batcher_->stats();
   json.begin_object("batch")

@@ -1,0 +1,146 @@
+// The launch-config memo behind InstructionCounter::count_launch:
+// single-flight under heavy concurrency, deadline aborts never cached,
+// pointer-argument invariance (buffers off the slice share an entry)
+// and size-argument sensitivity.  Stats are asserted as deltas because
+// the memo is process-wide and other tests in this binary use it too.
+#include "ptx/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/deadline.hpp"
+#include "cnn/zoo.hpp"
+
+namespace gpuperf::ptx {
+namespace {
+
+KernelLaunch copy_launch(std::int64_t n) {
+  KernelLaunch l;
+  l.kernel = "gp_copy";
+  l.grid_dim = 5;
+  l.block_dim = 256;
+  l.args = {{"p_dst", 0x1000}, {"p_a", 0x2000}, {"p_n", n}};
+  return l;
+}
+
+TEST(CounterMemo, SingleFlightUnder32ConcurrentThreads) {
+  const InstructionCounter counter;
+  // An argument value no other test uses, so this key is cold.
+  const KernelLaunch launch = copy_launch(77777);
+
+  const auto before = InstructionCounter::memo_stats();
+
+  constexpr int kThreads = 32;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int ready = 0;
+  bool go = false;
+  std::vector<ExecutionCounts> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (++ready == kThreads) cv.notify_all();
+        cv.wait(lock, [&] { return go; });
+      }
+      results[t] = counter.count_launch(launch);
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready == kThreads; });
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& th : threads) th.join();
+
+  const auto after = InstructionCounter::memo_stats();
+  // Exactly one underlying symbolic execution; everyone else waited on
+  // the winner's future (or found the ready entry).
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, static_cast<std::uint64_t>(kThreads - 1));
+
+  ASSERT_GT(results[0].total, 0);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].total, results[0].total);
+    EXPECT_EQ(results[t].by_class, results[0].by_class);
+  }
+}
+
+TEST(CounterMemo, DeadlineAbortIsNotCached) {
+  const InstructionCounter counter;
+  const KernelLaunch launch = copy_launch(88888);  // cold key
+
+  Deadline tight;
+  tight.with_step_budget(1);
+  EXPECT_THROW(counter.count_launch(launch, tight), AnalysisTimeout);
+
+  // The aborted compute must have been erased, not poisoned: the same
+  // key computes successfully under an unlimited deadline...
+  const ExecutionCounts ok = counter.count_launch(launch);
+  EXPECT_GT(ok.total, 0);
+
+  // ...and that success IS cached.
+  const auto before = InstructionCounter::memo_stats();
+  const ExecutionCounts again = counter.count_launch(launch);
+  const auto after = InstructionCounter::memo_stats();
+  EXPECT_EQ(again.total, ok.total);
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(CounterMemo, PointerArgumentsShareOneEntry) {
+  const InstructionCounter counter;
+  KernelLaunch a = copy_launch(99999);  // cold key
+  KernelLaunch b = a;
+  b.args["p_dst"] = 0xdead0000;  // different buffers, same geometry
+  b.args["p_a"] = 0xbeef0000;
+
+  const auto before = InstructionCounter::memo_stats();
+  const ExecutionCounts ca = counter.count_launch(a);
+  const ExecutionCounts cb = counter.count_launch(b);
+  const auto after = InstructionCounter::memo_stats();
+
+  // Buffers are off the slice: the second launch is a memo hit.
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_GE(after.hits - before.hits, 1u);
+  EXPECT_EQ(ca.total, cb.total);
+}
+
+TEST(CounterMemo, SizeArgumentsKeySeparateEntries) {
+  const InstructionCounter counter;
+  const ExecutionCounts small = counter.count_launch(copy_launch(11111));
+  const ExecutionCounts large = counter.count_launch(copy_launch(22222));
+  EXPECT_LT(small.total, large.total);
+}
+
+TEST(CounterMemo, ModelCountMatchesPerLaunchAccumulation) {
+  // count() (parallel fan-out + index-ordered reduction on multi-core
+  // machines) must agree exactly with a serial per-launch loop.
+  const CodeGenerator codegen;
+  const CompiledModel compiled =
+      codegen.compile(cnn::zoo::build("MobileNetV2"));
+  const InstructionCounter counter;
+  const ModelInstructionProfile profile = counter.count(compiled);
+
+  std::int64_t total = 0;
+  ASSERT_EQ(profile.per_launch.size(), compiled.launches.size());
+  for (std::size_t i = 0; i < compiled.launches.size(); ++i) {
+    const ExecutionCounts counts = counter.count_launch(compiled.launches[i]);
+    EXPECT_EQ(profile.per_launch[i], counts.total) << "launch " << i;
+    EXPECT_EQ(profile.per_launch_class[i], counts.by_class) << "launch " << i;
+    total += counts.total;
+  }
+  EXPECT_EQ(profile.total_instructions, total);
+}
+
+}  // namespace
+}  // namespace gpuperf::ptx
