@@ -1,0 +1,24 @@
+// Fuzz target for the registry bundle-manifest parser.  Contract:
+// arbitrary bytes either yield a Manifest or raise InputRejected /
+// LimitExceeded (both CheckError).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/limits.hpp"
+#include "registry/manifest.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  gpuperf::InputLimits limits = gpuperf::InputLimits::defaults();
+  limits.max_manifest_bytes = 1 << 16;
+  limits.max_manifest_fields = 64;
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)gpuperf::registry::deserialize_manifest(text, limits);
+  } catch (const gpuperf::CheckError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz target for the model deserializers: the ml regressor reader
+// (header-dispatched: tree, linear, forest, boosting, knn) and the CNN
+// topology reader.  Contract: arbitrary bytes either deserialize or
+// raise InputRejected / LimitExceeded — never an unbounded allocation,
+// never a raw std::out_of_range / std::length_error.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cnn/model_io.hpp"
+#include "common/check.hpp"
+#include "common/limits.hpp"
+#include "ml/model_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  gpuperf::InputLimits limits = gpuperf::InputLimits::defaults();
+  limits.max_model_bytes = 1 << 20;
+  limits.max_trees = 64;
+  limits.max_tree_nodes = 1 << 14;
+  limits.max_rows = 4096;
+  limits.max_features = 64;
+  limits.max_cnn_bytes = 1 << 20;
+  limits.max_cnn_nodes = 4096;
+  limits.max_alloc_bytes = 16u << 20;
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)gpuperf::ml::deserialize_regressor(text, limits);
+  } catch (const gpuperf::CheckError&) {
+  }
+  try {
+    (void)gpuperf::cnn::deserialize_model(text, limits);
+  } catch (const gpuperf::CheckError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fuzz target for the PTX lexer + parser.  Contract: arbitrary bytes
+// either parse into a PtxModule or raise InputRejected / LimitExceeded
+// (both CheckError).  Anything else — a crash, std::out_of_range
+// escaping, an allocation past the budget — aborts the process and the
+// fuzzer reports it.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/limits.hpp"
+#include "ptx/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Tight budgets keep each execution cheap; the limit paths themselves
+  // are part of the surface under test.
+  gpuperf::InputLimits limits = gpuperf::InputLimits::defaults();
+  limits.max_ptx_bytes = 1 << 20;
+  limits.max_tokens = 1 << 16;
+  limits.max_kernels = 64;
+  limits.max_instructions = 1 << 13;
+  limits.max_alloc_bytes = 16u << 20;
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)gpuperf::ptx::parse_ptx(text, limits);
+  } catch (const gpuperf::CheckError&) {
+    // Typed rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

@@ -3,8 +3,10 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/check.hpp"
+#include "common/limits.hpp"
 #include "common/strings.hpp"
 
 namespace gpuperf::cnn {
@@ -138,7 +140,35 @@ std::string serialize_model(const Model& model) {
   return os.str();
 }
 
-Model deserialize_model(const std::string& text) {
+namespace {
+Model deserialize_model_impl(const std::string& text,
+                             const InputLimits& limits);
+}  // namespace
+
+Model deserialize_model(const std::string& text,
+                        const InputLimits& limits) {
+  try {
+    return deserialize_model_impl(text, limits);
+  } catch (const InputRejected&) {
+    throw;
+  } catch (const CheckError& e) {
+    throw InputRejected(std::string("model deserialization: ") + e.what());
+  } catch (const std::out_of_range& e) {
+    throw InputRejected(
+        std::string("model deserialization: truncated input (") + e.what() +
+        ")");
+  } catch (const std::length_error& e) {
+    throw InputRejected(
+        std::string("model deserialization: oversized input (") + e.what() +
+        ")");
+  }
+}
+
+namespace {
+
+Model deserialize_model_impl(const std::string& text,
+                             const InputLimits& limits) {
+  enforce_limit(text.size(), limits.max_cnn_bytes, "CNN model bytes");
   std::istringstream is(text);
   std::string line;
   int line_no = 0;
@@ -176,6 +206,8 @@ Model deserialize_model(const std::string& text) {
 
     GP_CHECK_MSG(parts[0] == "node" && parts.size() >= 3,
                  "expected 'node <id> <kind> ...' at line " << line_no);
+    enforce_limit(model.node_count() + 1, limits.max_cnn_nodes,
+                  "CNN nodes");
     const std::int64_t id = parse_int(parts[1]);
     GP_CHECK_MSG(id == static_cast<std::int64_t>(model.node_count()),
                  "non-sequential node id at line " << line_no);
@@ -302,6 +334,8 @@ Model deserialize_model(const std::string& text) {
   model.validate();
   return model;
 }
+
+}  // namespace
 
 void save_model(const Model& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary);

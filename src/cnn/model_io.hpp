@@ -15,14 +15,17 @@
 #include <string>
 
 #include "cnn/model.hpp"
+#include "common/limits.hpp"
 
 namespace gpuperf::cnn {
 
 std::string serialize_model(const Model& model);
 
-/// Parse a serialized model; GP_CHECK-fails with a line number on
-/// malformed input.
-Model deserialize_model(const std::string& text);
+/// Parse a serialized model; throws InputRejected (a CheckError) with a
+/// line number on malformed input and LimitExceeded when the text blows
+/// the byte / node budget.
+Model deserialize_model(const std::string& text,
+                        const InputLimits& limits = InputLimits::defaults());
 
 void save_model(const Model& model, const std::string& path);
 Model load_model(const std::string& path);

@@ -1,0 +1,23 @@
+#include "common/limits.hpp"
+
+#include <sstream>
+
+namespace gpuperf {
+
+const InputLimits& InputLimits::defaults() {
+  static const InputLimits kDefaults{};
+  return kDefaults;
+}
+
+namespace detail {
+
+void limit_exceeded(const char* what, std::size_t requested,
+                    std::size_t limit) {
+  std::ostringstream os;
+  os << "input limit exceeded: " << what << " = " << requested
+     << " exceeds the budget of " << limit;
+  throw LimitExceeded(os.str());
+}
+
+}  // namespace detail
+}  // namespace gpuperf

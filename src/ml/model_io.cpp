@@ -2,13 +2,36 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/check.hpp"
+#include "common/limits.hpp"
 #include "common/strings.hpp"
 
 namespace gpuperf::ml {
 
 namespace {
+
+/// Run a deserializer body, normalizing every failure mode to the typed
+/// contract: malformed input is InputRejected (LimitExceeded passes
+/// through unchanged), and no raw std::out_of_range / std::length_error
+/// from string or container access may escape on truncated input.
+template <typename Fn>
+auto rejecting(const char* what, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const InputRejected&) {
+    throw;
+  } catch (const CheckError& e) {
+    throw InputRejected(std::string(what) + ": " + e.what());
+  } catch (const std::out_of_range& e) {
+    throw InputRejected(std::string(what) + ": truncated input (" +
+                        e.what() + ")");
+  } catch (const std::length_error& e) {
+    throw InputRejected(std::string(what) + ": oversized input (" +
+                        e.what() + ")");
+  }
+}
 
 // 17 significant digits round-trips an IEEE double exactly.
 std::string full_precision(double v) {
@@ -55,7 +78,7 @@ void write_tree(std::ostream& os, const DecisionTree& tree) {
   }
 }
 
-DecisionTree read_tree(std::istream& is) {
+DecisionTree read_tree(std::istream& is, ResourceBudget& budget) {
   std::string line;
 
   GP_CHECK(std::getline(is, line));
@@ -68,6 +91,8 @@ DecisionTree read_tree(std::istream& is) {
   const std::size_t n_features =
       static_cast<std::size_t>(parse_int(parts[1]));
   GP_CHECK(n_features >= 1);
+  enforce_limit(n_features, budget.limits().max_features, "tree features");
+  budget.charge_alloc(n_features * sizeof(double));
 
   std::vector<double> importances =
       read_doubles(is, "importances", n_features);
@@ -77,6 +102,10 @@ DecisionTree read_tree(std::istream& is) {
   GP_CHECK(parts.size() == 2 && parts[0] == "nodes");
   const std::size_t n_nodes = static_cast<std::size_t>(parse_int(parts[1]));
   GP_CHECK(n_nodes >= 1);
+  // Charge before reserve: a node count forged into the header must trip
+  // the budget, not the allocator.
+  enforce_limit(n_nodes, budget.limits().max_tree_nodes, "tree nodes");
+  budget.charge_alloc(n_nodes * sizeof(DecisionTree::Node));
 
   std::vector<DecisionTree::Node> nodes;
   nodes.reserve(n_nodes);
@@ -108,7 +137,8 @@ DecisionTree read_tree(std::istream& is) {
 /// `header` is e.g. "gpuperf-forest v1"; the count line is
 /// "<count_label> N features M".
 std::pair<std::size_t, std::size_t> read_ensemble_header(
-    std::istream& is, const char* header, const char* count_label) {
+    std::istream& is, const char* header, const char* count_label,
+    ResourceBudget& budget) {
   std::string line;
   GP_CHECK(std::getline(is, line));
   GP_CHECK_MSG(trim(line) == header, "bad header: '" << line << "'");
@@ -121,15 +151,20 @@ std::pair<std::size_t, std::size_t> read_ensemble_header(
   const std::size_t n_features =
       static_cast<std::size_t>(parse_int(parts[3]));
   GP_CHECK(count >= 1 && n_features >= 1);
+  enforce_limit(count, budget.limits().max_trees, "ensemble trees");
+  enforce_limit(n_features, budget.limits().max_features,
+                "ensemble features");
   return {count, n_features};
 }
 
 std::vector<std::unique_ptr<DecisionTree>> read_trees(
-    std::istream& is, std::size_t count, std::size_t n_features) {
+    std::istream& is, std::size_t count, std::size_t n_features,
+    ResourceBudget& budget) {
+  budget.charge_alloc(count * sizeof(std::unique_ptr<DecisionTree>));
   std::vector<std::unique_ptr<DecisionTree>> trees;
   trees.reserve(count);
   for (std::size_t t = 0; t < count; ++t) {
-    auto tree = std::make_unique<DecisionTree>(read_tree(is));
+    auto tree = std::make_unique<DecisionTree>(read_tree(is, budget));
     GP_CHECK_MSG(tree->n_features() == n_features,
                  "tree " << t << " feature width mismatch");
     trees.push_back(std::move(tree));
@@ -145,9 +180,14 @@ std::string serialize_tree(const DecisionTree& tree) {
   return os.str();
 }
 
-DecisionTree deserialize_tree(const std::string& text) {
-  std::istringstream is(text);
-  return read_tree(is);
+DecisionTree deserialize_tree(const std::string& text,
+                              const InputLimits& limits) {
+  return rejecting("tree deserialization", [&] {
+    enforce_limit(text.size(), limits.max_model_bytes, "model bytes");
+    ResourceBudget budget(limits);
+    std::istringstream is(text);
+    return read_tree(is, budget);
+  });
 }
 
 std::string serialize_linear(const LinearRegression& model) {
@@ -159,29 +199,35 @@ std::string serialize_linear(const LinearRegression& model) {
   return os.str();
 }
 
-LinearRegression deserialize_linear(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
+LinearRegression deserialize_linear(const std::string& text,
+                                    const InputLimits& limits) {
+  return rejecting("linear deserialization", [&] {
+    enforce_limit(text.size(), limits.max_model_bytes, "model bytes");
+    std::istringstream is(text);
+    std::string line;
 
-  GP_CHECK(std::getline(is, line));
-  GP_CHECK_MSG(trim(line) == "gpuperf-linear v1",
-               "bad linear-model header: '" << line << "'");
+    GP_CHECK(std::getline(is, line));
+    GP_CHECK_MSG(trim(line) == "gpuperf-linear v1",
+                 "bad linear-model header: '" << line << "'");
 
-  GP_CHECK(std::getline(is, line));
-  auto parts = split_ws(line);
-  GP_CHECK(parts.size() == 2 && parts[0] == "intercept");
-  const double intercept = parse_double(parts[1]);
+    GP_CHECK(std::getline(is, line));
+    auto parts = split_ws(line);
+    GP_CHECK(parts.size() == 2 && parts[0] == "intercept");
+    const double intercept = parse_double(parts[1]);
 
-  GP_CHECK(std::getline(is, line));
-  parts = split_ws(line);
-  GP_CHECK(parts.size() >= 2 && parts[0] == "coefficients");
-  std::vector<double> coef;
-  for (std::size_t i = 1; i < parts.size(); ++i)
-    coef.push_back(parse_double(parts[i]));
+    GP_CHECK(std::getline(is, line));
+    parts = split_ws(line);
+    GP_CHECK(parts.size() >= 2 && parts[0] == "coefficients");
+    enforce_limit(parts.size() - 1, limits.max_features,
+                  "linear coefficients");
+    std::vector<double> coef;
+    for (std::size_t i = 1; i < parts.size(); ++i)
+      coef.push_back(parse_double(parts[i]));
 
-  LinearRegression model;
-  model.restore(std::move(coef), intercept);
-  return model;
+    LinearRegression model;
+    model.restore(std::move(coef), intercept);
+    return model;
+  });
 }
 
 std::string serialize_forest(const RandomForest& forest) {
@@ -195,13 +241,18 @@ std::string serialize_forest(const RandomForest& forest) {
   return os.str();
 }
 
-RandomForest deserialize_forest(const std::string& text) {
-  std::istringstream is(text);
-  const auto [count, n_features] =
-      read_ensemble_header(is, "gpuperf-forest v1", "trees");
-  RandomForest forest;
-  forest.restore(read_trees(is, count, n_features), n_features);
-  return forest;
+RandomForest deserialize_forest(const std::string& text,
+                                const InputLimits& limits) {
+  return rejecting("forest deserialization", [&] {
+    enforce_limit(text.size(), limits.max_model_bytes, "model bytes");
+    ResourceBudget budget(limits);
+    std::istringstream is(text);
+    const auto [count, n_features] =
+        read_ensemble_header(is, "gpuperf-forest v1", "trees", budget);
+    RandomForest forest;
+    forest.restore(read_trees(is, count, n_features, budget), n_features);
+    return forest;
+  });
 }
 
 std::string serialize_boosting(const GradientBoosting& model) {
@@ -217,16 +268,22 @@ std::string serialize_boosting(const GradientBoosting& model) {
   return os.str();
 }
 
-GradientBoosting deserialize_boosting(const std::string& text) {
-  std::istringstream is(text);
-  const auto [count, n_features] =
-      read_ensemble_header(is, "gpuperf-boosting v1", "rounds");
-  const double base_score = read_doubles(is, "base_score", 1).front();
-  const double learning_rate = read_doubles(is, "learning_rate", 1).front();
-  GradientBoosting model;
-  model.restore(read_trees(is, count, n_features), base_score,
-                learning_rate, n_features);
-  return model;
+GradientBoosting deserialize_boosting(const std::string& text,
+                                      const InputLimits& limits) {
+  return rejecting("boosting deserialization", [&] {
+    enforce_limit(text.size(), limits.max_model_bytes, "model bytes");
+    ResourceBudget budget(limits);
+    std::istringstream is(text);
+    const auto [count, n_features] =
+        read_ensemble_header(is, "gpuperf-boosting v1", "rounds", budget);
+    const double base_score = read_doubles(is, "base_score", 1).front();
+    const double learning_rate =
+        read_doubles(is, "learning_rate", 1).front();
+    GradientBoosting model;
+    model.restore(read_trees(is, count, n_features, budget), base_score,
+                  learning_rate, n_features);
+    return model;
+  });
 }
 
 std::string serialize_knn(const KnnRegressor& model) {
@@ -250,55 +307,65 @@ std::string serialize_knn(const KnnRegressor& model) {
   return os.str();
 }
 
-KnnRegressor deserialize_knn(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
+KnnRegressor deserialize_knn(const std::string& text,
+                             const InputLimits& limits) {
+  return rejecting("knn deserialization", [&] {
+    enforce_limit(text.size(), limits.max_model_bytes, "model bytes");
+    ResourceBudget budget(limits);
+    std::istringstream is(text);
+    std::string line;
 
-  GP_CHECK(std::getline(is, line));
-  GP_CHECK_MSG(trim(line) == "gpuperf-knn v1",
-               "bad knn header: '" << line << "'");
+    GP_CHECK(std::getline(is, line));
+    GP_CHECK_MSG(trim(line) == "gpuperf-knn v1",
+                 "bad knn header: '" << line << "'");
 
-  GP_CHECK(std::getline(is, line));
-  auto parts = split_ws(line);
-  GP_CHECK_MSG(parts.size() == 4 && parts[0] == "k" &&
-                   parts[2] == "weighting",
-               "bad knn k line: '" << line << "'");
-  const std::size_t k = static_cast<std::size_t>(parse_int(parts[1]));
-  GP_CHECK_MSG(parts[3] == "uniform" || parts[3] == "inverse",
-               "bad knn weighting '" << parts[3] << "'");
-  const auto weighting = parts[3] == "uniform"
-                             ? KnnRegressor::Weighting::kUniform
-                             : KnnRegressor::Weighting::kInverseDistance;
+    GP_CHECK(std::getline(is, line));
+    auto parts = split_ws(line);
+    GP_CHECK_MSG(parts.size() == 4 && parts[0] == "k" &&
+                     parts[2] == "weighting",
+                 "bad knn k line: '" << line << "'");
+    const std::size_t k = static_cast<std::size_t>(parse_int(parts[1]));
+    GP_CHECK_MSG(k >= 1, "knn k must be >= 1");
+    GP_CHECK_MSG(parts[3] == "uniform" || parts[3] == "inverse",
+                 "bad knn weighting '" << parts[3] << "'");
+    const auto weighting = parts[3] == "uniform"
+                               ? KnnRegressor::Weighting::kUniform
+                               : KnnRegressor::Weighting::kInverseDistance;
 
-  GP_CHECK(std::getline(is, line));
-  parts = split_ws(line);
-  GP_CHECK_MSG(parts.size() == 4 && parts[0] == "rows" &&
-                   parts[2] == "features",
-               "bad knn rows line: '" << line << "'");
-  const std::size_t n_rows = static_cast<std::size_t>(parse_int(parts[1]));
-  const std::size_t n_features =
-      static_cast<std::size_t>(parse_int(parts[3]));
-  GP_CHECK(n_rows >= 1 && n_features >= 1);
+    GP_CHECK(std::getline(is, line));
+    parts = split_ws(line);
+    GP_CHECK_MSG(parts.size() == 4 && parts[0] == "rows" &&
+                     parts[2] == "features",
+                 "bad knn rows line: '" << line << "'");
+    const std::size_t n_rows =
+        static_cast<std::size_t>(parse_int(parts[1]));
+    const std::size_t n_features =
+        static_cast<std::size_t>(parse_int(parts[3]));
+    GP_CHECK(n_rows >= 1 && n_features >= 1);
+    enforce_limit(n_rows, limits.max_rows, "knn rows");
+    enforce_limit(n_features, limits.max_features, "knn features");
+    budget.charge_alloc(n_rows * (n_features + 1) * sizeof(double));
 
-  Dataset::Standardization st;
-  st.mean = read_doubles(is, "mean", n_features);
-  st.stddev = read_doubles(is, "stddev", n_features);
+    Dataset::Standardization st;
+    st.mean = read_doubles(is, "mean", n_features);
+    st.stddev = read_doubles(is, "stddev", n_features);
 
-  std::vector<std::vector<double>> points;
-  std::vector<double> targets;
-  points.reserve(n_rows);
-  targets.reserve(n_rows);
-  for (std::size_t i = 0; i < n_rows; ++i) {
-    std::vector<double> row = read_doubles(is, "row", n_features + 1);
-    targets.push_back(row.back());
-    row.pop_back();
-    points.push_back(std::move(row));
-  }
+    std::vector<std::vector<double>> points;
+    std::vector<double> targets;
+    points.reserve(n_rows);
+    targets.reserve(n_rows);
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      std::vector<double> row = read_doubles(is, "row", n_features + 1);
+      targets.push_back(row.back());
+      row.pop_back();
+      points.push_back(std::move(row));
+    }
 
-  KnnRegressor model;
-  model.restore(std::move(st), std::move(points), std::move(targets), k,
-                weighting);
-  return model;
+    KnnRegressor model;
+    model.restore(std::move(st), std::move(points), std::move(targets), k,
+                  weighting);
+    return model;
+  });
 }
 
 std::string serialize_regressor(const Regressor& model) {
@@ -316,25 +383,32 @@ std::string serialize_regressor(const Regressor& model) {
   return {};
 }
 
-LoadedRegressor deserialize_regressor(const std::string& text) {
-  std::istringstream is(text);
-  std::string header;
-  GP_CHECK_MSG(std::getline(is, header), "empty model text");
-  header = std::string(trim(header));
-  if (header == "gpuperf-tree v1")
-    return {"dt", std::make_unique<DecisionTree>(deserialize_tree(text))};
-  if (header == "gpuperf-linear v1")
-    return {"linear",
-            std::make_unique<LinearRegression>(deserialize_linear(text))};
-  if (header == "gpuperf-forest v1")
-    return {"rf", std::make_unique<RandomForest>(deserialize_forest(text))};
-  if (header == "gpuperf-boosting v1")
-    return {"xgb",
-            std::make_unique<GradientBoosting>(deserialize_boosting(text))};
-  if (header == "gpuperf-knn v1")
-    return {"knn", std::make_unique<KnnRegressor>(deserialize_knn(text))};
-  GP_CHECK_MSG(false, "unknown model header: '" << header << "'");
-  return {};
+LoadedRegressor deserialize_regressor(const std::string& text,
+                                      const InputLimits& limits) {
+  return rejecting("model deserialization", [&]() -> LoadedRegressor {
+    enforce_limit(text.size(), limits.max_model_bytes, "model bytes");
+    std::istringstream is(text);
+    std::string header;
+    GP_CHECK_MSG(std::getline(is, header), "empty model text");
+    header = std::string(trim(header));
+    if (header == "gpuperf-tree v1")
+      return {"dt",
+              std::make_unique<DecisionTree>(deserialize_tree(text, limits))};
+    if (header == "gpuperf-linear v1")
+      return {"linear", std::make_unique<LinearRegression>(
+                            deserialize_linear(text, limits))};
+    if (header == "gpuperf-forest v1")
+      return {"rf", std::make_unique<RandomForest>(
+                        deserialize_forest(text, limits))};
+    if (header == "gpuperf-boosting v1")
+      return {"xgb", std::make_unique<GradientBoosting>(
+                         deserialize_boosting(text, limits))};
+    if (header == "gpuperf-knn v1")
+      return {"knn",
+              std::make_unique<KnnRegressor>(deserialize_knn(text, limits))};
+    GP_CHECK_MSG(false, "unknown model header: '" << header << "'");
+    return {};
+  });
 }
 
 namespace {

@@ -7,11 +7,17 @@
 // RandomForest and GradientBoosting as an ensemble header followed by
 // repeated tree sections, K-NN as its standardization plus the embedded
 // (standardized) training set.
+// Deserializers are hardened (docs/ROBUSTNESS.md): byte size, tree /
+// node / row / feature counts and total allocation are charged against
+// an InputLimits budget, and malformed input raises a typed
+// InputRejected (a CheckError) instead of an unbounded allocation or a
+// raw std::out_of_range / std::length_error.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "common/limits.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gradient_boosting.hpp"
 #include "ml/knn.hpp"
@@ -22,20 +28,31 @@ namespace gpuperf::ml {
 
 std::string serialize_tree(const DecisionTree& tree);
 
-/// Rebuild a tree; GP_CHECK-fails on malformed input.
-DecisionTree deserialize_tree(const std::string& text);
+/// Rebuild a tree; throws InputRejected (a CheckError) on malformed
+/// input and LimitExceeded past the budget.
+DecisionTree deserialize_tree(
+    const std::string& text,
+    const InputLimits& limits = InputLimits::defaults());
 
 std::string serialize_linear(const LinearRegression& model);
-LinearRegression deserialize_linear(const std::string& text);
+LinearRegression deserialize_linear(
+    const std::string& text,
+    const InputLimits& limits = InputLimits::defaults());
 
 std::string serialize_forest(const RandomForest& forest);
-RandomForest deserialize_forest(const std::string& text);
+RandomForest deserialize_forest(
+    const std::string& text,
+    const InputLimits& limits = InputLimits::defaults());
 
 std::string serialize_boosting(const GradientBoosting& model);
-GradientBoosting deserialize_boosting(const std::string& text);
+GradientBoosting deserialize_boosting(
+    const std::string& text,
+    const InputLimits& limits = InputLimits::defaults());
 
 std::string serialize_knn(const KnnRegressor& model);
-KnnRegressor deserialize_knn(const std::string& text);
+KnnRegressor deserialize_knn(
+    const std::string& text,
+    const InputLimits& limits = InputLimits::defaults());
 
 /// Serialize any fitted regressor from make_regressor; GP_CHECK-fails
 /// on an unknown concrete type or an unfitted model.
@@ -49,7 +66,9 @@ struct LoadedRegressor {
 };
 
 /// Detect the format from the header line and rebuild the model.
-LoadedRegressor deserialize_regressor(const std::string& text);
+LoadedRegressor deserialize_regressor(
+    const std::string& text,
+    const InputLimits& limits = InputLimits::defaults());
 
 void save_tree(const DecisionTree& tree, const std::string& path);
 DecisionTree load_tree(const std::string& path);

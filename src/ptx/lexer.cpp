@@ -1,8 +1,7 @@
 #include "ptx/lexer.hpp"
 
 #include <cctype>
-
-#include "common/check.hpp"
+#include <sstream>
 
 namespace gpuperf::ptx {
 
@@ -18,16 +17,30 @@ bool ident_char(char c) {
          c == '.' || c == '$' || c == '%';
 }
 
+[[noreturn]] void lex_fail(const std::string& msg, int line, int col) {
+  std::ostringstream os;
+  os << "PTX lex error at line " << line << ", col " << col << ": " << msg;
+  throw InputRejected(os.str());
+}
+
 }  // namespace
 
-std::vector<Token> lex(const std::string& text) {
+std::vector<Token> lex(const std::string& text, const InputLimits& limits) {
+  enforce_limit(text.size(), limits.max_ptx_bytes, "PTX input bytes");
+
   std::vector<Token> tokens;
+  ResourceBudget budget(limits);
   int line = 1;
   std::size_t i = 0;
+  std::size_t line_start = 0;  // offset of the current line's first char
   const std::size_t n = text.size();
 
-  auto push = [&](TokenKind kind, std::string t) {
-    tokens.push_back(Token{kind, std::move(t), line});
+  const auto col_of = [&](std::size_t offset) {
+    return static_cast<int>(offset - line_start) + 1;
+  };
+  auto push = [&](TokenKind kind, std::string t, std::size_t at) {
+    budget.charge_tokens();
+    tokens.push_back(Token{kind, std::move(t), line, col_of(at)});
   };
 
   while (i < n) {
@@ -35,6 +48,7 @@ std::vector<Token> lex(const std::string& text) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (c == ' ' || c == '\t' || c == '\r') {
@@ -46,31 +60,38 @@ std::vector<Token> lex(const std::string& text) {
       continue;
     }
     if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const std::size_t open = i;
+      const int open_line = line;
+      const int open_col = col_of(open);
       i += 2;
       while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') ++line;
+        if (text[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         ++i;
       }
-      GP_CHECK_MSG(i + 1 < n, "unterminated block comment at line " << line);
+      if (i + 1 >= n)
+        lex_fail("unterminated block comment", open_line, open_col);
       i += 2;
       continue;
     }
 
     switch (c) {
-      case '(': push(TokenKind::kLParen, "("); ++i; continue;
-      case ')': push(TokenKind::kRParen, ")"); ++i; continue;
-      case '{': push(TokenKind::kLBrace, "{"); ++i; continue;
-      case '}': push(TokenKind::kRBrace, "}"); ++i; continue;
-      case '[': push(TokenKind::kLBracket, "["); ++i; continue;
-      case ']': push(TokenKind::kRBracket, "]"); ++i; continue;
-      case ',': push(TokenKind::kComma, ","); ++i; continue;
-      case ';': push(TokenKind::kSemicolon, ";"); ++i; continue;
-      case ':': push(TokenKind::kColon, ":"); ++i; continue;
-      case '+': push(TokenKind::kPlus, "+"); ++i; continue;
-      case '@': push(TokenKind::kAt, "@"); ++i; continue;
-      case '!': push(TokenKind::kBang, "!"); ++i; continue;
-      case '<': push(TokenKind::kLess, "<"); ++i; continue;
-      case '>': push(TokenKind::kGreater, ">"); ++i; continue;
+      case '(': push(TokenKind::kLParen, "(", i); ++i; continue;
+      case ')': push(TokenKind::kRParen, ")", i); ++i; continue;
+      case '{': push(TokenKind::kLBrace, "{", i); ++i; continue;
+      case '}': push(TokenKind::kRBrace, "}", i); ++i; continue;
+      case '[': push(TokenKind::kLBracket, "[", i); ++i; continue;
+      case ']': push(TokenKind::kRBracket, "]", i); ++i; continue;
+      case ',': push(TokenKind::kComma, ",", i); ++i; continue;
+      case ';': push(TokenKind::kSemicolon, ";", i); ++i; continue;
+      case ':': push(TokenKind::kColon, ":", i); ++i; continue;
+      case '+': push(TokenKind::kPlus, "+", i); ++i; continue;
+      case '@': push(TokenKind::kAt, "@", i); ++i; continue;
+      case '!': push(TokenKind::kBang, "!", i); ++i; continue;
+      case '<': push(TokenKind::kLess, "<", i); ++i; continue;
+      case '>': push(TokenKind::kGreater, ">", i); ++i; continue;
       default: break;
     }
 
@@ -84,7 +105,9 @@ std::vector<Token> lex(const std::string& text) {
       while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
                        text[i] == '.'))
         ++i;
-      push(TokenKind::kNumber, text.substr(start, i - start));
+      enforce_limit(i - start, limits.max_identifier_bytes,
+                    "number token bytes");
+      push(TokenKind::kNumber, text.substr(start, i - start), start);
       continue;
     }
 
@@ -92,13 +115,18 @@ std::vector<Token> lex(const std::string& text) {
       std::size_t start = i;
       ++i;
       while (i < n && ident_char(text[i])) ++i;
-      push(TokenKind::kIdentifier, text.substr(start, i - start));
+      enforce_limit(i - start, limits.max_identifier_bytes,
+                    "identifier bytes");
+      push(TokenKind::kIdentifier, text.substr(start, i - start), start);
       continue;
     }
 
-    GP_CHECK_MSG(false, "unexpected character '" << c << "' at line " << line);
+    lex_fail(std::string("unexpected character '") + c + "'", line,
+             col_of(i));
   }
-  push(TokenKind::kEnd, "");
+  // The sentinel is exempt from the token budget so the parser always
+  // has a kEnd to clamp to.
+  tokens.push_back(Token{TokenKind::kEnd, "", line, col_of(i)});
   return tokens;
 }
 

@@ -1,11 +1,18 @@
 // Tokenizer for the PTX textual subset.  Identifiers keep their dots
 // ("mad.lo.s32", "%tid.x") — instruction-name decomposition happens in
 // the parser, which has the context to do it right.
+//
+// Hardened front end (docs/ROBUSTNESS.md): input size, token count and
+// identifier length are charged against an InputLimits budget, and
+// every rejection is a typed InputRejected/LimitExceeded carrying the
+// offending line *and column*.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/limits.hpp"
 
 namespace gpuperf::ptx {
 
@@ -33,6 +40,7 @@ struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;
   int line = 0;
+  int col = 0;  // 1-based column of the token's first character
 
   bool is(TokenKind k) const { return kind == k; }
   bool is_ident(const char* s) const {
@@ -40,9 +48,12 @@ struct Token {
   }
 };
 
-/// Tokenize PTX text; throws CheckError with a line number on bad
-/// characters.  Comments (// and /* */) are stripped.
-std::vector<Token> lex(const std::string& text);
+/// Tokenize PTX text; throws InputRejected (a CheckError) with line and
+/// column on bad characters, and LimitExceeded when the text blows the
+/// byte / token / identifier budget.  Comments (// and /* */) are
+/// stripped.
+std::vector<Token> lex(const std::string& text,
+                       const InputLimits& limits = InputLimits::defaults());
 
 const char* token_kind_name(TokenKind kind);
 

@@ -1,6 +1,7 @@
 #include "ptx/parser.hpp"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
@@ -12,7 +13,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : tokens_(lex(text)) {}
+  Parser(const std::string& text, const InputLimits& limits)
+      : tokens_(lex(text, limits)), budget_(limits) {}
 
   PtxModule parse() {
     PtxModule mod;
@@ -26,20 +28,34 @@ class Parser {
         mod.target = expect(TokenKind::kIdentifier).text;
       } else if (t.is_ident(".address_size")) {
         next();
-        mod.address_size =
-            static_cast<int>(parse_int(expect(TokenKind::kNumber).text));
+        mod.address_size = static_cast<int>(number(expect(
+            TokenKind::kNumber)));
       } else if (t.is_ident(".visible") || t.is_ident(".entry")) {
+        budget_.charge_kernels();
         mod.kernels.push_back(parse_kernel());
       } else {
-        fail("unexpected token '" + t.text + "'", t.line);
+        fail("unexpected token '" + t.text + "'", t);
       }
     }
     return mod;
   }
 
  private:
-  [[noreturn]] void fail(const std::string& msg, int line) const {
-    GP_CHECK_MSG(false, "PTX parse error at line " << line << ": " << msg);
+  [[noreturn]] void fail(const std::string& msg, const Token& at) const {
+    std::ostringstream os;
+    os << "PTX parse error at line " << at.line << ", col " << at.col
+       << ": " << msg;
+    throw InputRejected(os.str());
+  }
+
+  /// Integer token → value, rethrowing any parse failure with the
+  /// token's position (never a bare "not an integer" without context).
+  long long number(const Token& t) const {
+    try {
+      return parse_int(t.text);
+    } catch (const CheckError&) {
+      fail("bad number '" + t.text + "'", t);
+    }
   }
 
   const Token& peek(std::size_t ahead = 0) const {
@@ -58,7 +74,7 @@ class Parser {
     if (t.kind != kind)
       fail(std::string("expected ") + token_kind_name(kind) + ", got '" +
                t.text + "'",
-           t.line);
+           t);
     return t;
   }
 
@@ -66,15 +82,16 @@ class Parser {
     const Token t = next();
     if (!t.is_ident(text))
       fail(std::string("expected '") + text + "', got '" + t.text + "'",
-           t.line);
+           t);
     return t;
   }
 
   PtxType expect_type() {
     const Token t = expect(TokenKind::kIdentifier);
-    GP_CHECK(!t.text.empty() && t.text.front() == '.');
+    if (t.text.empty() || t.text.front() != '.')
+      fail("expected a .type suffix, got '" + t.text + "'", t);
     const auto type = type_from_suffix(t.text.substr(1));
-    if (!type) fail("unknown type '" + t.text + "'", t.line);
+    if (!type) fail("unknown type '" + t.text + "'", t);
     return *type;
   }
 
@@ -86,11 +103,15 @@ class Parser {
 
     expect(TokenKind::kLParen);
     while (!peek().is(TokenKind::kRParen)) {
+      if (peek().is(TokenKind::kEnd))
+        fail("unterminated parameter list", peek());
       expect_ident(".param");
       KernelParam param;
       param.type = expect_type();
       param.name = expect(TokenKind::kIdentifier).text;
       param.is_pointer = param.type == PtxType::kU64;
+      enforce_limit(kernel.params.size() + 1, budget_.limits().max_params,
+                    "kernel parameters");
       kernel.params.push_back(std::move(param));
       if (peek().is(TokenKind::kComma)) next();
     }
@@ -98,8 +119,7 @@ class Parser {
 
     if (peek().is_ident(".reqntid")) {
       next();
-      kernel.reqntid =
-          static_cast<int>(parse_int(expect(TokenKind::kNumber).text));
+      kernel.reqntid = static_cast<int>(number(expect(TokenKind::kNumber)));
       while (peek().is(TokenKind::kComma)) {
         next();
         expect(TokenKind::kNumber);
@@ -109,14 +129,16 @@ class Parser {
     expect(TokenKind::kLBrace);
     while (!peek().is(TokenKind::kRBrace)) {
       const Token& t = peek();
+      if (t.is(TokenKind::kEnd)) fail("unterminated kernel body", t);
       if (t.is_ident(".reg")) {
         next();
         RegDecl rd;
         rd.type = expect_type();
         rd.prefix = expect(TokenKind::kIdentifier).text;
         expect(TokenKind::kLess);
-        rd.count =
-            static_cast<int>(parse_int(expect(TokenKind::kNumber).text));
+        rd.count = static_cast<int>(number(expect(TokenKind::kNumber)));
+        if (rd.count < 0)
+          fail("negative register count", t);
         expect(TokenKind::kGreater);
         expect(TokenKind::kSemicolon);
         kernel.reg_decls.push_back(std::move(rd));
@@ -129,7 +151,7 @@ class Parser {
         expect_ident(".b8");
         expect(TokenKind::kIdentifier);  // buffer name
         expect(TokenKind::kLBracket);
-        kernel.shared_bytes = parse_int(expect(TokenKind::kNumber).text);
+        kernel.shared_bytes = number(expect(TokenKind::kNumber));
         expect(TokenKind::kRBracket);
         expect(TokenKind::kSemicolon);
       } else if (t.kind == TokenKind::kIdentifier &&
@@ -138,6 +160,7 @@ class Parser {
         next();
         next();
       } else {
+        budget_.charge_instructions();
         kernel.instructions.push_back(parse_instruction());
       }
     }
@@ -148,11 +171,10 @@ class Parser {
 
   /// Decompose a dotted instruction mnemonic like "mad.lo.s32",
   /// "setp.lt.u32", "ld.global.f32", "cvt.rn.f32.s32".
-  void decode_mnemonic(const std::string& mnemonic, int line,
-                       Instruction& out) {
+  void decode_mnemonic(const Token& mnemonic_token, Instruction& out) {
+    const std::string& mnemonic = mnemonic_token.text;
     const std::vector<std::string> parts = split(mnemonic, '.');
-    GP_CHECK(!parts.empty());
-    const std::string& head = parts[0];
+    const std::string& head = parts[0];  // split() never returns empty
     std::size_t i = 1;
 
     auto take_type = [&](bool required) {
@@ -164,14 +186,16 @@ class Parser {
         }
       }
       if (required)
-        fail("missing type suffix in '" + mnemonic + "'", line);
+        fail("missing type suffix in '" + mnemonic + "'", mnemonic_token);
     };
 
     if (head == "setp") {
       out.opcode = Opcode::kSetp;
-      if (i >= parts.size()) fail("setp without compare op", line);
+      if (i >= parts.size())
+        fail("setp without compare op", mnemonic_token);
       const auto cmp = compare_from_name(parts[i]);
-      if (!cmp) fail("bad compare op '" + parts[i] + "'", line);
+      if (!cmp)
+        fail("bad compare op '" + parts[i] + "'", mnemonic_token);
       out.cmp = *cmp;
       ++i;
       take_type(true);
@@ -237,7 +261,7 @@ class Parser {
       take_type(false);  // source type (kept implicit)
     } else {
       const auto op = opcode_from_name(head);
-      if (!op) fail("unknown opcode '" + head + "'", line);
+      if (!op) fail("unknown opcode '" + head + "'", mnemonic_token);
       out.opcode = *op;
       take_type(out.opcode != Opcode::kNot);
     }
@@ -251,7 +275,7 @@ class Parser {
       mem.base = expect(TokenKind::kIdentifier).text;
       if (peek().is(TokenKind::kPlus)) {
         next();
-        mem.offset = parse_int(expect(TokenKind::kNumber).text);
+        mem.offset = number(expect(TokenKind::kNumber));
       }
       expect(TokenKind::kRBracket);
       return mem;
@@ -274,10 +298,14 @@ class Parser {
         imm.value = d;
         imm.is_float = true;
       } else if (t.text.find('.') != std::string::npos) {
-        imm.value = parse_double(t.text);
+        try {
+          imm.value = parse_double(t.text);
+        } catch (const CheckError&) {
+          fail("bad number '" + t.text + "'", t);
+        }
         imm.is_float = true;
       } else {
-        imm.value = static_cast<double>(parse_int(t.text));
+        imm.value = static_cast<double>(number(t));
       }
       return imm;
     }
@@ -301,10 +329,14 @@ class Parser {
     }
 
     const Token mnemonic = expect(TokenKind::kIdentifier);
-    decode_mnemonic(mnemonic.text, mnemonic.line, inst);
+    decode_mnemonic(mnemonic, inst);
 
     std::vector<Operand> operands;
     while (!peek().is(TokenKind::kSemicolon)) {
+      if (peek().is(TokenKind::kEnd))
+        fail("unterminated instruction (missing ';')", peek());
+      enforce_limit(operands.size() + 1, budget_.limits().max_operands,
+                    "instruction operands");
       operands.push_back(parse_operand());
       if (peek().is(TokenKind::kComma)) next();
     }
@@ -330,12 +362,25 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  ResourceBudget budget_;
 };
 
 }  // namespace
 
-PtxModule parse_ptx(const std::string& text) {
-  return Parser(text).parse();
+PtxModule parse_ptx(const std::string& text, const InputLimits& limits) {
+  try {
+    return Parser(text, limits).parse();
+  } catch (const CheckError&) {
+    throw;  // InputRejected / LimitExceeded / GP_CHECK — already typed
+  } catch (const std::out_of_range& e) {
+    // Belt and braces: no container/string access on a truncated or
+    // malformed input may escape as a raw out_of_range.
+    throw InputRejected(std::string("PTX parse error: truncated input (") +
+                        e.what() + ")");
+  } catch (const std::length_error& e) {
+    throw InputRejected(std::string("PTX parse error: oversized input (") +
+                        e.what() + ")");
+  }
 }
 
 }  // namespace gpuperf::ptx

@@ -2,16 +2,25 @@
 // .entry kernels with .param lists, .reg/.shared declarations, labels
 // and guarded instructions.  Produces the same PtxModule structure the
 // code generator builds, so generate -> print -> parse round-trips.
+//
+// Hardened (docs/ROBUSTNESS.md): kernel/instruction/param/operand
+// counts are charged against an InputLimits budget (LimitExceeded past
+// it), every syntax rejection is a typed InputRejected carrying line
+// and column, and truncated input can never escape as a raw
+// std::out_of_range / std::length_error.
 #pragma once
 
 #include <string>
 
+#include "common/limits.hpp"
 #include "ptx/module.hpp"
 
 namespace gpuperf::ptx {
 
-/// Parse PTX text into a module; throws CheckError with a line number
-/// on malformed input.
-PtxModule parse_ptx(const std::string& text);
+/// Parse PTX text into a module; throws InputRejected (a CheckError)
+/// with "line L, col C" on malformed input and LimitExceeded when the
+/// text blows its resource budget.
+PtxModule parse_ptx(const std::string& text,
+                    const InputLimits& limits = InputLimits::defaults());
 
 }  // namespace gpuperf::ptx

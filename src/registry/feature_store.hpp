@@ -5,51 +5,83 @@
 //
 // Entries are content-addressed by the hash of the CNN's canonical
 // text serialization (cnn::serialize_model): the same architecture maps
-// to the same file regardless of its zoo name, and any topology edit
+// to the same address regardless of its zoo name, and any topology edit
 // gets a fresh address.  The paper's DCA features (executed
 // instructions, trainable parameters) are device-independent, so one
 // entry serves every device; device features join the vector at
 // feature_vector() time.
 //
-// One file per entry ("<hex>.features"), line-oriented, checksummed.
-// A corrupt or mismatched entry reads as a miss — callers recompute and
-// overwrite, so the store is self-healing.
+// Durability (docs/FILE_FORMATS.md "Feature-store journal"): one
+// append-only journal file ("store.journal") of length-prefixed,
+// CRC-32-checked records, last-writer-wins per topology.  A record is
+//
+//   "GPFR" | u32 LE payload length | u32 LE crc32(payload) | payload
+//
+// where the payload is the line-oriented "gpuperf-features v1" text.
+// On open the journal is replayed; the first torn, corrupt or
+// oversized record marks the recovery point and the tail beyond it is
+// truncated away (a crash mid-append can only ever damage the tail).
+// Each put appends one record and fsyncs, so acknowledged entries
+// survive power loss.  Legacy one-file-per-entry "<hex>.features"
+// stores migrate into the journal on open.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "cnn/model.hpp"
+#include "common/limits.hpp"
 #include "core/features.hpp"
 
 namespace gpuperf::registry {
 
 class FeatureStore {
  public:
-  /// Opens (creating directories as needed) the store at `root`.
-  explicit FeatureStore(std::string root);
+  /// Opens (creating directories as needed) the store at `root`,
+  /// replays the journal (truncating any torn tail), and migrates
+  /// legacy "<hex>.features" entries into the journal.
+  explicit FeatureStore(std::string root,
+                        const InputLimits& limits = InputLimits::defaults());
 
   const std::string& root() const { return root_; }
+
+  /// Path of the journal file inside `root`.
+  std::string journal_path() const;
 
   /// Content address of a CNN topology.
   static std::uint64_t topology_hash(const cnn::Model& model);
 
-  /// nullptr on miss — including a corrupt, truncated or
-  /// wrong-topology entry (never throws for bad on-disk data).
+  /// nullptr on miss — including a topology whose on-disk record was
+  /// corrupt at open time (never throws for bad on-disk data).
   std::shared_ptr<const core::ModelFeatures> get(
       std::uint64_t topology) const;
 
-  /// Atomically persist (write temp + rename, overwriting any previous
-  /// entry at this address).
+  /// Append one record to the journal and fsync it; overwrites any
+  /// previous entry at this address (last writer wins on replay).
   void put(std::uint64_t topology, const core::ModelFeatures& features);
 
-  /// Number of entries on disk.
+  /// Number of distinct live entries.
   std::size_t size() const;
 
+  /// Rewrite the journal with only the live (last-writer) records,
+  /// atomically (temp + fsync + rename).  Reclaims space taken by
+  /// overwritten records and truncated garbage.
+  void compact();
+
+  // ---- recovery telemetry (serve exposes these in `stats`) ----------
+  /// Valid records recovered by the replay at open time.
+  std::size_t recovered_records() const { return recovered_records_; }
+  /// Bytes of torn/corrupt tail truncated away at open time.
+  std::size_t torn_tail_bytes() const { return torn_tail_bytes_; }
+  /// Legacy "<hex>.features" files migrated into the journal at open.
+  std::size_t migrated_entries() const { return migrated_entries_; }
+
   /// Scan of every valid entry, for warm-starting the degraded-path
-  /// imputation (docs/ROBUSTNESS.md): corrupt entries are skipped, so
-  /// this never throws for bad on-disk data.
+  /// imputation (docs/ROBUSTNESS.md): corrupt entries were already
+  /// dropped at open, so this never throws for bad on-disk data.
   struct Aggregate {
     std::uint64_t entries = 0;
     std::int64_t executed_instruction_sum = 0;
@@ -58,9 +90,19 @@ class FeatureStore {
   Aggregate aggregate() const;
 
  private:
-  std::string entry_path(std::uint64_t topology) const;
+  void replay_journal();
+  void migrate_legacy_entries();
+  void append_record(const std::string& payload) const;
 
   std::string root_;
+  InputLimits limits_;  // by value: the store outlives any caller's copy
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const core::ModelFeatures>>
+      index_;
+  std::size_t recovered_records_ = 0;
+  std::size_t torn_tail_bytes_ = 0;
+  std::size_t migrated_entries_ = 0;
 };
 
 }  // namespace gpuperf::registry

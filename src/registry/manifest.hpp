@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/limits.hpp"
+
 namespace gpuperf::registry {
 
 struct Manifest {
@@ -40,9 +42,12 @@ struct Manifest {
 
 std::string serialize_manifest(const Manifest& manifest);
 
-/// GP_CHECK-fails on a bad header, a malformed line, or a missing
-/// required field.
-Manifest deserialize_manifest(const std::string& text);
+/// Throws InputRejected (a CheckError) on a bad header, a malformed
+/// line, or a missing required field, and LimitExceeded when the text
+/// blows the byte / field budget.
+Manifest deserialize_manifest(
+    const std::string& text,
+    const InputLimits& limits = InputLimits::defaults());
 
 /// Hash of a feature schema (the names joined with commas).
 std::uint64_t feature_schema_hash(const std::vector<std::string>& names);

@@ -73,6 +73,20 @@ std::string version_name(int number) {
 ModelRegistry::ModelRegistry(std::string root) : root_(std::move(root)) {
   GP_CHECK_MSG(!root_.empty(), "registry root must not be empty");
   fs::create_directories(root_);
+
+  // Sweep the leavings of interrupted publishes: staged bundles that
+  // never got renamed into place and a LATEST.tmp that never replaced
+  // LATEST.  Both are invisible to readers and safe to delete.
+  std::error_code ec;
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (starts_with(name, ".staging-") || name == "LATEST.tmp")
+      stale.push_back(entry.path());
+  }
+  for (const auto& path : stale) fs::remove_all(path, ec);
+
+  repair_latest();
 }
 
 std::string ModelRegistry::version_dir(const std::string& version) const {
@@ -173,38 +187,147 @@ void ModelRegistry::set_latest(const std::string& version) {
   sync_dir(root);
 }
 
-Bundle ModelRegistry::load(const std::string& version) const {
-  std::string target = version;
-  if (target.empty()) {
-    target = latest_version();
-    GP_CHECK_MSG(!target.empty(), "registry " << root_ << " is empty");
+void ModelRegistry::quarantine(const std::string& version) {
+  std::error_code ec;
+  const fs::path qdir = fs::path(root_) / "quarantine";
+  fs::create_directories(qdir, ec);
+  fs::path dest = qdir / version;
+  for (int i = 1; fs::exists(dest, ec); ++i)
+    dest = qdir / (version + "-" + std::to_string(i));
+  fs::rename(version_dir(version), dest, ec);
+  if (!ec) {
+    quarantined_.fetch_add(1);
+    sync_dir(fs::path(root_));
+    // If LATEST pointed at the bundle just moved aside it now dangles;
+    // re-point it at the newest remaining good version immediately so
+    // no reader ever resolves a pointer into the quarantine.
+    repair_latest();
+  }
+}
+
+void ModelRegistry::repair_latest() {
+  const fs::path pointer = fs::path(root_) / "LATEST";
+  // A healthy pointer is left alone — even when newer versions exist,
+  // because an operator rollback must survive a restart.
+  if (fs::exists(pointer)) {
+    try {
+      const std::string name = std::string(trim(read_file(pointer)));
+      if (is_version_name(name) && fs::is_directory(version_dir(name)))
+        return;
+    } catch (const CheckError&) {
+      // unreadable pointer: fall through and re-point it
+    }
+  } else if (versions().empty()) {
+    return;  // nothing published yet
   }
 
-  const Manifest m = manifest(target);
+  // Re-point at the newest version whose manifest parses.
+  const std::vector<std::string> all = versions();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    try {
+      (void)manifest(*it);
+      set_latest(*it);
+      return;
+    } catch (const CheckError&) {
+      continue;
+    }
+  }
+  std::error_code ec;
+  fs::remove(pointer, ec);  // no valid version left to point at
+}
+
+Bundle ModelRegistry::load_verified(const std::string& target) {
+  const fs::path dir = version_dir(target);
+  GP_CHECK_MSG(fs::is_directory(dir),
+               "no bundle '" << target << "' in " << root_);
+
+  Manifest m;
+  try {
+    m = deserialize_manifest(read_file(dir / "MANIFEST"));
+  } catch (const CheckError& e) {
+    quarantine(target);
+    throw BundleCorruptError("bundle " + target +
+                             " has a corrupt manifest: " + e.what());
+  }
+
+  // An incompatible schema is a build problem, not disk damage — the
+  // bundle stays where it is.
   GP_CHECK_MSG(
       m.feature_schema_hash ==
           feature_schema_hash(core::FeatureExtractor::feature_names()),
       "bundle " << target << " was trained on a different feature schema");
 
   GPUPERF_FAULT_POINT("registry.load");
-  std::string model_text =
-      read_file(fs::path(version_dir(target)) / m.model_file);
+  std::string model_text;
+  try {
+    model_text = read_file(dir / m.model_file);
+  } catch (const CheckError& e) {
+    quarantine(target);
+    throw BundleCorruptError("bundle " + target +
+                             " model file unreadable: " + e.what());
+  }
+  const bool disk_matches = fnv1a64(model_text) == m.model_checksum;
   // A corrupted bundle read: one flipped byte must trip the checksum
   // gate below, never install a silently wrong model.
   if (GPUPERF_FAULT_CORRUPT("registry.load") && !model_text.empty())
     model_text[0] ^= 0x01;
-  GP_CHECK_MSG(fnv1a64(model_text) == m.model_checksum,
-               "bundle " << target << " model checksum mismatch — "
-                         << m.model_file << " is corrupt");
+  if (fnv1a64(model_text) != m.model_checksum) {
+    // Quarantine only durable damage.  When the bytes on disk verify
+    // but the in-memory copy doesn't (a transient read fault), the
+    // bundle is fine — fail this load and leave it in place.
+    if (!disk_matches) quarantine(target);
+    const std::string msg = "bundle " + target +
+                            " model checksum mismatch — " + m.model_file +
+                            " is corrupt";
+    if (!disk_matches) throw BundleCorruptError(msg);
+    GP_CHECK_MSG(false, msg);
+  }
 
-  ml::LoadedRegressor loaded = ml::deserialize_regressor(model_text);
-  GP_CHECK_MSG(loaded.id == m.regressor_id,
-               "bundle " << target << " manifest says '" << m.regressor_id
-                         << "' but the model file holds '" << loaded.id
-                         << "'");
+  ml::LoadedRegressor loaded;
+  try {
+    loaded = ml::deserialize_regressor(model_text);
+  } catch (const CheckError& e) {
+    quarantine(target);
+    throw BundleCorruptError("bundle " + target +
+                             " model is unparsable: " + e.what());
+  }
+  if (loaded.id != m.regressor_id) {
+    quarantine(target);
+    throw BundleCorruptError("bundle " + target + " manifest says '" +
+                             m.regressor_id +
+                             "' but the model file holds '" + loaded.id +
+                             "'");
+  }
   return Bundle{target, m,
                 core::PerformanceEstimator::adopt(std::move(loaded.id),
                                                   std::move(loaded.model))};
+}
+
+Bundle ModelRegistry::load(const std::string& version) {
+  if (!version.empty()) return load_verified(version);
+
+  // LATEST load: a corrupt live bundle is quarantined by
+  // load_verified, after which the pointer is repaired and the newest
+  // remaining good version serves instead.  Each fallback round
+  // removes a bundle, so the loop is bounded.
+  const std::size_t max_attempts = versions().size() + 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::string target;
+    try {
+      target = latest_version();
+    } catch (const CheckError&) {
+      repair_latest();
+      target = latest_version();
+    }
+    GP_CHECK_MSG(!target.empty(), "registry " << root_ << " is empty");
+    try {
+      return load_verified(target);
+    } catch (const BundleCorruptError&) {
+      repair_latest();
+      if (versions().empty()) throw;
+    }
+  }
+  throw BundleCorruptError("registry " + root_ + " has no loadable bundle");
 }
 
 }  // namespace gpuperf::registry

@@ -18,15 +18,36 @@
 // directory.  Publishing is also *gated*: a bundle whose CV MAPE
 // regresses past the live bundle's by more than the configured margin
 // is refused unless forced.
+// Durability (docs/ROBUSTNESS.md "Registry recovery"): opening the
+// registry sweeps stale .staging-* directories and repairs a missing,
+// corrupt or dangling LATEST pointer (an interrupted publish can leave
+// any of those behind).  Loading a corrupt bundle — unreadable or
+// unparsable manifest, missing model file, checksum mismatch, model/
+// manifest disagreement — moves the bundle to quarantine/ instead of
+// leaving the damage in the version list; a LATEST load then falls
+// back to the newest remaining good version rather than failing to
+// serve.  An explicitly-requested version is never silently
+// substituted: it quarantines and throws.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "core/estimator.hpp"
 #include "registry/manifest.hpp"
 
 namespace gpuperf::registry {
+
+/// A bundle whose on-disk bytes are damaged (vs. merely incompatible:
+/// a feature-schema mismatch is a build issue and is NOT this).  The
+/// bundle has already been moved to quarantine/ when this is thrown.
+class BundleCorruptError : public CheckError {
+ public:
+  explicit BundleCorruptError(const std::string& what) : CheckError(what) {}
+};
 
 struct PublishOptions {
   /// Maximum tolerated CV-MAPE regression, in percentage points over
@@ -46,7 +67,10 @@ struct Bundle {
 
 class ModelRegistry {
  public:
-  /// Opens (creating directories as needed) the registry at `root`.
+  /// Opens (creating directories as needed) the registry at `root`,
+  /// sweeps stale .staging-* leftovers of interrupted publishes, and
+  /// repairs the LATEST pointer if an interrupted publish or bit rot
+  /// left it missing, unparsable, or pointing at a missing bundle.
   explicit ModelRegistry(std::string root);
 
   const std::string& root() const { return root_; }
@@ -71,19 +95,40 @@ class ModelRegistry {
   /// Parse one bundle's manifest without loading the model.
   Manifest manifest(const std::string& version) const;
 
-  /// Load + verify a bundle; empty version means LATEST.  GP_CHECK-
-  /// fails on a missing version, checksum mismatch, malformed manifest
-  /// or model, or a feature schema differing from this build's
-  /// FeatureExtractor.
-  Bundle load(const std::string& version = "") const;
+  /// Load + verify a bundle; empty version means LATEST.
+  ///
+  /// A corrupt bundle (unreadable/unparsable manifest, missing model
+  /// file, checksum mismatch, model/manifest disagreement) is moved to
+  /// quarantine/.  Loading an explicit version then throws
+  /// BundleCorruptError; loading LATEST repairs the pointer and falls
+  /// back to the newest remaining good version, throwing only when no
+  /// good version is left.  A feature schema differing from this
+  /// build's FeatureExtractor throws (CheckError) without quarantining
+  /// — the bytes are fine, the build is incompatible.
+  Bundle load(const std::string& version = "");
 
   /// Point LATEST at an existing version — rollback (or roll-forward).
   void set_latest(const std::string& version);
 
+  /// Re-point LATEST at the newest version with a parsable manifest
+  /// (removing the pointer if none is left).  Called on open; exposed
+  /// so operators/tests can force a repair after manual surgery.
+  void repair_latest();
+
+  /// Bundles moved to quarantine/ by this instance.
+  std::size_t quarantined_total() const { return quarantined_.load(); }
+
  private:
   std::string version_dir(const std::string& version) const;
+  /// Move a damaged bundle into quarantine/ (never throws; best
+  /// effort — a bundle that cannot even be moved is left in place).
+  void quarantine(const std::string& version);
+  /// Load + verify one concrete version; quarantines and throws
+  /// BundleCorruptError on damaged bytes.
+  Bundle load_verified(const std::string& version);
 
   std::string root_;
+  std::atomic<std::size_t> quarantined_{0};
 };
 
 }  // namespace gpuperf::registry

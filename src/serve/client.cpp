@@ -90,6 +90,7 @@ TcpClient::TcpClient(const std::string& host, int port, Options options) {
 
   set_socket_timeout(fd_, SO_RCVTIMEO, options.io_timeout_ms);
   set_socket_timeout(fd_, SO_SNDTIMEO, options.io_timeout_ms);
+  max_response_bytes_ = options.max_response_bytes;
 }
 
 TcpClient::~TcpClient() {
@@ -131,6 +132,11 @@ std::string TcpClient::request(const std::string& line) {
       throw ClientError("server closed the connection mid-response",
                         false);
     buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (buffer_.size() > max_response_bytes_)
+      throw ClientError(
+          "response exceeds " + std::to_string(max_response_bytes_) +
+              " bytes without a newline",
+          false);
   }
 }
 

@@ -9,10 +9,12 @@
 // jitter on top for transient failures and `overloaded` shedding.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "common/check.hpp"
+#include "common/limits.hpp"
 
 namespace gpuperf::serve {
 
@@ -36,6 +38,11 @@ class TcpClient {
     /// 0 disables the corresponding timeout (fully blocking).
     int connect_timeout_ms = 5000;
     int io_timeout_ms = 30000;
+    /// Longest accepted response line; a peer that streams more without
+    /// a newline gets a ClientError instead of growing the buffer
+    /// without bound (docs/ROBUSTNESS.md).
+    std::size_t max_response_bytes =
+        InputLimits::defaults().max_response_bytes;
   };
 
   /// Connects immediately; throws ClientError if the server is
@@ -55,6 +62,7 @@ class TcpClient {
 
  private:
   int fd_ = -1;
+  std::size_t max_response_bytes_ = 0;
   std::string buffer_;  // bytes read past the previous response line
 };
 

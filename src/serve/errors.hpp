@@ -32,6 +32,11 @@ enum class ErrorCode {
   /// Degradation itself failed after the primary path already had —
   /// surfaced only when the static-features fallback throws too.
   kDegraded,
+  /// The request (or an input embedded in it) blew an input limit:
+  /// oversized request line, or a payload past its InputLimits budget
+  /// (docs/ROBUSTNESS.md "Input limits").  Retrying the same bytes can
+  /// never succeed; send a smaller input.
+  kInputTooLarge,
 };
 
 std::string_view error_code_name(ErrorCode code);

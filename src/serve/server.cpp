@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "serve/errors.hpp"
 
 namespace gpuperf::serve {
 
@@ -101,6 +102,16 @@ void TcpServer::serve_connection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool close_requested = false;
+  const auto reject_oversized = [&](std::size_t observed) {
+    session_.metrics().counter("inputs_rejected").fetch_add(1);
+    const Response err = error_response(
+        ErrorCode::kInputTooLarge,
+        "request line of " + std::to_string(observed) +
+            " bytes exceeds the " +
+            std::to_string(options_.max_line_bytes) + "-byte limit");
+    send_all(fd, err.body + "\n");
+    close_requested = true;
+  };
   while (!close_requested) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
@@ -111,6 +122,10 @@ void TcpServer::serve_connection(int fd) {
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start);
          nl != std::string::npos; nl = buffer.find('\n', start)) {
+      if (nl - start > options_.max_line_bytes) {
+        reject_oversized(nl - start);
+        break;
+      }
       const std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
       if (line.empty() || line == "\r") continue;
@@ -130,6 +145,10 @@ void TcpServer::serve_connection(int fd) {
       }
     }
     buffer.erase(0, start);
+    // A line still unterminated past the limit can never become valid;
+    // reject it without buffering unbounded bytes.
+    if (!close_requested && buffer.size() > options_.max_line_bytes)
+      reject_oversized(buffer.size());
   }
   ::close(fd);
   {

@@ -10,12 +10,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/limits.hpp"
 #include "serve/session.hpp"
 
 namespace gpuperf::serve {
@@ -26,6 +28,11 @@ class TcpServer {
     /// 0 picks an ephemeral port; read the result from port().
     int port = 0;
     std::string bind_address = "127.0.0.1";
+    /// Longest accepted request line.  A connection that exceeds it —
+    /// with or without a newline — gets one typed "input_too_large"
+    /// error response and is closed (docs/ROBUSTNESS.md).
+    std::size_t max_line_bytes =
+        InputLimits::defaults().max_request_line_bytes;
   };
 
   /// The session must outlive the server.

@@ -8,6 +8,7 @@
 #include "cnn/zoo.hpp"
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/limits.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "core/dataset_builder.hpp"
@@ -533,6 +534,12 @@ std::string ServeSession::stats_json() {
   metrics_.counter("dca_memo_hits").store(memo.hits);
   metrics_.counter("dca_memo_misses").store(memo.misses);
   metrics_.counter("dca_parallel_tasks").store(memo.parallel_tasks);
+  // Durability telemetry (docs/ROBUSTNESS.md): bundles moved aside for
+  // on-disk corruption and journal records replayed at store open.
+  metrics_.counter("bundles_quarantined")
+      .store(registry_ ? registry_->quarantined_total() : 0);
+  metrics_.counter("store_records_recovered")
+      .store(feature_store_ ? feature_store_->recovered_records() : 0);
 
   JsonWriter json;
   json.begin_object().field("ok", true).field("endpoint", "stats");
@@ -656,6 +663,19 @@ Response ServeSession::handle(const Request& request) {
   } catch (const AnalysisTimeout& e) {
     scope.mark_error();
     return error_response(ErrorCode::kAnalysisTimeout, e.what());
+  } catch (const LimitExceeded& e) {
+    // A request-derived input blew a resource budget (docs/ROBUSTNESS.md):
+    // typed as input_too_large so clients can tell "shrink your input"
+    // apart from "fix your syntax".
+    metrics_.counter("inputs_rejected").fetch_add(1);
+    scope.mark_error();
+    return error_response(ErrorCode::kInputTooLarge, e.what());
+  } catch (const InputRejected& e) {
+    // Malformed bytes rejected by a bounded parser — the caller's input,
+    // not a server fault.
+    metrics_.counter("inputs_rejected").fetch_add(1);
+    scope.mark_error();
+    return error_response(ErrorCode::kInvalidRequest, e.what());
   } catch (const CheckError& e) {
     // GP_CHECK failures on request-derived values (bad flag syntax,
     // malformed numbers) are the caller's fault.

@@ -1,0 +1,120 @@
+#include "common/limits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/crc32.hpp"
+
+namespace gpuperf {
+namespace {
+
+TEST(Limits, EnforceLimitPassesAtAndBelowTheBound) {
+  EXPECT_NO_THROW(enforce_limit(0, 10, "things"));
+  EXPECT_NO_THROW(enforce_limit(10, 10, "things"));
+  EXPECT_THROW(enforce_limit(11, 10, "things"), LimitExceeded);
+}
+
+TEST(Limits, LimitExceededMessageNamesTheBudget) {
+  try {
+    enforce_limit(12, 10, "tree nodes");
+    FAIL() << "expected LimitExceeded";
+  } catch (const LimitExceeded& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tree nodes"), std::string::npos);
+    EXPECT_NE(what.find("12"), std::string::npos);
+    EXPECT_NE(what.find("10"), std::string::npos);
+  }
+}
+
+TEST(Limits, ExceptionHierarchyStaysCatchable) {
+  // Existing catch(CheckError) sites must keep seeing both new types.
+  EXPECT_THROW(throw LimitExceeded("x"), InputRejected);
+  EXPECT_THROW(throw LimitExceeded("x"), CheckError);
+  EXPECT_THROW(throw InputRejected("x"), CheckError);
+}
+
+TEST(Limits, BudgetChargesAccumulate) {
+  InputLimits limits;
+  limits.max_tokens = 3;
+  limits.max_instructions = 2;
+  limits.max_kernels = 1;
+  ResourceBudget budget(limits);
+
+  budget.charge_tokens(2);
+  budget.charge_tokens();
+  EXPECT_EQ(budget.tokens(), 3u);
+  EXPECT_THROW(budget.charge_tokens(), LimitExceeded);
+
+  budget.charge_instructions(2);
+  EXPECT_THROW(budget.charge_instructions(), LimitExceeded);
+
+  budget.charge_kernels();
+  EXPECT_THROW(budget.charge_kernels(), LimitExceeded);
+}
+
+TEST(Limits, AllocAccountingTripsBeforeTheAllocator) {
+  InputLimits limits;
+  limits.max_alloc_bytes = 1024;
+  ResourceBudget budget(limits);
+  budget.charge_alloc(1000);
+  EXPECT_EQ(budget.alloc_bytes(), 1000u);
+  // The forged-header case: a huge element count must throw here, not
+  // reach a vector::reserve.
+  EXPECT_THROW(budget.charge_alloc(1u << 30), LimitExceeded);
+}
+
+TEST(Limits, DepthScopeGuardsRecursion) {
+  InputLimits limits;
+  limits.max_depth = 2;
+  ResourceBudget budget(limits);
+  {
+    auto d1 = budget.enter_depth();
+    EXPECT_EQ(budget.depth(), 1u);
+    {
+      auto d2 = budget.enter_depth();
+      EXPECT_EQ(budget.depth(), 2u);
+      EXPECT_THROW(budget.enter_depth(), LimitExceeded);
+    }
+    EXPECT_EQ(budget.depth(), 1u);
+  }
+  EXPECT_EQ(budget.depth(), 0u);
+}
+
+TEST(Limits, DefaultsAreStableAcrossCalls) {
+  const InputLimits& a = InputLimits::defaults();
+  const InputLimits& b = InputLimits::defaults();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.max_ptx_bytes, 0u);
+}
+
+TEST(Crc32, MatchesReferenceVectors) {
+  // The standard check value for CRC-32/ISO-HDLC.
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string payload = "gpuperf-features v1\ntopology 0000000000001111\n";
+  const std::uint32_t good = crc32(payload);
+  for (std::size_t i = 0; i < payload.size(); i += 7) {
+    std::string flipped = payload;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(crc32(flipped), good) << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32, SeedChainsIncrementalUpdates) {
+  const std::string text = "hello, journal";
+  const std::uint32_t whole = crc32(text);
+  // Chaining semantics are an implementation detail of this API; what
+  // matters is that distinct inputs give distinct checksums and equal
+  // inputs agree.
+  EXPECT_EQ(crc32(text), whole);
+  EXPECT_NE(crc32(text + "!"), whole);
+}
+
+}  // namespace
+}  // namespace gpuperf

@@ -149,5 +149,83 @@ TEST(Parser, RejectsBadCompare) {
       CheckError);
 }
 
+TEST(Parser, ErrorsCarryLineAndColumn) {
+  try {
+    parse_ptx(".version 7.0\n.target sm_70\n   bogus!");
+    FAIL() << "expected parse error";
+  } catch (const InputRejected& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("col"), std::string::npos) << what;
+  }
+}
+
+TEST(Parser, TruncatedInputIsTypedNotOutOfRange) {
+  // Every prefix of a valid module must reject with InputRejected (or
+  // parse) — never escape as std::out_of_range / std::length_error.
+  const std::string text =
+      ".visible .entry k(\n"
+      "  .param .u32 p_n\n"
+      ")\n"
+      "{\n"
+      "  .reg .u32 %r<4>;\n"
+      "  ld.param.u32 %r2, [p_n];\n"
+      "  @%p1 bra EXIT;\n"
+      "EXIT:\n"
+      "  ret;\n"
+      "}\n";
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    try {
+      (void)parse_ptx(text.substr(0, len));
+    } catch (const CheckError&) {
+      // typed rejection: fine
+    }
+  }
+}
+
+TEST(Parser, UnterminatedConstructsNameTheProblem) {
+  try {
+    parse_ptx(".visible .entry k( .param .u32 p_n");
+    FAIL() << "expected parse error";
+  } catch (const InputRejected& e) {
+    EXPECT_NE(std::string(e.what()).find("unterminated parameter list"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_ptx(".visible .entry k() { ret;");
+    FAIL() << "expected parse error";
+  } catch (const InputRejected& e) {
+    EXPECT_NE(std::string(e.what()).find("unterminated kernel body"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parser, LimitsBoundKernelAndInstructionCounts) {
+  InputLimits limits = InputLimits::defaults();
+  limits.max_kernels = 1;
+  EXPECT_THROW(parse_ptx(".visible .entry a() { ret; }\n"
+                         ".visible .entry b() { ret; }\n",
+                         limits),
+               LimitExceeded);
+
+  limits = InputLimits::defaults();
+  limits.max_instructions = 2;
+  EXPECT_THROW(parse_ptx(".visible .entry a() {\n"
+                         "  .reg .u32 %r<4>;\n"
+                         "  add.u32 %r1, %r2, %r3;\n"
+                         "  add.u32 %r1, %r2, %r3;\n"
+                         "  ret;\n"
+                         "}\n",
+                         limits),
+               LimitExceeded);
+
+  limits = InputLimits::defaults();
+  limits.max_ptx_bytes = 8;
+  EXPECT_THROW(parse_ptx(".visible .entry a() { ret; }", limits),
+               LimitExceeded);
+}
+
 }  // namespace
 }  // namespace gpuperf::ptx

@@ -1,0 +1,259 @@
+// Corruption corpus for the durable state (docs/ROBUSTNESS.md
+// "Recovery semantics"): bit-flipped and truncated bundles, torn
+// feature-store journal tails, and every kill-mid-publish interruption
+// point.  The invariant throughout: the last good state keeps loading.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/dataset_builder.hpp"
+#include "registry/feature_store.hpp"
+#include "registry/registry.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gpuperf::registry {
+namespace {
+
+const core::PerformanceEstimator& trained_estimator() {
+  static const core::PerformanceEstimator est = [] {
+    core::DatasetOptions o;
+    o.models = {"alexnet", "mobilenet", "vgg16"};
+    o.seed = 7;
+    core::PerformanceEstimator e("dt", 42);
+    e.train(core::DatasetBuilder(o).build());
+    return e;
+  }();
+  return est;
+}
+
+std::string fresh_root(const std::string& name) {
+  const std::string root =
+      ::testing::TempDir() + "/gpuperf_corrupt_" + name;
+  fs::remove_all(root);
+  return root;
+}
+
+Manifest ok_manifest() {
+  Manifest m;
+  m.cv_folds = 5;
+  m.cv_mape = 10.0;
+  m.cv_r2 = 0.9;
+  return m;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+// ---- bit-flipped / truncated bundles --------------------------------
+
+TEST(Corruption, BitFlippedLatestBundleFallsBackToLastGood) {
+  const std::string root = fresh_root("flip_latest");
+  ModelRegistry reg(root);
+  reg.publish(trained_estimator(), ok_manifest());
+  reg.publish(trained_estimator(), ok_manifest());
+
+  const fs::path model = fs::path(root) / "v0002" / "model.txt";
+  std::string text = slurp(model);
+  text[text.size() / 3] ^= 0x40;
+  spit(model, text);
+
+  // A LATEST load quarantines the damaged head and serves v0001.
+  const Bundle bundle = reg.load();
+  EXPECT_EQ(bundle.version, "v0001");
+  EXPECT_EQ(reg.quarantined_total(), 1u);
+  EXPECT_EQ(reg.latest_version(), "v0001");
+  EXPECT_TRUE(fs::is_directory(fs::path(root) / "quarantine" / "v0002"));
+  EXPECT_FALSE(fs::exists(fs::path(root) / "v0002"));
+}
+
+TEST(Corruption, TruncatedModelFileFallsBackToLastGood) {
+  const std::string root = fresh_root("trunc_model");
+  ModelRegistry reg(root);
+  reg.publish(trained_estimator(), ok_manifest());
+  reg.publish(trained_estimator(), ok_manifest());
+
+  const fs::path model = fs::path(root) / "v0002" / "model.txt";
+  spit(model, slurp(model).substr(0, 40));
+
+  EXPECT_EQ(reg.load().version, "v0001");
+  EXPECT_EQ(reg.quarantined_total(), 1u);
+}
+
+TEST(Corruption, TruncatedManifestFallsBackToLastGood) {
+  const std::string root = fresh_root("trunc_manifest");
+  ModelRegistry reg(root);
+  reg.publish(trained_estimator(), ok_manifest());
+  reg.publish(trained_estimator(), ok_manifest());
+
+  const fs::path manifest = fs::path(root) / "v0002" / "MANIFEST";
+  spit(manifest, slurp(manifest).substr(0, 25));
+
+  EXPECT_EQ(reg.load().version, "v0001");
+  EXPECT_EQ(reg.quarantined_total(), 1u);
+}
+
+TEST(Corruption, EveryBundleCorruptIsATypedError) {
+  const std::string root = fresh_root("all_bad");
+  ModelRegistry reg(root);
+  reg.publish(trained_estimator(), ok_manifest());
+  reg.publish(trained_estimator(), ok_manifest());
+  for (const char* v : {"v0001", "v0002"}) {
+    const fs::path model = fs::path(root) / v / "model.txt";
+    spit(model, "garbage");
+  }
+  EXPECT_THROW(reg.load(), BundleCorruptError);
+  EXPECT_EQ(reg.quarantined_total(), 2u);
+  EXPECT_TRUE(reg.versions().empty());
+}
+
+TEST(Corruption, QuarantineNamesNeverCollide) {
+  const std::string root = fresh_root("collide");
+  ModelRegistry reg(root);
+  reg.publish(trained_estimator(), ok_manifest());
+  spit(fs::path(root) / "v0001" / "model.txt", "garbage");
+  EXPECT_THROW(reg.load("v0001"), BundleCorruptError);
+
+  // Publish a fresh v0001 (the registry is empty again) and corrupt it
+  // too: the second quarantine must not clobber the first.
+  reg.publish(trained_estimator(), ok_manifest());
+  spit(fs::path(root) / "v0001" / "model.txt", "more garbage");
+  EXPECT_THROW(reg.load("v0001"), BundleCorruptError);
+  EXPECT_EQ(reg.quarantined_total(), 2u);
+  EXPECT_TRUE(fs::is_directory(fs::path(root) / "quarantine" / "v0001"));
+  EXPECT_TRUE(
+      fs::is_directory(fs::path(root) / "quarantine" / "v0001-1"));
+}
+
+// ---- kill-mid-publish ------------------------------------------------
+
+TEST(Corruption, StaleStagingDirectoryIsSweptOnOpen) {
+  const std::string root = fresh_root("staging");
+  {
+    ModelRegistry reg(root);
+    reg.publish(trained_estimator(), ok_manifest());
+  }
+  // A publish killed before its rename leaves the staged bundle behind.
+  fs::create_directories(fs::path(root) / ".staging-v0002");
+  spit(fs::path(root) / ".staging-v0002" / "model.txt", "half-written");
+
+  ModelRegistry reg(root);
+  EXPECT_FALSE(fs::exists(fs::path(root) / ".staging-v0002"));
+  EXPECT_EQ(reg.versions(), std::vector<std::string>{"v0001"});
+  EXPECT_EQ(reg.load().version, "v0001");
+}
+
+TEST(Corruption, StaleLatestTmpIsSweptOnOpen) {
+  const std::string root = fresh_root("latest_tmp");
+  {
+    ModelRegistry reg(root);
+    reg.publish(trained_estimator(), ok_manifest());
+  }
+  spit(fs::path(root) / "LATEST.tmp", "v9999\n");
+
+  ModelRegistry reg(root);
+  EXPECT_FALSE(fs::exists(fs::path(root) / "LATEST.tmp"));
+  EXPECT_EQ(reg.load().version, "v0001");
+}
+
+TEST(Corruption, KillBetweenBundleRenameAndSetLatestIsRepaired) {
+  const std::string root = fresh_root("no_pointer");
+  {
+    ModelRegistry reg(root);
+    reg.publish(trained_estimator(), ok_manifest());
+    reg.publish(trained_estimator(), ok_manifest());
+  }
+  // Crash window: v0002 fully renamed into place, LATEST never updated
+  // (here: lost entirely).
+  fs::remove(fs::path(root) / "LATEST");
+
+  ModelRegistry reg(root);
+  EXPECT_EQ(reg.latest_version(), "v0002");
+  EXPECT_EQ(reg.load().version, "v0002");
+}
+
+TEST(Corruption, GarbageLatestPointerIsRepairedOnOpen) {
+  const std::string root = fresh_root("bad_pointer");
+  {
+    ModelRegistry reg(root);
+    reg.publish(trained_estimator(), ok_manifest());
+  }
+  spit(fs::path(root) / "LATEST", "!!not-a-version!!\n");
+
+  ModelRegistry reg(root);
+  EXPECT_EQ(reg.latest_version(), "v0001");
+  EXPECT_EQ(reg.load().version, "v0001");
+}
+
+TEST(Corruption, DanglingLatestPointerIsRepairedOnOpen) {
+  const std::string root = fresh_root("dangling");
+  {
+    ModelRegistry reg(root);
+    reg.publish(trained_estimator(), ok_manifest());
+    reg.publish(trained_estimator(), ok_manifest());
+  }
+  fs::remove_all(fs::path(root) / "v0002");  // LATEST now dangles
+
+  ModelRegistry reg(root);
+  EXPECT_EQ(reg.latest_version(), "v0001");
+  EXPECT_EQ(reg.load().version, "v0001");
+}
+
+TEST(Corruption, ValidButStaleLatestSurvivesRestart) {
+  const std::string root = fresh_root("rollback");
+  {
+    ModelRegistry reg(root);
+    reg.publish(trained_estimator(), ok_manifest());
+    reg.publish(trained_estimator(), ok_manifest());
+    reg.set_latest("v0001");  // operator rollback
+  }
+  // A restart must NOT helpfully advance the pointer back to v0002.
+  ModelRegistry reg(root);
+  EXPECT_EQ(reg.latest_version(), "v0001");
+}
+
+// ---- feature-store crash windows ------------------------------------
+
+TEST(Corruption, StoreSurvivesKillMidAppend) {
+  const std::string root = fresh_root("store_kill");
+  core::ModelFeatures f;
+  f.model_name = "alexnet";
+  f.executed_instructions = 1000;
+  f.trainable_params = 10;
+  {
+    FeatureStore store(root);
+    store.put(0x1, f);
+    store.put(0x2, f);
+  }
+  // Kill mid-append: chop the journal at an arbitrary byte inside the
+  // second record.
+  const fs::path journal = fs::path(root) / "store.journal";
+  const std::string bytes = slurp(journal);
+  spit(journal, bytes.substr(0, bytes.size() - 3));
+
+  FeatureStore store(root);
+  EXPECT_NE(store.get(0x1), nullptr);
+  EXPECT_EQ(store.get(0x2), nullptr);
+  EXPECT_EQ(store.recovered_records(), 1u);
+  EXPECT_GT(store.torn_tail_bytes(), 0u);
+  // The acknowledged prefix stays acknowledged on every later open.
+  store.put(0x2, f);
+  FeatureStore again(root);
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.torn_tail_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gpuperf::registry

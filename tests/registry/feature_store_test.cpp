@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -30,6 +31,18 @@ core::ModelFeatures sample_features() {
   f.weighted_layers = 8;
   f.dca_seconds = 0.125;
   return f;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
 }
 
 TEST(FeatureStore, MissOnUnknownTopology) {
@@ -65,46 +78,175 @@ TEST(FeatureStore, OverwriteReplacesEntry) {
   EXPECT_EQ(store.get(0xabcd)->executed_instructions, 42);
 }
 
-TEST(FeatureStore, CorruptEntryReadsAsMiss) {
-  const std::string root = fresh_root("corrupt");
-  FeatureStore store(root);
-  store.put(0xabcd, sample_features());
-
-  const fs::path entry = fs::path(root) / (hex64(0xabcd) + ".features");
-  ASSERT_TRUE(fs::exists(entry));
+TEST(FeatureStore, EntriesSurviveReopen) {
+  const std::string root = fresh_root("reopen");
   {
-    std::ifstream in(entry);
-    std::ostringstream os;
-    os << in.rdbuf();
-    std::string text = os.str();
-    text[text.find("123456789")] = '9';  // flip a digit: checksum breaks
-    std::ofstream out(entry, std::ios::trunc);
-    out << text;
+    FeatureStore store(root);
+    store.put(0x1111, sample_features());
+    store.put(0x2222, sample_features());
   }
-  EXPECT_EQ(store.get(0xabcd), nullptr);
-
-  // Truncation is also a miss, not an error.
-  {
-    std::ofstream out(entry, std::ios::trunc);
-    out << "gpuperf-features v1\n";
-  }
-  EXPECT_EQ(store.get(0xabcd), nullptr);
-
-  // Callers recompute and overwrite: the store self-heals.
-  store.put(0xabcd, sample_features());
-  EXPECT_NE(store.get(0xabcd), nullptr);
+  FeatureStore reopened(root);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_EQ(reopened.recovered_records(), 2u);
+  EXPECT_EQ(reopened.torn_tail_bytes(), 0u);
+  EXPECT_NE(reopened.get(0x1111), nullptr);
+  EXPECT_NE(reopened.get(0x2222), nullptr);
 }
 
-TEST(FeatureStore, WrongTopologyInEntryIsMiss) {
-  const std::string root = fresh_root("wrong_topo");
+TEST(FeatureStore, TornTailIsTruncatedOnOpen) {
+  const std::string root = fresh_root("torn");
+  std::string intact;
+  {
+    FeatureStore store(root);
+    store.put(0x1111, sample_features());
+    intact = read_file(store.journal_path());
+    store.put(0x2222, sample_features());
+  }
+  const fs::path journal = fs::path(root) / "store.journal";
+  // Simulate a crash mid-append: keep the first record whole, cut the
+  // second off partway through its payload.
+  std::string bytes = read_file(journal);
+  ASSERT_GT(bytes.size(), intact.size() + 12);
+  write_file(journal, bytes.substr(0, intact.size() + 12 + 5));
+
   FeatureStore store(root);
-  store.put(0x1111, sample_features());
-  // Copy the valid entry to a different address: the embedded topology
-  // no longer matches the file name, so it must not be served.
-  fs::copy_file(fs::path(root) / (hex64(0x1111) + ".features"),
-                fs::path(root) / (hex64(0x2222) + ".features"));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.recovered_records(), 1u);
+  EXPECT_EQ(store.torn_tail_bytes(), 17u);
   EXPECT_NE(store.get(0x1111), nullptr);
   EXPECT_EQ(store.get(0x2222), nullptr);
+  // The torn bytes are gone from disk; the next put appends cleanly
+  // and survives another reopen.
+  EXPECT_EQ(fs::file_size(journal), intact.size());
+  store.put(0x2222, sample_features());
+  FeatureStore again(root);
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.torn_tail_bytes(), 0u);
+}
+
+TEST(FeatureStore, BitFlippedRecordIsDroppedWithEverythingAfterIt) {
+  const std::string root = fresh_root("bitflip");
+  std::string first;
+  {
+    FeatureStore store(root);
+    store.put(0x1111, sample_features());
+    first = read_file(store.journal_path());
+    store.put(0x2222, sample_features());
+  }
+  const fs::path journal = fs::path(root) / "store.journal";
+  std::string bytes = read_file(journal);
+  // Flip one payload byte inside the second record: its CRC breaks, so
+  // replay stops at the end of the first record.
+  bytes[first.size() + 20] =
+      static_cast<char>(bytes[first.size() + 20] ^ 0x01);
+  write_file(journal, bytes);
+
+  FeatureStore store(root);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.get(0x1111), nullptr);
+  EXPECT_EQ(store.get(0x2222), nullptr);  // a miss, never an error
+  EXPECT_GT(store.torn_tail_bytes(), 0u);
+}
+
+TEST(FeatureStore, GarbageJournalRecoversToEmpty) {
+  const std::string root = fresh_root("garbage");
+  fs::create_directories(root);
+  write_file(fs::path(root) / "store.journal",
+             "this is not a journal at all");
+  FeatureStore store(root);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.recovered_records(), 0u);
+  EXPECT_GT(store.torn_tail_bytes(), 0u);
+  // Self-heals: the store is writable again after recovery.
+  store.put(0xabcd, sample_features());
+  FeatureStore again(root);
+  EXPECT_EQ(again.size(), 1u);
+}
+
+TEST(FeatureStore, LegacyEntriesMigrateIntoTheJournal) {
+  const std::string root = fresh_root("legacy");
+  fs::create_directories(root);
+  // A legacy one-file-per-entry store: payload + fnv1a64 checksum line.
+  const std::string body =
+      "gpuperf-features v1\n"
+      "topology " + hex64(0x1111) + "\n"
+      "model alexnet\n"
+      "executed_instructions 123456789\n"
+      "trainable_params 62378344\n"
+      "macs 714188480\n"
+      "neurons 650000\n"
+      "weighted_layers 8\n"
+      "dca_seconds 0.125\n";
+  write_file(fs::path(root) / (hex64(0x1111) + ".features"),
+             body + "checksum " + hex64(fnv1a64(body)) + "\n");
+
+  FeatureStore store(root);
+  EXPECT_EQ(store.migrated_entries(), 1u);
+  ASSERT_NE(store.get(0x1111), nullptr);
+  EXPECT_EQ(store.get(0x1111)->executed_instructions, 123456789);
+  // The legacy file is gone; the entry now lives in the journal.
+  EXPECT_FALSE(fs::exists(fs::path(root) / (hex64(0x1111) + ".features")));
+  FeatureStore again(root);
+  EXPECT_EQ(again.recovered_records(), 1u);
+  EXPECT_NE(again.get(0x1111), nullptr);
+}
+
+TEST(FeatureStore, CorruptLegacyEntryIsLeftBehindAsAMiss) {
+  const std::string root = fresh_root("legacy_corrupt");
+  fs::create_directories(root);
+  const fs::path entry = fs::path(root) / (hex64(0x2222) + ".features");
+  write_file(entry, "gpuperf-features v1\ntruncated, no checksum\n");
+  FeatureStore store(root);
+  EXPECT_EQ(store.migrated_entries(), 0u);
+  EXPECT_EQ(store.get(0x2222), nullptr);
+  // Not deleted: the damaged file stays for a human to inspect.
+  EXPECT_TRUE(fs::exists(entry));
+}
+
+TEST(FeatureStore, CompactDropsOverwrittenRecords) {
+  const std::string root = fresh_root("compact");
+  FeatureStore store(root);
+  core::ModelFeatures f = sample_features();
+  for (int i = 0; i < 8; ++i) {
+    f.executed_instructions = i;
+    store.put(0xabcd, f);
+  }
+  store.put(0x9999, f);
+  const auto before = fs::file_size(store.journal_path());
+  store.compact();
+  const auto after = fs::file_size(store.journal_path());
+  EXPECT_LT(after, before);
+  EXPECT_EQ(store.get(0xabcd)->executed_instructions, 7);
+
+  FeatureStore again(root);
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.recovered_records(), 2u);
+  EXPECT_EQ(again.get(0xabcd)->executed_instructions, 7);
+}
+
+TEST(FeatureStore, AggregateSumsLiveEntries) {
+  FeatureStore store(fresh_root("aggregate"));
+  core::ModelFeatures f = sample_features();
+  f.executed_instructions = 100;
+  f.trainable_params = 10;
+  store.put(0x1, f);
+  f.executed_instructions = 200;
+  f.trainable_params = 20;
+  store.put(0x2, f);
+  const auto agg = store.aggregate();
+  EXPECT_EQ(agg.entries, 2u);
+  EXPECT_EQ(agg.executed_instruction_sum, 300);
+  EXPECT_EQ(agg.trainable_param_sum, 30);
+}
+
+TEST(FeatureStore, OversizedRecordIsRejectedTyped) {
+  InputLimits limits = InputLimits::defaults();
+  limits.max_store_record_bytes = 64;
+  FeatureStore store(fresh_root("oversized"), limits);
+  core::ModelFeatures f = sample_features();
+  f.model_name = std::string(256, 'x');
+  EXPECT_THROW(store.put(0xabcd, f), LimitExceeded);
+  EXPECT_EQ(store.size(), 0u);
 }
 
 TEST(FeatureStore, TopologyHashSeparatesModels) {

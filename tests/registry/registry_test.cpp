@@ -157,9 +157,15 @@ TEST(Registry, RejectsCorruptedModelFile) {
   text[text.size() / 2] ^= 0x20;  // flip one byte
   spit(model, text);
 
-  EXPECT_THROW(reg.load("v0002"), CheckError);
-  EXPECT_THROW(reg.load(), CheckError);  // LATEST points at the bad one
-  EXPECT_NO_THROW(reg.load("v0001"));    // siblings stay loadable
+  // The explicit load throws and moves the damaged bundle aside; a
+  // LATEST load then repairs the pointer and serves the last good
+  // version instead of failing.
+  EXPECT_THROW(reg.load("v0002"), BundleCorruptError);
+  EXPECT_EQ(reg.quarantined_total(), 1u);
+  EXPECT_TRUE(fs::is_directory(fs::path(root) / "quarantine" / "v0002"));
+  EXPECT_EQ(reg.versions(), std::vector<std::string>{"v0001"});
+  EXPECT_EQ(reg.load().version, "v0001");
+  EXPECT_NO_THROW(reg.load("v0001"));  // siblings stay loadable
 }
 
 TEST(Registry, RejectsTruncatedManifest) {
@@ -185,7 +191,10 @@ TEST(Registry, RejectsFeatureSchemaMismatch) {
   m.feature_schema_hash ^= 1;
   spit(manifest, serialize_manifest(m));
 
+  // Incompatible, not corrupt: the bundle must stay in place.
   EXPECT_THROW(reg.load("v0001"), CheckError);
+  EXPECT_EQ(reg.quarantined_total(), 0u);
+  EXPECT_EQ(reg.versions(), std::vector<std::string>{"v0001"});
 }
 
 TEST(Registry, RejectsManifestModelIdMismatch) {

@@ -148,12 +148,26 @@ TEST(ServeReload, CorruptBundleKeepsOldModelServing) {
     out << "garbage\n";
   }
 
-  const std::string body = session.handle_line("reload");
-  EXPECT_NE(body.find("\"ok\":false"), std::string::npos) << body;
-  EXPECT_NE(body.find("checksum"), std::string::npos) << body;
-  // The failed swap left the live model untouched.
+  // A reload pinned to the corrupt version fails typed: the damaged
+  // bundle is quarantined and the live model keeps serving.
+  const std::string pinned =
+      session.handle_line("reload --version v0002");
+  EXPECT_NE(pinned.find("\"ok\":false"), std::string::npos) << pinned;
+  EXPECT_NE(pinned.find("\"code\":\"model_unavailable\""),
+            std::string::npos)
+      << pinned;
+  EXPECT_NE(pinned.find("checksum"), std::string::npos) << pinned;
   EXPECT_EQ(session.live_version(), "v0001");
   EXPECT_EQ(session.reload_count(), 0u);
+  EXPECT_DOUBLE_EQ(session.predict("alexnet", "gtx1080ti"), before);
+  EXPECT_TRUE(fs::is_directory(fs::path(root) / "quarantine" / "v0002"));
+
+  // A LATEST reload falls back to the last good bundle instead of
+  // failing (docs/ROBUSTNESS.md): still serving, still v0001.
+  const std::string body = session.handle_line("reload");
+  EXPECT_NE(body.find("\"ok\":true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"version\":\"v0001\""), std::string::npos) << body;
+  EXPECT_EQ(session.live_version(), "v0001");
   EXPECT_DOUBLE_EQ(session.predict("alexnet", "gtx1080ti"), before);
 }
 

@@ -156,5 +156,57 @@ TEST(TcpServer, ClientFailsCleanlyOnDeadPort) {
   EXPECT_THROW(TcpClient("127.0.0.1", port), CheckError);
 }
 
+TEST(TcpServer, OversizedRequestLineGetsTypedErrorAndClose) {
+  ServeSession& session = shared_session();
+  const std::uint64_t rejected_before =
+      session.metrics().counter_value("inputs_rejected");
+
+  TcpServer::Options options;
+  options.max_line_bytes = 128;
+  TcpServer server(session, options);
+  server.start();
+  TcpClient client("127.0.0.1", server.port());
+
+  const std::string huge = "predict " + std::string(4096, 'x');
+  const std::string body = client.request(huge);
+  EXPECT_NE(body.find("\"code\":\"input_too_large\""), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("128"), std::string::npos) << body;
+  EXPECT_EQ(session.metrics().counter_value("inputs_rejected"),
+            rejected_before + 1);
+
+  // The connection is closed after the rejection; a fresh one works.
+  EXPECT_THROW(client.request("ping"), ClientError);
+  TcpClient fresh("127.0.0.1", server.port());
+  EXPECT_NE(fresh.request("ping").find("\"ok\":true"), std::string::npos);
+  server.stop();
+}
+
+TEST(TcpServer, UnterminatedOversizedStreamIsRejectedWithoutBuffering) {
+  TcpServer::Options options;
+  options.max_line_bytes = 64;
+  TcpServer server(shared_session(), options);
+  server.start();
+  TcpClient client("127.0.0.1", server.port());
+  // No newline at all: the server must reject once the buffer passes
+  // the limit instead of accumulating bytes forever.  request() adds
+  // the newline last, so everything before it streams unterminated —
+  // by the time the terminator lands the server already answered.
+  const std::string body = client.request(std::string(16384, 'a'));
+  EXPECT_NE(body.find("\"code\":\"input_too_large\""), std::string::npos)
+      << body;
+  server.stop();
+}
+
+TEST(TcpClient, OversizedResponseLineIsATypedClientError) {
+  TcpServer server(shared_session());
+  server.start();
+  TcpClient::Options options;
+  options.max_response_bytes = 16;  // any stats response is bigger
+  TcpClient client("127.0.0.1", server.port(), options);
+  EXPECT_THROW(client.request("stats"), ClientError);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace gpuperf::serve

@@ -78,7 +78,7 @@ int usage() {
       "        [--regressor id] [--no-batch] [--registry <dir>]\n"
       "        [--version vNNNN] [--feature-store <dir>] [--poll-ms N]\n"
       "        [--deadline-ms N] [--step-budget N] [--no-degrade]\n"
-      "        [--max-inflight N] [--max-queue N]\n"
+      "        [--max-inflight N] [--max-queue N] [--max-line-bytes N]\n"
       "  client <request...> [--host H] [--port N] [--timeout-ms N]\n"
       "        [--retries N] (backoff with jitter on failure/overload)\n"
       "        e.g. `gpuperf client predict resnet50v2 teslat4`\n");
@@ -351,6 +351,10 @@ int cmd_serve(const Args& args) {
   serve::ServeSession session(options);
 
   serve::TcpServer::Options server_options;
+  if (const auto it = args.flags.find("max-line-bytes");
+      it != args.flags.end())
+    server_options.max_line_bytes =
+        static_cast<std::size_t>(parse_int(it->second));
   server_options.port =
       static_cast<int>(parse_int(args.flag_or("port", "0")));
   if (server_options.port == 0 && !args.has_flag("port"))
