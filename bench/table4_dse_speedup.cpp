@@ -6,7 +6,7 @@
 #include "cnn/zoo.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "core/dse.hpp"
+#include "dse/sweep.hpp"
 #include "experiment_common.hpp"
 #include "gpu/device_db.hpp"
 
@@ -16,7 +16,6 @@ int main() {
   const ml::Dataset data = bench::build_paper_dataset();
   core::PerformanceEstimator estimator("dt", bench::kModelSeed);
   estimator.train(data);
-  core::DseExplorer dse(estimator);
 
   constexpr int kMaxDevices = 7;
 
@@ -33,10 +32,12 @@ int main() {
   double total_speedup_n7 = 0.0;
   int rows = 0;
 
-  for (const std::string& model_name : cnn::zoo::table4_models()) {
-    const core::DseTiming timing =
-        dse.time_model(model_name, gpu::dse_devices());
-    std::vector<std::string> row = {model_name, fixed(timing.t_p, 1),
+  // The whole Table IV model set in one call to the DSE subsystem.
+  const std::vector<core::DseTiming> timings = dse::time_models(
+      estimator, cnn::zoo::table4_models(), gpu::dse_devices());
+
+  for (const core::DseTiming& timing : timings) {
+    std::vector<std::string> row = {timing.model, fixed(timing.t_p, 1),
                                     fixed(timing.t_dca, 4),
                                     fixed(timing.t_pm, 6)};
     for (int n = 1; n <= kMaxDevices; ++n) {

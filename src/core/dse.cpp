@@ -10,22 +10,26 @@
 
 namespace gpuperf::core {
 
-DseExplorer::DseExplorer(PerformanceEstimator& estimator)
+DseExplorer::DseExplorer(const PerformanceEstimator& estimator)
     : estimator_(estimator) {
   GP_CHECK_MSG(estimator_.is_trained(), "DSE needs a trained estimator");
 }
 
 std::vector<DeviceRanking> DseExplorer::rank_devices(
     const std::string& zoo_model,
-    const std::vector<std::string>& device_names) {
+    const std::vector<std::string>& device_names) const {
   GP_CHECK(!device_names.empty());
+  // Extract once, predict per device through the thread-safe const
+  // overload — the model's features do not depend on the device.
+  const ModelFeatures features =
+      estimator_.extractor().compute(cnn::zoo::build(zoo_model));
   std::vector<DeviceRanking> out;
   out.reserve(device_names.size());
   for (const std::string& name : device_names) {
     const gpu::DeviceSpec& device = gpu::device(name);
     DeviceRanking r;
     r.device = name;
-    r.predicted_ipc = estimator_.predict(zoo_model, device);
+    r.predicted_ipc = estimator_.predict(features, device);
     r.predicted_throughput = r.predicted_ipc * device.sm_count *
                              device.boost_clock_mhz;
     out.push_back(std::move(r));
@@ -39,7 +43,7 @@ std::vector<DeviceRanking> DseExplorer::rank_devices(
 
 DseTiming DseExplorer::time_model(
     const std::string& zoo_model,
-    const std::vector<std::string>& device_names) {
+    const std::vector<std::string>& device_names) const {
   GP_CHECK(!device_names.empty());
   DseTiming timing;
   timing.model = zoo_model;

@@ -35,21 +35,25 @@ struct DseTiming {
 
 class DseExplorer {
  public:
-  explicit DseExplorer(PerformanceEstimator& estimator);
+  /// The estimator is shared, not owned, and never mutated: every
+  /// method runs through the const predict path, so any number of
+  /// threads (the src/dse sweep engine's workers) can explore through
+  /// one trained estimator without aliasing doubt.
+  explicit DseExplorer(const PerformanceEstimator& estimator);
 
   /// Predict the CNN's IPC on every listed device, best first (by the
   /// throughput proxy).
   std::vector<DeviceRanking> rank_devices(
       const std::string& zoo_model,
-      const std::vector<std::string>& device_names);
+      const std::vector<std::string>& device_names) const;
 
   /// Timing comparison for one CNN: measured t_dca / t_pm from this
   /// process plus the modeled profiling cost averaged over `devices`.
   DseTiming time_model(const std::string& zoo_model,
-                       const std::vector<std::string>& device_names);
+                       const std::vector<std::string>& device_names) const;
 
  private:
-  PerformanceEstimator& estimator_;
+  const PerformanceEstimator& estimator_;
 };
 
 }  // namespace gpuperf::core

@@ -82,6 +82,10 @@ class PerformanceEstimator {
                                     std::unique_ptr<ml::Regressor> model);
 
   FeatureExtractor& extractor() { return extractor_; }
+  /// Const access for shared-estimator callers (DSE sweeps): compute()
+  /// is const, so concurrent feature extraction through this accessor
+  /// touches no estimator state.
+  const FeatureExtractor& extractor() const { return extractor_; }
 
  private:
   std::string regressor_id_;

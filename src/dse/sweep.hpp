@@ -1,0 +1,142 @@
+// Fleet-scale design-space exploration (docs/DSE.md): evaluate a model
+// set × device table cross product under user constraints and return
+// ranked recommendations.  This is the paper's Table IV scenario
+// productized — one DCA pass per *distinct topology* (deduplicated by
+// module fingerprint), fanned out over the process-shared thread pool,
+// every (model, device) cell answered by the trained estimator instead
+// of a profiler, and the whole sweep persisted so the next run is
+// near-free.
+//
+// Robustness contract (PR-3 semantics): a sweep with one pathological
+// model still returns every other cell.  Per-cell status is `ok`
+// (full DCA-backed prediction), `degraded` (DCA timed out or failed;
+// static-features fallback) or `failed` (no prediction; `error` says
+// why).  Only `ok` cells enter the persistent cache.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cnn/static_analyzer.hpp"
+#include "common/deadline.hpp"
+#include "common/thread_pool.hpp"
+#include "core/dse.hpp"
+#include "core/estimator.hpp"
+#include "core/features.hpp"
+#include "dse/constraints.hpp"
+#include "dse/sweep_cache.hpp"
+
+namespace gpuperf::dse {
+
+/// One bulk sweep: which models on which devices, under which
+/// constraints and analysis budget.
+struct SweepRequest {
+  /// Zoo model names (duplicates allowed — identical topologies are
+  /// analyzed once).  Must not be empty.
+  std::vector<std::string> models;
+  /// Device short ids; empty = the paper's seven-device Table IV fleet.
+  std::vector<std::string> devices;
+  Constraints constraints;
+  /// Analysis budget.  Wall clock is shared across the sweep; the step
+  /// budget applies per topology (each parallel job charges its own
+  /// copy — a shared mutable counter would race).
+  Deadline deadline;
+  /// Fall back to static-only features when DCA times out or fails
+  /// (cells marked degraded) instead of failing those cells.
+  bool allow_degrade = true;
+};
+
+struct SweepResult {
+  /// Model-major, device-minor — request order, deterministic.
+  std::vector<SweepCell> cells;
+  /// Per-device verdicts, feasible-first in ranking order.
+  std::vector<DeviceSummary> ranking;
+  /// Devices on the Pareto frontier, in ranking order.
+  std::vector<std::string> pareto;
+
+  // ---- sweep telemetry ----------------------------------------------
+  std::size_t unique_topologies = 0;
+  /// Requested models that shared a fingerprint with an earlier one.
+  std::size_t duplicate_models = 0;
+  /// Cells answered straight from the persistent sweep cache.
+  std::size_t sweep_cache_hits = 0;
+  /// Topologies whose features this sweep had to obtain (cache misses
+  /// that reached the DCA path — the warm-replay bench asserts 0).
+  std::size_t features_computed = 0;
+  std::size_t degraded_cells = 0;
+  std::size_t failed_cells = 0;
+  double elapsed_seconds = 0.0;
+
+  bool feasible() const;
+};
+
+/// Table IV timing rows (T_est = t_dca + n·t_pm vs T_measur = n·t_p)
+/// for a whole model set — the batch face of
+/// core::DseExplorer::time_model, used by bench/table4_dse_speedup.
+/// Deliberately serial: each row measures its own wall times, and
+/// parallel contention would inflate them.
+std::vector<core::DseTiming> time_models(
+    const core::PerformanceEstimator& estimator,
+    const std::vector<std::string>& models,
+    const std::vector<std::string>& devices);
+
+/// Estimator identity for sweep-cache keying: the registry bundle
+/// version when serving from a registry, else a content hash of the
+/// serialized regressor ("adhoc-<hex>") so two differently-trained
+/// ad-hoc models never share cache entries.
+std::string make_bundle_key(const core::PerformanceEstimator& estimator,
+                            const std::string& registry_version);
+
+class SweepEngine {
+ public:
+  /// Every knob is optional: a default-constructed Options gives an
+  /// uncached, shared-pool engine that computes features itself.
+  struct Options {
+    /// Persistent sweep-result cache (not owned; may be nullptr).
+    SweepCache* cache = nullptr;
+    /// Estimator identity for cache keys; empty = derived via
+    /// make_bundle_key from the estimator content.
+    std::string bundle_key;
+    /// Worker pool (not owned); nullptr = ThreadPool::shared().
+    ThreadPool* pool = nullptr;
+    /// External feature source, e.g. the serve session's single-flight
+    /// DCA cache + persistent feature store.  Called once per distinct
+    /// topology; may throw AnalysisTimeout or any analysis error.
+    /// nullptr = the engine runs its own extractor.
+    using FeatureSource =
+        std::function<std::shared_ptr<const core::ModelFeatures>(
+            const std::string& zoo_model, const Deadline& deadline)>;
+    FeatureSource feature_source;
+  };
+
+  /// The estimator is shared, not owned, and must stay alive (and
+  /// untouched) for the engine's lifetime — serve callers pass a
+  /// snapshot shared_ptr's referent and hold the snapshot.
+  explicit SweepEngine(const core::PerformanceEstimator& estimator);
+  SweepEngine(const core::PerformanceEstimator& estimator,
+              Options options);
+
+  const std::string& bundle_key() const { return bundle_key_; }
+
+  /// Run one sweep.  Throws CheckError on unknown model/device names or
+  /// an empty model list; per-cell analysis failures do NOT throw (they
+  /// become degraded/failed cells).  Safe to call concurrently.
+  SweepResult run(const SweepRequest& request) const;
+
+ private:
+  std::shared_ptr<const core::ModelFeatures> degraded_features(
+      const cnn::Model& model, const std::string& name) const;
+
+  const core::PerformanceEstimator& estimator_;
+  SweepCache* cache_;
+  ThreadPool* pool_;
+  Options::FeatureSource feature_source_;
+  std::string bundle_key_;
+  core::FeatureExtractor extractor_;
+  cnn::StaticAnalyzer analyzer_;
+};
+
+}  // namespace gpuperf::dse

@@ -1,0 +1,97 @@
+// Persistent sweep-result cache: the cheap half of a fleet sweep — the
+// per-(model, device) prediction and its derived latency/power figures
+// — cached *across processes*, layered on the same crash-safe journal
+// idiom as the PR-2 feature store (docs/FILE_FORMATS.md).
+//
+// Entries are keyed on model-topology × device × estimator-bundle
+// version: the topology hash makes renamed-but-identical models share
+// one entry, the device name scopes the prediction, and the bundle key
+// guarantees a hot-reloaded or retrained estimator can never serve
+// another model's numbers.  Together with the feature store this makes
+// a repeated fleet sweep near-free — a restarted process replays
+// yesterday's sweep with zero DCA runs and zero predictions.
+//
+// Durability: one append-only journal file ("sweep.journal") of
+// length-prefixed, CRC-32-checked records, last-writer-wins per key.
+// A record is
+//
+//   "GPSC" | u32 LE payload length | u32 LE crc32(payload) | payload
+//
+// where the payload is the line-oriented "gpuperf-sweep v1" text.  On
+// open the journal is replayed; the first torn, corrupt or oversized
+// record marks the recovery point and the tail beyond it is truncated
+// away.  Each put appends one record and fsyncs.  Degraded cells are
+// never written — a fallback prediction must not masquerade as a warm
+// full-analysis result on the next sweep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/limits.hpp"
+
+namespace gpuperf::dse {
+
+class SweepCache {
+ public:
+  /// Opens (creating directories as needed) the cache at `root` and
+  /// replays the journal, truncating any torn tail.  The root may be
+  /// shared with a registry::FeatureStore — the journals have distinct
+  /// names.
+  explicit SweepCache(std::string root,
+                      const InputLimits& limits = InputLimits::defaults());
+
+  const std::string& root() const { return root_; }
+  std::string journal_path() const;
+
+  /// One cached cell: everything the sweep needs without re-running
+  /// analysis or prediction.
+  struct Entry {
+    double predicted_ipc = 0.0;
+    double latency_ms = 0.0;
+    double power_w = 0.0;
+  };
+
+  /// Cache key of one cell.  `bundle_key` identifies the estimator
+  /// (registry version, or a content hash for ad-hoc models) and must
+  /// be whitespace-free.
+  static std::string cell_key(std::uint64_t topology,
+                              const std::string& device,
+                              const std::string& bundle_key);
+
+  /// nullptr on miss — including a key whose on-disk record was corrupt
+  /// at open time (never throws for bad on-disk data).
+  std::shared_ptr<const Entry> get(const std::string& key) const;
+
+  /// Append one record and fsync; last writer wins on replay.
+  void put(const std::string& key, const Entry& entry);
+
+  std::size_t size() const;
+
+  // ---- telemetry (serve exposes these in `stats`) -------------------
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  /// Valid records recovered by the replay at open time.
+  std::size_t recovered_records() const { return recovered_records_; }
+  /// Bytes of torn/corrupt tail truncated away at open time.
+  std::size_t torn_tail_bytes() const { return torn_tail_bytes_; }
+
+ private:
+  void replay_journal();
+  void append_record(const std::string& payload) const;
+
+  std::string root_;
+  InputLimits limits_;  // by value: the cache outlives any caller's copy
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> index_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::size_t recovered_records_ = 0;
+  std::size_t torn_tail_bytes_ = 0;
+};
+
+}  // namespace gpuperf::dse

@@ -10,6 +10,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     DeviceSpec s;
     s.name = "gtx1080ti";
+    s.cost_usd = 699;
     s.tdp_w = 250;
     s.full_name = "NVIDIA GeForce GTX 1080 Ti";
     s.architecture = "Pascal";
@@ -25,6 +26,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "v100s";
+    s.cost_usd = 5999;
     s.tdp_w = 250;
     s.full_name = "NVIDIA Tesla V100S PCIe 32GB";
     s.architecture = "Volta";
@@ -40,6 +42,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "quadrop1000";
+    s.cost_usd = 349;
     s.tdp_w = 47;
     s.full_name = "NVIDIA Quadro P1000";
     s.architecture = "Pascal";
@@ -55,6 +58,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "teslat4";
+    s.cost_usd = 2299;
     s.tdp_w = 70;
     s.full_name = "NVIDIA Tesla T4";
     s.architecture = "Turing";
@@ -70,6 +74,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "rtx2080ti";
+    s.cost_usd = 999;
     s.tdp_w = 250;
     s.full_name = "NVIDIA GeForce RTX 2080 Ti";
     s.architecture = "Turing";
@@ -85,6 +90,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "a100";
+    s.cost_usd = 10000;
     s.tdp_w = 250;
     s.full_name = "NVIDIA A100 PCIe 40GB";
     s.architecture = "Ampere";
@@ -100,6 +106,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "gtx1060";
+    s.cost_usd = 249;
     s.tdp_w = 120;
     s.full_name = "NVIDIA GeForce GTX 1060 6GB";
     s.architecture = "Pascal";
@@ -115,6 +122,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "titanv";
+    s.cost_usd = 2999;
     s.tdp_w = 250;
     s.full_name = "NVIDIA TITAN V";
     s.architecture = "Volta";
@@ -130,6 +138,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "rtx3090";
+    s.cost_usd = 1499;
     s.tdp_w = 350;
     s.full_name = "NVIDIA GeForce RTX 3090";
     s.architecture = "Ampere";
@@ -145,6 +154,7 @@ const std::vector<DeviceSpec>& device_database() {
 
     s = DeviceSpec{};
     s.name = "jetsonxaviernx";
+    s.cost_usd = 399;
     s.tdp_w = 15;
     s.full_name = "NVIDIA Jetson Xavier NX";
     s.architecture = "Volta";

@@ -26,6 +26,16 @@ struct DeviceSpec {
   int max_warps_per_sm = 64;
   /// Board power limit, watts (drives the simulator's power model).
   double tdp_w = 250.0;
+  /// Board price, USD (approximate launch MSRP) — the DSE constraint
+  /// engine's cost axis.  0 means "not recorded"; check has_cost_usd()
+  /// instead of trusting a magic zero.
+  double cost_usd = 0.0;
+
+  /// Optional-field accessors for the fleet-economics columns: a spec
+  /// built by hand may leave them unset, and consumers (src/dse) must
+  /// treat "unknown" differently from a legitimate value.
+  bool has_tdp_w() const { return tdp_w > 0.0; }
+  bool has_cost_usd() const { return cost_usd > 0.0; }
 
   int cores_per_sm() const;
   /// Peak FP32 throughput at boost clock, in TFLOP/s (2 ops per FMA).

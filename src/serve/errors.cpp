@@ -10,6 +10,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kModelUnavailable: return "model_unavailable";
     case ErrorCode::kDegraded: return "degraded";
+    case ErrorCode::kConstraintInfeasible: return "constraint_infeasible";
     case ErrorCode::kInputTooLarge: return "input_too_large";
   }
   return "analysis_failed";

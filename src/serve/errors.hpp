@@ -32,6 +32,10 @@ enum class ErrorCode {
   /// Degradation itself failed after the primary path already had —
   /// surfaced only when the static-features fallback throws too.
   kDegraded,
+  /// A `dse` sweep completed but no device satisfied the request's
+  /// constraints (docs/DSE.md).  Retrying the same constraints can
+  /// never succeed; relax a bound or widen the device list.
+  kConstraintInfeasible,
   /// The request (or an input embedded in it) blew an input limit:
   /// oversized request line, or a payload past its InputLimits budget
   /// (docs/ROBUSTNESS.md "Input limits").  Retrying the same bytes can

@@ -37,9 +37,14 @@ ServeSession::ServeSession(ServeOptions options)
   if (!options_.registry_dir.empty())
     registry_ =
         std::make_unique<registry::ModelRegistry>(options_.registry_dir);
-  if (!options_.feature_store_dir.empty())
+  if (!options_.feature_store_dir.empty()) {
     feature_store_ =
         std::make_unique<registry::FeatureStore>(options_.feature_store_dir);
+    // The sweep cache shares the store directory (distinct journal
+    // names), so one --store flag warm-starts both halves of a sweep.
+    sweep_cache_ =
+        std::make_unique<dse::SweepCache>(options_.feature_store_dir);
+  }
 
   batcher_ = std::make_unique<PredictBatcher>(
       pool_,
@@ -107,8 +112,13 @@ void ServeSession::install_estimator(core::PerformanceEstimator estimator,
   // One-shot estimator callers share the service's DCA cache too.
   owned->set_feature_provider(
       [this](const std::string& model) { return features_for(model); });
+  // Sweep-cache identity of this estimator (docs/DSE.md): the registry
+  // version when there is one, else a content hash — computed once per
+  // install so sweeps never pay the serialization.
+  std::string bundle_key = dse::make_bundle_key(*owned, version);
   std::lock_guard<std::mutex> lock(estimator_mutex_);
   estimator_ = std::move(owned);
+  bundle_key_ = std::move(bundle_key);
   live_version_ = std::move(version);
   live_manifest_ = std::move(manifest);
   model_source_ = std::move(source);
@@ -425,6 +435,160 @@ Response ServeSession::do_rank(const Request& request) {
   return Response{true, json.str(), false};
 }
 
+dse::SweepResult ServeSession::sweep(const dse::SweepRequest& request) {
+  // One estimator snapshot (and its matching cache identity) for the
+  // whole sweep: a hot-reload mid-flight can neither mix two models'
+  // predictions nor poison the sweep cache with a stale bundle key.
+  std::shared_ptr<const core::PerformanceEstimator> estimator;
+  dse::SweepEngine::Options engine;
+  {
+    std::lock_guard<std::mutex> lock(estimator_mutex_);
+    estimator = estimator_;
+    engine.bundle_key = bundle_key_;
+  }
+  engine.cache = sweep_cache_.get();
+  engine.pool = &pool_;
+  // Route feature acquisition through the session's single-flight path
+  // so sweeps share the feature cache and persistent store with every
+  // other verb (and concurrent sweeps never duplicate a DCA pass).
+  engine.feature_source = [this](const std::string& model,
+                                 const Deadline& deadline) {
+    return features_for(model, deadline);
+  };
+  return dse::SweepEngine(*estimator, std::move(engine)).run(request);
+}
+
+Response ServeSession::do_dse(const Request& request) {
+  if (request.cmd.positional.empty())
+    return error_response(
+        "usage: dse <model,model,...|all> [--devices=d1,d2,...] "
+        "[--max-latency-ms=N] [--max-power-w=N] [--max-cost-usd=N] "
+        "[--w-latency=N] [--w-power=N] [--w-cost=N] [--deadline-ms=N] "
+        "[--cells] [--no-degrade]");
+
+  dse::SweepRequest sweep_request;
+  const std::string& spec = request.cmd.positional.front();
+  if (spec == "all") {
+    for (const cnn::zoo::ZooEntry& entry : cnn::zoo::all_models())
+      sweep_request.models.push_back(entry.name);
+  } else {
+    for (const std::string& part : split(spec, ',')) {
+      const std::string name{trim(part)};
+      if (name.empty()) continue;
+      if (!cnn::zoo::has_model(name))
+        return error_response("unknown model '" + name + "'");
+      sweep_request.models.push_back(name);
+    }
+  }
+  if (sweep_request.models.empty())
+    return error_response("dse needs at least one model");
+  for (const std::string& part :
+       split(request.cmd.flag_or("devices", ""), ',')) {
+    const std::string name{trim(part)};
+    if (name.empty()) continue;
+    if (!gpu::has_device(name))
+      return error_response("unknown device '" + name + "'");
+    sweep_request.devices.push_back(name);
+  }
+
+  dse::Constraints& c = sweep_request.constraints;
+  const auto flag_double = [&](const char* key, double fallback) {
+    const std::string value = request.cmd.flag_or(key, "");
+    return value.empty() ? fallback : parse_double(value);
+  };
+  c.max_latency_ms = flag_double("max-latency-ms", 0.0);
+  c.max_power_w = flag_double("max-power-w", 0.0);
+  c.max_cost_usd = flag_double("max-cost-usd", 0.0);
+  c.w_latency = flag_double("w-latency", 1.0);
+  c.w_power = flag_double("w-power", 0.0);
+  c.w_cost = flag_double("w-cost", 0.0);
+
+  sweep_request.deadline = deadline_for(request);
+  sweep_request.allow_degrade =
+      options_.degradation && !request.cmd.has_flag("no-degrade");
+
+  const dse::SweepResult result = sweep(sweep_request);
+  metrics_.counter("dse_sweep_cells")
+      .fetch_add(static_cast<std::int64_t>(result.cells.size()));
+
+  if (!result.feasible()) {
+    if (result.failed_cells == result.cells.size())
+      throw ServeError(ErrorCode::kAnalysisFailed,
+                       "every sweep cell failed; no device can be ranked");
+    throw ServeError(
+        ErrorCode::kConstraintInfeasible,
+        "no device satisfies the constraints (" +
+            std::to_string(result.ranking.size()) +
+            " candidates, all filtered); relax a bound or widen "
+            "--devices");
+  }
+
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "dse")
+      .field("models",
+             static_cast<std::uint64_t>(sweep_request.models.size()))
+      .field("devices",
+             static_cast<std::uint64_t>(sweep_request.devices.empty()
+                                            ? gpu::dse_devices().size()
+                                            : sweep_request.devices.size()))
+      .field("unique_topologies",
+             static_cast<std::uint64_t>(result.unique_topologies))
+      .field("duplicate_models",
+             static_cast<std::uint64_t>(result.duplicate_models))
+      .field("sweep_cache_hits",
+             static_cast<std::uint64_t>(result.sweep_cache_hits))
+      .field("features_computed",
+             static_cast<std::uint64_t>(result.features_computed))
+      .field("degraded_cells",
+             static_cast<std::uint64_t>(result.degraded_cells))
+      .field("failed_cells",
+             static_cast<std::uint64_t>(result.failed_cells))
+      .field("degraded", result.degraded_cells > 0)
+      .field("elapsed_ms", result.elapsed_seconds * 1e3)
+      .field("pareto", std::string_view(join(result.pareto, ",")));
+  json.begin_array("recommendations");
+  for (const dse::DeviceSummary& s : result.ranking) {
+    json.begin_object()
+        .field("device", std::string_view(s.device))
+        .field("feasible", s.feasible)
+        .field("pareto", s.pareto)
+        .field("score", s.score)
+        .field("total_latency_ms", s.total_latency_ms)
+        .field("worst_latency_ms", s.worst_latency_ms)
+        .field("peak_power_w", s.peak_power_w);
+    if (s.has_cost) json.field("cost_usd", s.cost_usd);
+    json.field("cells_ok", static_cast<std::int64_t>(s.cells_ok))
+        .field("cells_degraded",
+               static_cast<std::int64_t>(s.cells_degraded))
+        .field("cells_failed", static_cast<std::int64_t>(s.cells_failed));
+    if (!s.feasible)
+      json.field("reason", std::string_view(s.infeasible_reason));
+    json.end_object();
+  }
+  json.end_array();
+  if (request.cmd.has_flag("cells")) {
+    json.begin_array("cells");
+    for (const dse::SweepCell& cell : result.cells) {
+      json.begin_object()
+          .field("model", std::string_view(cell.model))
+          .field("device", std::string_view(cell.device))
+          .field("status", dse::cell_status_name(cell.status))
+          .field("cached", cell.cached)
+          .field("ipc", cell.predicted_ipc)
+          .field("latency_ms", cell.latency_ms)
+          .field("power_w", cell.power_w);
+      if (cell.status == dse::CellStatus::kFailed)
+        json.field("error", std::string_view(cell.error));
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  return Response{true, json.str(), false};
+}
+
 Response ServeSession::do_analyze(const Request& request) {
   if (request.cmd.positional.empty())
     return error_response("usage: analyze <model>");
@@ -556,6 +720,16 @@ std::string ServeSession::stats_json() {
       .field("memo_misses", memo.misses)
       .field("parallel_tasks", memo.parallel_tasks)
       .end_object();
+  if (sweep_cache_) {
+    json.begin_object("dse")
+        .field("sweep_cache_hits", sweep_cache_->hits())
+        .field("sweep_cache_misses", sweep_cache_->misses())
+        .field("sweep_cache_size",
+               static_cast<std::uint64_t>(sweep_cache_->size()))
+        .field("sweep_cache_recovered",
+               static_cast<std::uint64_t>(sweep_cache_->recovered_records()))
+        .end_object();
+  }
   const BatcherStats batch = batcher_->stats();
   json.begin_object("batch")
       .field("flushes", batch.flushes)
@@ -609,9 +783,9 @@ Response ServeSession::do_shutdown() const {
 }
 
 Response ServeSession::handle(const Request& request) {
-  static const char* kKnown[] = {"predict", "rank",       "analyze",
-                                 "reload",  "model_info", "stats",
-                                 "ping",    "shutdown"};
+  static const char* kKnown[] = {"predict", "rank",       "dse",
+                                 "analyze", "reload",     "model_info",
+                                 "stats",   "ping",       "shutdown"};
   const bool known =
       std::find(std::begin(kKnown), std::end(kKnown), request.verb) !=
       std::end(kKnown);
@@ -621,7 +795,7 @@ Response ServeSession::handle(const Request& request) {
   if (!known) {
     scope.mark_error();
     return error_response("unknown command '" + request.verb +
-                          "' (try: predict, rank, analyze, reload, "
+                          "' (try: predict, rank, dse, analyze, reload, "
                           "model_info, stats, ping, shutdown)");
   }
 
@@ -629,8 +803,10 @@ Response ServeSession::handle(const Request& request) {
   // gauge (which already counts this request) passes the bound.  Cheap
   // verbs — ping, stats, shutdown — always get through, so the server
   // stays observable and stoppable under overload.
+  // A dse sweep is the heaviest verb of all (a whole model-set × device
+  // cross product), so it is always admission-controlled.
   const bool heavy = request.verb == "predict" || request.verb == "rank" ||
-                     request.verb == "analyze";
+                     request.verb == "analyze" || request.verb == "dse";
   if (heavy && options_.max_in_flight > 0 &&
       metrics_.in_flight() >
           static_cast<std::int64_t>(options_.max_in_flight)) {
@@ -648,6 +824,7 @@ Response ServeSession::handle(const Request& request) {
     Response response;
     if (request.verb == "predict") response = do_predict(request);
     else if (request.verb == "rank") response = do_rank(request);
+    else if (request.verb == "dse") response = do_dse(request);
     else if (request.verb == "analyze") response = do_analyze(request);
     else if (request.verb == "reload") response = do_reload(request);
     else if (request.verb == "model_info") response = do_model_info();

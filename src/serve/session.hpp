@@ -25,6 +25,8 @@
 #include "cnn/static_analyzer.hpp"
 #include "common/thread_pool.hpp"
 #include "core/estimator.hpp"
+#include "dse/sweep.hpp"
+#include "dse/sweep_cache.hpp"
 #include "registry/feature_store.hpp"
 #include "registry/registry.hpp"
 #include "serve/batcher.hpp"
@@ -134,6 +136,16 @@ class ServeSession {
     return store_hits_.load();
   }
 
+  /// Run one DSE sweep through the session's shared machinery: the
+  /// estimator snapshot, the single-flight DCA path (feature cache +
+  /// persistent store), and the persistent sweep cache when a
+  /// --store directory is configured.  This is what the `dse` verb
+  /// calls; exposed for in-process benches and tests.
+  dse::SweepResult sweep(const dse::SweepRequest& request);
+
+  /// The persistent sweep cache (nullptr without a feature store dir).
+  const dse::SweepCache* sweep_cache() const { return sweep_cache_.get(); }
+
   MetricsRegistry& metrics() { return metrics_; }
   CacheStats feature_cache_stats() const { return features_.stats(); }
   CacheStats result_cache_stats() const { return results_.stats(); }
@@ -151,6 +163,7 @@ class ServeSession {
 
   Response do_predict(const Request& request);
   Response do_rank(const Request& request);
+  Response do_dse(const Request& request);
   Response do_analyze(const Request& request);
   Response do_reload(const Request& request);
   Response do_model_info();
@@ -203,9 +216,11 @@ class ServeSession {
   ServeOptions options_;
   std::unique_ptr<registry::ModelRegistry> registry_;
   std::unique_ptr<registry::FeatureStore> feature_store_;
+  std::unique_ptr<dse::SweepCache> sweep_cache_;
 
   mutable std::mutex estimator_mutex_;
   std::shared_ptr<const core::PerformanceEstimator> estimator_;
+  std::string bundle_key_;            // guarded by estimator_mutex_
   std::string live_version_;          // guarded by estimator_mutex_
   registry::Manifest live_manifest_;  // guarded by estimator_mutex_
   std::string model_source_;          // "registry" | "file" | "trained"

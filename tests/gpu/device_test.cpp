@@ -74,5 +74,24 @@ TEST(DeviceSpec, AllEntriesWellFormed) {
   }
 }
 
+TEST(DeviceSpec, FleetEconomicsFieldsPresentForEveryEntry) {
+  // The DSE constraint engine ranks on power and cost: every database
+  // entry must carry both, and the has_* accessors must report them.
+  for (const auto& d : device_database()) {
+    EXPECT_TRUE(d.has_tdp_w()) << d.name;
+    EXPECT_GT(d.tdp_w, 0.0) << d.name;
+    EXPECT_TRUE(d.has_cost_usd()) << d.name;
+    EXPECT_GT(d.cost_usd, 0.0) << d.name;
+  }
+  EXPECT_DOUBLE_EQ(device("gtx1080ti").cost_usd, 699.0);
+}
+
+TEST(DeviceSpec, HandBuiltSpecReportsUnknownEconomics) {
+  DeviceSpec blank;
+  blank.tdp_w = 0.0;
+  EXPECT_FALSE(blank.has_tdp_w());
+  EXPECT_FALSE(blank.has_cost_usd());
+}
+
 }  // namespace
 }  // namespace gpuperf::gpu

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -188,6 +189,78 @@ TEST(ServeSession, ResetCachesForcesRecompute) {
   EXPECT_EQ(session.feature_cache_stats().size, 0u);
   session.predict("alexnet", "gtx1080ti");
   EXPECT_EQ(session.feature_cache_stats().misses, 2u);
+}
+
+TEST(ServeSession, DseVerbRanksTheFleet) {
+  const std::string body = shared_session().handle_line(
+      "dse alexnet,mobilenet --devices=gtx1080ti,gtx1060 --cells");
+  ASSERT_TRUE(is_ok(body)) << body;
+  EXPECT_NE(body.find("\"endpoint\":\"dse\""), std::string::npos);
+  EXPECT_EQ(json_number(body, "unique_topologies"), 2.0);
+  EXPECT_EQ(json_number(body, "failed_cells"), 0.0);
+  for (const char* field :
+       {"\"pareto\"", "\"recommendations\"", "\"score\"",
+        "\"total_latency_ms\"", "\"peak_power_w\"", "\"cost_usd\"",
+        "\"cells\"", "\"status\":\"ok\""})
+    EXPECT_NE(body.find(field), std::string::npos) << field << " in " << body;
+  for (const char* device : {"\"gtx1080ti\"", "\"gtx1060\""})
+    EXPECT_NE(body.find(device), std::string::npos) << device;
+}
+
+TEST(ServeSession, DseDeduplicatesRepeatedModels) {
+  const std::string body = shared_session().handle_line(
+      "dse alexnet,alexnet --devices=gtx1060");
+  ASSERT_TRUE(is_ok(body)) << body;
+  EXPECT_EQ(json_number(body, "unique_topologies"), 1.0);
+  EXPECT_EQ(json_number(body, "duplicate_models"), 1.0);
+}
+
+TEST(ServeSession, DseInfeasibleConstraintsAreTyped) {
+  // Every device violates a 1 ns latency SLA: the sweep itself succeeds
+  // but the verdict is a typed, non-retryable constraint_infeasible.
+  const std::string body = shared_session().handle_line(
+      "dse alexnet --devices=gtx1080ti,gtx1060 --max-latency-ms=1e-9");
+  EXPECT_NE(body.find("\"ok\":false"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"code\":\"constraint_infeasible\""),
+            std::string::npos)
+      << body;
+}
+
+TEST(ServeSession, DseValidatesModelsAndDevices) {
+  ServeSession& session = shared_session();
+  EXPECT_NE(session.handle_line("dse notamodel").find("unknown model"),
+            std::string::npos);
+  EXPECT_NE(session.handle_line("dse alexnet --devices=notadevice")
+                .find("unknown device"),
+            std::string::npos);
+  EXPECT_NE(session.handle_line("dse").find("\"ok\":false"),
+            std::string::npos);
+}
+
+TEST(ServeSession, DseSweepCachePersistsAcrossRestart) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gpuperf_session_dse_store")
+          .string();
+  std::filesystem::remove_all(dir);
+  ServeOptions options = tiny_options();
+  options.feature_store_dir = dir;
+  const std::string command = "dse alexnet,vgg16 --devices=gtx1060,teslat4";
+  {
+    ServeSession session(options);
+    const std::string cold = session.handle_line(command);
+    ASSERT_TRUE(is_ok(cold)) << cold;
+    EXPECT_EQ(json_number(cold, "sweep_cache_hits"), 0.0);
+    const std::string stats = session.handle_line("stats");
+    EXPECT_NE(stats.find("\"dse\""), std::string::npos) << stats;
+  }
+  // A restarted session replays the whole sweep from the journal:
+  // every cell a cache hit, zero DCA feature passes.
+  ServeSession restarted(options);
+  const std::string warm = restarted.handle_line(command);
+  ASSERT_TRUE(is_ok(warm)) << warm;
+  EXPECT_EQ(json_number(warm, "sweep_cache_hits"), 4.0);
+  EXPECT_EQ(json_number(warm, "features_computed"), 0.0);
+  EXPECT_EQ(restarted.dca_compute_count(), 0u);
 }
 
 TEST(ServeSession, EstimatorHookSharesServeCache) {

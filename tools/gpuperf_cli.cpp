@@ -10,6 +10,8 @@
 //   gpuperf train --out <file> | --registry <dir>   train + save/publish
 //   gpuperf predict <model> <device> [--tree <file>] [--registry <dir>]
 //   gpuperf rank <model>                    DSE ranking over all devices
+//   gpuperf dse <models|all> [--devices a,b] [--max-latency-ms N] ...
+//                                           constraint-aware fleet sweep
 //   gpuperf serve [--port N] [--threads K]  long-lived estimation daemon
 //   gpuperf client <request...> [--port N]  one request to a daemon
 //
@@ -22,7 +24,9 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cnn/static_analyzer.hpp"
@@ -31,9 +35,12 @@
 #include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/deadline.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/dse.hpp"
 #include "core/estimator.hpp"
+#include "dse/sweep.hpp"
+#include "dse/sweep_cache.hpp"
 #include "gpu/device_db.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/model_io.hpp"
@@ -74,6 +81,11 @@ int usage() {
       "  predict <model> <device> [--tree <file>] [--registry <dir>]\n"
       "        (also honors $GPUPERF_REGISTRY when no --tree is given)\n"
       "  rank <model>                   DSE ranking over all devices\n"
+      "  dse <models|all> [--devices a,b] [--max-latency-ms N]\n"
+      "        [--max-power-w N] [--max-cost-usd N] [--w-latency N]\n"
+      "        [--w-power N] [--w-cost N] [--store <dir>] [--tree <file>]\n"
+      "        [--registry <dir>] [--deadline-ms N] [--no-degrade]\n"
+      "        constraint-aware fleet sweep (docs/DSE.md)\n"
       "  serve [--port N] [--threads K] [--tree <file>] [--models a,b]\n"
       "        [--regressor id] [--no-batch] [--registry <dir>]\n"
       "        [--version vNNNN] [--feature-store <dir>] [--poll-ms N]\n"
@@ -287,6 +299,121 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+int cmd_dse(const Args& args) {
+  if (args.positional.empty()) return usage();
+
+  std::vector<std::string> models;
+  const std::string& spec = args.positional.front();
+  if (spec == "all") {
+    for (const auto& entry : cnn::zoo::all_models())
+      models.push_back(entry.name);
+  } else {
+    for (const std::string& part : split(spec, ',')) {
+      const std::string name{trim(part)};
+      if (name.empty()) continue;
+      if (!cnn::zoo::has_model(name)) {
+        std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+        return 1;
+      }
+      models.push_back(name);
+    }
+  }
+  if (models.empty()) return usage();
+
+  // Model source precedence, as in `predict`: --tree file, then a
+  // registry bundle (--registry / $GPUPERF_REGISTRY), then the
+  // retrain-from-scratch slow path.
+  std::string registry_dir = args.flag_or("registry", "");
+  if (registry_dir.empty())
+    if (const char* env = std::getenv("GPUPERF_REGISTRY"))
+      registry_dir = env;
+  core::PerformanceEstimator estimator;
+  std::string bundle_version;
+  if (const auto it = args.flags.find("tree"); it != args.flags.end()) {
+    estimator = core::PerformanceEstimator::load(it->second);
+  } else if (!registry_dir.empty() &&
+             !registry::ModelRegistry(registry_dir).empty()) {
+    registry::Bundle bundle = registry::ModelRegistry(registry_dir)
+                                  .load(args.flag_or("version", ""));
+    std::fprintf(stderr, "loaded %s bundle %s from %s\n",
+                 bundle.manifest.regressor_id.c_str(),
+                 bundle.version.c_str(), registry_dir.c_str());
+    bundle_version = bundle.version;
+    estimator = std::move(bundle.estimator);
+  } else {
+    std::fprintf(stderr, "no --tree given; training from scratch...\n");
+    estimator = core::PerformanceEstimator(args.flag_or("regressor", "dt"),
+                                           seed_from(args));
+    estimator.train(core::DatasetBuilder().build());
+  }
+
+  // A --store directory persists sweep cells across runs (shared with
+  // the server's --feature-store layout).
+  std::unique_ptr<dse::SweepCache> cache;
+  dse::SweepEngine::Options engine_options;
+  if (const auto it = args.flags.find("store"); it != args.flags.end()) {
+    cache = std::make_unique<dse::SweepCache>(it->second);
+    engine_options.cache = cache.get();
+  }
+  engine_options.bundle_key = dse::make_bundle_key(estimator, bundle_version);
+  const dse::SweepEngine engine(estimator, std::move(engine_options));
+
+  dse::SweepRequest request;
+  request.models = std::move(models);
+  if (const auto it = args.flags.find("devices"); it != args.flags.end())
+    for (const std::string& part : split(it->second, ','))
+      if (!trim(part).empty())
+        request.devices.emplace_back(trim(part));
+  const auto flag_double = [&](const char* key, double fallback) {
+    const std::string value = args.flag_or(key, "");
+    return value.empty() ? fallback : parse_double(value);
+  };
+  request.constraints.max_latency_ms = flag_double("max-latency-ms", 0.0);
+  request.constraints.max_power_w = flag_double("max-power-w", 0.0);
+  request.constraints.max_cost_usd = flag_double("max-cost-usd", 0.0);
+  request.constraints.w_latency = flag_double("w-latency", 1.0);
+  request.constraints.w_power = flag_double("w-power", 0.0);
+  request.constraints.w_cost = flag_double("w-cost", 0.0);
+  if (const auto it = args.flags.find("deadline-ms");
+      it != args.flags.end())
+    request.deadline = Deadline::after_ms(parse_int(it->second));
+  request.allow_degrade = !args.has_flag("no-degrade");
+
+  const dse::SweepResult result = engine.run(request);
+
+  TextTable table("DSE sweep: " + std::to_string(request.models.size()) +
+                  " models x " +
+                  std::to_string(result.ranking.size()) + " devices");
+  table.set_header({"rank", "device", "verdict", "score", "latency ms",
+                    "peak W", "cost $", "cells ok/deg/fail"});
+  int rank = 1;
+  for (const auto& s : result.ranking) {
+    std::string verdict = s.feasible
+                              ? (s.pareto ? "pareto" : "feasible")
+                              : "infeasible: " + s.infeasible_reason;
+    table.add_row({s.feasible ? std::to_string(rank++) : "-", s.device,
+                   verdict, s.feasible ? fixed(s.score, 3) : "-",
+                   fixed(s.total_latency_ms, 2), fixed(s.peak_power_w, 0),
+                   s.has_cost ? fixed(s.cost_usd, 0) : "?",
+                   std::to_string(s.cells_ok) + "/" +
+                       std::to_string(s.cells_degraded) + "/" +
+                       std::to_string(s.cells_failed)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "%zu cells in %.2fs: %zu unique topologies (%zu duplicate models), "
+      "%zu cache hits, %zu DCA feature passes, %zu degraded, %zu failed\n",
+      result.cells.size(), result.elapsed_seconds,
+      result.unique_topologies, result.duplicate_models,
+      result.sweep_cache_hits, result.features_computed,
+      result.degraded_cells, result.failed_cells);
+  if (!result.feasible()) {
+    std::fprintf(stderr, "no device satisfies the constraints\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_rank(const Args& args) {
   if (args.positional.empty()) return usage();
   const std::string& model_name = args.positional.front();
@@ -420,6 +547,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "rank") return cmd_rank(args);
+    if (command == "dse") return cmd_dse(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "client") return cmd_client(args);
   } catch (const std::exception& e) {
