@@ -1,0 +1,612 @@
+// Multi-threaded load generator for the serving core (docs/SERVER.md).
+// Drives many thousands of concurrent loopback connections against a
+// gpuperf server — an external one (--host/--port) or an in-process
+// one (--self) — in either framing, and reports throughput and
+// latency percentiles as loadgen-native JSON that bench/summarize.py
+// folds into the standard BENCH shape.
+//
+//   loadgen --self --connections 10000 --duration-s 5 --protocol both
+//
+// Closed-loop by default: every connection keeps --pipeline requests
+// in flight and issues the next request as each response lands.
+// --rps switches to open-loop arrival: requests are issued on a fixed
+// schedule across the connection pool regardless of completions, so
+// queueing delay shows up in the latency tail instead of hiding in a
+// lower offered rate.
+//
+// Each worker thread owns an epoll set and an equal share of the
+// connections; connects are issued in bounded waves so a 10k ramp
+// doesn't overflow the listen backlog.  Latency is measured per
+// request (send timestamp FIFO per connection — responses are FIFO in
+// both framings) into the serve LatencyHistogram, warmup excluded.
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/binary_protocol.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace serve = gpuperf::serve;
+namespace binary = serve::binary;
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool self = false;        // spin up an in-process server
+  int connections = 10000;  // total, split across threads
+  int threads = 4;
+  double warmup_s = 1.0;
+  double duration_s = 5.0;
+  int pipeline = 1;              // closed-loop in-flight per connection
+  double rps = 0.0;              // >0: open-loop offered rate (total)
+  std::string protocol = "both";  // line | binary | both
+  std::string verb = "ping";      // ping | predict
+  std::string out;                // JSON report path ("" = stdout only)
+  bool require_binary_faster = false;
+};
+
+struct RunResult {
+  std::string protocol;
+  std::uint64_t connected = 0;  // connections that completed connect()
+  std::uint64_t requests = 0;   // responses completed in the window
+  std::uint64_t errors = 0;     // failed connects / resets / bad frames
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+// warmup -> measuring -> done; workers poll this to bound their run.
+enum class Phase : int { kWarmup, kMeasure, kDone };
+
+struct Shared {
+  std::atomic<Phase> phase{Phase::kWarmup};
+  std::atomic<std::uint64_t> connected{0};
+  std::atomic<std::uint64_t> measured{0};
+  std::atomic<std::uint64_t> errors{0};
+  serve::LatencyHistogram latency;
+};
+
+struct Conn {
+  int fd = -1;
+  bool connected = false;
+  bool dead = false;
+  std::string out;       // unsent request bytes
+  std::size_t out_off = 0;
+  std::string in;        // unparsed response bytes
+  std::deque<Clock::time_point> sent_at;  // FIFO in-flight timestamps
+};
+
+/// One request on the wire for the chosen protocol + verb.
+std::string request_bytes(const std::string& protocol,
+                          const std::string& verb) {
+  const bool predict = verb == "predict";
+  if (protocol == "binary")
+    return predict ? binary::encode_request(binary::Verb::kPredict,
+                                            "alexnet v100s")
+                   : binary::encode_request(binary::Verb::kPing, "");
+  return predict ? std::string("predict alexnet v100s\n")
+                 : std::string("ping\n");
+}
+
+void raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  lim.rlim_cur = lim.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+class Worker {
+ public:
+  Worker(const LoadgenOptions& options, const std::string& protocol,
+         int port, int n_conns, double thread_rps, Shared& shared)
+      : options_(options), protocol_(protocol), port_(port),
+        request_(request_bytes(protocol, options.verb)),
+        thread_interval_ns_(thread_rps > 0 ? 1e9 / thread_rps : 0),
+        shared_(shared) {
+    conns_.resize(static_cast<std::size_t>(n_conns));
+  }
+
+  void run() {
+    epfd_ = ::epoll_create1(0);
+    if (epfd_ < 0) return;
+    kick_connects();
+
+    auto next_send = Clock::now();
+    epoll_event events[256];
+    while (shared_.phase.load(std::memory_order_relaxed) != Phase::kDone) {
+      int timeout_ms = 100;
+      if (thread_interval_ns_ > 0) {
+        const auto now = Clock::now();
+        const double until_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(next_send -
+                                                                 now)
+                .count();
+        timeout_ms = until_ns <= 0 ? 0 : static_cast<int>(until_ns / 1e6) + 1;
+        if (timeout_ms > 100) timeout_ms = 100;
+      }
+      const int n = ::epoll_wait(epfd_, events,
+                                 static_cast<int>(std::size(events)),
+                                 timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        const std::size_t idx = events[i].data.u32;
+        Conn& conn = conns_[idx];
+        if (conn.dead) continue;
+        if (!conn.connected) {
+          finish_connect(idx);
+          continue;
+        }
+        if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+          fail_conn(conn);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) flush_out(idx);
+        if (events[i].events & EPOLLIN) read_responses(idx);
+      }
+      // Open-loop arrival: issue every request whose scheduled time
+      // passed, round-robin over the connected pool.
+      if (thread_interval_ns_ > 0) {
+        const auto now = Clock::now();
+        while (next_send <= now) {
+          issue_on_next_conn();
+          next_send += std::chrono::nanoseconds(
+              static_cast<std::int64_t>(thread_interval_ns_));
+        }
+      }
+    }
+    for (Conn& conn : conns_)
+      if (conn.fd >= 0) ::close(conn.fd);
+    ::close(epfd_);
+  }
+
+ private:
+  static constexpr int kConnectWave = 256;
+
+  void kick_connects() {
+    while (next_to_connect_ < conns_.size() &&
+           connecting_ < kConnectWave) {
+      start_connect(next_to_connect_++);
+    }
+  }
+
+  void start_connect(std::size_t idx) {
+    Conn& conn = conns_[idx];
+    conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (conn.fd < 0) {
+      conn.dead = true;
+      shared_.errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // RST on close: a 10k-connection run must not leave 10k TIME_WAIT
+    // sockets behind to slow down the next protocol's run.
+    const linger hard_close{1, 0};
+    ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &hard_close,
+                 sizeof(hard_close));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+    ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr);
+    const int rc =
+        ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      fail_conn(conn);
+      return;
+    }
+    ++connecting_;
+    epoll_event ev{};
+    ev.events = EPOLLOUT;
+    ev.data.u32 = static_cast<std::uint32_t>(idx);
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn.fd, &ev);
+  }
+
+  void finish_connect(std::size_t idx) {
+    Conn& conn = conns_[idx];
+    --connecting_;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      fail_conn(conn);
+      kick_connects();
+      return;
+    }
+    conn.connected = true;
+    shared_.connected.fetch_add(1, std::memory_order_relaxed);
+    update_interest(idx);
+    // Closed loop: prime the pipeline window.
+    if (thread_interval_ns_ <= 0)
+      for (int k = 0; k < options_.pipeline; ++k) issue(idx);
+    kick_connects();
+  }
+
+  void fail_conn(Conn& conn) {
+    if (conn.fd >= 0) {
+      ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+      ::close(conn.fd);
+    }
+    conn.fd = -1;
+    conn.dead = true;
+    shared_.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void update_interest(std::size_t idx) {
+    Conn& conn = conns_[idx];
+    epoll_event ev{};
+    ev.events = EPOLLIN |
+                (conn.out_off < conn.out.size() ? EPOLLOUT : 0u);
+    ev.data.u32 = static_cast<std::uint32_t>(idx);
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  /// Queue one request on connection idx and push its timestamp.
+  void issue(std::size_t idx) {
+    Conn& conn = conns_[idx];
+    if (conn.dead || !conn.connected) return;
+    conn.out.append(request_);
+    conn.sent_at.push_back(Clock::now());
+    flush_out(idx);
+  }
+
+  void issue_on_next_conn() {
+    for (std::size_t tries = 0; tries < conns_.size(); ++tries) {
+      const std::size_t idx = rr_++ % conns_.size();
+      if (!conns_[idx].dead && conns_[idx].connected) {
+        issue(idx);
+        return;
+      }
+    }
+  }
+
+  void flush_out(std::size_t idx) {
+    Conn& conn = conns_[idx];
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.out_off,
+                 conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      fail_conn(conn);
+      return;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+    }
+    update_interest(idx);
+  }
+
+  void read_responses(std::size_t idx) {
+    Conn& conn = conns_[idx];
+    char chunk[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        conn.in.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      fail_conn(conn);  // EOF or error mid-run
+      return;
+    }
+    if (protocol_ == "binary")
+      parse_binary(conn);
+    else
+      parse_lines(conn);
+    // Closed-loop re-issues queue on conn.out; push them out now.
+    if (!conn.dead && conn.out_off < conn.out.size()) flush_out(idx);
+  }
+
+  void parse_lines(Conn& conn) {
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = conn.in.find('\n', start);
+      if (nl == std::string::npos) break;
+      complete_one(conn);
+      start = nl + 1;
+    }
+    if (start > 0) conn.in.erase(0, start);
+  }
+
+  void parse_binary(Conn& conn) {
+    gpuperf::InputLimits limits = gpuperf::InputLimits::defaults();
+    limits.max_frame_payload_bytes = limits.max_response_bytes;
+    std::size_t start = 0;
+    for (;;) {
+      const binary::DecodeResult r = binary::decode_frame(
+          std::string_view(conn.in).substr(start), limits);
+      if (r.status == binary::DecodeStatus::kNeedMore) break;
+      if (r.status != binary::DecodeStatus::kFrame) {
+        fail_conn(conn);
+        return;
+      }
+      complete_one(conn);
+      start += r.consumed;
+    }
+    if (start > 0) conn.in.erase(0, start);
+  }
+
+  void complete_one(Conn& conn) {
+    Clock::time_point sent{};
+    if (!conn.sent_at.empty()) {
+      sent = conn.sent_at.front();
+      conn.sent_at.pop_front();
+    }
+    const Phase phase = shared_.phase.load(std::memory_order_relaxed);
+    if (phase == Phase::kMeasure) {
+      shared_.measured.fetch_add(1, std::memory_order_relaxed);
+      if (sent != Clock::time_point{}) {
+        const double seconds =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - sent)
+                .count() *
+            1e-9;
+        shared_.latency.record(seconds);
+      }
+    }
+    // Closed loop: keep the pipeline window full.
+    if (thread_interval_ns_ <= 0 && phase != Phase::kDone)
+      conn.out.append(request_), conn.sent_at.push_back(Clock::now());
+  }
+
+  const LoadgenOptions& options_;
+  const std::string protocol_;
+  const int port_;
+  const std::string request_;
+  const double thread_interval_ns_;
+  Shared& shared_;
+
+  int epfd_ = -1;
+  std::vector<Conn> conns_;
+  std::size_t next_to_connect_ = 0;
+  int connecting_ = 0;
+  std::size_t rr_ = 0;
+};
+
+/// One measurement slice: ramp connections, warm up, measure for
+/// `duration_s`.  Counters and the latency histogram accumulate into
+/// `shared` (reused across slices of the same protocol); returns the
+/// measured wall seconds.  `connected_this_slice` reports the slice's
+/// own connection count.
+double run_slice(const LoadgenOptions& options, const std::string& protocol,
+                 int port, double duration_s, Shared& shared,
+                 std::uint64_t& connected_this_slice) {
+  shared.phase.store(Phase::kWarmup);
+  const std::uint64_t connected_before = shared.connected.load();
+  const int threads = std::max(1, options.threads);
+  const double thread_rps = options.rps > 0 ? options.rps / threads : 0.0;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> pool;
+  int remaining = options.connections;
+  for (int t = 0; t < threads; ++t) {
+    const int share = remaining / (threads - t);
+    remaining -= share;
+    workers.push_back(std::make_unique<Worker>(options, protocol, port,
+                                               share, thread_rps, shared));
+  }
+  for (auto& worker : workers)
+    pool.emplace_back([&worker] { worker->run(); });
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(options.warmup_s * 1000)));
+  const auto measure_start = Clock::now();
+  shared.phase.store(Phase::kMeasure);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(duration_s * 1000)));
+  shared.phase.store(Phase::kDone);
+  const double measured_s =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           measure_start)
+          .count() *
+      1e-9;
+  for (auto& thread : pool) thread.join();
+  connected_this_slice = shared.connected.load() - connected_before;
+  return measured_s;
+}
+
+/// Compare protocols with an ABBA slice schedule — line, binary,
+/// binary, line — so slow drift (scheduler, thermal, page cache) hits
+/// both protocols equally instead of whichever happened to run second.
+std::vector<RunResult> run_all(const LoadgenOptions& options, int port) {
+  std::vector<std::string> schedule;
+  double slice_s = options.duration_s;
+  if (options.protocol == "both") {
+    schedule = {"line", "binary", "binary", "line"};
+    slice_s = options.duration_s / 2.0;
+  } else {
+    schedule = {options.protocol};
+  }
+
+  std::map<std::string, Shared> shared;  // per-protocol accumulators
+  std::map<std::string, double> measured_s;
+  std::map<std::string, std::uint64_t> peak_connected;
+  for (const std::string& protocol : schedule) {
+    std::cerr << "loadgen: " << protocol << " x" << options.connections
+              << " conns, " << slice_s << "s slice...\n";
+    std::uint64_t connected = 0;
+    measured_s[protocol] += run_slice(options, protocol, port, slice_s,
+                                      shared[protocol], connected);
+    peak_connected[protocol] =
+        std::max(peak_connected[protocol], connected);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  std::vector<RunResult> runs;
+  for (const std::string& protocol :
+       options.protocol == "both"
+           ? std::vector<std::string>{"line", "binary"}
+           : std::vector<std::string>{options.protocol}) {
+    const Shared& s = shared[protocol];
+    RunResult result;
+    result.protocol = protocol;
+    result.connected = peak_connected[protocol];
+    result.requests = s.measured.load();
+    result.errors = s.errors.load();
+    result.rps = measured_s[protocol] > 0
+                     ? result.requests / measured_s[protocol]
+                     : 0.0;
+    result.p50_us = s.latency.percentile(0.50) * 1e6;
+    result.p99_us = s.latency.percentile(0.99) * 1e6;
+    result.p999_us = s.latency.percentile(0.999) * 1e6;
+    runs.push_back(result);
+  }
+  return runs;
+}
+
+std::string report_json(const LoadgenOptions& options,
+                        const std::vector<RunResult>& runs) {
+  std::ostringstream out;
+  out << "{\n  \"loadgen\": {"
+      << "\"connections\": " << options.connections
+      << ", \"threads\": " << options.threads
+      << ", \"duration_s\": " << options.duration_s
+      << ", \"pipeline\": " << options.pipeline
+      << ", \"rps_target\": " << options.rps << ", \"verb\": \""
+      << options.verb << "\"},\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << "    {\"protocol\": \"" << r.protocol << "\""
+        << ", \"connected\": " << r.connected
+        << ", \"requests\": " << r.requests
+        << ", \"errors\": " << r.errors << ", \"rps\": " << r.rps
+        << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+        << ", \"p999_us\": " << r.p999_us << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --host A           server address (default 127.0.0.1)\n"
+      << "  --port N           server port (required unless --self)\n"
+      << "  --self             start an in-process server to load\n"
+      << "  --connections N    concurrent connections (default 10000)\n"
+      << "  --threads N        worker threads (default 4)\n"
+      << "  --warmup-s S       excluded from stats (default 1)\n"
+      << "  --duration-s S     measured window (default 5)\n"
+      << "  --pipeline N       closed-loop in-flight/conn (default 1)\n"
+      << "  --rps N            open-loop offered rate (0 = closed loop)\n"
+      << "  --protocol P       line | binary | both (default both)\n"
+      << "  --verb V           ping | predict (default ping)\n"
+      << "  --out FILE         write loadgen-native JSON report\n"
+      << "  --require-binary-faster  exit 1 unless binary rps > line\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") options.host = value();
+    else if (arg == "--port") options.port = std::stoi(value());
+    else if (arg == "--self") options.self = true;
+    else if (arg == "--connections") options.connections = std::stoi(value());
+    else if (arg == "--threads") options.threads = std::stoi(value());
+    else if (arg == "--warmup-s") options.warmup_s = std::stod(value());
+    else if (arg == "--duration-s") options.duration_s = std::stod(value());
+    else if (arg == "--pipeline") options.pipeline = std::stoi(value());
+    else if (arg == "--rps") options.rps = std::stod(value());
+    else if (arg == "--protocol") options.protocol = value();
+    else if (arg == "--verb") options.verb = value();
+    else if (arg == "--out") options.out = value();
+    else if (arg == "--require-binary-faster")
+      options.require_binary_faster = true;
+    else
+      return usage(argv[0]);
+  }
+  if (options.protocol != "line" && options.protocol != "binary" &&
+      options.protocol != "both")
+    return usage(argv[0]);
+  if (!options.self && options.port == 0) return usage(argv[0]);
+
+  raise_fd_limit();
+
+  // In-process target: small training subset (we measure serving I/O,
+  // not training) and a backlog sized for the connect ramp.
+  std::unique_ptr<serve::ServeSession> session;
+  std::unique_ptr<serve::TcpServer> server;
+  int port = options.port;
+  if (options.self) {
+    serve::ServeOptions serve_options;
+    serve_options.train_models = {"alexnet", "mobilenet"};
+    session = std::make_unique<serve::ServeSession>(serve_options);
+    serve::TcpServer::Options server_options;
+    server_options.backlog = std::max(1024, options.connections);
+    server = std::make_unique<serve::TcpServer>(*session, server_options);
+    server->start();
+    port = server->port();
+  }
+
+  const std::vector<RunResult> runs = run_all(options, port);
+  for (const RunResult& r : runs) {
+    std::cerr << "  " << r.protocol << ": connected=" << r.connected
+              << " requests=" << r.requests << " errors=" << r.errors
+              << " rps=" << r.rps << " p50=" << r.p50_us
+              << "us p99=" << r.p99_us << "us p999=" << r.p999_us
+              << "us\n";
+  }
+
+  if (server) {
+    server->drain(2000);
+    server->stop();
+  }
+
+  const std::string report = report_json(options, runs);
+  std::cout << report;
+  if (!options.out.empty()) {
+    std::ofstream file(options.out);
+    file << report;
+  }
+
+  if (options.require_binary_faster && runs.size() == 2 &&
+      runs[1].rps <= runs[0].rps) {
+    std::cerr << "loadgen: binary (" << runs[1].rps
+              << " rps) did not beat line (" << runs[0].rps << " rps)\n";
+    return 1;
+  }
+  return 0;
+}

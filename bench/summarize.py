@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Fold a google-benchmark JSON report into a compact per-stage summary.
+"""Fold a benchmark JSON report into a compact per-stage summary.
 
 Usage: summarize.py <benchmark_out.json> <summary_out.json>
 
-Run the benchmark binary with --benchmark_repetitions=N and
---benchmark_out_format=json; this script groups the raw repetition
-entries by benchmark name and emits, per stage:
+Two input shapes are recognized:
+
+google-benchmark: run the binary with --benchmark_repetitions=N and
+--benchmark_out_format=json; the raw repetition entries are grouped by
+benchmark name and emitted, per stage, as:
 
   {"name", "reps", "p50_ns", "p95_ns", "mean_ns", "ops_per_sec"}
 
@@ -14,9 +16,31 @@ p50/p95 are computed over the per-repetition real_time samples
 times the stage runs per second at the median.  Aggregate rows that
 google-benchmark appends (_mean/_median/_stddev/_cv) are skipped —
 we compute our own statistics from the raw repetitions.
+
+loadgen-native (a top-level "runs" key, written by bench/loadgen
+--out): each protocol run becomes one stage — per-request latency
+percentiles in ns and ops_per_sec = measured requests per second —
+so BENCH_serve.json has the same shape as every other BENCH file.
 """
 import json
 import sys
+
+
+def loadgen_stages(report):
+    stages = []
+    for run in report["runs"]:
+        stages.append({
+            "name": "loadgen_%s_%s" % (
+                run["protocol"], report.get("loadgen", {}).get("verb", "")),
+            "reps": run["requests"],
+            "p50_ns": round(run["p50_us"] * 1e3, 1),
+            "p99_ns": round(run["p99_us"] * 1e3, 1),
+            "p999_ns": round(run["p999_us"] * 1e3, 1),
+            "connected": run["connected"],
+            "errors": run["errors"],
+            "ops_per_sec": round(run["rps"], 2),
+        })
+    return stages
 
 
 def percentile(samples, q):
@@ -35,6 +59,17 @@ def main():
         sys.exit(__doc__)
     with open(sys.argv[1]) as f:
         report = json.load(f)
+
+    if "runs" in report:
+        stages = loadgen_stages(report)
+        summary = {"context": report.get("loadgen", {}), "stages": stages}
+        with open(sys.argv[2], "w") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+        for s in stages:
+            print(f"{s['name']:45s} p50={s['p50_ns']:>12.1f}ns "
+                  f"p99={s['p99_ns']:>12.1f}ns ops/s={s['ops_per_sec']}")
+        return
 
     by_name = {}
     for b in report.get("benchmarks", []):

@@ -1,0 +1,57 @@
+// Fuzz target for the length-prefixed binary frame decoder
+// (serve/binary_protocol.hpp).  Contract: decode_frame never crashes
+// and never throws on arbitrary bytes — every input maps to a typed
+// DecodeStatus.  A decoded frame must round-trip through to_request
+// (parse or typed CheckError) and re-encode to the identical bytes.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "common/limits.hpp"
+#include "serve/binary_protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace binary = gpuperf::serve::binary;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // A small payload budget keeps the length check on the hot path.
+  gpuperf::InputLimits limits = gpuperf::InputLimits::defaults();
+  limits.max_frame_payload_bytes = 4096;
+
+  const binary::DecodeResult r = binary::decode_frame(input, limits);
+  switch (r.status) {
+    case binary::DecodeStatus::kFrame: {
+      if (r.consumed > input.size()) std::abort();
+      // Re-encoding the decoded frame must reproduce the input bytes.
+      const std::string wire = binary::encode_request(
+          r.frame.verb, std::string(r.frame.payload));
+      if (r.frame.flags == 0 &&
+          std::string_view(wire) != input.substr(0, r.consumed))
+        std::abort();
+      try {
+        const gpuperf::serve::Request request =
+            binary::to_request(r.frame);
+        (void)request.cmd.flag_or("deadline-ms", "");
+      } catch (const gpuperf::CheckError&) {
+        // Hostile payload text; a typed throw is the contract.
+      }
+      break;
+    }
+    case binary::DecodeStatus::kNeedMore:
+      if (r.consumed != 0) std::abort();
+      break;
+    case binary::DecodeStatus::kBadMagic:
+    case binary::DecodeStatus::kBadVersion:
+    case binary::DecodeStatus::kBadVerb:
+    case binary::DecodeStatus::kBadCrc:
+    case binary::DecodeStatus::kTooLarge:
+      // Typed rejection: fine.  The status must stringify.
+      if (binary::decode_status_name(r.status).empty()) std::abort();
+      break;
+  }
+  return 0;
+}

@@ -1,29 +1,59 @@
 #include "common/crc32.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace gpuperf {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8: eight lookup tables let the hot loop fold 8 input bytes
+// per iteration instead of 1 (Intel's "Slicing-by-8" construction).
+// Table 0 is the classic byte-at-a-time table; the scalar tail loop
+// and the slice loop produce identical CRCs.
+std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit)
       c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i)
+    for (int t = 1; t < 8; ++t)
+      tables[t][i] =
+          (tables[t - 1][i] >> 8) ^ tables[0][tables[t - 1][i] & 0xFFu];
+  return tables;
 }
 
 }  // namespace
 
 std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
-  static const std::array<std::uint32_t, 256> kTable = make_table();
+  static const auto kTables = make_tables();
+  const auto& t = kTables;
   std::uint32_t crc = seed ^ 0xFFFFFFFFu;
-  for (const char ch : data)
-    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+  const char* p = data.data();
+  std::size_t n = data.size();
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The word loads fold the running CRC into the low word, which is
+  // only correct little-endian; big-endian falls through to the byte
+  // loop (the project targets Linux on LE, so this is belt-and-braces).
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^
+          t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n--)
+    crc = t[0][(crc ^ static_cast<unsigned char>(*p++)) & 0xFFu] ^
           (crc >> 8);
   return crc ^ 0xFFFFFFFFu;
 }

@@ -1,0 +1,64 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace gpuperf::net {
+
+int listen_tcp(const std::string& bind_address, int port, int backlog) {
+  GP_CHECK_MSG(port >= 0 && port <= 65535, "port " << port
+                                                   << " out of range");
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  GP_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    GP_CHECK_MSG(false, "bad bind address '" << bind_address << "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GP_CHECK_MSG(false, "bind to " << bind_address << ":" << port
+                                   << " failed: " << std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GP_CHECK_MSG(false, "listen() failed: " << std::strerror(err));
+  }
+  return fd;
+}
+
+int bound_port(int fd) {
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  GP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+           0);
+  return ntohs(bound.sin_port);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int open_spare_fd() {
+  return ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+}  // namespace gpuperf::net

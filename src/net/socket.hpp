@@ -1,0 +1,30 @@
+// Thin POSIX socket helpers shared by the event loop and the load
+// generator: listener setup (SO_REUSEADDR, nonblocking, CLOEXEC,
+// configurable backlog), fd mode switches, and the reserved spare fd
+// used to survive EMFILE on accept (close the spare, accept the
+// pending connection, close it politely, reopen the spare — instead of
+// spinning on an accept() that can never succeed).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gpuperf::net {
+
+/// Create, bind and listen a nonblocking CLOEXEC TCP socket.
+/// GP_CHECK-fails with a descriptive message on a taken port or a bad
+/// address.  `port` 0 picks an ephemeral port; read it back with
+/// bound_port().
+int listen_tcp(const std::string& bind_address, int port, int backlog);
+
+/// The local port of a bound socket.
+int bound_port(int fd);
+
+void set_nonblocking(int fd);
+
+/// An fd on /dev/null, reserved so the process always has one fd to
+/// spare when the table fills up.  Returns -1 when even /dev/null
+/// cannot be opened.
+int open_spare_fd();
+
+}  // namespace gpuperf::net

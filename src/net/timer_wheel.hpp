@@ -1,0 +1,86 @@
+// Hashed timer wheel for per-connection idle timeouts: O(1) schedule /
+// cancel / reschedule, one slot scan per tick.  Entries are lazily
+// validated — rescheduling a connection's timer just overwrites its
+// deadline in the id map; the stale slot entry is skipped when its
+// slot comes around.  Deadlines more than one revolution out simply
+// re-enqueue when scanned, so the wheel handles arbitrary horizons
+// with a fixed slot count.
+//
+// Single-threaded by design: the event loop owns it and drives expire()
+// from its tick.  No locks, no allocation on the steady-state path
+// (slot vectors are reused).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gpuperf::net {
+
+class TimerWheel {
+ public:
+  using Id = std::uint64_t;
+
+  TimerWheel(std::int64_t tick_ms, std::size_t slots)
+      : tick_ms_(tick_ms > 0 ? tick_ms : 1), slots_(slots ? slots : 1),
+        wheel_(slots_) {}
+
+  /// Arm (or re-arm) `id` to fire at absolute time `fire_at_ms`.
+  void schedule(Id id, std::int64_t fire_at_ms) {
+    deadlines_[id] = fire_at_ms;
+    wheel_[slot_for(fire_at_ms)].push_back(id);
+  }
+
+  /// Disarm `id`; the slot entry decays lazily.
+  void cancel(Id id) { deadlines_.erase(id); }
+
+  bool armed(Id id) const { return deadlines_.count(id) > 0; }
+  std::size_t armed_count() const { return deadlines_.size(); }
+
+  /// Advance to `now_ms` and collect every id whose deadline passed.
+  /// Ids rescheduled to a later deadline are re-enqueued, cancelled ids
+  /// are dropped.  Call monotonically.
+  std::vector<Id> expire(std::int64_t now_ms) {
+    std::vector<Id> fired;
+    if (now_ms < last_ms_) now_ms = last_ms_;
+    // Scan every slot the clock passed over; cap at one revolution
+    // (each slot need only be scanned once per call).
+    const std::int64_t ticks =
+        std::min<std::int64_t>(now_ms / tick_ms_ - last_ms_ / tick_ms_,
+                               static_cast<std::int64_t>(slots_));
+    for (std::int64_t t = 0; t <= ticks; ++t) {
+      auto& slot = wheel_[(last_ms_ / tick_ms_ + t) % slots_];
+      std::size_t keep = 0;
+      for (const Id id : slot) {
+        const auto it = deadlines_.find(id);
+        if (it == deadlines_.end()) continue;  // cancelled
+        if (it->second <= now_ms) {
+          deadlines_.erase(it);
+          fired.push_back(id);
+        } else if (slot_for(it->second) ==
+                   (last_ms_ / tick_ms_ + t) % slots_) {
+          slot[keep++] = id;  // >1 revolution out: stays in this slot
+        } else {
+          // Rescheduled to a different slot; its live entry is there.
+          continue;
+        }
+      }
+      slot.resize(keep);
+    }
+    last_ms_ = now_ms;
+    return fired;
+  }
+
+ private:
+  std::size_t slot_for(std::int64_t fire_at_ms) const {
+    return static_cast<std::size_t>(fire_at_ms / tick_ms_) % slots_;
+  }
+
+  std::int64_t tick_ms_;
+  std::size_t slots_;
+  std::vector<std::vector<Id>> wheel_;
+  std::unordered_map<Id, std::int64_t> deadlines_;
+  std::int64_t last_ms_ = 0;
+};
+
+}  // namespace gpuperf::net

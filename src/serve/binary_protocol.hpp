@@ -1,0 +1,114 @@
+// Length-prefixed binary framing for the gpuperf serve protocol
+// (docs/SERVER.md "Binary protocol").  One frame per request and per
+// response, same 12-byte header both ways:
+//
+//   offset  size  field
+//        0     1  magic     0xB7 (never a printable ASCII byte, so the
+//                           server sniffs the protocol from the first
+//                           byte of a connection)
+//        1     1  version   1
+//        2     1  verb      request: Verb enum; response: echoes the
+//                           request's verb
+//        3     1  flags     bit 0 (responses): error frame
+//        4     4  length    payload bytes, u32 little-endian
+//        8     4  crc32     CRC-32 (IEEE, common/crc32.hpp) of the
+//                           payload, u32 little-endian
+//       12   len  payload   request: the argument string (the request
+//                           line minus its verb word); response: the
+//                           single-line JSON body, identical to the
+//                           line protocol's
+//
+// Decoding is zero-copy and incremental: decode_frame() validates the
+// header in place against the InputLimits frame budget (length is
+// checked before any payload accumulates), returns kNeedMore on a
+// partial frame, and yields a FrameView whose payload aliases the
+// input bytes.  Malformed frames produce typed statuses, never
+// exceptions — the connection is then closed after one typed error
+// response, exactly like an oversized request line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/limits.hpp"
+#include "serve/protocol.hpp"
+
+namespace gpuperf::serve::binary {
+
+inline constexpr unsigned char kMagic = 0xB7;
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Response flag bit: the payload is an {"ok":false,...} error body.
+inline constexpr std::uint8_t kFlagError = 0x01;
+
+/// Wire verb ids.  Values are frozen protocol surface: append only.
+enum class Verb : std::uint8_t {
+  kPredict = 1,
+  kRank = 2,
+  kDse = 3,
+  kAnalyze = 4,
+  kReload = 5,
+  kModelInfo = 6,
+  kStats = 7,
+  kPing = 8,
+  kShutdown = 9,
+};
+
+/// The line-protocol verb word for a wire id ("" for an unknown id).
+std::string_view verb_name(Verb verb);
+
+/// The wire id for a verb word; returns false for unknown words.
+bool verb_from_name(std::string_view name, Verb& out);
+
+/// A decoded frame; `payload` aliases the input buffer.
+struct FrameView {
+  std::uint8_t version = 0;
+  Verb verb = Verb::kPing;
+  std::uint8_t flags = 0;
+  std::string_view payload;
+};
+
+enum class DecodeStatus {
+  kNeedMore,    ///< the buffer holds a valid prefix of a frame
+  kFrame,       ///< one complete, CRC-checked frame decoded
+  kBadMagic,    ///< first byte is not kMagic
+  kBadVersion,  ///< unsupported version byte
+  kBadVerb,     ///< verb byte outside the Verb enum
+  kBadCrc,      ///< payload does not match the header CRC
+  kTooLarge,    ///< header length exceeds max_frame_payload_bytes
+};
+
+std::string_view decode_status_name(DecodeStatus status);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  FrameView frame;        // valid when status == kFrame
+  std::size_t consumed = 0;  // bytes to drop from the input buffer
+  std::string error;      // human-readable detail for non-kFrame statuses
+};
+
+/// Try to decode one frame from the head of `bytes`.  Never throws;
+/// every malformed input maps to a typed status.  On kFrame, `consumed`
+/// covers header + payload and `frame.payload` aliases `bytes` — use it
+/// before mutating the buffer.  The header's length field is checked
+/// against `limits.max_frame_payload_bytes` as soon as the header is
+/// complete, so an adversarial length can never grow the buffer.
+DecodeResult decode_frame(std::string_view bytes,
+                          const InputLimits& limits =
+                              InputLimits::defaults());
+
+/// Serialize a request frame (verb + argument string).
+std::string encode_request(Verb verb, std::string_view args);
+
+/// Serialize a response frame echoing the request's verb; `ok` clears
+/// or sets the error flag.
+std::string encode_response(Verb verb, bool ok, std::string_view body);
+
+/// Build the dispatchable Request for a request frame: the payload is
+/// split on whitespace and parsed with the line protocol's grammar, so
+/// both framings hit identical handler code.
+Request to_request(const FrameView& frame);
+
+}  // namespace gpuperf::serve::binary

@@ -1,167 +1,272 @@
 #include "serve/server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <algorithm>
 #include <chrono>
-#include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "net/socket.hpp"
+#include "serve/binary_protocol.hpp"
 #include "serve/errors.hpp"
 
 namespace gpuperf::serve {
 
 namespace {
 
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+/// Verbs that go through admission control (mirrors the session's
+/// classification: everything analysis-heavy; ping/stats/shutdown
+/// always pass so the server stays observable and stoppable).
+bool is_heavy_verb(const std::string& verb) {
+  return verb == "predict" || verb == "rank" || verb == "analyze" ||
+         verb == "dse";
 }
+
+/// Parse batch bound per dispatch: one worker task answers at most
+/// this many pipelined requests with a single write.
+constexpr std::size_t kMaxBatch = 64;
 
 }  // namespace
 
 TcpServer::TcpServer(ServeSession& session, Options options)
-    : session_(session), options_(std::move(options)) {
+    : session_(session), options_(std::move(options)),
+      frame_limits_(InputLimits::defaults()) {
   GP_CHECK(options_.port >= 0 && options_.port <= 65535);
+  frame_limits_.max_frame_payload_bytes = options_.max_frame_payload_bytes;
 }
 
 TcpServer::~TcpServer() { stop(); }
 
 void TcpServer::start() {
   GP_CHECK_MSG(!running_.load(), "server already started");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  GP_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  const int listen_fd = net::listen_tcp(options_.bind_address,
+                                        options_.port, options_.backlog);
+  port_ = net::bound_port(listen_fd);
 
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
+  // Cache the per-protocol counter refs for lock-free bumps on the
+  // loop thread (MetricsRegistry guarantees stable addresses).
+  requests_line_ = &session_.metrics().counter("requests_line");
+  requests_binary_ = &session_.metrics().counter("requests_binary");
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  GP_CHECK_MSG(::inet_pton(AF_INET, options_.bind_address.c_str(),
-                           &addr.sin_addr) == 1,
-               "bad bind address '" << options_.bind_address << "'");
-
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    GP_CHECK_MSG(false, "bind to " << options_.bind_address << ":"
-                                   << options_.port
-                                   << " failed: " << std::strerror(err));
-  }
-  GP_CHECK_MSG(::listen(listen_fd_, 64) == 0,
-               "listen() failed: " << std::strerror(errno));
-
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  GP_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                         &len) == 0);
-  port_ = ntohs(bound.sin_port);
+  workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  net::EventLoop::Options loop_options;
+  loop_options.idle_timeout_ms = options_.idle_timeout_ms;
+  // Room for at least one whole oversized line (detection needs
+  // limit + 1 buffered bytes) or binary frame, plus pipelining slack.
+  loop_options.max_input_buffer = std::max<std::size_t>(
+      {64u << 10, 2 * (options_.max_line_bytes + 2),
+       2 * (options_.max_frame_payload_bytes + binary::kHeaderBytes)});
+  // Cast here: the Handler base is private, so the conversion is only
+  // accessible inside TcpServer members (not within make_unique).
+  loop_ = std::make_unique<net::EventLoop>(
+      listen_fd, static_cast<net::EventLoop::Handler&>(*this),
+      loop_options);
 
   running_.store(true);
-  acceptor_ = std::thread([this] { accept_loop(); });
+  loop_thread_ = std::thread([this] { loop_->run(); });
+  session_.set_stats_hook([this] { sync_loop_stats(); });
   GP_LOG(kInfo) << "serve: listening on " << options_.bind_address << ":"
                 << port_;
 }
 
-void TcpServer::accept_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed by stop()
-    }
-    if (stopping_.load()) {
-      ::close(fd);
-      continue;
-    }
-    std::lock_guard<std::mutex> lock(mutex_);
-    open_fds_.insert(fd);
-    connections_.emplace_back(
-        [this, fd] { serve_connection(fd); });
+bool TcpServer::on_data(net::ConnId id, net::Buffer& in) {
+  ConnState& state = conn_state_[id];
+  if (state.closing) return false;
+  // One batch in flight per connection: responses are written in
+  // request order, so parsing resumes only once the batch is answered.
+  if (loop_->in_flight(id) > 0) return true;
+  if (state.wire == Wire::kUnknown) {
+    if (in.empty()) return true;
+    state.wire = static_cast<unsigned char>(in.view()[0]) == binary::kMagic
+                     ? Wire::kBinary
+                     : Wire::kLine;
+  }
+
+  std::vector<WorkItem> batch;
+  parse_batch(state, in, batch);
+  if (batch.empty()) return !state.closing;
+
+  // Inline fast path: a lone ping is answered on the loop thread —
+  // no dispatch round trip for the protocol's cheapest request.
+  if (batch.size() == 1 && !batch[0].preformed && !state.closing &&
+      batch[0].request.verb == "ping") {
+    const Response response = session_.handle(batch[0].request);
+    loop_->enqueue_output(id,
+                          frame_response(state.wire, batch[0], response));
+    return true;
+  }
+
+  dispatch(id, state, std::move(batch));
+  return !state.closing;
+}
+
+void TcpServer::on_close(net::ConnId id) { conn_state_.erase(id); }
+
+void TcpServer::parse_batch(ConnState& state, net::Buffer& in,
+                            std::vector<WorkItem>& batch) {
+  while (batch.size() < kMaxBatch && !state.closing) {
+    const bool more = state.wire == Wire::kBinary
+                          ? parse_binary(state, in, batch)
+                          : parse_line(state, in, batch);
+    if (!more) break;
   }
 }
 
-void TcpServer::serve_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool close_requested = false;
-  const auto reject_oversized = [&](std::size_t observed) {
-    session_.metrics().counter("inputs_rejected").fetch_add(1);
-    const Response err = error_response(
-        ErrorCode::kInputTooLarge,
-        "request line of " + std::to_string(observed) +
-            " bytes exceeds the " +
-            std::to_string(options_.max_line_bytes) + "-byte limit");
-    send_all(fd, err.body + "\n");
-    close_requested = true;
-  };
-  while (!close_requested) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;  // client went away or stop() shut the socket down
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos; nl = buffer.find('\n', start)) {
-      if (nl - start > options_.max_line_bytes) {
-        reject_oversized(nl - start);
-        break;
-      }
-      const std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty() || line == "\r") continue;
-      const Response response = session_.handle(parse_request(line));
-      if (!send_all(fd, response.body + "\n")) {
-        close_requested = true;
-        break;
-      }
-      if (response.shutdown_requested) {
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          stop_requested_.store(true);
-        }
-        cv_.notify_all();
-        close_requested = true;
-        break;
-      }
-    }
-    buffer.erase(0, start);
-    // A line still unterminated past the limit can never become valid;
-    // reject it without buffering unbounded bytes.
-    if (!close_requested && buffer.size() > options_.max_line_bytes)
-      reject_oversized(buffer.size());
+void TcpServer::reject_oversized_line(ConnState& state,
+                                      std::size_t observed,
+                                      std::vector<WorkItem>& batch) {
+  session_.metrics().counter("inputs_rejected").fetch_add(1);
+  WorkItem item;
+  item.preformed = true;
+  item.response = error_response(
+      ErrorCode::kInputTooLarge,
+      "request line of " + std::to_string(observed) +
+          " bytes exceeds the " + std::to_string(options_.max_line_bytes) +
+          "-byte limit");
+  batch.push_back(std::move(item));
+  state.closing = true;
+}
+
+bool TcpServer::parse_line(ConnState& state, net::Buffer& in,
+                           std::vector<WorkItem>& batch) {
+  const std::string_view view = in.view();
+  const std::size_t nl = view.find('\n');
+  if (nl == std::string_view::npos) {
+    // A line already past the limit can never become valid; reject it
+    // without buffering unbounded bytes.
+    if (view.size() > options_.max_line_bytes)
+      reject_oversized_line(state, view.size(), batch);
+    return false;
   }
-  ::close(fd);
+  if (nl > options_.max_line_bytes) {
+    reject_oversized_line(state, nl, batch);
+    return false;
+  }
+  std::string line(view.substr(0, nl));
+  in.consume(nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return true;  // blank keep-alive line
+  requests_line_->fetch_add(1, std::memory_order_relaxed);
+  WorkItem item;
+  item.request = parse_request(line);
+  item.heavy = is_heavy_verb(item.request.verb);
+  admit(item);
+  batch.push_back(std::move(item));
+  return true;
+}
+
+bool TcpServer::parse_binary(ConnState& state, net::Buffer& in,
+                             std::vector<WorkItem>& batch) {
+  const binary::DecodeResult r =
+      binary::decode_frame(in.view(), frame_limits_);
+  if (r.status == binary::DecodeStatus::kNeedMore) return false;
+  if (r.status == binary::DecodeStatus::kFrame) {
+    requests_binary_->fetch_add(1, std::memory_order_relaxed);
+    WorkItem item;
+    item.request = binary::to_request(r.frame);
+    item.binary_verb = static_cast<std::uint8_t>(r.frame.verb);
+    item.heavy = is_heavy_verb(item.request.verb);
+    admit(item);
+    batch.push_back(std::move(item));
+    in.consume(r.consumed);
+    return true;
+  }
+  // Malformed frame: one typed error response, then close — a framing
+  // error desynchronizes the stream, so it cannot be skipped over.
+  const ErrorCode code = r.status == binary::DecodeStatus::kTooLarge
+                             ? ErrorCode::kInputTooLarge
+                             : ErrorCode::kInvalidRequest;
+  if (code == ErrorCode::kInputTooLarge)
+    session_.metrics().counter("inputs_rejected").fetch_add(1);
+  WorkItem item;
+  item.preformed = true;
+  item.response = error_response(code, r.error);
+  batch.push_back(std::move(item));
+  state.closing = true;
+  return false;
+}
+
+void TcpServer::admit(WorkItem& item) {
+  if (item.preformed || !item.heavy || options_.max_pending == 0) return;
+  if (pending_heavy_.load(std::memory_order_relaxed) <
+      static_cast<std::int64_t>(options_.max_pending))
+    return;
+  session_.metrics().counter("shed_overloaded").fetch_add(1);
+  item.preformed = true;
+  item.response = error_response(
+      ErrorCode::kOverloaded,
+      "server queue at capacity (" +
+          std::to_string(options_.max_pending) + " requests pending)",
+      /*retry_after_ms=*/100);
+}
+
+std::string TcpServer::frame_response(Wire wire, const WorkItem& item,
+                                      const Response& response) {
+  if (wire == Wire::kBinary) {
+    // Error frames for undecodable requests echo ping (the verb byte
+    // never made it off the wire); everything else echoes the request.
+    const binary::Verb verb =
+        item.binary_verb != 0 ? static_cast<binary::Verb>(item.binary_verb)
+                              : binary::Verb::kPing;
+    return binary::encode_response(verb, response.ok, response.body);
+  }
+  return response.body + "\n";
+}
+
+void TcpServer::dispatch(net::ConnId id, ConnState& state,
+                         std::vector<WorkItem> batch) {
+  loop_->mark_dispatch(id);
+  for (const WorkItem& item : batch)
+    if (!item.preformed && item.heavy)
+      pending_heavy_.fetch_add(1, std::memory_order_relaxed);
+  const Wire wire = state.wire;
+  const bool close_after = state.closing;
+  net::EventLoop* loop = loop_.get();
+  workers_->submit([this, loop, id, wire, close_after,
+                    batch = std::move(batch)]() mutable {
+    std::string out;
+    bool close = close_after;
+    for (WorkItem& item : batch) {
+      const Response response = item.preformed
+                                    ? std::move(item.response)
+                                    : session_.handle(item.request);
+      if (!item.preformed && item.heavy)
+        pending_heavy_.fetch_sub(1, std::memory_order_relaxed);
+      if (response.shutdown_requested) {
+        notify_stop_requested();
+        close = true;
+      }
+      out += frame_response(wire, item, response);
+    }
+    loop->send(id, std::move(out), /*completes_dispatch=*/true, close);
+  });
+}
+
+void TcpServer::notify_stop_requested() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    open_fds_.erase(fd);
+    stop_requested_.store(true);
   }
-  cv_.notify_all();  // drain() waits for open_fds_ to empty
+  cv_.notify_all();
+}
+
+void TcpServer::sync_loop_stats() {
+  const net::LoopStats& s = loop_->stats();
+  MetricsRegistry& m = session_.metrics();
+  m.counter("connections_accepted").store(s.accepted.load());
+  m.counter("connections_active").store(s.active.load());
+  m.counter("connections_idle_reaped").store(s.idle_reaped.load());
+  m.counter("epoll_wakeups").store(s.epoll_wakeups.load());
+  m.counter("bytes_in").store(s.bytes_in.load());
+  m.counter("bytes_out").store(s.bytes_out.load());
+  m.counter("accept_emfile").store(s.accept_emfile.load());
 }
 
 bool TcpServer::wait_for_stop(int timeout_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto done = [this] {
-    return stop_requested_.load() || stopping_.load();
+    return stop_requested_.load() || !running_.load();
   };
   if (timeout_ms < 0)
     cv_.wait(lock, done);
@@ -172,49 +277,26 @@ bool TcpServer::wait_for_stop(int timeout_ms) {
 
 bool TcpServer::drain(int timeout_ms) {
   if (!running_.load()) return true;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_.store(true);  // racing accepts are closed immediately
-  }
-  cv_.notify_all();
-  // Closing the listener stops new connections; the acceptor thread is
-  // joined later by stop(), which tolerates the already-closed fd.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  std::unique_lock<std::mutex> lock(mutex_);
-  // SHUT_RD only: once a connection finishes the requests it already
-  // read, its next recv returns 0 and the thread exits cleanly — while
-  // the response for any request still in flight goes out intact.
-  for (const int fd : open_fds_) ::shutdown(fd, SHUT_RD);
-  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                      [this] { return open_fds_.empty(); });
+  loop_->drain();
+  return loop_->wait_connections_closed(timeout_ms);
 }
 
 void TcpServer::stop() {
   if (!running_.exchange(false)) return;
+  // Unhook stats first: set_stats_hook blocks on any in-progress hook
+  // call, so after this nothing can reach loop_ through the session.
+  session_.set_stats_hook({});
+  loop_->stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The pool destructor drains queued handler tasks; their send()
+  // calls land in the stopped (but still live) loop's queue — dropped.
+  workers_.reset();
+  loop_.reset();
+  conn_state_.clear();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stopping_.store(true);
   }
   cv_.notify_all();
-  // Closing the listener pops the acceptor out of accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  // Unblock connection reads, then join.
-  std::vector<std::thread> connections;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
-    connections.swap(connections_);
-  }
-  for (std::thread& t : connections) t.join();
 }
 
 }  // namespace gpuperf::serve

@@ -1,9 +1,21 @@
-// TCP front-end of the estimation service: newline-delimited requests
-// in, one JSON line out per request, connections stay open for
-// pipelining.  One acceptor thread plus one lightweight thread per
-// connection; the heavy lifting (DCA, prediction) happens on the
-// session's worker pool via the micro-batcher, so connection threads
-// mostly block on I/O.
+// TCP front-end of the estimation service, built on the src/net epoll
+// event loop: one I/O thread multiplexes every connection while request
+// handling runs on the server's own worker pool (its own, not the
+// session's — predict handlers block on micro-batcher futures that the
+// session pool resolves, so sharing it could deadlock).
+//
+// Two framings share the port, sniffed from a connection's first byte:
+// the newline/JSON line protocol (unchanged; every existing client
+// works as before) and the length-prefixed binary protocol of
+// serve/binary_protocol.hpp (first byte 0xB7, which no line request
+// can start with).  Responses use the connection's framing; semantics
+// — typed errors, admission control, graceful drain, shutdown verb —
+// are identical in both.
+//
+// Per-connection flow: requests are parsed in batches on the loop
+// thread (bounded per dispatch), handled in order on one worker task,
+// and answered with a single write — FIFO per connection, so
+// pipelining is safe in both framings.
 //
 // POSIX sockets only (the project targets Linux); loopback by default.
 #pragma once
@@ -11,18 +23,21 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
-#include <vector>
+#include <unordered_map>
 
 #include "common/limits.hpp"
+#include "common/thread_pool.hpp"
+#include "net/event_loop.hpp"
 #include "serve/session.hpp"
 
 namespace gpuperf::serve {
 
-class TcpServer {
+class TcpServer : private net::EventLoop::Handler {
  public:
   struct Options {
     /// 0 picks an ephemeral port; read the result from port().
@@ -33,19 +48,36 @@ class TcpServer {
     /// error response and is closed (docs/ROBUSTNESS.md).
     std::size_t max_line_bytes =
         InputLimits::defaults().max_request_line_bytes;
+    /// Longest accepted binary-frame payload; enforced from the frame
+    /// header before any payload is buffered.
+    std::size_t max_frame_payload_bytes =
+        InputLimits::defaults().max_frame_payload_bytes;
+    /// Listen backlog (--backlog).
+    int backlog = 128;
+    /// Reap connections idle for this long (--idle-timeout-ms);
+    /// 0 = never.  Reaps are counted as connections_idle_reaped.
+    int idle_timeout_ms = 0;
+    /// Request-handling worker threads; 0 = hardware threads.
+    std::size_t worker_threads = 0;
+    /// Loop-level shed bound: heavy requests (predict/rank/analyze/dse)
+    /// past this many dispatched-but-unanswered get an immediate
+    /// `overloaded` response instead of queueing on the worker pool.
+    /// Cheap verbs always pass, so the server stays observable.
+    /// 0 = unbounded (the session's max_in_flight still applies).
+    std::size_t max_pending = 0;
   };
 
   /// The session must outlive the server.
   TcpServer(ServeSession& session, Options options);
   explicit TcpServer(ServeSession& session)
       : TcpServer(session, Options()) {}
-  ~TcpServer();
+  ~TcpServer() override;
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Bind + listen + spawn the acceptor; GP_CHECK-fails if the port is
-  /// taken.
+  /// Bind + listen + spawn the event loop; GP_CHECK-fails if the port
+  /// is taken.
   void start();
 
   /// The bound port (valid after start()).
@@ -69,25 +101,68 @@ class TcpServer {
   /// join the threads; stragglers are then cut off hard.
   bool drain(int timeout_ms);
 
-  /// Close the listener, unblock and join every connection thread.
-  /// Idempotent; must not be called from a connection thread.
+  /// Stop the loop, join its thread, drain the worker pool.
+  /// Idempotent; a stopped server can start() again.
   void stop();
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
+  enum class Wire { kUnknown, kLine, kBinary };
+
+  /// One parsed (or preformed) request in a dispatch batch; answered in
+  /// order by a single worker task.
+  struct WorkItem {
+    Request request;
+    std::uint8_t binary_verb = 0;  // wire id to echo (binary conns)
+    bool heavy = false;
+    /// Preformed response (shed / parse error): skip the session.
+    bool preformed = false;
+    Response response;
+  };
+
+  struct ConnState {
+    Wire wire = Wire::kUnknown;
+    bool closing = false;
+  };
+
+  // net::EventLoop::Handler (loop thread)
+  bool on_data(net::ConnId id, net::Buffer& in) override;
+  void on_close(net::ConnId id) override;
+
+  void parse_batch(ConnState& state, net::Buffer& in,
+                   std::vector<WorkItem>& batch);
+  bool parse_line(ConnState& state, net::Buffer& in,
+                  std::vector<WorkItem>& batch);
+  bool parse_binary(ConnState& state, net::Buffer& in,
+                    std::vector<WorkItem>& batch);
+  void reject_oversized_line(ConnState& state, std::size_t observed,
+                             std::vector<WorkItem>& batch);
+  void admit(WorkItem& item);
+  static std::string frame_response(Wire wire, const WorkItem& item,
+                                    const Response& response);
+  void dispatch(net::ConnId id, ConnState& state,
+                std::vector<WorkItem> batch);
+  void notify_stop_requested();
+  void sync_loop_stats();
 
   ServeSession& session_;
   Options options_;
-  int listen_fd_ = -1;
+  InputLimits frame_limits_;  // defaults + max_frame_payload_bytes
   int port_ = 0;
-  std::thread acceptor_;
+
+  std::unique_ptr<net::EventLoop> loop_;
+  std::thread loop_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::unordered_map<net::ConnId, ConnState> conn_state_;  // loop thread
+
+  /// Heavy requests dispatched but not yet answered (the max_pending
+  /// shed gauge; bumped on the loop thread, dropped by worker tasks).
+  std::atomic<std::int64_t> pending_heavy_{0};
+  std::atomic<std::uint64_t>* requests_line_ = nullptr;
+  std::atomic<std::uint64_t>* requests_binary_ = nullptr;
+
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<std::thread> connections_;
-  std::set<int> open_fds_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
   std::atomic<bool> stop_requested_{false};
 };
 

@@ -691,7 +691,16 @@ void write_cache_json(JsonWriter& json, std::string_view name,
 
 }  // namespace
 
+void ServeSession::set_stats_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(stats_hook_mutex_);
+  stats_hook_ = std::move(hook);
+}
+
 std::string ServeSession::stats_json() {
+  {
+    std::lock_guard<std::mutex> lock(stats_hook_mutex_);
+    if (stats_hook_) stats_hook_();
+  }
   // Sync the process-wide DCA fast-path counters into the registry so
   // they appear under "counters" alongside the serve-local ones.
   const auto memo = ptx::InstructionCounter::memo_stats();

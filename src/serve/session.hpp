@@ -16,6 +16,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -154,6 +155,12 @@ class ServeSession {
   /// The stats endpoint's JSON (also handy without a Request).
   std::string stats_json();
 
+  /// Install a callback run at the top of stats_json() — the TCP
+  /// server uses it to sync event-loop counters (connections, bytes,
+  /// wakeups) into the metrics registry just before they're emitted.
+  /// Pass an empty function to clear; thread-safe.
+  void set_stats_hook(std::function<void()> hook);
+
   /// Human-readable shutdown summary: endpoint traffic + cache hit
   /// rates.
   std::string summary() const;
@@ -245,6 +252,9 @@ class ServeSession {
   // still yields a useful prediction.
   std::atomic<std::int64_t> observed_instruction_sum_{0};
   std::atomic<std::uint64_t> observed_instruction_count_{0};
+
+  std::mutex stats_hook_mutex_;
+  std::function<void()> stats_hook_;  // guarded by stats_hook_mutex_
 
   std::mutex poll_mutex_;
   std::condition_variable poll_cv_;

@@ -1,0 +1,85 @@
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace gpuperf::net {
+namespace {
+
+TEST(Buffer, AppendAndConsume) {
+  Buffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  buffer.append(std::string_view("hello "));
+  buffer.append(std::string_view("world"));
+  EXPECT_EQ(buffer.view(), "hello world");
+  buffer.consume(6);
+  EXPECT_EQ(buffer.view(), "world");
+  buffer.consume(5);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(Buffer, ConsumeAllResetsHead) {
+  Buffer buffer;
+  buffer.append(std::string_view("abc"));
+  buffer.consume(3);
+  // After a full consume new appends start at the front again.
+  buffer.append(std::string_view("xy"));
+  EXPECT_EQ(buffer.view(), "xy");
+}
+
+TEST(Buffer, ReserveCommitPair) {
+  Buffer buffer;
+  char* dst = buffer.reserve(8);
+  std::memcpy(dst, "12345678", 8);
+  buffer.commit(5);  // committed less than reserved
+  EXPECT_EQ(buffer.view(), "12345");
+  // A second reserve/commit appends after the committed bytes.
+  dst = buffer.reserve(4);
+  std::memcpy(dst, "abcd", 4);
+  buffer.commit(4);
+  EXPECT_EQ(buffer.view(), "12345abcd");
+}
+
+TEST(Buffer, CompactsAfterLargeConsumedPrefix) {
+  Buffer buffer;
+  const std::string big(16384, 'a');
+  buffer.append(std::string_view(big));
+  buffer.append(std::string_view("tail"));
+  buffer.consume(big.size());  // head well past the compact threshold
+  EXPECT_EQ(buffer.view(), "tail");
+  // Everything still works after the internal compaction.
+  buffer.append(std::string_view("!"));
+  EXPECT_EQ(buffer.view(), "tail!");
+  buffer.consume(5);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Buffer, InterleavedGrowth) {
+  Buffer buffer;
+  std::string expect;
+  for (int i = 0; i < 200; ++i) {
+    const std::string piece(17, static_cast<char>('a' + i % 26));
+    buffer.append(std::string_view(piece));
+    expect += piece;
+    if (i % 3 == 0) {
+      buffer.consume(5);
+      expect.erase(0, 5);
+    }
+    ASSERT_EQ(buffer.view(), expect) << "iteration " << i;
+  }
+}
+
+TEST(Buffer, ClearEmpties) {
+  Buffer buffer;
+  buffer.append(std::string_view("data"));
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  buffer.append(std::string_view("next"));
+  EXPECT_EQ(buffer.view(), "next");
+}
+
+}  // namespace
+}  // namespace gpuperf::net

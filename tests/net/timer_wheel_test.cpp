@@ -1,0 +1,91 @@
+#include "net/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace gpuperf::net {
+namespace {
+
+TEST(TimerWheel, FiresAtDeadline) {
+  TimerWheel wheel(10, 64);
+  wheel.schedule(1, 100);
+  EXPECT_TRUE(wheel.armed(1));
+  EXPECT_TRUE(wheel.expire(90).empty());
+  const std::vector<TimerWheel::Id> fired = wheel.expire(100);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_FALSE(wheel.armed(1));
+  EXPECT_TRUE(wheel.expire(200).empty());  // one-shot
+}
+
+TEST(TimerWheel, CancelSuppressesFire) {
+  TimerWheel wheel(10, 64);
+  wheel.schedule(7, 50);
+  wheel.cancel(7);
+  EXPECT_FALSE(wheel.armed(7));
+  EXPECT_TRUE(wheel.expire(1000).empty());
+}
+
+TEST(TimerWheel, RescheduleMovesDeadline) {
+  TimerWheel wheel(10, 64);
+  wheel.schedule(3, 50);
+  wheel.schedule(3, 300);  // re-arm later; stale slot entry decays
+  EXPECT_TRUE(wheel.expire(100).empty());
+  const std::vector<TimerWheel::Id> fired = wheel.expire(300);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3u);
+}
+
+TEST(TimerWheel, ManyTimersAcrossSlots) {
+  TimerWheel wheel(10, 16);
+  for (TimerWheel::Id id = 0; id < 100; ++id)
+    wheel.schedule(id, static_cast<std::int64_t>(10 * (id + 1)));
+  EXPECT_EQ(wheel.armed_count(), 100u);
+  // Advance halfway: timers 0..49 (deadlines 10..500) fire.
+  std::vector<TimerWheel::Id> fired = wheel.expire(500);
+  EXPECT_EQ(fired.size(), 50u);
+  // And the rest on the second advance.
+  std::vector<TimerWheel::Id> rest = wheel.expire(1000);
+  EXPECT_EQ(rest.size(), 50u);
+  EXPECT_EQ(wheel.armed_count(), 0u);
+  fired.insert(fired.end(), rest.begin(), rest.end());
+  std::sort(fired.begin(), fired.end());
+  for (TimerWheel::Id id = 0; id < 100; ++id) EXPECT_EQ(fired[id], id);
+}
+
+TEST(TimerWheel, DeadlineBeyondOneRevolution) {
+  // 8 slots x 10ms tick = 80ms revolution; a 250ms deadline must survive
+  // multiple revolutions of its slot being scanned.
+  TimerWheel wheel(10, 8);
+  wheel.schedule(42, 250);
+  std::int64_t now = 0;
+  while (now < 240) {
+    now += 30;
+    EXPECT_TRUE(wheel.expire(now).empty()) << "now=" << now;
+  }
+  const std::vector<TimerWheel::Id> fired = wheel.expire(260);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 42u);
+}
+
+TEST(TimerWheel, LargeJumpFiresEverything) {
+  TimerWheel wheel(10, 8);
+  for (TimerWheel::Id id = 0; id < 20; ++id)
+    wheel.schedule(id, static_cast<std::int64_t>(25 * (id + 1)));
+  // A single big jump (clock stall) past every deadline fires them all,
+  // even though the jump spans many revolutions.
+  EXPECT_EQ(wheel.expire(10000).size(), 20u);
+}
+
+TEST(TimerWheel, NonMonotonicNowIsClamped) {
+  TimerWheel wheel(10, 8);
+  wheel.schedule(1, 100);
+  EXPECT_TRUE(wheel.expire(90).empty());
+  EXPECT_TRUE(wheel.expire(50).empty());  // time never runs backwards
+  EXPECT_EQ(wheel.expire(110).size(), 1u);
+}
+
+}  // namespace
+}  // namespace gpuperf::net

@@ -1,0 +1,292 @@
+// Binary framing round-trips, malformed-frame rejection, and live
+// mixed-protocol traffic against the real server.
+#include "serve/binary_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace gpuperf::serve {
+namespace {
+
+ServeOptions tiny_options() {
+  ServeOptions options;
+  options.train_models = {"alexnet", "mobilenet", "MobileNetV2", "vgg16"};
+  options.n_threads = 2;
+  return options;
+}
+
+ServeSession& shared_session() {
+  static ServeSession session(tiny_options());
+  return session;
+}
+
+/// Raw loopback connection for hand-crafted (and corrupted) frames.
+class RawConn {
+ public:
+  explicit RawConn(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_bytes(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Read until one whole frame is buffered; returns its DecodeResult.
+  binary::DecodeResult read_frame() {
+    for (;;) {
+      const binary::DecodeResult r = binary::decode_frame(buffer_);
+      if (r.status != binary::DecodeStatus::kNeedMore) return r;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return r;  // kNeedMore: peer closed / timed out
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True once the peer closes (EOF within the receive timeout).
+  bool peer_closed() {
+    char chunk[256];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout: still open
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string& buffer() { return buffer_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(BinaryProtocol, RequestRoundTripAllVerbs) {
+  using binary::Verb;
+  for (const Verb verb :
+       {Verb::kPredict, Verb::kRank, Verb::kDse, Verb::kAnalyze,
+        Verb::kReload, Verb::kModelInfo, Verb::kStats, Verb::kPing,
+        Verb::kShutdown}) {
+    const std::string args = "alexnet v100s --deadline-ms 250";
+    const std::string wire = binary::encode_request(verb, args);
+    const binary::DecodeResult r = binary::decode_frame(wire);
+    ASSERT_EQ(r.status, binary::DecodeStatus::kFrame)
+        << binary::decode_status_name(r.status);
+    EXPECT_EQ(r.frame.verb, verb);
+    EXPECT_EQ(r.frame.flags, 0);
+    EXPECT_EQ(r.frame.payload, args);
+    EXPECT_EQ(r.consumed, wire.size());
+
+    const Request request = binary::to_request(r.frame);
+    EXPECT_EQ(request.verb, binary::verb_name(verb));
+    ASSERT_EQ(request.cmd.positional.size(), 2u);
+    EXPECT_EQ(request.cmd.positional[0], "alexnet");
+    EXPECT_EQ(request.cmd.flag_or("deadline-ms", ""), "250");
+  }
+}
+
+TEST(BinaryProtocol, ResponseCarriesErrorFlag) {
+  const std::string ok =
+      binary::encode_response(binary::Verb::kPing, true, "{\"ok\":true}");
+  const std::string err = binary::encode_response(
+      binary::Verb::kPredict, false, "{\"ok\":false}");
+  const binary::DecodeResult rok = binary::decode_frame(ok);
+  const binary::DecodeResult rerr = binary::decode_frame(err);
+  ASSERT_EQ(rok.status, binary::DecodeStatus::kFrame);
+  ASSERT_EQ(rerr.status, binary::DecodeStatus::kFrame);
+  EXPECT_EQ(rok.frame.flags & binary::kFlagError, 0);
+  EXPECT_EQ(rerr.frame.flags & binary::kFlagError, binary::kFlagError);
+  EXPECT_EQ(rerr.frame.verb, binary::Verb::kPredict);
+}
+
+TEST(BinaryProtocol, VerbNamesRoundTrip) {
+  for (std::uint8_t v = 1; v <= 9; ++v) {
+    const auto verb = static_cast<binary::Verb>(v);
+    binary::Verb parsed;
+    ASSERT_TRUE(binary::verb_from_name(binary::verb_name(verb), parsed));
+    EXPECT_EQ(parsed, verb);
+  }
+  binary::Verb unused;
+  EXPECT_FALSE(binary::verb_from_name("frobnicate", unused));
+  EXPECT_FALSE(binary::verb_from_name("", unused));
+}
+
+TEST(BinaryProtocol, TruncatedPrefixesNeedMore) {
+  const std::string wire =
+      binary::encode_request(binary::Verb::kPredict, "alexnet v100s");
+  // Every strict prefix decodes to kNeedMore — never an error, never a
+  // frame — so incremental socket reads compose correctly.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const binary::DecodeResult r =
+        binary::decode_frame(std::string_view(wire).substr(0, len));
+    EXPECT_EQ(r.status, binary::DecodeStatus::kNeedMore) << "len=" << len;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+TEST(BinaryProtocol, MalformedFramesGetTypedStatuses) {
+  std::string wire =
+      binary::encode_request(binary::Verb::kPing, "payload");
+
+  std::string bad_magic = wire;
+  bad_magic[0] = 'p';
+  EXPECT_EQ(binary::decode_frame(bad_magic).status,
+            binary::DecodeStatus::kBadMagic);
+
+  std::string bad_version = wire;
+  bad_version[1] = 9;
+  EXPECT_EQ(binary::decode_frame(bad_version).status,
+            binary::DecodeStatus::kBadVersion);
+
+  std::string bad_verb = wire;
+  bad_verb[2] = 42;
+  EXPECT_EQ(binary::decode_frame(bad_verb).status,
+            binary::DecodeStatus::kBadVerb);
+  bad_verb[2] = 0;
+  EXPECT_EQ(binary::decode_frame(bad_verb).status,
+            binary::DecodeStatus::kBadVerb);
+
+  std::string bad_crc = wire;
+  bad_crc[binary::kHeaderBytes] ^= 0x01;
+  EXPECT_EQ(binary::decode_frame(bad_crc).status,
+            binary::DecodeStatus::kBadCrc);
+}
+
+TEST(BinaryProtocol, OversizedLengthRejectedFromHeaderAlone) {
+  InputLimits limits;
+  limits.max_frame_payload_bytes = 64;
+  const std::string wire =
+      binary::encode_request(binary::Verb::kPing, std::string(65, 'x'));
+  // Only the 12 header bytes are needed to reject: the payload never
+  // has to be buffered.
+  const binary::DecodeResult r = binary::decode_frame(
+      std::string_view(wire).substr(0, binary::kHeaderBytes), limits);
+  EXPECT_EQ(r.status, binary::DecodeStatus::kTooLarge);
+  EXPECT_NE(r.error.find("64"), std::string::npos) << r.error;
+  // Within the budget the same frame is fine.
+  limits.max_frame_payload_bytes = 65;
+  EXPECT_EQ(binary::decode_frame(wire, limits).status,
+            binary::DecodeStatus::kFrame);
+}
+
+TEST(BinaryProtocol, BinaryClientRoundTripsAgainstLiveServer) {
+  ServeSession& session = shared_session();
+  TcpServer server(session);
+  server.start();
+  TcpClient::Options options;
+  options.binary = true;
+  TcpClient client("127.0.0.1", server.port(), options);
+  EXPECT_NE(client.request("ping").find("\"ok\":true"),
+            std::string::npos);
+  const std::string body = client.request("predict alexnet v100s");
+  EXPECT_NE(body.find("\"ok\":true"), std::string::npos) << body;
+  // Unknown model: typed error body over the binary framing.
+  EXPECT_NE(client.request("predict nosuch v100s").find("\"ok\":false"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(BinaryProtocol, MixedLineAndBinaryClientsShareOneServer) {
+  ServeSession& session = shared_session();
+  TcpServer server(session);
+  server.start();
+
+  const std::uint64_t line_before =
+      session.metrics().counter_value("requests_line");
+  const std::uint64_t binary_before =
+      session.metrics().counter_value("requests_binary");
+
+  TcpClient line_client("127.0.0.1", server.port());
+  TcpClient::Options options;
+  options.binary = true;
+  TcpClient binary_client("127.0.0.1", server.port(), options);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(line_client.request("predict mobilenet teslat4")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    EXPECT_NE(binary_client.request("predict mobilenet teslat4")
+                  .find("\"ok\":true"),
+              std::string::npos);
+  }
+  // Both framings return byte-identical JSON bodies.
+  EXPECT_EQ(line_client.request("model_info"),
+            binary_client.request("model_info"));
+  // Per-protocol request counters tracked the split.
+  EXPECT_EQ(session.metrics().counter_value("requests_line"),
+            line_before + 4);
+  EXPECT_EQ(session.metrics().counter_value("requests_binary"),
+            binary_before + 4);
+  server.stop();
+}
+
+TEST(BinaryProtocol, OversizedFrameGetsTypedErrorAndClose) {
+  ServeSession& session = shared_session();
+  TcpServer::Options options;
+  options.max_frame_payload_bytes = 128;
+  TcpServer server(session, options);
+  server.start();
+
+  const std::uint64_t rejected_before =
+      session.metrics().counter_value("inputs_rejected");
+  RawConn conn(server.port());
+  conn.send_bytes(
+      binary::encode_request(binary::Verb::kPredict,
+                             std::string(256, 'x')));
+  const binary::DecodeResult r = conn.read_frame();
+  ASSERT_EQ(r.status, binary::DecodeStatus::kFrame);
+  EXPECT_NE(r.frame.flags & binary::kFlagError, 0);
+  EXPECT_NE(r.frame.payload.find("\"code\":\"input_too_large\""),
+            std::string::npos)
+      << r.frame.payload;
+  EXPECT_NE(r.frame.payload.find("128"), std::string::npos);
+  EXPECT_EQ(session.metrics().counter_value("inputs_rejected"),
+            rejected_before + 1);
+  conn.buffer().erase(0, r.consumed);
+  EXPECT_TRUE(conn.peer_closed());
+  server.stop();
+}
+
+TEST(BinaryProtocol, CorruptCrcGetsTypedErrorAndClose) {
+  TcpServer server(shared_session());
+  server.start();
+  RawConn conn(server.port());
+  std::string wire = binary::encode_request(binary::Verb::kPing, "x");
+  wire[binary::kHeaderBytes] = 'y';  // payload no longer matches CRC
+  conn.send_bytes(wire);
+  const binary::DecodeResult r = conn.read_frame();
+  ASSERT_EQ(r.status, binary::DecodeStatus::kFrame);
+  EXPECT_NE(r.frame.flags & binary::kFlagError, 0);
+  EXPECT_NE(r.frame.payload.find("\"code\":\"invalid_request\""),
+            std::string::npos)
+      << r.frame.payload;
+  conn.buffer().erase(0, r.consumed);
+  EXPECT_TRUE(conn.peer_closed());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace gpuperf::serve

@@ -91,8 +91,11 @@ int usage() {
       "        [--version vNNNN] [--feature-store <dir>] [--poll-ms N]\n"
       "        [--deadline-ms N] [--step-budget N] [--no-degrade]\n"
       "        [--max-inflight N] [--max-queue N] [--max-line-bytes N]\n"
+      "        [--max-frame-bytes N] [--backlog N] [--idle-timeout-ms N]\n"
+      "        [--workers K] [--max-pending N]\n"
       "  client <request...> [--host H] [--port N] [--timeout-ms N]\n"
-      "        [--retries N] (backoff with jitter on failure/overload)\n"
+      "        [--retries N] [--binary] (backoff with jitter on\n"
+      "        failure/overload; --binary uses the framed protocol)\n"
       "        e.g. `gpuperf client predict resnet50v2 teslat4`\n");
   return 2;
 }
@@ -482,6 +485,18 @@ int cmd_serve(const Args& args) {
       it != args.flags.end())
     server_options.max_line_bytes =
         static_cast<std::size_t>(parse_int(it->second));
+  if (const auto it = args.flags.find("max-frame-bytes");
+      it != args.flags.end())
+    server_options.max_frame_payload_bytes =
+        static_cast<std::size_t>(parse_int(it->second));
+  server_options.backlog =
+      static_cast<int>(parse_int(args.flag_or("backlog", "128")));
+  server_options.idle_timeout_ms =
+      static_cast<int>(parse_int(args.flag_or("idle-timeout-ms", "0")));
+  server_options.worker_threads =
+      static_cast<std::size_t>(parse_int(args.flag_or("workers", "0")));
+  server_options.max_pending =
+      static_cast<std::size_t>(parse_int(args.flag_or("max-pending", "0")));
   server_options.port =
       static_cast<int>(parse_int(args.flag_or("port", "0")));
   if (server_options.port == 0 && !args.has_flag("port"))
@@ -522,6 +537,7 @@ int cmd_client(const Args& args) {
       static_cast<int>(parse_int(args.flag_or("timeout-ms", "30000")));
   client_options.connect_timeout_ms =
       std::min(client_options.io_timeout_ms, 5000);
+  client_options.binary = args.has_flag("binary");
   serve::RetryPolicy policy;
   policy.attempts =
       static_cast<int>(parse_int(args.flag_or("retries", "3"))) + 1;
