@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "serve/binary_protocol.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
@@ -68,13 +69,20 @@ struct LoadgenOptions {
   std::string verb = "ping";      // ping | predict
   std::string out;                // JSON report path ("" = stdout only)
   bool require_binary_faster = false;
+  /// Fault spec armed in-process before the run (common/fault.hpp
+  /// grammar, e.g. "net.read=throw*100;net.write=throw*100").  Only
+  /// the --self server shares the process, so faults only bite there.
+  std::string fault_spec;
 };
 
 struct RunResult {
   std::string protocol;
   std::uint64_t connected = 0;  // connections that completed connect()
   std::uint64_t requests = 0;   // responses completed in the window
-  std::uint64_t errors = 0;     // failed connects / resets / bad frames
+  std::uint64_t errors = 0;     // failed connects / bad frames
+  std::uint64_t resets = 0;     // peer resets/EOF mid-run (ECONNRESET,
+                                // EPIPE, RST) — expected under chaos,
+                                // counted separately from errors
   double rps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
@@ -89,6 +97,7 @@ struct Shared {
   std::atomic<std::uint64_t> connected{0};
   std::atomic<std::uint64_t> measured{0};
   std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> resets{0};
   serve::LatencyHistogram latency;
 };
 
@@ -162,7 +171,7 @@ class Worker {
           continue;
         }
         if (events[i].events & (EPOLLERR | EPOLLHUP)) {
-          fail_conn(conn);
+          fail_conn(conn, /*reset=*/true);
           continue;
         }
         if (events[i].events & EPOLLOUT) flush_out(idx);
@@ -246,14 +255,18 @@ class Worker {
     kick_connects();
   }
 
-  void fail_conn(Conn& conn) {
+  /// `reset` distinguishes a peer that dropped us mid-run (expected
+  /// under fault injection; the run carries on with one connection
+  /// fewer) from connect failures and protocol errors.
+  void fail_conn(Conn& conn, bool reset = false) {
     if (conn.fd >= 0) {
       ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn.fd, nullptr);
       ::close(conn.fd);
     }
     conn.fd = -1;
     conn.dead = true;
-    shared_.errors.fetch_add(1, std::memory_order_relaxed);
+    (reset ? shared_.resets : shared_.errors)
+        .fetch_add(1, std::memory_order_relaxed);
   }
 
   void update_interest(std::size_t idx) {
@@ -296,7 +309,8 @@ class Worker {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (n < 0 && errno == EINTR) continue;
-      fail_conn(conn);
+      fail_conn(conn,
+                /*reset=*/n < 0 && (errno == ECONNRESET || errno == EPIPE));
       return;
     }
     if (conn.out_off == conn.out.size()) {
@@ -317,7 +331,9 @@ class Worker {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (n < 0 && errno == EINTR) continue;
-      fail_conn(conn);  // EOF or error mid-run
+      // EOF or reset mid-run: the server closed us (idle reap, chaos
+      // fault, backpressure) — count as a reset, not a protocol error.
+      fail_conn(conn, /*reset=*/n == 0 || errno == ECONNRESET);
       return;
     }
     if (protocol_ == "binary")
@@ -474,6 +490,7 @@ std::vector<RunResult> run_all(const LoadgenOptions& options, int port) {
     result.connected = peak_connected[protocol];
     result.requests = s.measured.load();
     result.errors = s.errors.load();
+    result.resets = s.resets.load();
     result.rps = measured_s[protocol] > 0
                      ? result.requests / measured_s[protocol]
                      : 0.0;
@@ -500,7 +517,8 @@ std::string report_json(const LoadgenOptions& options,
     out << "    {\"protocol\": \"" << r.protocol << "\""
         << ", \"connected\": " << r.connected
         << ", \"requests\": " << r.requests
-        << ", \"errors\": " << r.errors << ", \"rps\": " << r.rps
+        << ", \"errors\": " << r.errors << ", \"resets\": " << r.resets
+        << ", \"rps\": " << r.rps
         << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
         << ", \"p999_us\": " << r.p999_us << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
@@ -524,6 +542,8 @@ int usage(const char* argv0) {
       << "  --protocol P       line | binary | both (default both)\n"
       << "  --verb V           ping | predict (default ping)\n"
       << "  --out FILE         write loadgen-native JSON report\n"
+      << "  --fault-spec S     arm in-process faults (--self only),\n"
+      << "                     e.g. net.read=throw*100;net.write=throw*50\n"
       << "  --require-binary-faster  exit 1 unless binary rps > line\n";
   return 2;
 }
@@ -553,6 +573,7 @@ int main(int argc, char** argv) {
     else if (arg == "--protocol") options.protocol = value();
     else if (arg == "--verb") options.verb = value();
     else if (arg == "--out") options.out = value();
+    else if (arg == "--fault-spec") options.fault_spec = value();
     else if (arg == "--require-binary-faster")
       options.require_binary_faster = true;
     else
@@ -564,6 +585,13 @@ int main(int argc, char** argv) {
   if (!options.self && options.port == 0) return usage(argv[0]);
 
   raise_fd_limit();
+
+  if (!options.fault_spec.empty()) {
+    if (!options.self)
+      std::cerr << "loadgen: --fault-spec arms faults in THIS process; "
+                   "without --self the external server is unaffected\n";
+    gpuperf::fault::arm_from_spec(options.fault_spec);
+  }
 
   // In-process target: small training subset (we measure serving I/O,
   // not training) and a backlog sized for the connect ramp.
@@ -585,6 +613,7 @@ int main(int argc, char** argv) {
   for (const RunResult& r : runs) {
     std::cerr << "  " << r.protocol << ": connected=" << r.connected
               << " requests=" << r.requests << " errors=" << r.errors
+              << " resets=" << r.resets
               << " rps=" << r.rps << " p50=" << r.p50_us
               << "us p99=" << r.p99_us << "us p999=" << r.p999_us
               << "us\n";

@@ -161,4 +161,20 @@ bool corrupt(const std::string& site) {
   return consume(site, /*corrupt_only=*/true, spec);
 }
 
+bool consume_nonthrowing(const std::string& site, Spec& out) {
+  ensure_env_parsed();
+  Registry& r = registry();
+  if (r.armed_count.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  out = it->second;
+  r.hit_counts[site] += 1;
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    r.sites.erase(it);
+    r.armed_count.store(r.sites.size(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
 }  // namespace gpuperf::fault

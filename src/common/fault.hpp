@@ -66,6 +66,13 @@ void point(const std::string& site, const Deadline* deadline = nullptr);
 /// the call site then flips bits / drops data itself.
 bool corrupt(const std::string& site);
 
+/// Non-throwing consumption for call sites that cannot unwind (the
+/// event-loop syscall shim): consumes one firing of `site` regardless
+/// of action and returns the Spec.  Returns false when the site is not
+/// armed.  The caller interprets the action itself — e.g. net::io maps
+/// kThrow to a forced ECONNRESET instead of raising.
+bool consume_nonthrowing(const std::string& site, Spec& out);
+
 /// RAII arming for tests: disarms the site on scope exit.
 class ScopedFault {
  public:

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
+#include "net/io.hpp"
 #include "net/socket.hpp"
 
 namespace gpuperf::net {
@@ -25,17 +27,28 @@ constexpr std::uint32_t kConnEvents = EPOLLIN | EPOLLET | EPOLLRDHUP;
 // Bounded accepts per wakeup; the listener is level-triggered so the
 // remainder re-fires immediately, and no connection starves the loop.
 constexpr int kAcceptBatch = 128;
+// An iteration spending longer than this processing events means
+// something blocked the loop thread (a handler, a stalled syscall);
+// counted in loop_stalls and visible through heartbeat_age_ms().
+constexpr std::int64_t kStallThresholdMs = 1000;
 
-std::int64_t clamp_tick(int idle_timeout_ms) {
-  if (idle_timeout_ms <= 0) return 1000;
-  return std::clamp<std::int64_t>(idle_timeout_ms / 4, 10, 1000);
+std::int64_t clamp_tick(int idle_timeout_ms, int read_progress_ms) {
+  std::int64_t tick = 1000;
+  if (idle_timeout_ms > 0)
+    tick = std::min<std::int64_t>(
+        tick, std::clamp<std::int64_t>(idle_timeout_ms / 4, 10, 1000));
+  if (read_progress_ms > 0)
+    tick = std::min<std::int64_t>(
+        tick, std::clamp<std::int64_t>(read_progress_ms / 4, 10, 1000));
+  return tick;
 }
 
 }  // namespace
 
 EventLoop::EventLoop(int listen_fd, Handler& handler, Options options)
     : handler_(handler), options_(options), listen_fd_(listen_fd),
-      tick_ms_(clamp_tick(options.idle_timeout_ms)),
+      tick_ms_(clamp_tick(options.idle_timeout_ms,
+                          options.read_progress_timeout_ms)),
       wheel_(tick_ms_, 512) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   GP_CHECK_MSG(epoll_fd_ >= 0,
@@ -44,6 +57,13 @@ EventLoop::EventLoop(int listen_fd, Handler& handler, Options options)
   GP_CHECK_MSG(wake_fd_ >= 0,
                "eventfd failed: " << std::strerror(errno));
   spare_fd_ = open_spare_fd();
+  if (spare_fd_ < 0) {
+    // Armed-but-dead EMFILE recovery would otherwise fail silently the
+    // first time the fd table fills up.
+    stats_.spare_fd_unavailable.store(1, std::memory_order_relaxed);
+    GP_LOG(kWarn) << "could not reserve a spare fd (" <<
+        std::strerror(errno) << "); EMFILE accept recovery is disabled";
+  }
 }
 
 EventLoop::~EventLoop() {
@@ -77,16 +97,19 @@ void EventLoop::run() {
   GP_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
 
   std::vector<epoll_event> events(256);
+  heartbeat_ms_.store(now_ms(), std::memory_order_relaxed);
   while (!stop_.load(std::memory_order_acquire)) {
-    const int timeout =
-        options_.idle_timeout_ms > 0 ? static_cast<int>(tick_ms_) : -1;
+    // Always a finite timeout: the watchdog heartbeat must advance even
+    // on a traffic-free loop, and the periodic sweeps need a tick.
     const int n =
         ::epoll_wait(epoll_fd_, events.data(),
-                     static_cast<int>(events.size()), timeout);
+                     static_cast<int>(events.size()),
+                     static_cast<int>(tick_ms_));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    const std::int64_t iteration_start = now_ms();
     stats_.epoll_wakeups.fetch_add(1, std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       const ConnId id = events[i].data.u64;
@@ -122,6 +145,11 @@ void EventLoop::run() {
     if (drain_requested_.load(std::memory_order_acquire) && !drained_)
       do_drain();
     if (options_.idle_timeout_ms > 0) expire_idle();
+    if (options_.read_progress_timeout_ms > 0) expire_stalled_reads();
+    const std::int64_t iteration_end = now_ms();
+    if (iteration_end - iteration_start > kStallThresholdMs)
+      stats_.loop_stalls.fetch_add(1, std::memory_order_relaxed);
+    heartbeat_ms_.store(iteration_end, std::memory_order_relaxed);
   }
 
   // Teardown: every surviving connection closes with on_close
@@ -139,8 +167,8 @@ void EventLoop::run() {
 void EventLoop::accept_ready() {
   for (int i = 0; i < kAcceptBatch; ++i) {
     const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr,
-                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+        io::accept4(listen_fd_, nullptr, nullptr,
+                    SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO)
         continue;
@@ -159,6 +187,8 @@ void EventLoop::accept_ready() {
                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (victim >= 0) ::close(victim);
         if (spare_fd_ < 0) spare_fd_ = open_spare_fd();
+        if (spare_fd_ < 0)
+          stats_.spare_fd_unavailable.store(1, std::memory_order_relaxed);
         continue;
       }
       return;  // EAGAIN or a transient error: next wakeup retries
@@ -195,12 +225,15 @@ void EventLoop::conn_readable(Conn& conn) {
       break;
     }
     char* dst = conn.in.reserve(kReadChunk);
-    const ssize_t n = ::recv(conn.fd, dst, kReadChunk, 0);
+    const ssize_t n = io::read(conn.fd, dst, kReadChunk);
     if (n > 0) {
       conn.in.commit(static_cast<std::size_t>(n));
       stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
       conn.last_activity_ms = now_ms();
+      // Start the slow-loris clock when a request begins arriving; it
+      // keeps running across drip-fed reads (unlike last_activity_ms).
+      if (conn.read_start_ms == 0) conn.read_start_ms = now_ms();
       continue;
     }
     conn.in.commit(0);
@@ -218,7 +251,16 @@ void EventLoop::conn_readable(Conn& conn) {
 
 void EventLoop::run_handler(Conn& conn) {
   const ConnId id = conn.id;
+  const std::size_t before = conn.in.size();
+  const int dispatched_before = conn.in_flight;
   if (!handler_.on_data(id, conn.in)) conn.close_when_flushed = true;
+  // Re-base the slow-loris clock only when parsing made real progress
+  // (bytes consumed or work dispatched); a drip-fed partial request
+  // leaves the clock running from its first byte.
+  if (conn.in.empty())
+    conn.read_start_ms = 0;
+  else if (conn.in.size() < before || conn.in_flight > dispatched_before)
+    conn.read_start_ms = now_ms();
   if (!flush_output(conn)) return;
   Conn* alive = find(id);
   if (alive != nullptr) maybe_close(*alive);
@@ -226,8 +268,7 @@ void EventLoop::run_handler(Conn& conn) {
 
 bool EventLoop::flush_output(Conn& conn) {
   while (!conn.out.empty()) {
-    const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
-                             MSG_NOSIGNAL);
+    const ssize_t n = io::write(conn.fd, conn.out.data(), conn.out.size());
     if (n > 0) {
       stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
                                  std::memory_order_relaxed);
@@ -240,6 +281,14 @@ bool EventLoop::flush_output(Conn& conn) {
     close_conn(conn.id);
     return false;
   }
+  if (options_.max_output_buffer > 0 &&
+      conn.out.size() > options_.max_output_buffer) {
+    // The peer stopped reading while responses piled up: shed the
+    // connection rather than buffer without bound.
+    stats_.backpressure_closed.fetch_add(1, std::memory_order_relaxed);
+    close_conn(conn.id);
+    return false;
+  }
   update_epollout(conn);
   return true;
 }
@@ -249,7 +298,7 @@ void EventLoop::update_epollout(Conn& conn) {
   if (want == conn.want_write) return;
   conn.want_write = want;
   epoll_event ev{};
-  ev.events = kConnEvents | (want ? EPOLLOUT : 0);
+  ev.events = kConnEvents | (want ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
   ev.data.u64 = conn.id;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
@@ -269,6 +318,9 @@ void EventLoop::process_pending_sends() {
     if (p.completes_dispatch) {
       --conn->in_flight;
       conn->last_activity_ms = now_ms();
+      // Whatever partial request follows the answered batch gets a
+      // fresh slow-loris window.
+      conn->read_start_ms = conn->in.empty() ? 0 : now_ms();
       resumed = conn->in_flight == 0;
     }
     if (!flush_output(*conn)) continue;
@@ -331,6 +383,22 @@ void EventLoop::expire_idle() {
   }
 }
 
+void EventLoop::expire_stalled_reads() {
+  const std::int64_t now = now_ms();
+  std::vector<ConnId> stalled;
+  for (const auto& [id, conn] : conns_) {
+    if (conn.read_start_ms == 0 || conn.in_flight > 0 ||
+        conn.read_paused)
+      continue;
+    if (now - conn.read_start_ms >= options_.read_progress_timeout_ms)
+      stalled.push_back(id);
+  }
+  for (const ConnId id : stalled) {
+    stats_.slow_loris_closed.fetch_add(1, std::memory_order_relaxed);
+    close_conn(id);
+  }
+}
+
 void EventLoop::maybe_close(Conn& conn) {
   if (conn.in_flight > 0 || !conn.out.empty()) return;
   if (conn.close_when_flushed || conn.read_eof) close_conn(conn.id);
@@ -375,6 +443,12 @@ void EventLoop::drain() {
   const std::uint64_t one = 1;
   [[maybe_unused]] const ssize_t n =
       ::write(wake_fd_, &one, sizeof(one));
+}
+
+std::int64_t EventLoop::heartbeat_age_ms() const {
+  const std::int64_t beat = heartbeat_ms_.load(std::memory_order_relaxed);
+  if (beat == 0) return -1;
+  return std::max<std::int64_t>(0, now_ms() - beat);
 }
 
 bool EventLoop::wait_connections_closed(int timeout_ms) {

@@ -44,6 +44,11 @@ struct LoopStats {
   std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> idle_reaped{0};
   std::atomic<std::uint64_t> accept_emfile{0};
+  std::atomic<std::uint64_t> slow_loris_closed{0};
+  std::atomic<std::uint64_t> backpressure_closed{0};
+  std::atomic<std::uint64_t> loop_stalls{0};
+  /// 1 when open_spare_fd() failed: the EMFILE recovery path is dead.
+  std::atomic<std::uint64_t> spare_fd_unavailable{0};
 };
 
 class EventLoop {
@@ -67,9 +72,22 @@ class EventLoop {
     /// Reap a connection idle (no reads, writes, or in-flight work) for
     /// this long; 0 disables reaping.
     int idle_timeout_ms = 0;
+    /// Slow-loris defense, distinct from idle reaping: a connection
+    /// holding a partial request (buffered bytes, nothing dispatched)
+    /// that fails to complete it within this window is closed and
+    /// counted in slow_loris_closed.  Drip-feeding one byte per second
+    /// defeats the idle timer (every read refreshes activity) but not
+    /// this clock, which only resets when a request completes parsing.
+    /// 0 disables the check.
+    int read_progress_timeout_ms = 0;
     /// Per-connection input-buffer bound; reading pauses at the bound
     /// until the in-flight dispatch completes.
     std::size_t max_input_buffer = 1u << 20;
+    /// Per-connection output-buffer bound: a peer that stops reading
+    /// while responses accumulate past this many bytes is disconnected
+    /// (backpressure_closed) instead of holding memory hostage.
+    /// 0 disables the bound.
+    std::size_t max_output_buffer = 8u << 20;
   };
 
   /// Takes ownership of `listen_fd` (nonblocking, listening).
@@ -114,6 +132,17 @@ class EventLoop {
 
   const LoopStats& stats() const { return stats_; }
 
+  /// Watchdog heartbeat: milliseconds since the loop last completed an
+  /// iteration, or -1 before run() starts.  Thread-safe; the ready
+  /// probe treats a stale heartbeat (loop wedged in a handler or a
+  /// stalled syscall) as not-ready.
+  std::int64_t heartbeat_age_ms() const;
+
+  /// True once drain() has been requested.  Thread-safe.
+  bool draining() const {
+    return drain_requested_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Conn {
     int fd = -1;
@@ -122,6 +151,10 @@ class EventLoop {
     Buffer out;
     int in_flight = 0;
     std::int64_t last_activity_ms = 0;
+    // When the partial request currently being buffered started
+    // arriving; 0 = no partial request pending.  Feeds the slow-loris
+    // deadline (read_progress_timeout_ms).
+    std::int64_t read_start_ms = 0;
     bool want_write = false;   // EPOLLOUT currently armed
     bool read_paused = false;  // input buffer at its bound
     bool read_eof = false;     // peer half-closed (or drain SHUT_RD)
@@ -146,6 +179,7 @@ class EventLoop {
   void process_pending_sends();
   void do_drain();
   void expire_idle();
+  void expire_stalled_reads();
   void maybe_close(Conn& conn);
   void close_conn(ConnId id);
   Conn* find(ConnId id);
@@ -162,6 +196,7 @@ class EventLoop {
   TimerWheel wheel_;
   LoopStats stats_;
 
+  std::atomic<std::int64_t> heartbeat_ms_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_requested_{false};
   bool drained_ = false;  // loop-thread: do_drain already ran

@@ -1,0 +1,142 @@
+#include "net/io.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "common/fault.hpp"
+
+namespace gpuperf::net::io {
+
+#ifdef GPUPERF_FAULT_INJECTION
+
+namespace {
+
+/// Interprets an armed Spec as a forced errno result.  Returns true
+/// when the syscall outcome was overridden; `forced_errno` carries the
+/// errno to report, and `short_io` asks the caller to transfer at most
+/// one byte instead of failing.
+///
+/// kDelay semantics differ by direction.  The sleep always lands on the
+/// calling thread (tripping the loop watchdog when that thread is the
+/// event loop); afterwards, `delay_forces_again` decides whether the
+/// syscall then reports spurious EAGAIN or proceeds for real.  Reads
+/// must proceed: with edge-triggered epoll a swallowed read loses the
+/// readiness edge forever and would turn a "slow read" fault into a
+/// permanent hang.  Writes and accepts may report EAGAIN safely —
+/// EPOLLOUT re-fires once the kernel buffer has room, and the listener
+/// is level-triggered.
+bool consume_site(const char* site, int err_hard, int err_timeout,
+                  bool delay_forces_again, int* forced_errno,
+                  bool* short_io) {
+  fault::Spec spec;
+  if (!fault::consume_nonthrowing(site, spec)) return false;
+  *short_io = false;
+  switch (spec.action) {
+    case fault::Action::kThrow:
+      *forced_errno = err_hard;
+      return true;
+    case fault::Action::kTimeout:
+      *forced_errno = err_timeout;
+      return true;
+    case fault::Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(spec.delay_ms));
+      if (!delay_forces_again) return false;  // slow but real
+      *forced_errno = EAGAIN;
+      return true;
+    case fault::Action::kCorrupt:
+      *short_io = true;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ssize_t read(int fd, void* buf, std::size_t len) {
+  int forced = 0;
+  bool short_io = false;
+  if (consume_site("net.read", ECONNRESET, EINTR,
+                   /*delay_forces_again=*/false, &forced, &short_io)) {
+    if (!short_io) {
+      errno = forced;
+      return -1;
+    }
+    len = len > 0 ? 1 : 0;  // genuine partial read, no corruption
+  }
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t len) {
+  int forced = 0;
+  bool short_io = false;
+  if (consume_site("net.write", EPIPE, EINTR,
+                   /*delay_forces_again=*/true, &forced, &short_io)) {
+    if (!short_io) {
+      errno = forced;
+      return -1;
+    }
+    len = len > 0 ? 1 : 0;  // genuine partial write, no corruption
+  }
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int accept4(int fd, sockaddr* addr, socklen_t* addrlen, int flags) {
+  int forced = 0;
+  bool short_io = false;
+  if (consume_site("net.accept", EMFILE, EINTR,
+                   /*delay_forces_again=*/true, &forced, &short_io)) {
+    errno = short_io ? ECONNABORTED : forced;
+    return -1;
+  }
+  return ::accept4(fd, addr, addrlen, flags);
+}
+
+int connect(int fd, const sockaddr* addr, socklen_t addrlen) {
+  fault::Spec spec;
+  if (fault::consume_nonthrowing("net.connect", spec)) {
+    switch (spec.action) {
+      case fault::Action::kThrow:
+        errno = ECONNREFUSED;
+        return -1;
+      case fault::Action::kTimeout:
+        errno = ETIMEDOUT;
+        return -1;
+      case fault::Action::kDelay:
+        // Slow connect: sleep, then proceed normally — exercises the
+        // client's connect-timeout poll path.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(spec.delay_ms));
+        break;
+      case fault::Action::kCorrupt:
+        errno = ECONNRESET;
+        return -1;
+    }
+  }
+  return ::connect(fd, addr, addrlen);
+}
+
+#else  // !GPUPERF_FAULT_INJECTION
+
+ssize_t read(int fd, void* buf, std::size_t len) {
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t len) {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int accept4(int fd, sockaddr* addr, socklen_t* addrlen, int flags) {
+  return ::accept4(fd, addr, addrlen, flags);
+}
+
+int connect(int fd, const sockaddr* addr, socklen_t addrlen) {
+  return ::connect(fd, addr, addrlen);
+}
+
+#endif  // GPUPERF_FAULT_INJECTION
+
+}  // namespace gpuperf::net::io

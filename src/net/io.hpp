@@ -1,0 +1,59 @@
+// Syscall shim for the networking layer: every read/write/accept/
+// connect issued by the event loop, the blocking client and the load
+// generator goes through these wrappers, which behave exactly like the
+// raw syscalls — same return value, same errno — unless a `net.*`
+// fault site is armed through the PR-3 framework ($GPUPERF_FAULT or
+// fault::arm).  The wrappers can never throw (the event loop cannot
+// unwind), so Spec actions are interpreted as forced syscall results
+// instead of exceptions:
+//
+//   site         action    forced result
+//   net.read     throw     -1 / ECONNRESET        (peer reset)
+//                timeout   -1 / EINTR             (signal storm)
+//                delay     sleep, then read normally (slow syscall;
+//                                                  trips the loop
+//                                                  watchdog — a forced
+//                                                  EAGAIN would lose the
+//                                                  edge-triggered
+//                                                  readiness edge)
+//                corrupt   short read (≤ 1 byte)  (partial I/O)
+//   net.write    throw     -1 / EPIPE             (peer went away)
+//                timeout   -1 / EINTR
+//                delay     sleep, then -1 / EAGAIN
+//                corrupt   short write (≤ 1 byte)
+//   net.accept   throw     -1 / EMFILE            (fd exhaustion)
+//                timeout   -1 / EINTR
+//                delay     sleep, then -1 / EAGAIN
+//                corrupt   -1 / ECONNABORTED      (client gave up)
+//   net.connect  throw     -1 / ECONNREFUSED
+//                timeout   -1 / ETIMEDOUT
+//                delay     sleep delay_ms, then connect normally
+//                corrupt   -1 / ECONNRESET
+//
+// Short reads/writes perform a REAL transfer of at most one byte, so
+// injected partial I/O exercises resumption paths without ever
+// corrupting bytes on the wire.  Use a finite `*count` when injecting
+// EINTR: retry loops consume one firing per attempt and recover once
+// the site auto-disarms.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace gpuperf::net::io {
+
+/// recv(fd, buf, len, 0) with the `net.read` fault site.
+ssize_t read(int fd, void* buf, std::size_t len);
+
+/// send(fd, buf, len, MSG_NOSIGNAL) with the `net.write` fault site.
+ssize_t write(int fd, const void* buf, std::size_t len);
+
+/// accept4(fd, addr, addrlen, flags) with the `net.accept` fault site.
+int accept4(int fd, sockaddr* addr, socklen_t* addrlen, int flags);
+
+/// connect(fd, addr, addrlen) with the `net.connect` fault site.
+int connect(int fd, const sockaddr* addr, socklen_t addrlen);
+
+}  // namespace gpuperf::net::io

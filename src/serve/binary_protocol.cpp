@@ -11,7 +11,7 @@ namespace {
 
 constexpr std::uint8_t kMinVerb = static_cast<std::uint8_t>(Verb::kPredict);
 constexpr std::uint8_t kMaxVerb =
-    static_cast<std::uint8_t>(Verb::kShutdown);
+    static_cast<std::uint8_t>(Verb::kReady);
 
 std::uint32_t read_u32le(const char* p) {
   const auto* b = reinterpret_cast<const unsigned char*>(p);
@@ -55,6 +55,8 @@ std::string_view verb_name(Verb verb) {
     case Verb::kStats: return "stats";
     case Verb::kPing: return "ping";
     case Verb::kShutdown: return "shutdown";
+    case Verb::kHealth: return "health";
+    case Verb::kReady: return "ready";
   }
   return "";
 }

@@ -54,6 +54,8 @@ enum class Verb : std::uint8_t {
   kStats = 7,
   kPing = 8,
   kShutdown = 9,
+  kHealth = 10,
+  kReady = 11,
 };
 
 /// The line-protocol verb word for a wire id ("" for an unknown id).

@@ -11,7 +11,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/limits.hpp"
@@ -101,5 +103,78 @@ std::string request_with_retry(const std::string& host, int port,
                                const std::string& line,
                                RetryPolicy policy = {},
                                TcpClient::Options options = {});
+
+/// One server address in a failover set.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+};
+
+/// Parse a comma-separated "host:port,host:port" list (the client's
+/// --endpoints flag).  GP_CHECK-fails on an empty list, a missing
+/// colon, or a port outside [1, 65535].
+std::vector<Endpoint> parse_endpoints(const std::string& spec);
+
+/// Multi-endpoint client with failover: each request walks the
+/// endpoint list in order, skipping endpoints whose per-endpoint
+/// breaker is open (too many consecutive failures → a cooldown before
+/// they are retried), under a single retry budget shared across
+/// endpoints.  Optionally hedges idempotent verbs: if the primary
+/// endpoint has not answered within hedge_delay_ms a duplicate request
+/// races on the next healthy endpoint and the first response wins —
+/// never for state-changing verbs (reload, shutdown) or the heavy dse
+/// sweep, which would double real work.
+///
+/// Thread-compatible, not thread-safe: one FailoverClient per thread.
+class FailoverClient {
+ public:
+  struct Options {
+    TcpClient::Options client;
+    /// Total attempt/backoff budget per request(), shared across every
+    /// endpoint tried — failover does not multiply retries.
+    RetryPolicy retry;
+    /// Consecutive failures that open an endpoint's breaker (0 = never
+    /// skip an endpoint).
+    int endpoint_failure_threshold = 3;
+    /// How long an open endpoint is skipped before it is probed again.
+    int endpoint_cooldown_ms = 2000;
+    /// Hedge idempotent requests across two endpoints.
+    bool hedge = false;
+    /// How long the primary gets before the hedge fires.
+    int hedge_delay_ms = 250;
+  };
+
+  FailoverClient(std::vector<Endpoint> endpoints, Options options);
+
+  /// One request with failover (and hedging when enabled).  Throws
+  /// ClientError once the retry budget is exhausted.
+  std::string request(const std::string& line);
+
+  /// Per-endpoint health snapshot, for tests and --verbose output.
+  struct EndpointHealth {
+    std::uint64_t attempts = 0;
+    std::uint64_t failures = 0;
+    int consecutive_failures = 0;
+    bool open = false;
+  };
+  EndpointHealth health(std::size_t index) const;
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
+ private:
+  struct State;  // shared with detached hedge threads
+
+  /// The k-th endpoint choice for this request: healthy endpoints in
+  /// list order, rotated by attempt so retries fail over instead of
+  /// hammering the same peer; an all-open list degrades to plain
+  /// rotation (an open breaker is a hint, not a hard block).
+  std::size_t pick_endpoint(int attempt) const;
+  std::string one_request(std::size_t index, const std::string& line);
+  std::string hedged_request(std::size_t primary, const std::string& line);
+  void record(std::size_t index, bool success);
+
+  std::vector<Endpoint> endpoints_;
+  Options options_;
+  std::shared_ptr<State> state_;
+};
 
 }  // namespace gpuperf::serve

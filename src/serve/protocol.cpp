@@ -124,6 +124,14 @@ JsonWriter& JsonWriter::begin_array(std::string_view k) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
 JsonWriter& JsonWriter::end_array() {
   out_ += ']';
   need_comma_ = true;

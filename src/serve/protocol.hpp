@@ -82,6 +82,9 @@ class JsonWriter {
   JsonWriter& field(std::string_view key, std::uint64_t value);
   JsonWriter& field(std::string_view key, bool value);
 
+  /// A bare string element inside begin_array()/end_array().
+  JsonWriter& value(std::string_view v);
+
   const std::string& str() const { return out_; }
 
  private:

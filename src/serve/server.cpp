@@ -27,6 +27,11 @@ bool is_heavy_verb(const std::string& verb) {
 /// this many pipelined requests with a single write.
 constexpr std::size_t kMaxBatch = 64;
 
+/// A loop heartbeat older than this marks the server not-ready: the
+/// loop ticks at most every second, so several missed ticks mean it is
+/// genuinely wedged, not just idle.
+constexpr std::int64_t kHeartbeatStaleMs = 5000;
+
 }  // namespace
 
 TcpServer::TcpServer(ServeSession& session, Options options)
@@ -52,6 +57,9 @@ void TcpServer::start() {
   workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
   net::EventLoop::Options loop_options;
   loop_options.idle_timeout_ms = options_.idle_timeout_ms;
+  loop_options.read_progress_timeout_ms =
+      options_.read_progress_timeout_ms;
+  loop_options.max_output_buffer = options_.max_output_buffer;
   // Room for at least one whole oversized line (detection needs
   // limit + 1 buffered bytes) or binary frame, plus pipelining slack.
   loop_options.max_input_buffer = std::max<std::size_t>(
@@ -66,6 +74,17 @@ void TcpServer::start() {
   running_.store(true);
   loop_thread_ = std::thread([this] { loop_->run(); });
   session_.set_stats_hook([this] { sync_loop_stats(); });
+  // Readiness reflects the loop: a stale watchdog heartbeat (the loop
+  // wedged in a handler or a stalled syscall) or a graceful drain in
+  // progress both report ready:false.
+  net::EventLoop* loop = loop_.get();
+  ServeSession::ReadyProbe probe;
+  probe.loop_healthy = [loop] {
+    const std::int64_t age = loop->heartbeat_age_ms();
+    return age >= 0 && age < kHeartbeatStaleMs;
+  };
+  probe.draining = [loop] { return loop->draining(); };
+  session_.set_ready_probe(std::move(probe));
   GP_LOG(kInfo) << "serve: listening on " << options_.bind_address << ":"
                 << port_;
 }
@@ -261,6 +280,10 @@ void TcpServer::sync_loop_stats() {
   m.counter("bytes_in").store(s.bytes_in.load());
   m.counter("bytes_out").store(s.bytes_out.load());
   m.counter("accept_emfile").store(s.accept_emfile.load());
+  m.counter("slow_loris_closed").store(s.slow_loris_closed.load());
+  m.counter("backpressure_closed").store(s.backpressure_closed.load());
+  m.counter("loop_stalls").store(s.loop_stalls.load());
+  m.counter("spare_fd_unavailable").store(s.spare_fd_unavailable.load());
 }
 
 bool TcpServer::wait_for_stop(int timeout_ms) {
@@ -286,6 +309,7 @@ void TcpServer::stop() {
   // Unhook stats first: set_stats_hook blocks on any in-progress hook
   // call, so after this nothing can reach loop_ through the session.
   session_.set_stats_hook({});
+  session_.set_ready_probe({});
   loop_->stop();
   if (loop_thread_.joinable()) loop_thread_.join();
   // The pool destructor drains queued handler tasks; their send()

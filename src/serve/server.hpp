@@ -57,6 +57,16 @@ class TcpServer : private net::EventLoop::Handler {
     /// Reap connections idle for this long (--idle-timeout-ms);
     /// 0 = never.  Reaps are counted as connections_idle_reaped.
     int idle_timeout_ms = 0;
+    /// Slow-loris defense (--read-progress-timeout-ms): close a
+    /// connection that drips a partial request without completing it
+    /// within this window (counted as slow_loris_closed); distinct
+    /// from the idle timer, which drip-fed bytes keep resetting.
+    /// 0 = off.
+    int read_progress_timeout_ms = 0;
+    /// Per-connection output-buffer bound (--max-output-buffer): a
+    /// peer that stops reading while responses accumulate past this
+    /// many bytes is disconnected (backpressure_closed).  0 = off.
+    std::size_t max_output_buffer = 8u << 20;
     /// Request-handling worker threads; 0 = hardware threads.
     std::size_t worker_threads = 0;
     /// Loop-level shed bound: heavy requests (predict/rank/analyze/dse)

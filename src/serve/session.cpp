@@ -26,6 +26,12 @@ std::string result_key(const std::string& model,
   return model + '\x1f' + device;
 }
 
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 ServeSession::ServeSession(ServeOptions options)
@@ -54,6 +60,13 @@ ServeSession::ServeSession(ServeOptions options)
         return predict_group(model, devices, deadline);
       },
       options_.max_queue);
+
+  // Pre-register the breaker counters so dashboards (and the stats
+  // verb) show them at zero instead of omitting them until the first
+  // breaker event.
+  metrics_.counter("breaker_open");
+  metrics_.counter("breaker_half_open");
+  metrics_.counter("breaker_fast_fail");
 
   // Warm-start the degraded-path imputation from every DCA result the
   // persistent store already holds: a fresh process can then serve a
@@ -143,6 +156,13 @@ std::string ServeSession::live_version() const {
 std::string ServeSession::reload(const std::string& version) {
   GP_CHECK_MSG(registry_ != nullptr,
                "no registry configured (start with --registry)");
+  // The ready verb reports ready:false for the duration of the swap
+  // (including any quarantine repair registry_->load performs).
+  reloading_.store(true, std::memory_order_release);
+  struct ClearFlag {
+    std::atomic<bool>& flag;
+    ~ClearFlag() { flag.store(false, std::memory_order_release); }
+  } clear{reloading_};
   registry::Bundle bundle = registry_->load(version);
   const std::string installed = bundle.version;
   install_estimator(std::move(bundle.estimator), installed,
@@ -184,12 +204,18 @@ void ServeSession::start_polling() {
           GP_LOG(kInfo) << "registry poll recovered after "
                         << failure_streak << " failures";
         failure_streak = 0;
+        poll_failure_streak_.store(0, std::memory_order_relaxed);
       } catch (const std::exception& e) {
         metrics_.counter("registry_poll_failures").fetch_add(1);
         if (failure_streak == 0)
           GP_LOG(kWarn) << "registry poll failed (backing off): "
                         << e.what();
         ++failure_streak;
+        // Readiness drops while the poller fights a broken registry:
+        // a load balancer should stop routing to this process until
+        // the repair lands.
+        poll_failure_streak_.store(failure_streak,
+                                   std::memory_order_relaxed);
       }
       lock.lock();
     }
@@ -277,18 +303,90 @@ ServeSession::PredictOutcome ServeSession::predict_ipc(
   return {ipc, false, false};
 }
 
+std::uint64_t ServeSession::module_fingerprint(const std::string& model) {
+  {
+    std::lock_guard<std::mutex> lock(breaker_mutex_);
+    const auto it = fingerprints_.find(model);
+    if (it != fingerprints_.end()) return it->second;
+  }
+  // Layer-descriptor hash only — no PTX, no DCA — so the breaker can
+  // key requests before any expensive work starts.
+  const std::uint64_t fp =
+      registry::FeatureStore::topology_hash(cnn::zoo::build(model));
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  fingerprints_.emplace(model, fp);
+  return fp;
+}
+
+bool ServeSession::breaker_admit(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  Breaker& b = breakers_[fingerprint];
+  if (b.open_until_ms == 0) return true;  // closed
+  const std::int64_t now = steady_now_ms();
+  if (now < b.open_until_ms) return false;  // open: fast-fail
+  if (b.probe_in_flight) return false;  // half-open, probe already out
+  // Cooldown elapsed: let exactly one request re-attempt the analysis.
+  b.probe_in_flight = true;
+  metrics_.counter("breaker_half_open").fetch_add(1);
+  return true;
+}
+
+void ServeSession::breaker_record_success(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  Breaker& b = breakers_[fingerprint];
+  b.consecutive_failures = 0;
+  b.open_until_ms = 0;
+  b.probe_in_flight = false;
+}
+
+void ServeSession::breaker_record_failure(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  Breaker& b = breakers_[fingerprint];
+  ++b.consecutive_failures;
+  if (b.probe_in_flight) {
+    // The half-open probe failed: straight back to open.
+    b.probe_in_flight = false;
+    b.open_until_ms = steady_now_ms() + options_.breaker_cooldown_ms;
+    metrics_.counter("breaker_open").fetch_add(1);
+    return;
+  }
+  if (b.open_until_ms == 0 &&
+      b.consecutive_failures >= options_.breaker_threshold) {
+    b.open_until_ms = steady_now_ms() + options_.breaker_cooldown_ms;
+    metrics_.counter("breaker_open").fetch_add(1);
+  }
+}
+
 ServeSession::PredictOutcome ServeSession::predict_or_degrade(
     const std::string& model, const gpu::DeviceSpec& device,
     const Deadline& deadline, bool allow_degrade) {
+  const bool breaker_on = options_.breaker_threshold > 0;
+  const std::uint64_t fp = breaker_on ? module_fingerprint(model) : 0;
+  if (breaker_on && !breaker_admit(fp)) {
+    // Open breaker: this module's DCA has failed repeatedly and its
+    // cooldown hasn't produced a successful probe — skip the doomed
+    // (and expensive) analysis outright.
+    metrics_.counter("breaker_fast_fail").fetch_add(1);
+    if (!allow_degrade)
+      throw ServeError(
+          ErrorCode::kAnalysisFailed,
+          "circuit breaker open for '" + model +
+              "': repeated analysis failures; retry after cooldown");
+    return predict_degraded(model, device);
+  }
   try {
-    return predict_ipc(model, device, deadline);
+    PredictOutcome outcome = predict_ipc(model, device, deadline);
+    if (breaker_on) breaker_record_success(fp);
+    return outcome;
   } catch (const ServeError&) {
     throw;  // overload shedding must reach the client as overloaded
   } catch (const AnalysisTimeout&) {
     metrics_.counter("analysis_timeouts").fetch_add(1);
+    if (breaker_on) breaker_record_failure(fp);
     if (!allow_degrade) throw;
   } catch (const std::exception&) {
     metrics_.counter("analysis_failures").fetch_add(1);
+    if (breaker_on) breaker_record_failure(fp);
     if (!allow_degrade) throw;
   }
   return predict_degraded(model, device);
@@ -696,6 +794,11 @@ void ServeSession::set_stats_hook(std::function<void()> hook) {
   stats_hook_ = std::move(hook);
 }
 
+void ServeSession::set_ready_probe(ReadyProbe probe) {
+  std::lock_guard<std::mutex> lock(stats_hook_mutex_);
+  ready_probe_ = std::move(probe);
+}
+
 std::string ServeSession::stats_json() {
   {
     std::lock_guard<std::mutex> lock(stats_hook_mutex_);
@@ -755,6 +858,10 @@ std::string ServeSession::stats_json() {
       .field("max_in_flight",
              static_cast<std::uint64_t>(options_.max_in_flight))
       .field("max_queue", static_cast<std::uint64_t>(options_.max_queue))
+      .field("breaker_threshold",
+             static_cast<std::int64_t>(options_.breaker_threshold))
+      .field("breaker_cooldown_ms",
+             static_cast<std::int64_t>(options_.breaker_cooldown_ms))
       .end_object();
   const auto estimator = estimator_ptr();
   json.begin_object("estimator")
@@ -782,6 +889,63 @@ Response ServeSession::do_ping() const {
   return Response{true, json.str(), false};
 }
 
+Response ServeSession::do_health() {
+  // Liveness: the process answered, the dispatch path works.  Always
+  // ok:true — a wedged process simply doesn't respond.
+  const auto uptime =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "health")
+      .field("status", "ok")
+      .field("uptime_ms", static_cast<std::int64_t>(uptime))
+      .end_object();
+  return Response{true, json.str(), false};
+}
+
+ServeSession::ReadyState ServeSession::ready_state() {
+  ReadyState state;
+  {
+    std::lock_guard<std::mutex> lock(estimator_mutex_);
+    if (estimator_ == nullptr || !estimator_->is_trained())
+      state.reasons.push_back("estimator_not_loaded");
+  }
+  if (reloading_.load(std::memory_order_acquire))
+    state.reasons.push_back("reload_in_flight");
+  if (poll_failure_streak_.load(std::memory_order_relaxed) > 0)
+    state.reasons.push_back("registry_poll_failing");
+  ReadyProbe probe;
+  {
+    std::lock_guard<std::mutex> lock(stats_hook_mutex_);
+    probe = ready_probe_;
+  }
+  if (probe.draining && probe.draining())
+    state.reasons.push_back("draining");
+  if (probe.loop_healthy && !probe.loop_healthy())
+    state.reasons.push_back("loop_heartbeat_stale");
+  state.ready = state.reasons.empty();
+  return state;
+}
+
+Response ServeSession::do_ready() {
+  const ReadyState state = ready_state();
+  // ok:true either way — "not ready" is a valid, well-formed answer; a
+  // load balancer branches on the ready field, not on ok.
+  JsonWriter json;
+  json.begin_object()
+      .field("ok", true)
+      .field("endpoint", "ready")
+      .field("ready", state.ready);
+  json.begin_array("reasons");
+  for (const std::string& reason : state.reasons)
+    json.value(std::string_view(reason));
+  json.end_array().end_object();
+  return Response{true, json.str(), false};
+}
+
 Response ServeSession::do_shutdown() const {
   JsonWriter json;
   json.begin_object()
@@ -794,7 +958,8 @@ Response ServeSession::do_shutdown() const {
 Response ServeSession::handle(const Request& request) {
   static const char* kKnown[] = {"predict", "rank",       "dse",
                                  "analyze", "reload",     "model_info",
-                                 "stats",   "ping",       "shutdown"};
+                                 "stats",   "ping",       "shutdown",
+                                 "health",  "ready"};
   const bool known =
       std::find(std::begin(kKnown), std::end(kKnown), request.verb) !=
       std::end(kKnown);
@@ -805,7 +970,8 @@ Response ServeSession::handle(const Request& request) {
     scope.mark_error();
     return error_response("unknown command '" + request.verb +
                           "' (try: predict, rank, dse, analyze, reload, "
-                          "model_info, stats, ping, shutdown)");
+                          "model_info, stats, ping, health, ready, "
+                          "shutdown)");
   }
 
   // Admission control: analysis-heavy verbs are shed once the in-flight
@@ -839,6 +1005,8 @@ Response ServeSession::handle(const Request& request) {
     else if (request.verb == "model_info") response = do_model_info();
     else if (request.verb == "stats") response = do_stats();
     else if (request.verb == "ping") response = do_ping();
+    else if (request.verb == "health") response = do_health();
+    else if (request.verb == "ready") response = do_ready();
     else response = do_shutdown();
     if (!response.ok) scope.mark_error();
     return response;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -21,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cnn/static_analyzer.hpp"
@@ -83,6 +85,15 @@ struct ServeOptions {
   /// Bound on outstanding predicts inside the micro-batcher; beyond it
   /// submit sheds with `overloaded`.  0 = unbounded.
   std::size_t max_queue = 0;
+  /// Circuit breaker (docs/ROBUSTNESS.md): after this many consecutive
+  /// DCA failures for one module fingerprint, requests for that module
+  /// fail fast to the degraded path without re-attempting the full
+  /// analysis, until a half-open probe succeeds.  0 disables the
+  /// breaker.
+  int breaker_threshold = 5;
+  /// How long an open breaker rejects before admitting one half-open
+  /// probe request.
+  int breaker_cooldown_ms = 5000;
 };
 
 class ServeSession {
@@ -161,6 +172,26 @@ class ServeSession {
   /// Pass an empty function to clear; thread-safe.
   void set_stats_hook(std::function<void()> hook);
 
+  /// Loop-health callbacks consulted by the `ready` verb; the TCP
+  /// server installs them so readiness reflects the event loop's
+  /// watchdog heartbeat and drain state.  In-process sessions (no
+  /// server) stay ready by default.  Thread-safe.
+  struct ReadyProbe {
+    std::function<bool()> loop_healthy;  // heartbeat fresh?
+    std::function<bool()> draining;      // graceful drain under way?
+  };
+  void set_ready_probe(ReadyProbe probe);
+
+  /// The `ready` verb's verdict: the model is loaded, no reload or
+  /// quarantine repair is in flight, the registry poller is not in a
+  /// failure streak, the loop heartbeat is fresh and the server is not
+  /// draining.  `reasons` lists every failing condition.
+  struct ReadyState {
+    bool ready = true;
+    std::vector<std::string> reasons;
+  };
+  ReadyState ready_state();
+
   /// Human-readable shutdown summary: endpoint traffic + cache hit
   /// rates.
   std::string summary() const;
@@ -176,6 +207,8 @@ class ServeSession {
   Response do_model_info();
   Response do_stats();
   Response do_ping() const;
+  Response do_health();
+  Response do_ready();
   Response do_shutdown() const;
 
   FeaturePtr features_for(const std::string& model,
@@ -209,6 +242,23 @@ class ServeSession {
   /// The per-request deadline: --deadline-ms on the request, else the
   /// configured default; plus the configured step budget.
   Deadline deadline_for(const Request& request) const;
+
+  // ---- circuit breaker (per module fingerprint) ----------------------
+  /// One breaker per distinct module topology: consecutive DCA
+  /// failures open it, a cooldown admits one half-open probe, a
+  /// successful probe closes it again.
+  struct Breaker {
+    int consecutive_failures = 0;
+    std::int64_t open_until_ms = 0;  // 0 = closed
+    bool probe_in_flight = false;    // half-open: one request testing
+  };
+  /// Topology fingerprint of a zoo model (cached; cheap layer-level
+  /// hash, no DCA).
+  std::uint64_t module_fingerprint(const std::string& model);
+  /// False when the breaker is open and this request must fast-fail.
+  bool breaker_admit(std::uint64_t fingerprint);
+  void breaker_record_success(std::uint64_t fingerprint);
+  void breaker_record_failure(std::uint64_t fingerprint);
   void observe_instructions(std::int64_t executed_instructions);
   std::int64_t imputed_executed_instructions(
       std::int64_t trainable_params) const;
@@ -255,6 +305,18 @@ class ServeSession {
 
   std::mutex stats_hook_mutex_;
   std::function<void()> stats_hook_;  // guarded by stats_hook_mutex_
+  ReadyProbe ready_probe_;            // guarded by stats_hook_mutex_
+
+  std::mutex breaker_mutex_;
+  std::unordered_map<std::uint64_t, Breaker> breakers_;
+  std::unordered_map<std::string, std::uint64_t> fingerprints_;
+
+  // Readiness signals: a reload (endpoint, API, or poller repair) in
+  // flight, and the poller's current consecutive-failure streak.
+  std::atomic<bool> reloading_{false};
+  std::atomic<int> poll_failure_streak_{0};
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 
   std::mutex poll_mutex_;
   std::condition_variable poll_cv_;

@@ -1,0 +1,91 @@
+// POSIX socket helpers (net/socket.hpp): listener setup round-trips,
+// descriptive failures on a taken port, the nonblocking/CLOEXEC flags
+// the event loop depends on, and the EMFILE spare fd.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "net/socket.hpp"
+
+namespace gpuperf::net {
+namespace {
+
+TEST(Socket, EphemeralPortRoundTripsThroughBoundPort) {
+  const int fd = listen_tcp("127.0.0.1", 0, 8);
+  ASSERT_GE(fd, 0);
+  const int port = bound_port(fd);
+  EXPECT_GT(port, 0);
+  EXPECT_LE(port, 65535);
+
+  // The reported port really is listening: a loopback connect succeeds.
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+  ::close(client);
+  ::close(fd);
+}
+
+TEST(Socket, TakenPortFailsWithThePortInTheMessage) {
+  const int fd = listen_tcp("127.0.0.1", 0, 8);
+  ASSERT_GE(fd, 0);
+  const int port = bound_port(fd);
+  try {
+    const int second = listen_tcp("127.0.0.1", port, 8);
+    ::close(second);
+    FAIL() << "second listen on taken port " << port << " succeeded";
+  } catch (const CheckError& e) {
+    // The operator needs to know WHICH port was taken.
+    EXPECT_NE(std::string(e.what()).find(std::to_string(port)),
+              std::string::npos)
+        << e.what();
+  }
+  ::close(fd);
+}
+
+TEST(Socket, ListenerIsNonblockingAndCloseOnExec) {
+  const int fd = listen_tcp("127.0.0.1", 0, 8);
+  ASSERT_GE(fd, 0);
+  EXPECT_NE(::fcntl(fd, F_GETFL, 0) & O_NONBLOCK, 0)
+      << "a blocking listener would wedge the event loop on accept";
+  EXPECT_NE(::fcntl(fd, F_GETFD, 0) & FD_CLOEXEC, 0)
+      << "the listener must not leak into exec'd children";
+  ::close(fd);
+}
+
+TEST(Socket, SetNonblockingFlipsTheFlag) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EXPECT_EQ(::fcntl(fds[0], F_GETFL, 0) & O_NONBLOCK, 0);
+  set_nonblocking(fds[0]);
+  EXPECT_NE(::fcntl(fds[0], F_GETFL, 0) & O_NONBLOCK, 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Socket, SpareFdOpensAndReopensAfterSacrifice) {
+  const int spare = open_spare_fd();
+  ASSERT_GE(spare, 0);
+  // The EMFILE recovery path closes the spare to free a slot, then
+  // reopens it — both legs must work repeatedly.
+  ::close(spare);
+  const int again = open_spare_fd();
+  ASSERT_GE(again, 0);
+  EXPECT_NE(::fcntl(again, F_GETFD, 0), -1) << "reopened fd is live";
+  ::close(again);
+}
+
+}  // namespace
+}  // namespace gpuperf::net

@@ -385,6 +385,115 @@ TEST_F(ChaosSession, FeatureStoreFaultsAreSoft) {
   EXPECT_GE(store.size(), 1u);
 }
 
+// ---------------------------------------------------------------------
+// Per-module circuit breaker.
+
+TEST_F(ChaosSession, BreakerOpensFastFailsAndRecoversViaHalfOpenProbe) {
+  ServeOptions options = chaos_options();
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 800;
+  ServeSession session(options);
+  fault::arm("dca.compute", fault::Spec{});  // throw, forever
+
+  // Two real DCA failures trip the breaker (degraded answers are not
+  // cached, so the same model/device pair re-attempts the analysis).
+  for (int i = 0; i < 2; ++i) {
+    const std::string body = session.handle_line("predict alexnet v100s");
+    EXPECT_TRUE(has(body, "\"degraded\":true")) << body;
+  }
+  EXPECT_EQ(session.metrics().counter_value("breaker_open"), 1u);
+
+  // Open: the doomed analysis is skipped outright — the fault site
+  // records no new hits — but the client still gets a degraded answer.
+  const std::uint64_t hits_before = fault::hits("dca.compute");
+  const std::string fast = session.handle_line("predict alexnet v100s");
+  EXPECT_TRUE(has(fast, "\"degraded\":true")) << fast;
+  EXPECT_EQ(fault::hits("dca.compute"), hits_before);
+  EXPECT_GE(session.metrics().counter_value("breaker_fast_fail"), 1u);
+
+  // The DCA recovers, the cooldown elapses: exactly one half-open
+  // probe runs the real analysis and closes the breaker.
+  fault::disarm_all();
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+  const std::string probe = session.handle_line("predict alexnet v100s");
+  EXPECT_TRUE(has(probe, "\"degraded\":false")) << probe;
+  EXPECT_GE(session.metrics().counter_value("breaker_half_open"), 1u);
+  EXPECT_EQ(session.metrics().counter_value("breaker_open"), 1u);
+
+  // Closed again: no further fast-fails.
+  const std::uint64_t fast_fails =
+      session.metrics().counter_value("breaker_fast_fail");
+  EXPECT_TRUE(
+      has(session.handle_line("predict alexnet v100s"), "\"ok\":true"));
+  EXPECT_EQ(session.metrics().counter_value("breaker_fast_fail"),
+            fast_fails);
+}
+
+TEST_F(ChaosSession, OpenBreakerWithNoDegradeIsATypedError) {
+  ServeOptions options = chaos_options();
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 60000;  // stays open for the test
+  ServeSession session(options);
+  fault::arm("dca.compute", fault::Spec{});
+
+  EXPECT_TRUE(has(session.handle_line("predict vgg16 v100s"),
+                  "\"degraded\":true"));
+  const std::string body =
+      session.handle_line("predict vgg16 teslat4 --no-degrade");
+  EXPECT_TRUE(has(body, "\"ok\":false")) << body;
+  EXPECT_TRUE(has(body, "\"code\":\"analysis_failed\"")) << body;
+  EXPECT_TRUE(has(body, "circuit breaker open")) << body;
+}
+
+TEST_F(ChaosSession, BreakerIsPerModuleNotGlobal) {
+  ServeOptions options = chaos_options();
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 60000;
+  ServeSession session(options);
+  {
+    fault::ScopedFault fault("dca.compute", fault::Spec{});
+    EXPECT_TRUE(has(session.handle_line("predict alexnet v100s"),
+                    "\"degraded\":true"));
+  }
+  // alexnet's breaker is open; mobilenet's is untouched and serves a
+  // full-quality prediction.
+  const std::string other = session.handle_line("predict mobilenet v100s");
+  EXPECT_TRUE(has(other, "\"ok\":true")) << other;
+  EXPECT_TRUE(has(other, "\"degraded\":false")) << other;
+  const std::string opened = session.handle_line("predict alexnet v100s");
+  EXPECT_TRUE(has(opened, "\"degraded\":true")) << opened;
+  EXPECT_GE(session.metrics().counter_value("breaker_fast_fail"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// health / ready probes.
+
+TEST_F(ChaosSession, HealthAndReadyVerbsAnswer) {
+  ServeSession session(chaos_options());
+  const std::string health = session.handle_line("health");
+  EXPECT_TRUE(has(health, "\"status\":\"ok\"")) << health;
+  EXPECT_TRUE(has(health, "\"uptime_ms\":")) << health;
+  const std::string ready = session.handle_line("ready");
+  EXPECT_TRUE(has(ready, "\"ready\":true")) << ready;
+  EXPECT_TRUE(has(ready, "\"reasons\":[]")) << ready;
+}
+
+TEST_F(ChaosSession, ReadyReflectsTheInstalledProbe) {
+  ServeSession session(chaos_options());
+  bool draining = false;
+  ServeSession::ReadyProbe probe;
+  probe.draining = [&draining] { return draining; };
+  probe.loop_healthy = [] { return true; };
+  session.set_ready_probe(probe);
+  EXPECT_TRUE(has(session.handle_line("ready"), "\"ready\":true"));
+  draining = true;
+  const std::string body = session.handle_line("ready");
+  EXPECT_TRUE(has(body, "\"ready\":false")) << body;
+  EXPECT_TRUE(has(body, "draining")) << body;
+  session.set_ready_probe({});
+  EXPECT_TRUE(has(session.handle_line("ready"), "\"ready\":true"));
+}
+
 TEST_F(ChaosSession, StatsReportTheChaos) {
   ServeSession session(chaos_options());
   {

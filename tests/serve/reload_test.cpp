@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "core/dataset_builder.hpp"
 #include "registry/registry.hpp"
 #include "serve/session.hpp"
@@ -261,6 +262,45 @@ TEST(ServeReload, PollingPicksUpNewBundles) {
   EXPECT_EQ(session.live_version(), "v0002");
   EXPECT_GE(session.reload_count(), 1u);
 }
+
+#ifdef GPUPERF_FAULT_INJECTION
+TEST(ServeReload, ReadinessDropsWhileThePollerIsFailing) {
+  ServeOptions options;
+  options.registry_dir = two_bundle_registry();
+  options.registry_poll_ms = 20;
+  options.n_threads = 2;
+  ServeSession session(options);
+  ASSERT_TRUE(is_ok(session.handle_line("ready")));
+  EXPECT_NE(session.handle_line("ready").find("\"ready\":true"),
+            std::string::npos);
+
+  // A dead registry volume: every latest_version() read throws until
+  // the site is disarmed.  Readiness must drop so a load balancer
+  // stops routing here while the repair is in flight.
+  fault::Spec spec;
+  spec.action = fault::Action::kThrow;
+  fault::arm("registry.latest", spec);
+  std::string body;
+  for (int i = 0; i < 250; ++i) {
+    body = session.handle_line("ready");
+    if (body.find("registry_poll_failing") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_NE(body.find("\"ready\":false"), std::string::npos) << body;
+  EXPECT_NE(body.find("registry_poll_failing"), std::string::npos)
+      << body;
+
+  // Repair lands: the next successful poll restores readiness.  The
+  // poller backs off exponentially, so allow a few seconds.
+  fault::disarm_all();
+  for (int i = 0; i < 400; ++i) {
+    body = session.handle_line("ready");
+    if (body.find("\"ready\":true") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_NE(body.find("\"ready\":true"), std::string::npos) << body;
+}
+#endif  // GPUPERF_FAULT_INJECTION
 
 }  // namespace
 }  // namespace gpuperf::serve

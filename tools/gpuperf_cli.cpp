@@ -92,10 +92,15 @@ int usage() {
       "        [--deadline-ms N] [--step-budget N] [--no-degrade]\n"
       "        [--max-inflight N] [--max-queue N] [--max-line-bytes N]\n"
       "        [--max-frame-bytes N] [--backlog N] [--idle-timeout-ms N]\n"
+      "        [--read-progress-timeout-ms N] [--max-output-buffer N]\n"
+      "        [--breaker-threshold N] [--breaker-cooldown-ms N]\n"
       "        [--workers K] [--max-pending N]\n"
       "  client <request...> [--host H] [--port N] [--timeout-ms N]\n"
       "        [--retries N] [--binary] (backoff with jitter on\n"
       "        failure/overload; --binary uses the framed protocol)\n"
+      "        [--endpoints h:p,h:p] [--hedge] [--hedge-delay-ms N]\n"
+      "        (failover across endpoints; --hedge races idempotent\n"
+      "        requests on a second endpoint after the delay)\n"
       "        e.g. `gpuperf client predict resnet50v2 teslat4`\n");
   return 2;
 }
@@ -471,6 +476,11 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(parse_int(args.flag_or("max-inflight", "0")));
   options.max_queue =
       static_cast<std::size_t>(parse_int(args.flag_or("max-queue", "0")));
+  options.breaker_threshold = static_cast<int>(parse_int(args.flag_or(
+      "breaker-threshold", std::to_string(options.breaker_threshold))));
+  options.breaker_cooldown_ms = static_cast<int>(parse_int(args.flag_or(
+      "breaker-cooldown-ms",
+      std::to_string(options.breaker_cooldown_ms))));
 
   if (!options.registry_dir.empty())
     std::fprintf(stderr, "loading bundle from registry %s...\n",
@@ -493,6 +503,11 @@ int cmd_serve(const Args& args) {
       static_cast<int>(parse_int(args.flag_or("backlog", "128")));
   server_options.idle_timeout_ms =
       static_cast<int>(parse_int(args.flag_or("idle-timeout-ms", "0")));
+  server_options.read_progress_timeout_ms = static_cast<int>(
+      parse_int(args.flag_or("read-progress-timeout-ms", "0")));
+  server_options.max_output_buffer = static_cast<std::size_t>(parse_int(
+      args.flag_or("max-output-buffer",
+                   std::to_string(server_options.max_output_buffer))));
   server_options.worker_threads =
       static_cast<std::size_t>(parse_int(args.flag_or("workers", "0")));
   server_options.max_pending =
@@ -541,8 +556,23 @@ int cmd_client(const Args& args) {
   serve::RetryPolicy policy;
   policy.attempts =
       static_cast<int>(parse_int(args.flag_or("retries", "3"))) + 1;
-  const std::string response = serve::request_with_retry(
-      host, port, join(args.positional, " "), policy, client_options);
+  const std::string line = join(args.positional, " ");
+  std::string response;
+  if (const auto it = args.flags.find("endpoints");
+      it != args.flags.end()) {
+    serve::FailoverClient::Options failover;
+    failover.client = client_options;
+    failover.retry = policy;
+    failover.hedge = args.has_flag("hedge");
+    failover.hedge_delay_ms =
+        static_cast<int>(parse_int(args.flag_or("hedge-delay-ms", "250")));
+    serve::FailoverClient client(serve::parse_endpoints(it->second),
+                                 failover);
+    response = client.request(line);
+  } else {
+    response = serve::request_with_retry(host, port, line, policy,
+                                         client_options);
+  }
   std::printf("%s\n", response.c_str());
   // Mirror the server's verdict in the exit code.
   return starts_with(response, "{\"ok\":true") ? 0 : 1;
