@@ -1,0 +1,120 @@
+// Microbenchmarks of the dependency-graph layer: CSR construction and
+// backward-closure traversal (docs/PERF.md "Graph memory layout"), on
+// real library kernels and on synthetic giant kernels, with heap usage
+// counters so the flat-storage win over per-node vectors is visible in
+// BENCH_depgraph.json — not just the time.
+#include <benchmark/benchmark.h>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "ptx/codegen.hpp"
+#include "ptx/depgraph.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/slicer.hpp"
+#include "ptx/synthetic.hpp"
+
+namespace {
+
+using namespace gpuperf;
+using namespace gpuperf::ptx;
+
+/// Current bytes the allocator holds for live heap allocations (0 when
+/// the platform has no mallinfo2).  CSR/arena memory is mmap-backed and
+/// deliberately does NOT show up here — that is the point.
+std::size_t heap_bytes() {
+#if defined(__GLIBC__)
+  const struct mallinfo2 mi = mallinfo2();
+  return mi.uordblks;
+#else
+  return 0;
+#endif
+}
+
+PtxModule synthetic(std::size_t body) {
+  SyntheticSpec spec;
+  spec.body_instructions = body;
+  return synthetic_module(spec);
+}
+
+/// Cold graph build: every iteration constructs the CSR arrays from
+/// scratch (the thread-local scratch arena stays warm after the first
+/// pass, exactly as in steady-state serving).
+void BM_BuildDepGraph(benchmark::State& state) {
+  const PtxModule mod = synthetic(static_cast<std::size_t>(state.range(0)));
+  const PtxKernel& kernel = mod.kernels.front();
+  const std::size_t heap_before = heap_bytes();
+  std::size_t csr = 0;
+  for (auto _ : state) {
+    const DependencyGraph graph = DependencyGraph::build(kernel);
+    csr = graph.csr_bytes();
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+  state.counters["csr_bytes"] = benchmark::Counter(static_cast<double>(csr));
+  state.counters["heap_delta_bytes"] = benchmark::Counter(
+      static_cast<double>(heap_bytes() - heap_before));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(kernel.instructions.size()) *
+      state.iterations());
+}
+BENCHMARK(BM_BuildDepGraph)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_BuildDepGraphGemm(benchmark::State& state) {
+  const PtxModule lib = parse_ptx(CodeGenerator::kernel_library().to_ptx());
+  const PtxKernel& gemm = lib.kernel("gp_gemm");
+  for (auto _ : state) {
+    const DependencyGraph graph = DependencyGraph::build(gemm);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(gemm.instructions.size()) *
+      state.iterations());
+}
+BENCHMARK(BM_BuildDepGraphGemm);
+
+/// Backward-closure traversal on a prebuilt graph — the pure
+/// pointer-chasing-vs-sequential-span comparison.
+void BM_BackwardClosure(benchmark::State& state) {
+  const PtxModule mod = synthetic(static_cast<std::size_t>(state.range(0)));
+  const PtxKernel& kernel = mod.kernels.front();
+  const DependencyGraph graph = DependencyGraph::build(kernel);
+  for (auto _ : state) {
+    const Slice slice = compute_slice(kernel, graph);
+    benchmark::DoNotOptimize(slice.slice_size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(kernel.instructions.size()) *
+      state.iterations());
+}
+BENCHMARK(BM_BackwardClosure)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_BackwardClosureGemm(benchmark::State& state) {
+  const PtxModule lib = parse_ptx(CodeGenerator::kernel_library().to_ptx());
+  const PtxKernel& gemm = lib.kernel("gp_gemm");
+  const DependencyGraph graph = DependencyGraph::build(gemm);
+  for (auto _ : state) {
+    const Slice slice = compute_slice(gemm, graph);
+    benchmark::DoNotOptimize(slice.slice_size());
+  }
+}
+BENCHMARK(BM_BackwardClosureGemm);
+
+/// Whole library, build + slice per kernel — the per-request cold path
+/// the serve layer pays on a memo miss.
+void BM_BuildAndSliceLibrary(benchmark::State& state) {
+  const PtxModule lib = parse_ptx(CodeGenerator::kernel_library().to_ptx());
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const PtxKernel& kernel : lib.kernels) {
+      const DependencyGraph graph = DependencyGraph::build(kernel);
+      total += compute_slice(kernel, graph).slice_size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_BuildAndSliceLibrary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Chunked bump allocator for analysis scratch memory.  The dependency-
+// graph builder and the slicer allocate short-lived flat arrays (counts,
+// cursors, worklists) thousands of times per process; an Arena turns
+// each of those into a pointer bump inside a reused chunk instead of a
+// malloc/free pair, and a ResetScope returns the whole allocation in
+// O(chunks) on scope exit.  Only trivially-destructible element types
+// are supported — reset never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+
+class Arena {
+ public:
+  /// `min_chunk_bytes` is the size of the first chunk; later chunks
+  /// double (capped at kMaxChunkBytes) so a growing workload settles
+  /// into O(log n) chunk allocations, ever.
+  explicit Arena(std::size_t min_chunk_bytes = 64u << 10)
+      : next_chunk_bytes_(min_chunk_bytes ? min_chunk_bytes : 1) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    GP_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;  // distinct non-null pointers
+    std::size_t cursor = aligned_cursor(align);
+    if (current_ == nullptr || cursor + bytes > current_->size) {
+      grow(bytes + align);
+      cursor = aligned_cursor(align);
+    }
+    std::byte* out = current_->data.get() + cursor;
+    cursor_ = cursor + bytes;
+    used_ += bytes;
+    return out;
+  }
+
+  /// Uninitialized array of a trivially-destructible type.
+  template <typename T>
+  std::span<T> alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return {static_cast<T*>(allocate(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Zero-initialized array (counts, visited flags, prefix sums).
+  template <typename T>
+  std::span<T> alloc_zeroed(std::size_t n) {
+    std::span<T> out = alloc_array<T>(n);
+    std::memset(static_cast<void*>(out.data()), 0, n * sizeof(T));
+    return out;
+  }
+
+  /// Drop every allocation.  The largest chunk is retained so steady-
+  /// state reuse (one graph build per launch analysis) never re-mallocs;
+  /// the rest are released to the heap.
+  void reset() {
+    if (chunks_.empty()) return;
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < chunks_.size(); ++i)
+      if (chunks_[i].size > chunks_[largest].size) largest = i;
+    if (largest != 0) std::swap(chunks_[0], chunks_[largest]);
+    chunks_.resize(1);
+    current_ = &chunks_[0];
+    cursor_ = 0;
+    used_ = 0;
+  }
+
+  /// Live bytes handed out since the last reset.
+  std::size_t bytes_used() const { return used_; }
+  /// Total chunk capacity currently held (reserved from the heap).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  /// RAII reset: everything allocated after construction is returned
+  /// when the scope ends.  Scopes must not interleave with allocations
+  /// that outlive them (plain bump semantics — the arena rewinds fully).
+  class ResetScope {
+   public:
+    explicit ResetScope(Arena& arena) : arena_(arena) {}
+    ~ResetScope() { arena_.reset(); }
+    ResetScope(const ResetScope&) = delete;
+    ResetScope& operator=(const ResetScope&) = delete;
+
+   private:
+    Arena& arena_;
+  };
+
+ private:
+  static constexpr std::size_t kMaxChunkBytes = 64u << 20;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// The cursor advanced so the *absolute* address is `align`-aligned
+  /// (new[] only guarantees alignof(max_align_t) for the chunk base).
+  std::size_t aligned_cursor(std::size_t align) const {
+    if (current_ == nullptr) return 0;
+    const auto base = reinterpret_cast<std::uintptr_t>(current_->data.get());
+    return ((base + cursor_ + align - 1) & ~(align - 1)) - base;
+  }
+
+  void grow(std::size_t at_least) {
+    std::size_t size = next_chunk_bytes_;
+    while (size < at_least) size *= 2;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    current_ = &chunks_.back();
+    cursor_ = 0;
+    if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ = size * 2;
+  }
+
+  std::vector<Chunk> chunks_;
+  Chunk* current_ = nullptr;
+  std::size_t cursor_ = 0;
+  std::size_t used_ = 0;
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace gpuperf

@@ -1,0 +1,206 @@
+// Flat compressed-sparse-row adjacency storage (docs/PERF.md "Graph
+// memory layout").  A CsrGraph packs every adjacency list of a
+// fixed-node-count graph into two contiguous arrays —
+//
+//   offsets[node] .. offsets[node+1]   indexes into   targets[]
+//
+// — so traversal is sequential pointer-free reads (one cache line holds
+// 16 neighbors) instead of the per-node heap vectors it replaces, and
+// the whole graph can live in a single MappedBuffer that spills to disk
+// past the resident budget.
+//
+// Construction is the classic two passes through a Builder:
+//   1. add_count(node, n) for every edge source  → finish_counts()
+//      prefix-sums into offsets and allocates targets;
+//   2. add_edge(node, target) exactly count times → finish().
+// finish(sort_unique_rows=true) additionally sorts each row and
+// compacts duplicates in place (graphs built from flow-insensitive
+// def/use unions want set semantics without paying for a set).
+//
+// The builder's scratch (write cursors) comes from a caller-supplied
+// Arena; the offsets/targets arrays obey a CsrMemoryPolicy (hard byte
+// cap → typed LimitExceeded, resident budget → mmap spill).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/arena.hpp"
+#include "common/check.hpp"
+#include "common/deadline.hpp"
+#include "common/limits.hpp"
+#include "common/mapped_buffer.hpp"
+
+namespace gpuperf {
+
+/// Memory rules for one graph: where (and whether) its arrays may
+/// spill, and the absolute size past which it is rejected outright.
+struct CsrMemoryPolicy {
+  SpillConfig spill;
+  std::size_t hard_cap_bytes = static_cast<std::size_t>(-1);
+  const char* what = "csr graph bytes";
+};
+
+class CsrGraph {
+ public:
+  using Index = std::uint32_t;   // node ids and edge targets
+  using Offset = std::uint64_t;  // row boundaries (edge count may be huge)
+
+  CsrGraph() = default;
+  CsrGraph(CsrGraph&&) noexcept = default;
+  CsrGraph& operator=(CsrGraph&&) noexcept = default;
+
+  std::size_t node_count() const { return nodes_; }
+  std::size_t edge_count() const { return edges_; }
+
+  std::span<const Index> row(std::size_t node) const {
+    GP_DCHECK(node < nodes_);
+    const Offset* offsets = offsets_ptr();
+    return {targets_ptr() + offsets[node],
+            static_cast<std::size_t>(offsets[node + 1] - offsets[node])};
+  }
+
+  /// Bytes held by the offsets + targets arrays (spilled or resident).
+  std::size_t bytes() const {
+    return offsets_mem_.size_bytes() + targets_mem_.size_bytes();
+  }
+  bool spilled() const { return targets_mem_.file_backed(); }
+
+  /// Drop resident pages of a spilled graph; rows fault back on access.
+  void release_resident() {
+    offsets_mem_.release_resident();
+    targets_mem_.release_resident();
+  }
+
+  class Builder;
+
+ private:
+  Offset* offsets_ptr() {
+    return reinterpret_cast<Offset*>(offsets_mem_.data());
+  }
+  const Offset* offsets_ptr() const {
+    return reinterpret_cast<const Offset*>(offsets_mem_.data());
+  }
+  Index* targets_ptr() {
+    return reinterpret_cast<Index*>(targets_mem_.data());
+  }
+  const Index* targets_ptr() const {
+    return reinterpret_cast<const Index*>(targets_mem_.data());
+  }
+
+  std::size_t nodes_ = 0;
+  std::size_t edges_ = 0;
+  MappedBuffer offsets_mem_;
+  MappedBuffer targets_mem_;
+};
+
+// Defined outside the enclosing class so it can hold a CsrGraph by
+// value (the type is incomplete until the class body closes).
+class CsrGraph::Builder {
+ public:
+  /// `scratch` supplies the transient count/cursor arrays; it must
+  /// outlive the builder and is NOT reset here (callers scope it).
+  Builder(std::size_t nodes, Arena& scratch, const CsrMemoryPolicy& policy)
+      : nodes_(nodes),
+        policy_(policy),
+        counts_(scratch.alloc_zeroed<Offset>(nodes + 1)) {
+    GP_CHECK_MSG(nodes < static_cast<std::size_t>(-2),
+                 "csr node count overflow");
+  }
+
+  /// Pass 1: declare that `node` will receive `n` more edges.
+  void add_count(std::size_t node, std::size_t n = 1) {
+    GP_DCHECK(node < nodes_);
+    counts_[node] += n;
+  }
+
+  /// Prefix-sum the counts into the offsets array and allocate the
+  /// (possibly spilled) storage.  Throws LimitExceeded when the graph's
+  /// total bytes exceed the policy's hard cap, or exceed the resident
+  /// budget with no spill directory configured.
+  void finish_counts() {
+    GP_CHECK_MSG(!counted_, "finish_counts called twice");
+    counted_ = true;
+    Offset total = 0;
+    for (std::size_t i = 0; i < nodes_; ++i) total += counts_[i];
+    const std::size_t bytes =
+        (nodes_ + 1) * sizeof(Offset) +
+        static_cast<std::size_t>(total) * sizeof(Index);
+    enforce_limit(bytes, policy_.hard_cap_bytes, policy_.what);
+    // One spill decision for the whole graph: both arrays share the
+    // backing mode so a spilled graph is wholly reclaimable.
+    SpillConfig config = policy_.spill;
+    if (bytes < config.resident_budget_bytes)
+      config.resident_budget_bytes = static_cast<std::size_t>(-1);
+    else
+      config.resident_budget_bytes = 0;  // force both arrays to spill
+    graph_.offsets_mem_ = MappedBuffer::allocate(
+        (nodes_ + 1) * sizeof(Offset), config, policy_.what);
+    graph_.targets_mem_ = MappedBuffer::allocate(
+        static_cast<std::size_t>(total) * sizeof(Index), config,
+        policy_.what);
+    graph_.nodes_ = nodes_;
+    graph_.edges_ = static_cast<std::size_t>(total);
+    // offsets[i] = start of row i; counts_ becomes the write cursors.
+    Offset* offsets = graph_.offsets_ptr();
+    Offset running = 0;
+    for (std::size_t i = 0; i < nodes_; ++i) {
+      offsets[i] = running;
+      running += counts_[i];
+      counts_[i] = offsets[i];
+    }
+    offsets[nodes_] = running;
+  }
+
+  /// Pass 2: append `target` to `node`'s row (≤ the declared count).
+  void add_edge(std::size_t node, Index target) {
+    GP_DCHECK(counted_);
+    GP_DCHECK(node < nodes_);
+    GP_DCHECK(counts_[node] < graph_.offsets_ptr()[node + 1]);
+    graph_.targets_ptr()[counts_[node]++] = target;
+  }
+
+  /// Seal the graph.  With `sort_unique_rows`, each row is sorted and
+  /// deduplicated and the targets array compacted in place (row order
+  /// preserved); `deadline` is charged once per node during the
+  /// compaction sweep.
+  CsrGraph finish(bool sort_unique_rows = false,
+                  const Deadline& deadline = {}) {
+    GP_CHECK_MSG(counted_, "finish before finish_counts");
+    if (sort_unique_rows && graph_.edges_ > 0) {
+      Offset* offsets = graph_.offsets_ptr();
+      Index* targets = graph_.targets_ptr();
+      Offset write = 0;
+      Offset row_begin = offsets[0];
+      for (std::size_t i = 0; i < nodes_; ++i) {
+        deadline.charge("csr.compact");
+        const Offset row_end = offsets[i + 1];
+        std::sort(targets + row_begin, targets + row_end);
+        Index* const unique_end =
+            std::unique(targets + row_begin, targets + row_end);
+        const Offset len =
+            static_cast<Offset>(unique_end - (targets + row_begin));
+        if (write != row_begin && len > 0)
+          std::memmove(targets + write, targets + row_begin,
+                       static_cast<std::size_t>(len) * sizeof(Index));
+        offsets[i] = write;
+        write += len;
+        row_begin = row_end;
+      }
+      offsets[nodes_] = write;
+      graph_.edges_ = static_cast<std::size_t>(write);
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  std::size_t nodes_;
+  CsrMemoryPolicy policy_;
+  std::span<Offset> counts_;  // arena-backed; becomes write cursors
+  bool counted_ = false;
+  CsrGraph graph_;
+};
+
+}  // namespace gpuperf

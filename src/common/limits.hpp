@@ -79,6 +79,17 @@ struct InputLimits {
   std::size_t max_features = 4096;              ///< feature-vector width
   std::size_t max_manifest_fields = 256;        ///< manifest key/value lines
 
+  // ---- DCA graph memory -----------------------------------------------
+  /// Resident bytes a dependency graph's CSR arrays may occupy before
+  /// they must spill to a mapped file (common/mapped_buffer.hpp); with
+  /// no spill directory configured, crossing this budget throws
+  /// LimitExceeded instead.  Overridable via $GPUPERF_DCA_SPILL_BUDGET /
+  /// --dca-spill-budget.
+  std::size_t max_depgraph_resident_bytes = 512u << 20;  // 512 MiB
+  /// Absolute cap on one graph's CSR bytes, spilled or not — past this
+  /// the module is rejected outright rather than ground through disk.
+  std::size_t max_depgraph_bytes = std::size_t{8} << 30;  // 8 GiB
+
   // ---- recursion / allocation ----------------------------------------
   /// Nesting/recursion depth guard for any parser that recurses.
   std::size_t max_depth = 64;

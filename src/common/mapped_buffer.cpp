@@ -1,0 +1,185 @@
+#include "common/mapped_buffer.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/limits.hpp"
+#include "common/log.hpp"
+
+namespace gpuperf {
+
+namespace {
+
+std::atomic<std::uint64_t> g_spill_files{0};
+std::atomic<std::uint64_t> g_spill_bytes{0};
+
+/// Create-and-unlink a spill file in `dir`; returns -1 on any failure
+/// (the caller falls back to anonymous memory).
+int open_spill_file(const std::string& dir, std::size_t bytes) {
+  std::string path = dir + "/gpuperf-spill-XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) return -1;
+  // Unlink immediately: the mapping keeps the inode alive and the disk
+  // space is reclaimed automatically when the buffer dies, even on
+  // crash.
+  ::unlink(path.c_str());
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::mutex g_spill_config_mutex;
+
+SpillConfig& spill_config_storage() {
+  static SpillConfig* config = [] {
+    auto* out = new SpillConfig;
+    if (const char* dir = std::getenv("GPUPERF_DCA_SPILL")) out->dir = dir;
+    out->resident_budget_bytes =
+        InputLimits::defaults().max_depgraph_resident_bytes;
+    if (const char* budget = std::getenv("GPUPERF_DCA_SPILL_BUDGET")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(budget, &end, 10);
+      if (end != budget && *end == '\0')
+        out->resident_budget_bytes = static_cast<std::size_t>(v);
+    }
+    return out;
+  }();
+  return *config;
+}
+
+}  // namespace
+
+MappedBuffer::~MappedBuffer() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+MappedBuffer::MappedBuffer(MappedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fd_(std::exchange(other.fd_, -1)) {}
+
+MappedBuffer& MappedBuffer::operator=(MappedBuffer&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    if (fd_ >= 0) ::close(fd_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+MappedBuffer MappedBuffer::allocate(std::size_t bytes,
+                                    const SpillConfig& config,
+                                    const char* what) {
+  MappedBuffer out;
+  if (bytes == 0) return out;
+
+  const bool over_budget = bytes >= config.resident_budget_bytes;
+  if (over_budget && config.dir.empty())
+    detail::limit_exceeded(what, bytes, config.resident_budget_bytes);
+
+  int fd = -1;
+  if (over_budget) {
+    fd = open_spill_file(config.dir, bytes);
+    if (fd < 0)
+      GP_LOG(kWarn) << "spill file creation failed in '" << config.dir
+                    << "' (" << std::strerror(errno)
+                    << "); falling back to anonymous memory for " << bytes
+                    << " bytes of " << what;
+  }
+
+  void* mapping =
+      fd >= 0
+          ? ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0)
+          : ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mapping == MAP_FAILED && fd >= 0) {
+    // File mapped but mmap refused (e.g. filesystem without mmap
+    // support): same availability fallback as a failed create.
+    ::close(fd);
+    fd = -1;
+    GP_LOG(kWarn) << "spill mmap failed (" << std::strerror(errno)
+                  << "); falling back to anonymous memory for " << bytes
+                  << " bytes of " << what;
+    mapping = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  }
+  GP_CHECK_MSG(mapping != MAP_FAILED,
+               "mmap of " << bytes << " bytes failed for " << what << ": "
+                          << std::strerror(errno));
+
+  out.data_ = static_cast<std::byte*>(mapping);
+  out.size_ = bytes;
+  out.fd_ = fd;
+  if (fd >= 0) {
+    g_spill_files.fetch_add(1, std::memory_order_relaxed);
+    g_spill_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void MappedBuffer::grow(std::size_t new_bytes) {
+  GP_CHECK(new_bytes >= size_);
+  if (new_bytes == size_) return;
+  if (data_ == nullptr) {
+    // Empty buffers have no backing policy; grow anonymously.
+    void* mapping = ::mmap(nullptr, new_bytes, PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    GP_CHECK_MSG(mapping != MAP_FAILED, "mmap of " << new_bytes
+                                                   << " bytes failed: "
+                                                   << std::strerror(errno));
+    data_ = static_cast<std::byte*>(mapping);
+    size_ = new_bytes;
+    return;
+  }
+  if (fd_ >= 0) {
+    GP_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(new_bytes)) == 0,
+                 "spill file extend to " << new_bytes << " bytes failed: "
+                                         << std::strerror(errno));
+    g_spill_bytes.fetch_add(new_bytes - size_, std::memory_order_relaxed);
+  }
+  void* mapping = ::mremap(data_, size_, new_bytes, MREMAP_MAYMOVE);
+  GP_CHECK_MSG(mapping != MAP_FAILED,
+               "mremap to " << new_bytes
+                            << " bytes failed: " << std::strerror(errno));
+  data_ = static_cast<std::byte*>(mapping);
+  size_ = new_bytes;
+}
+
+void MappedBuffer::release_resident() {
+  if (fd_ < 0 || data_ == nullptr) return;
+  ::madvise(data_, size_, MADV_DONTNEED);
+}
+
+std::uint64_t MappedBuffer::spill_files_total() {
+  return g_spill_files.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MappedBuffer::spill_bytes_total() {
+  return g_spill_bytes.load(std::memory_order_relaxed);
+}
+
+SpillConfig dca_spill_config() {
+  std::lock_guard<std::mutex> lock(g_spill_config_mutex);
+  return spill_config_storage();
+}
+
+void set_dca_spill_config(SpillConfig config) {
+  std::lock_guard<std::mutex> lock(g_spill_config_mutex);
+  spill_config_storage() = std::move(config);
+}
+
+}  // namespace gpuperf

@@ -1,0 +1,95 @@
+// Out-of-core backing store for large flat analysis arrays
+// (docs/PERF.md "Graph memory layout", docs/ROBUSTNESS.md "DCA spill").
+//
+// A MappedBuffer is a fixed-capacity byte array whose backing is chosen
+// by a SpillConfig at allocation time:
+//
+//   - small allocations map anonymous memory (plain RAM, reclaimed on
+//     destruction);
+//   - allocations at or above the resident budget map an unlinked
+//     temporary file in the spill directory (MAP_SHARED), so the pages
+//     are page-cache-backed and reclaimable — a multi-million-
+//     instruction dependency graph no longer has to fit in RSS;
+//   - allocations above the budget with NO spill directory configured
+//     throw a typed LimitExceeded instead of OOMing, exactly like every
+//     other InputLimits budget;
+//   - if the spill file cannot be created (missing directory, ENOSPC at
+//     setup) the buffer falls back to anonymous memory with a one-line
+//     warning — availability problems degrade, only budget violations
+//     reject.
+//
+// grow() extends the buffer in place via ftruncate+mremap, so a builder
+// that discovers its final size late never copies.  Process-wide spill
+// telemetry (files created, bytes spilled, cumulative) feeds the serve
+// `stats` counters `dca_spill_files` / `dca_spill_bytes`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpuperf {
+
+/// Spill policy for one allocation family.  `resident_budget_bytes` is
+/// the size at which an allocation stops being anonymous RAM; `dir`
+/// names where spill files go (empty = spilling unavailable).
+struct SpillConfig {
+  std::string dir;
+  std::size_t resident_budget_bytes = static_cast<std::size_t>(-1);
+};
+
+class MappedBuffer {
+ public:
+  MappedBuffer() = default;
+  ~MappedBuffer();
+
+  MappedBuffer(MappedBuffer&& other) noexcept;
+  MappedBuffer& operator=(MappedBuffer&& other) noexcept;
+  MappedBuffer(const MappedBuffer&) = delete;
+  MappedBuffer& operator=(const MappedBuffer&) = delete;
+
+  /// Allocate `bytes` zero-initialized bytes under `config`; `what`
+  /// names the allocation in the LimitExceeded message when the budget
+  /// trips without a spill directory.
+  static MappedBuffer allocate(std::size_t bytes, const SpillConfig& config,
+                               const char* what);
+
+  /// Extend to `new_bytes` (>= current size) in place; the mapping may
+  /// move, spans into data() must be re-derived.  A grown anonymous
+  /// buffer never retroactively spills — the spill decision is made
+  /// once, at allocate() time, from the caller's size estimate.
+  void grow(std::size_t new_bytes);
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size_bytes() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool file_backed() const { return fd_ >= 0; }
+
+  /// Drop the resident pages of a file-backed buffer (madvise
+  /// MADV_DONTNEED).  The data survives in the page cache / file and
+  /// faults back in on access; anonymous buffers are left untouched
+  /// (DONTNEED would discard their contents).  Best effort.
+  void release_resident();
+
+  /// Process-wide spill telemetry: cumulative spill files created and
+  /// bytes placed in them (monotonic — serve counter convention).
+  static std::uint64_t spill_files_total();
+  static std::uint64_t spill_bytes_total();
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  int fd_ = -1;  // -1 = anonymous mapping (or empty)
+};
+
+/// Process-wide spill knobs for the DCA graph path, seeded from
+/// `$GPUPERF_DCA_SPILL` (directory) and `$GPUPERF_DCA_SPILL_BUDGET`
+/// (resident bytes; defaults to
+/// InputLimits::defaults().max_depgraph_resident_bytes).  The serve
+/// layer overrides them at startup from --dca-spill-dir /
+/// --dca-spill-budget; set before analysis traffic starts.
+SpillConfig dca_spill_config();
+void set_dca_spill_config(SpillConfig config);
+
+}  // namespace gpuperf

@@ -1,59 +1,95 @@
 #include "ptx/depgraph.hpp"
 
-#include <algorithm>
+#include <atomic>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
+#include "common/limits.hpp"
+#include "common/mapped_buffer.hpp"
 
 namespace gpuperf::ptx {
 
-DependencyGraph DependencyGraph::build(const PtxKernel& kernel) {
+namespace {
+
+std::atomic<std::uint64_t> g_total_csr_bytes{0};
+
+/// Per-thread scratch for builder count/cursor arrays; reset after each
+/// build, retaining its largest chunk for the next one.
+Arena& scratch_arena() {
+  thread_local Arena arena(256u << 10);
+  return arena;
+}
+
+}  // namespace
+
+DependencyGraph DependencyGraph::build(const PtxKernel& kernel,
+                                       const Deadline& deadline) {
   GP_CHECK_MSG(kernel.registers_interned(),
                "DependencyGraph::build requires interned registers in "
                    << kernel.name);
-  DependencyGraph g;
   const auto& ins = kernel.instructions;
-  g.deps_.resize(ins.size());
-  g.reg_names_ = kernel.register_names;
-  g.defs_by_id_.resize(kernel.register_count());
+  GP_CHECK_MSG(ins.size() <= static_cast<std::size_t>(UINT32_MAX),
+               "instruction count exceeds CSR index range in "
+                   << kernel.name);
 
-  for (std::size_t i = 0; i < ins.size(); ++i)
-    for (int id : ins[i].def_ids()) g.defs_by_id_[id].push_back(i);
+  const InputLimits& limits = InputLimits::defaults();
+  const SpillConfig spill = dca_spill_config();
+  DependencyGraph g;
+  Arena& scratch = scratch_arena();
+  const Arena::ResetScope scope(scratch);
 
-  for (std::size_t i = 0; i < ins.size(); ++i) {
-    std::vector<std::size_t>& d = g.deps_[i];
-    for (int id : ins[i].use_ids()) {
-      const auto& defs = g.defs_by_id_[id];
-      if (defs.empty()) continue;  // undef read: param-free reg
-      d.insert(d.end(), defs.begin(), defs.end());
+  // Pass A: defs CSR (register id -> definition sites).  Rows come out
+  // naturally sorted because instructions are visited in order.
+  {
+    CsrGraph::Builder builder(
+        kernel.register_count(), scratch,
+        {spill, limits.max_depgraph_bytes, "dependency graph bytes"});
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      deadline.charge("depgraph");
+      ins[i].for_each_def_id([&](int id) { builder.add_count(id); });
     }
-    std::sort(d.begin(), d.end());
-    d.erase(std::unique(d.begin(), d.end()), d.end());
+    builder.finish_counts();
+    for (std::size_t i = 0; i < ins.size(); ++i)
+      ins[i].for_each_def_id([&](int id) {
+        builder.add_edge(id, static_cast<std::uint32_t>(i));
+      });
+    g.defs_ = builder.finish();
+  }
+
+  // Pass B: deps CSR (instruction -> union of defs of every used
+  // register).  Row capacity is the exact pre-dedup edge count; finish()
+  // sorts each row and compacts duplicates in place.
+  {
+    CsrGraph::Builder builder(
+        ins.size(), scratch,
+        {spill, limits.max_depgraph_bytes, "dependency graph bytes"});
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      deadline.charge("depgraph");
+      ins[i].for_each_use_id(
+          [&](int id) { builder.add_count(i, g.defs_of_id(id).size()); });
+    }
+    builder.finish_counts();
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      deadline.charge("depgraph");
+      ins[i].for_each_use_id([&](int id) {
+        for (std::uint32_t def : g.defs_of_id(id)) builder.add_edge(i, def);
+      });
+    }
+    g.deps_ = builder.finish(/*sort_unique_rows=*/true, deadline);
+  }
+
+  g_total_csr_bytes.fetch_add(g.csr_bytes(), std::memory_order_relaxed);
+  // A spilled graph's build-time pages are disposable: drop them now so
+  // RSS holds only what traversal actually faults back in.
+  if (g.spilled()) {
+    g.deps_.release_resident();
+    g.defs_.release_resident();
   }
   return g;
 }
 
-const std::vector<std::size_t>& DependencyGraph::deps(std::size_t i) const {
-  GP_CHECK(i < deps_.size());
-  return deps_[i];
-}
-
-const std::vector<std::size_t>& DependencyGraph::defs_of_id(int reg_id) const {
-  if (reg_id < 0 || static_cast<std::size_t>(reg_id) >= defs_by_id_.size())
-    return empty_;
-  return defs_by_id_[reg_id];
-}
-
-const std::vector<std::size_t>& DependencyGraph::defs_of(
-    const std::string& reg) const {
-  for (std::size_t id = 0; id < reg_names_.size(); ++id)
-    if (reg_names_[id] == reg) return defs_by_id_[id];
-  return empty_;
-}
-
-std::size_t DependencyGraph::edge_count() const {
-  std::size_t n = 0;
-  for (const auto& d : deps_) n += d.size();
-  return n;
+std::uint64_t DependencyGraph::total_csr_bytes() {
+  return g_total_csr_bytes.load(std::memory_order_relaxed);
 }
 
 }  // namespace gpuperf::ptx

@@ -4,13 +4,24 @@
 // of a register is a potential dependency), which over-approximates —
 // safe for slicing, where missing a dependency would be unsound but an
 // extra one only tracks a little more state.
+//
+// Storage is two flat CSR graphs (common/csr_graph.hpp) instead of
+// vector-of-vectors adjacency: deps_ maps instruction → sorted unique
+// dependency instructions, defs_ maps interned register id → definition
+// sites.  Both live in MappedBuffers, so graphs past the
+// InputLimits::max_depgraph_resident_bytes budget spill to the
+// configured spill directory (docs/PERF.md "Graph memory layout")
+// instead of OOMing, and multi-million-instruction modules stay inside
+// a bounded RSS.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "common/csr_graph.hpp"
+#include "common/deadline.hpp"
 #include "ptx/module.hpp"
 
 namespace gpuperf::ptx {
@@ -19,27 +30,49 @@ class DependencyGraph {
  public:
   /// Requires kernel.registers_interned(); def/use sites are indexed by
   /// interned register id so graph construction never hashes strings.
-  static DependencyGraph build(const PtxKernel& kernel);
+  /// `deadline` is charged once per instruction per pass, so a giant
+  /// module aborts cooperatively mid-build instead of running away.
+  /// Spill policy comes from dca_spill_config(); throws LimitExceeded
+  /// when the CSR bytes exceed the resident budget with no spill
+  /// directory, or the max_depgraph_bytes hard cap regardless.
+  static DependencyGraph build(const PtxKernel& kernel,
+                               const Deadline& deadline = {});
 
-  std::size_t node_count() const { return deps_.size(); }
+  std::size_t node_count() const { return deps_.node_count(); }
 
-  /// Instructions whose outputs instruction i may read.
-  const std::vector<std::size_t>& deps(std::size_t i) const;
+  /// Instructions whose outputs instruction i may read (sorted, unique).
+  std::span<const std::uint32_t> deps(std::size_t i) const {
+    return deps_.row(i);
+  }
 
   /// All definition sites of a register, by interned id (hot path).
-  const std::vector<std::size_t>& defs_of_id(int reg_id) const;
+  std::span<const std::uint32_t> defs_of_id(int reg_id) const {
+    if (reg_id < 0 || static_cast<std::size_t>(reg_id) >= defs_.node_count())
+      return {};
+    return defs_.row(static_cast<std::size_t>(reg_id));
+  }
 
-  /// Name-keyed lookup kept for tests and diagnostics; linear scan of
-  /// the kernel's register table.
-  const std::vector<std::size_t>& defs_of(const std::string& reg) const;
+  /// Name-keyed lookup kept for tests and diagnostics; resolves through
+  /// the kernel's interned symbol table (O(1) hash lookup, no scan).
+  std::span<const std::uint32_t> defs_of(const PtxKernel& kernel,
+                                         const std::string& reg) const {
+    return defs_of_id(kernel.register_id(reg));
+  }
 
-  std::size_t edge_count() const;
+  std::size_t edge_count() const { return deps_.edge_count(); }
+
+  /// Bytes held by this graph's CSR arrays, and whether they live in a
+  /// spill file rather than anonymous memory.
+  std::size_t csr_bytes() const { return deps_.bytes() + defs_.bytes(); }
+  bool spilled() const { return deps_.spilled() || defs_.spilled(); }
+
+  /// Process-wide cumulative CSR bytes ever built (monotonic; feeds the
+  /// serve `depgraph_csr_bytes` counter).
+  static std::uint64_t total_csr_bytes();
 
  private:
-  std::vector<std::vector<std::size_t>> deps_;
-  std::vector<std::vector<std::size_t>> defs_by_id_;
-  std::vector<std::string> reg_names_;  // id -> name, for defs_of(string)
-  std::vector<std::size_t> empty_;
+  CsrGraph deps_;  // instruction -> dependency instructions
+  CsrGraph defs_;  // register id -> definition sites
 };
 
 }  // namespace gpuperf::ptx

@@ -72,31 +72,15 @@ std::vector<std::string> Instruction::uses() const {
   return out;
 }
 
-namespace {
-
-void collect_reg_id(const Operand& op, std::vector<int>& out,
-                    bool memory_bases) {
-  if (const auto* r = std::get_if<RegOperand>(&op)) {
-    out.push_back(r->id);
-  } else if (memory_bases) {
-    if (const auto* m = std::get_if<MemOperand>(&op)) {
-      if (m->base_reg_id >= 0) out.push_back(m->base_reg_id);
-    }
-  }
-}
-
-}  // namespace
-
 std::vector<int> Instruction::def_ids() const {
   std::vector<int> out;
-  for (const auto& d : dsts) collect_reg_id(d, out, /*memory_bases=*/false);
+  for_each_def_id([&](int id) { out.push_back(id); });
   return out;
 }
 
 std::vector<int> Instruction::use_ids() const {
   std::vector<int> out;
-  for (const auto& s : srcs) collect_reg_id(s, out, /*memory_bases=*/true);
-  if (guard_id >= 0) out.push_back(guard_id);
+  for_each_use_id([&](int id) { out.push_back(id); });
   return out;
 }
 

@@ -86,6 +86,26 @@ struct Instruction {
   std::vector<int> def_ids() const;
   std::vector<int> use_ids() const;
 
+  /// Allocation-free interned-id iteration for graph construction hot
+  /// loops: visits exactly the ids def_ids()/use_ids() would return, in
+  /// the same order, without materializing a vector.
+  template <typename Fn>
+  void for_each_def_id(Fn&& fn) const {
+    for (const Operand& d : dsts)
+      if (const auto* r = std::get_if<RegOperand>(&d)) fn(r->id);
+  }
+  template <typename Fn>
+  void for_each_use_id(Fn&& fn) const {
+    for (const Operand& s : srcs) {
+      if (const auto* r = std::get_if<RegOperand>(&s)) {
+        fn(r->id);
+      } else if (const auto* m = std::get_if<MemOperand>(&s)) {
+        if (m->base_reg_id >= 0) fn(m->base_reg_id);
+      }
+    }
+    if (guard_id >= 0) fn(guard_id);
+  }
+
   bool is_branch() const { return opcode == Opcode::kBra; }
   bool is_exit() const { return opcode == Opcode::kRet; }
 

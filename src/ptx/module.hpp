@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ptx/instruction.hpp"
@@ -58,8 +59,14 @@ class PtxKernel {
   std::size_t register_count() const { return register_names.size(); }
   std::vector<std::string> register_names;
 
+  /// Interned id of a register name, or -1 when unknown / not yet
+  /// interned.  O(1) — the lookup map built by intern_registers() is
+  /// kept, so diagnostics and tests no longer scan register_names.
+  int register_id(const std::string& reg) const;
+
  private:
   bool interned_ = false;
+  std::unordered_map<std::string, int> register_ids_;
 };
 
 class PtxModule {

@@ -1,15 +1,25 @@
 #include "ptx/slicer.hpp"
 
-#include <deque>
+#include <bit>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 
 namespace gpuperf::ptx {
 
-std::size_t Slice::slice_size() const {
+namespace {
+
+/// Per-thread scratch for the closure worklist; reset after each slice.
+Arena& scratch_arena() {
+  thread_local Arena arena(64u << 10);
+  return arena;
+}
+
+}  // namespace
+
+std::size_t Slice::tracked_count() const {
   std::size_t n = 0;
-  for (bool b : in_slice)
-    if (b) ++n;
+  for (std::uint64_t word : tracked_bits) n += std::popcount(word);
   return n;
 }
 
@@ -19,34 +29,47 @@ Slice compute_slice(const PtxKernel& kernel, const DependencyGraph& graph,
   GP_CHECK(graph.node_count() == ins.size());
 
   Slice slice;
-  slice.in_slice.assign(ins.size(), false);
+  slice.in_slice.assign(ins.size(), 0);
+
+  // Index worklist over the in_slice byte array (which doubles as the
+  // visited set).  Marking before pushing bounds the worklist at one
+  // entry per instruction, so a fixed arena-backed array suffices; LIFO
+  // order changes nothing — the closure is order-independent.
+  Arena& scratch = scratch_arena();
+  const Arena::ResetScope scope(scratch);
+  std::span<std::uint32_t> worklist =
+      scratch.alloc_array<std::uint32_t>(ins.size());
+  std::size_t top = 0;
+  auto mark = [&](std::uint32_t i) {
+    if (!slice.in_slice[i]) {
+      slice.in_slice[i] = 1;
+      worklist[top++] = i;
+    }
+  };
 
   // Seed with the decision points: guard registers of branches and of
   // predicated instructions.
-  std::deque<std::size_t> worklist;
-  auto mark = [&](std::size_t i) {
-    if (!slice.in_slice[i]) {
-      slice.in_slice[i] = true;
-      worklist.push_back(i);
-    }
-  };
   for (std::size_t i = 0; i < ins.size(); ++i) {
     if (ins[i].guard_id < 0) continue;
-    for (std::size_t def : graph.defs_of_id(ins[i].guard_id)) mark(def);
+    for (std::uint32_t def : graph.defs_of_id(ins[i].guard_id)) mark(def);
   }
 
   // Backward closure over data dependencies.
-  while (!worklist.empty()) {
+  while (top > 0) {
     deadline.charge("slicer");
-    const std::size_t i = worklist.front();
-    worklist.pop_front();
-    for (std::size_t dep : graph.deps(i)) mark(dep);
+    const std::uint32_t i = worklist[--top];
+    for (std::uint32_t dep : graph.deps(i)) mark(dep);
   }
 
-  for (std::size_t i = 0; i < ins.size(); ++i)
-    if (slice.in_slice[i])
-      for (const std::string& reg : ins[i].defs())
-        slice.tracked_registers.insert(reg);
+  slice.tracked_bits.assign((kernel.register_count() + 63) / 64, 0);
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (!slice.in_slice[i]) continue;
+    ++slice.size_;
+    ins[i].for_each_def_id([&](int id) {
+      slice.tracked_bits[static_cast<std::size_t>(id) >> 6] |=
+          std::uint64_t{1} << (id & 63);
+    });
+  }
   return slice;
 }
 

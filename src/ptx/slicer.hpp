@@ -5,8 +5,9 @@
 // lets the dynamic code analysis beat a full simulator.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/deadline.hpp"
@@ -16,14 +17,35 @@
 namespace gpuperf::ptx {
 
 struct Slice {
-  /// in_slice[i]: instruction i must be evaluated during symbolic
-  /// execution (it feeds some branch decision or guard).
-  std::vector<bool> in_slice;
-  /// Registers written by slice instructions (the state the executor
-  /// tracks).
-  std::unordered_set<std::string> tracked_registers;
+  /// in_slice[i] != 0: instruction i must be evaluated during symbolic
+  /// execution (it feeds some branch decision or guard).  A byte array,
+  /// not vector<bool>, so the closure worklist reads/writes it without
+  /// bit-twiddling.
+  std::vector<std::uint8_t> in_slice;
 
-  std::size_t slice_size() const;
+  /// Registers written by slice instructions (the state the executor
+  /// tracks), as a dense bitset over interned register ids.
+  std::vector<std::uint64_t> tracked_bits;
+
+  bool tracks_id(int reg_id) const {
+    if (reg_id < 0) return false;
+    const std::size_t word = static_cast<std::size_t>(reg_id) >> 6;
+    if (word >= tracked_bits.size()) return false;
+    return (tracked_bits[word] >> (reg_id & 63)) & 1u;
+  }
+  /// Name-keyed membership test kept for tests and diagnostics;
+  /// resolves through the kernel's interned symbol table.
+  bool tracks(const PtxKernel& kernel, const std::string& reg) const {
+    return tracks_id(kernel.register_id(reg));
+  }
+  /// Number of tracked registers (bitset population count).
+  std::size_t tracked_count() const;
+
+  /// Cached at build time — called inside per-launch logging, so it
+  /// must not rescan in_slice.
+  std::size_t slice_size() const { return size_; }
+
+  std::size_t size_ = 0;  // population count of in_slice
 };
 
 /// Slice criteria: every branch guard, every instruction guard, and the

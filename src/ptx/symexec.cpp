@@ -318,10 +318,13 @@ struct SymbolicExecutor::Impl {
   // launch arguments that can influence counts (memo key material).
   std::vector<std::string> slice_params;
 
-  explicit Impl(const PtxKernel& k, const Deadline& deadline) : kernel(k) {
+  explicit Impl(PtxKernel k, const Deadline& deadline)
+      : kernel(std::move(k)) {
     kernel.intern_registers();  // no-op for parser/codegen output
     cfg = Cfg::build(kernel);
-    slice = compute_slice(kernel, DependencyGraph::build(kernel), deadline);
+    slice =
+        compute_slice(kernel, DependencyGraph::build(kernel, deadline),
+                      deadline);
     for (std::size_t i = 0; i < kernel.instructions.size(); ++i) {
       const Instruction& inst = kernel.instructions[i];
       if (!slice.in_slice[i] || inst.opcode != Opcode::kLd ||
@@ -793,6 +796,10 @@ struct SymbolicExecutor::Impl {
 SymbolicExecutor::SymbolicExecutor(const PtxKernel& kernel,
                                    const Deadline& deadline)
     : impl_(std::make_unique<Impl>(kernel, deadline)) {}
+
+SymbolicExecutor::SymbolicExecutor(PtxKernel&& kernel,
+                                   const Deadline& deadline)
+    : impl_(std::make_unique<Impl>(std::move(kernel), deadline)) {}
 
 SymbolicExecutor::~SymbolicExecutor() = default;
 SymbolicExecutor::SymbolicExecutor(SymbolicExecutor&&) noexcept = default;

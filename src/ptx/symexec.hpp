@@ -43,6 +43,11 @@ class SymbolicExecutor {
   /// analysis (it is not retained).
   explicit SymbolicExecutor(const PtxKernel& kernel,
                             const Deadline& deadline = {});
+  /// Move overload for giant (e.g. synthetic multi-million-instruction)
+  /// kernels: adopts the kernel instead of copying its instruction
+  /// stream.
+  explicit SymbolicExecutor(PtxKernel&& kernel,
+                            const Deadline& deadline = {});
   ~SymbolicExecutor();
 
   SymbolicExecutor(SymbolicExecutor&&) noexcept;

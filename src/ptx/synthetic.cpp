@@ -1,0 +1,92 @@
+#include "ptx/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gpuperf::ptx {
+
+PtxModule synthetic_module(const SyntheticSpec& spec) {
+  GP_CHECK(spec.seed_registers > 0 && spec.data_registers > 0);
+  const std::size_t seeds = spec.seed_registers;
+  const std::size_t datas = spec.data_registers;
+
+  PtxKernel k;
+  k.name = spec.kernel_name;
+  k.params.push_back(KernelParam{"p_n", PtxType::kU32, false});
+  k.reg_decls.push_back(RegDecl{PtxType::kPred, "%p", 2});
+  k.reg_decls.push_back(
+      RegDecl{PtxType::kF32, "%f", static_cast<int>(seeds + datas) + 1});
+  k.reg_decls.push_back(RegDecl{PtxType::kU32, "%r", 3});
+  k.instructions.reserve(spec.body_instructions + seeds + 6);
+
+  auto reg = [](const char* prefix, std::size_t i) {
+    return Operand{RegOperand{prefix + std::to_string(i)}};
+  };
+  auto imm_f = [](double v) { return Operand{ImmOperand{v, true}}; };
+  auto emit = [&](Opcode op, PtxType type, std::vector<Operand> dsts,
+                  std::vector<Operand> srcs,
+                  StateSpace space = StateSpace::kNone) -> Instruction& {
+    Instruction inst;
+    inst.opcode = op;
+    inst.type = type;
+    inst.space = space;
+    inst.dsts = std::move(dsts);
+    inst.srcs = std::move(srcs);
+    k.instructions.push_back(std::move(inst));
+    return k.instructions.back();
+  };
+
+  // Prelude: i = 0; n = p_n; seed pool (each seed defined exactly once —
+  // the body reads only these, so dependency edges stay linear).
+  emit(Opcode::kMov, PtxType::kU32, {reg("%r", 1)},
+       {Operand{ImmOperand{0.0, false}}});
+  emit(Opcode::kLd, PtxType::kU32, {reg("%r", 2)},
+       {Operand{MemOperand{"p_n", 0}}}, StateSpace::kParam);
+  for (std::size_t s = 0; s < seeds; ++s)
+    emit(Opcode::kMov, PtxType::kF32, {reg("%f", s + 1)},
+         {imm_f(1.0 + static_cast<double>(s))});
+
+  // LOOP: body of write-only float adds over the seed pool.  Data
+  // registers %f{seeds+1}.. rotate as destinations and are never read,
+  // so the flow-insensitive graph gives each body instruction exactly
+  // two dependency edges (its two seed movs).
+  k.labels["LOOP"] = k.instructions.size();
+  for (std::size_t i = 0; i < spec.body_instructions; ++i) {
+    const std::size_t dst = seeds + 1 + (i % datas);
+    const std::size_t a = 1 + (i % seeds);
+    const std::size_t b = 1 + ((i * 7 + 3) % seeds);
+    emit(Opcode::kAdd, PtxType::kF32, {reg("%f", dst)},
+         {reg("%f", a), reg("%f", b)});
+  }
+
+  // i += 1; p = i < n; @p bra LOOP; ret  (do-while: body runs >= once).
+  emit(Opcode::kAdd, PtxType::kS32, {reg("%r", 1)},
+       {reg("%r", 1), Operand{ImmOperand{1.0, false}}});
+  Instruction& setp =
+      emit(Opcode::kSetp, PtxType::kS32, {reg("%p", 1)},
+           {reg("%r", 1), reg("%r", 2)});
+  setp.cmp = CompareOp::kLt;
+  Instruction& bra = emit(Opcode::kBra, PtxType::kU32, {},
+                          {Operand{LabelOperand{"LOOP"}}});
+  bra.guard = "%p1";
+  emit(Opcode::kRet, PtxType::kU32, {}, {});
+
+  k.intern_registers();
+
+  PtxModule module;
+  module.kernels.push_back(std::move(k));
+  return module;
+}
+
+std::int64_t synthetic_dynamic_instructions(const SyntheticSpec& spec,
+                                            std::int64_t n,
+                                            std::int64_t total_threads) {
+  const std::int64_t trips = std::max<std::int64_t>(n, 1);
+  const std::int64_t per_thread =
+      2 + static_cast<std::int64_t>(spec.seed_registers) +
+      trips * (static_cast<std::int64_t>(spec.body_instructions) + 3) + 1;
+  return per_thread * total_threads;
+}
+
+}  // namespace gpuperf::ptx

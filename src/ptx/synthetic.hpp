@@ -1,0 +1,52 @@
+// Synthetic giant-kernel generator for out-of-core DCA testing and
+// benchmarking.  Real CNN kernels top out at a few hundred
+// instructions; the spill path (docs/PERF.md "Graph memory layout")
+// only engages on multi-million-instruction modules, which would be
+// absurd to ship as PTX text fixtures.  synthetic_module() fabricates
+// one directly as a PtxModule: a parameter-bound counting loop whose
+// body is a long stream of floating-point instructions reading a small
+// pool of once-defined seed registers.
+//
+// The shape is chosen so every analysis stays *linear* in the body
+// length under the flow-insensitive dependency graph (each body
+// instruction depends on exactly its two seed definitions; the written
+// data registers are never read back), the slice stays tiny (only the
+// loop head feeds the branch), and the dynamic instruction count has a
+// closed form per thread:
+//
+//   2 + seed_registers + n * (body_instructions + 3) + 1
+//
+// (prelude + n loop iterations of body+add+setp+bra + ret), uniform
+// across threads, so tests can assert exact totals.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ptx/module.hpp"
+
+namespace gpuperf::ptx {
+
+struct SyntheticSpec {
+  /// Floating-point instructions inside the loop body.
+  std::size_t body_instructions = 1'000'000;
+  /// Write-only registers the body rotates through.
+  std::size_t data_registers = 64;
+  /// Once-defined registers the body reads (each body instruction reads
+  /// two of them — bounding dependency edges at 2 × body_instructions).
+  std::size_t seed_registers = 32;
+  std::string kernel_name = "gp_synth";
+};
+
+/// One-kernel module per `spec`, registers already interned.  The
+/// kernel takes a single .u32 parameter `p_n` (the loop trip count,
+/// executed do-while style: n < 1 behaves as 1).
+PtxModule synthetic_module(const SyntheticSpec& spec = {});
+
+/// The closed-form thread-level dynamic instruction count of one launch
+/// of the synthetic kernel with trip count `n`.
+std::int64_t synthetic_dynamic_instructions(const SyntheticSpec& spec,
+                                            std::int64_t n,
+                                            std::int64_t total_threads);
+
+}  // namespace gpuperf::ptx

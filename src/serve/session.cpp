@@ -12,8 +12,10 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "core/dataset_builder.hpp"
+#include "common/mapped_buffer.hpp"
 #include "gpu/device_db.hpp"
 #include "ptx/counter.hpp"
+#include "ptx/depgraph.hpp"
 #include "registry/hash.hpp"
 #include "serve/errors.hpp"
 
@@ -34,8 +36,19 @@ std::int64_t steady_now_ms() {
 
 }  // namespace
 
+ServeOptions ServeSession::apply_dca_spill_knobs(ServeOptions options) {
+  if (!options.dca_spill_dir.empty() || options.dca_spill_budget_bytes > 0) {
+    SpillConfig spill = dca_spill_config();
+    if (!options.dca_spill_dir.empty()) spill.dir = options.dca_spill_dir;
+    if (options.dca_spill_budget_bytes > 0)
+      spill.resident_budget_bytes = options.dca_spill_budget_bytes;
+    set_dca_spill_config(std::move(spill));
+  }
+  return options;
+}
+
 ServeSession::ServeSession(ServeOptions options)
-    : options_(std::move(options)),
+    : options_(apply_dca_spill_knobs(std::move(options))),
       static_reports_(options_.cache_capacity, options_.cache_shards),
       features_(options_.cache_capacity, options_.cache_shards),
       results_(options_.cache_capacity, options_.cache_shards),
@@ -67,6 +80,12 @@ ServeSession::ServeSession(ServeOptions options)
   metrics_.counter("breaker_open");
   metrics_.counter("breaker_half_open");
   metrics_.counter("breaker_fast_fail");
+
+  // Likewise the out-of-core graph counters (docs/PERF.md "Graph memory
+  // layout"): zeros until the first dependency graph is built/spilled.
+  metrics_.counter("depgraph_csr_bytes");
+  metrics_.counter("dca_spill_files");
+  metrics_.counter("dca_spill_bytes");
 
   // Warm-start the degraded-path imputation from every DCA result the
   // persistent store already holds: a fresh process can then serve a
@@ -810,6 +829,10 @@ std::string ServeSession::stats_json() {
   metrics_.counter("dca_memo_hits").store(memo.hits);
   metrics_.counter("dca_memo_misses").store(memo.misses);
   metrics_.counter("dca_parallel_tasks").store(memo.parallel_tasks);
+  metrics_.counter("depgraph_csr_bytes")
+      .store(ptx::DependencyGraph::total_csr_bytes());
+  metrics_.counter("dca_spill_files").store(MappedBuffer::spill_files_total());
+  metrics_.counter("dca_spill_bytes").store(MappedBuffer::spill_bytes_total());
   // Durability telemetry (docs/ROBUSTNESS.md): bundles moved aside for
   // on-disk corruption and journal records replayed at store open.
   metrics_.counter("bundles_quarantined")

@@ -94,6 +94,14 @@ struct ServeOptions {
   /// How long an open breaker rejects before admitting one half-open
   /// probe request.
   int breaker_cooldown_ms = 5000;
+  /// Spill directory for out-of-core dependency graphs (docs/PERF.md
+  /// "Graph memory layout"); empty = keep whatever $GPUPERF_DCA_SPILL
+  /// seeded.  Applied process-wide at session construction.
+  std::string dca_spill_dir;
+  /// Resident-byte budget before graphs spill; 0 = keep the default
+  /// ($GPUPERF_DCA_SPILL_BUDGET or InputLimits'
+  /// max_depgraph_resident_bytes).
+  std::size_t dca_spill_budget_bytes = 0;
 };
 
 class ServeSession {
@@ -269,6 +277,13 @@ class ServeSession {
                          std::string version, registry::Manifest manifest,
                          std::string source);
   void start_polling();
+
+  /// Applies the session's DCA spill knobs to the process-wide config
+  /// and returns the options unchanged.  Runs while initializing
+  /// `options_` — i.e. before `extractor_` (whose InstructionCounter
+  /// builds the shared kernel-library graphs) is constructed, so even
+  /// those startup graphs see the requested budget/directory.
+  static ServeOptions apply_dca_spill_knobs(ServeOptions options);
 
   ServeOptions options_;
   std::unique_ptr<registry::ModelRegistry> registry_;

@@ -1,0 +1,70 @@
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace gpuperf {
+namespace {
+
+TEST(Arena, AllocationsAreDistinctAndAligned) {
+  Arena arena(128);
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  void* c = arena.allocate(1, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(arena.bytes_used(), 21u);
+}
+
+TEST(Arena, GrowsPastFirstChunk) {
+  Arena arena(64);
+  // Far more than the first chunk; every allocation must stay usable.
+  std::span<std::uint32_t> big = arena.alloc_array<std::uint32_t>(10000);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    ASSERT_EQ(big[i], static_cast<std::uint32_t>(i));
+  EXPECT_GE(arena.bytes_reserved(), 40000u);
+}
+
+TEST(Arena, AllocZeroedIsZero) {
+  Arena arena;
+  std::span<std::uint64_t> z = arena.alloc_zeroed<std::uint64_t>(1000);
+  for (std::uint64_t v : z) ASSERT_EQ(v, 0u);
+}
+
+TEST(Arena, ResetRetainsCapacityAndReusesIt) {
+  Arena arena(64);
+  arena.alloc_array<std::byte>(100000);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // The largest chunk survives the reset, so a same-sized workload fits
+  // without growing the reservation.
+  EXPECT_LE(arena.bytes_reserved(), reserved);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  arena.alloc_array<std::byte>(50000);
+  EXPECT_EQ(arena.bytes_reserved(), arena.bytes_reserved());
+}
+
+TEST(Arena, ResetScopeResetsOnExit) {
+  Arena arena;
+  {
+    const Arena::ResetScope scope(arena);
+    arena.alloc_array<int>(100);
+    EXPECT_GT(arena.bytes_used(), 0u);
+  }
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(Arena, ZeroByteAllocationsAreDistinct) {
+  Arena arena;
+  EXPECT_NE(arena.allocate(0), arena.allocate(0));
+}
+
+}  // namespace
+}  // namespace gpuperf

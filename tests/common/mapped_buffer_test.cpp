@@ -1,0 +1,147 @@
+#include "common/mapped_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/csr_graph.hpp"
+#include "common/arena.hpp"
+#include "common/limits.hpp"
+
+namespace gpuperf {
+namespace {
+
+std::string make_spill_dir() {
+  char tmpl[] = "/tmp/gpuperf-spill-test-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+TEST(MappedBuffer, SmallAllocationIsAnonymousAndZeroed) {
+  const MappedBuffer buf =
+      MappedBuffer::allocate(4096, SpillConfig{}, "test bytes");
+  ASSERT_EQ(buf.size_bytes(), 4096u);
+  EXPECT_FALSE(buf.file_backed());
+  for (std::size_t i = 0; i < buf.size_bytes(); ++i)
+    ASSERT_EQ(buf.data()[i], std::byte{0});
+}
+
+TEST(MappedBuffer, OverBudgetWithoutDirThrowsLimitExceeded) {
+  SpillConfig config;
+  config.resident_budget_bytes = 1024;
+  EXPECT_THROW(MappedBuffer::allocate(4096, config, "test bytes"),
+               LimitExceeded);
+}
+
+TEST(MappedBuffer, OverBudgetWithDirSpillsToFile) {
+  SpillConfig config;
+  config.dir = make_spill_dir();
+  config.resident_budget_bytes = 1024;
+  const std::uint64_t files_before = MappedBuffer::spill_files_total();
+  const std::uint64_t bytes_before = MappedBuffer::spill_bytes_total();
+  {
+    MappedBuffer buf = MappedBuffer::allocate(1u << 20, config, "test bytes");
+    EXPECT_TRUE(buf.file_backed());
+    EXPECT_EQ(MappedBuffer::spill_files_total(), files_before + 1);
+    EXPECT_EQ(MappedBuffer::spill_bytes_total(), bytes_before + (1u << 20));
+    // Writable, and data survives a resident-page drop (file-backed
+    // pages fault back in from the spill file).
+    std::memset(buf.data(), 0xAB, buf.size_bytes());
+    buf.release_resident();
+    for (std::size_t i = 0; i < buf.size_bytes(); i += 4096)
+      ASSERT_EQ(buf.data()[i], std::byte{0xAB});
+  }
+  ::rmdir(config.dir.c_str());
+}
+
+TEST(MappedBuffer, MissingSpillDirFallsBackToAnonymous) {
+  SpillConfig config;
+  config.dir = "/nonexistent/gpuperf-spill-dir";
+  config.resident_budget_bytes = 1024;
+  const MappedBuffer buf =
+      MappedBuffer::allocate(1u << 20, config, "test bytes");
+  ASSERT_EQ(buf.size_bytes(), 1u << 20);
+  EXPECT_FALSE(buf.file_backed());  // degraded, not rejected
+}
+
+TEST(MappedBuffer, GrowPreservesContents) {
+  MappedBuffer buf = MappedBuffer::allocate(4096, SpillConfig{}, "test");
+  std::memset(buf.data(), 0x5C, 4096);
+  buf.grow(1u << 20);
+  ASSERT_EQ(buf.size_bytes(), 1u << 20);
+  for (std::size_t i = 0; i < 4096; ++i)
+    ASSERT_EQ(buf.data()[i], std::byte{0x5C});
+}
+
+TEST(MappedBuffer, SpillConfigRoundTrips) {
+  const SpillConfig saved = dca_spill_config();
+  SpillConfig config;
+  config.dir = "/tmp";
+  config.resident_budget_bytes = 12345;
+  set_dca_spill_config(config);
+  EXPECT_EQ(dca_spill_config().dir, "/tmp");
+  EXPECT_EQ(dca_spill_config().resident_budget_bytes, 12345u);
+  set_dca_spill_config(saved);
+}
+
+TEST(CsrGraph, TwoPassBuildAndRowAccess) {
+  Arena scratch;
+  CsrGraph::Builder builder(3, scratch, CsrMemoryPolicy{});
+  builder.add_count(0, 2);
+  builder.add_count(2, 1);
+  builder.finish_counts();
+  builder.add_edge(0, 7);
+  builder.add_edge(0, 5);
+  builder.add_edge(2, 9);
+  const CsrGraph g = builder.finish();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  ASSERT_EQ(g.row(0).size(), 2u);
+  EXPECT_EQ(g.row(0)[0], 7u);  // insertion order without sort_unique
+  EXPECT_EQ(g.row(0)[1], 5u);
+  EXPECT_TRUE(g.row(1).empty());
+  ASSERT_EQ(g.row(2).size(), 1u);
+  EXPECT_EQ(g.row(2)[0], 9u);
+  EXPECT_GT(g.bytes(), 0u);
+  EXPECT_FALSE(g.spilled());
+}
+
+TEST(CsrGraph, SortUniqueCompactsRowsInPlace) {
+  Arena scratch;
+  CsrGraph::Builder builder(3, scratch, CsrMemoryPolicy{});
+  builder.add_count(0, 4);
+  builder.add_count(1, 3);
+  builder.add_count(2, 2);
+  builder.finish_counts();
+  for (CsrGraph::Index t : {9u, 3u, 9u, 3u}) builder.add_edge(0, t);
+  for (CsrGraph::Index t : {2u, 1u, 2u}) builder.add_edge(1, t);
+  for (CsrGraph::Index t : {4u, 4u}) builder.add_edge(2, t);
+  const CsrGraph g = builder.finish(/*sort_unique_rows=*/true);
+  EXPECT_EQ(g.edge_count(), 5u);
+  ASSERT_EQ(g.row(0).size(), 2u);
+  EXPECT_EQ(g.row(0)[0], 3u);
+  EXPECT_EQ(g.row(0)[1], 9u);
+  ASSERT_EQ(g.row(1).size(), 2u);
+  EXPECT_EQ(g.row(1)[0], 1u);
+  EXPECT_EQ(g.row(1)[1], 2u);
+  ASSERT_EQ(g.row(2).size(), 1u);
+  EXPECT_EQ(g.row(2)[0], 4u);
+}
+
+TEST(CsrGraph, HardCapRejects) {
+  Arena scratch;
+  CsrMemoryPolicy policy;
+  policy.hard_cap_bytes = 64;
+  policy.what = "test graph bytes";
+  CsrGraph::Builder builder(100, scratch, policy);
+  for (std::size_t i = 0; i < 100; ++i) builder.add_count(i, 10);
+  EXPECT_THROW(builder.finish_counts(), LimitExceeded);
+}
+
+}  // namespace
+}  // namespace gpuperf

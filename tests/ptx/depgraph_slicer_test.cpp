@@ -56,10 +56,11 @@ TEST(DependencyGraph, EdgesFollowDefUse) {
 }
 
 TEST(DependencyGraph, DefsOf) {
-  const DependencyGraph g = DependencyGraph::build(example_kernel());
-  ASSERT_EQ(g.defs_of("%r1").size(), 1u);
-  EXPECT_EQ(g.defs_of("%r1")[0], 0u);
-  EXPECT_TRUE(g.defs_of("%r99").empty());
+  const PtxKernel k = example_kernel();
+  const DependencyGraph g = DependencyGraph::build(k);
+  ASSERT_EQ(g.defs_of(k, "%r1").size(), 1u);
+  EXPECT_EQ(g.defs_of(k, "%r1")[0], 0u);
+  EXPECT_TRUE(g.defs_of(k, "%r99").empty());
   EXPECT_GT(g.edge_count(), 5u);
 }
 
@@ -78,9 +79,10 @@ TEST(Slicer, SliceContainsExactlyTheBranchFeeders) {
   EXPECT_FALSE(slice.in_slice[7]);  // st.global
   EXPECT_EQ(slice.slice_size(), 3u);
   // Tracked registers are the slice outputs.
-  EXPECT_EQ(slice.tracked_registers.count("%r1"), 1u);
-  EXPECT_EQ(slice.tracked_registers.count("%p1"), 1u);
-  EXPECT_EQ(slice.tracked_registers.count("%f1"), 0u);
+  EXPECT_TRUE(slice.tracks(k, "%r1"));
+  EXPECT_TRUE(slice.tracks(k, "%p1"));
+  EXPECT_FALSE(slice.tracks(k, "%f1"));
+  EXPECT_EQ(slice.tracked_count(), 3u);  // %r1, %r2, %p1
 }
 
 TEST(Slicer, LibraryKernelsHaveSmallSlices) {
@@ -103,7 +105,7 @@ TEST(Slicer, KernelWithoutBranchesHasEmptySlice) {
       " mov.u32 %r1, %tid.x; add.s32 %r2, %r1, 1; ret; }").kernels.front();
   const Slice slice = compute_slice(k, DependencyGraph::build(k));
   EXPECT_EQ(slice.slice_size(), 0u);
-  EXPECT_TRUE(slice.tracked_registers.empty());
+  EXPECT_EQ(slice.tracked_count(), 0u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "cnn/static_analyzer.hpp"
 #include "cnn/zoo.hpp"
+#include "common/mapped_buffer.hpp"
 #include "core/dataset_builder.hpp"
 #include "gpu/device_db.hpp"
 
@@ -152,6 +153,29 @@ TEST(ServeSession, StatsReportsEndpointsAndCaches) {
         "\"caches\"", "\"features\"", "\"results\"", "\"batch\"",
         "\"in_flight\"", "\"uptime_seconds\"", "\"regressor\""})
     EXPECT_NE(body.find(field), std::string::npos) << field;
+  // Out-of-core graph counters are pre-registered, so they appear (at
+  // least at zero) before any graph has ever spilled.
+  for (const char* field : {"\"depgraph_csr_bytes\"", "\"dca_spill_files\"",
+                            "\"dca_spill_bytes\""})
+    EXPECT_NE(body.find(field), std::string::npos) << field;
+}
+
+TEST(ServeSession, SpillKnobsApplyBeforeAnyGraphIsBuilt) {
+  // Regression: the knobs must hit the process-wide config while
+  // `options_` initializes — a ServeSession member (FeatureExtractor's
+  // InstructionCounter) builds the shared kernel-library graphs before
+  // the constructor body runs, and those builds must already see the
+  // requested budget.  Asserted here via the config round trip; the
+  // ordering itself is pinned by the options_ initializer.
+  const SpillConfig saved = dca_spill_config();
+  ServeOptions options = tiny_options();
+  options.dca_spill_dir = "/nonexistent-spill-dir";
+  options.dca_spill_budget_bytes = 123456;
+  ServeSession session(options);
+  const SpillConfig applied = dca_spill_config();
+  EXPECT_EQ(applied.dir, "/nonexistent-spill-dir");
+  EXPECT_EQ(applied.resident_budget_bytes, 123456u);
+  set_dca_spill_config(saved);
 }
 
 TEST(ServeSession, ErrorsAreResponsesNotExceptions) {

@@ -94,6 +94,7 @@ int usage() {
       "        [--max-frame-bytes N] [--backlog N] [--idle-timeout-ms N]\n"
       "        [--read-progress-timeout-ms N] [--max-output-buffer N]\n"
       "        [--breaker-threshold N] [--breaker-cooldown-ms N]\n"
+      "        [--dca-spill-dir <dir>] [--dca-spill-budget BYTES]\n"
       "        [--workers K] [--max-pending N]\n"
       "  client <request...> [--host H] [--port N] [--timeout-ms N]\n"
       "        [--retries N] [--binary] (backoff with jitter on\n"
@@ -481,6 +482,9 @@ int cmd_serve(const Args& args) {
   options.breaker_cooldown_ms = static_cast<int>(parse_int(args.flag_or(
       "breaker-cooldown-ms",
       std::to_string(options.breaker_cooldown_ms))));
+  options.dca_spill_dir = args.flag_or("dca-spill-dir", "");
+  options.dca_spill_budget_bytes = static_cast<std::size_t>(
+      parse_int(args.flag_or("dca-spill-budget", "0")));
 
   if (!options.registry_dir.empty())
     std::fprintf(stderr, "loading bundle from registry %s...\n",
