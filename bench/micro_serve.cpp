@@ -9,7 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/fault.hpp"
+#include "sandbox/worker_pool.hpp"
 #include "serve/session.hpp"
 
 namespace {
@@ -89,6 +91,41 @@ void BM_PredictDegraded(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictDegraded)->Unit(benchmark::kMicrosecond);
 #endif  // GPUPERF_FAULT_INJECTION
+
+// The crash-isolation tax (docs/ROBUSTNESS.md "Crash isolation"): the
+// same cold predict as BM_PredictCold, but the DCA pass runs in a
+// sandboxed worker process — fork-pool scheduling, request/response
+// framing over pipes, and the cross-process copy of the feature
+// vector all land on top of the analysis itself.  Tracked next to the
+// in-process number in BENCH_serve.json so the overhead stays an
+// explicit, diffable slice.
+void BM_PredictColdIsolated(benchmark::State& state) {
+  serve::ServeOptions options = bench_options();
+  options.isolate_dca = true;
+  serve::ServeSession session(options);
+  session.predict("mobilenet", "v100s");  // pre-fork + first-touch once
+  for (auto _ : state) {
+    session.reset_caches();
+    benchmark::DoNotOptimize(session.predict("mobilenet", "v100s"));
+  }
+}
+BENCHMARK(BM_PredictColdIsolated)->Unit(benchmark::kMicrosecond);
+
+// The sandbox round-trip floor: a request the worker answers almost
+// for free (parsing a four-line PTX kernel), so the number is pure
+// pool overhead — slot acquisition, two CRC-framed pipe hops, and the
+// worker's read-serve-write loop.  The gap between this and an
+// in-process parse_ptx call bounds what isolation can ever cost a
+// request that misses every cache.
+void BM_SandboxRoundtrip(benchmark::State& state) {
+  sandbox::PoolOptions options;
+  options.workers = 1;
+  sandbox::WorkerPool pool(options);
+  const std::string tiny = ".visible .entry noop() {\n  ret;\n}\n";
+  pool.check_ptx(tiny, Deadline());  // first-touch fork once
+  for (auto _ : state) pool.check_ptx(tiny, Deadline());
+}
+BENCHMARK(BM_SandboxRoundtrip)->Unit(benchmark::kMicrosecond);
 
 // The full wire-facing path on a warm cache: parse + dispatch +
 // metrics + JSON serialization.

@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
-"""Fold a benchmark JSON report into a compact per-stage summary.
+"""Fold benchmark JSON reports into one compact per-stage summary.
 
-Usage: summarize.py <benchmark_out.json> <summary_out.json>
+Usage: summarize.py <benchmark_out.json> [more_out.json ...] <summary_out.json>
+
+With several inputs the stages are concatenated in argument order into
+a single summary (e.g. a loadgen report plus a google-benchmark report
+both land in BENCH_serve.json); each input's context is kept under its
+stem name in a "contexts" object.
 
 Two input shapes are recognized:
 
@@ -54,23 +59,7 @@ def percentile(samples, q):
     return xs[lo] * (1.0 - frac) + xs[hi] * frac
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
-        report = json.load(f)
-
-    if "runs" in report:
-        stages = loadgen_stages(report)
-        summary = {"context": report.get("loadgen", {}), "stages": stages}
-        with open(sys.argv[2], "w") as f:
-            json.dump(summary, f, indent=2)
-            f.write("\n")
-        for s in stages:
-            print(f"{s['name']:45s} p50={s['p50_ns']:>12.1f}ns "
-                  f"p99={s['p99_ns']:>12.1f}ns ops/s={s['ops_per_sec']}")
-        return
-
+def benchmark_stages(report):
     by_name = {}
     for b in report.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -88,14 +77,43 @@ def main():
             "mean_ns": round(sum(samples) / len(samples), 1),
             "ops_per_sec": round(1e9 / p50, 2) if p50 > 0 else None,
         })
+    return stages
 
-    summary = {"context": report.get("context", {}), "stages": stages}
-    with open(sys.argv[2], "w") as f:
+
+def summarize_one(report):
+    """-> (context, stages) for either input shape."""
+    if "runs" in report:
+        return report.get("loadgen", {}), loadgen_stages(report)
+    return report.get("context", {}), benchmark_stages(report)
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    inputs, out_path = sys.argv[1:-1], sys.argv[-1]
+
+    stages = []
+    contexts = {}
+    for path in inputs:
+        with open(path) as f:
+            context, batch = summarize_one(json.load(f))
+        stem = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        contexts[stem] = context
+        stages.extend(batch)
+
+    if len(inputs) == 1:
+        summary = {"context": next(iter(contexts.values())),
+                   "stages": stages}
+    else:
+        summary = {"contexts": contexts, "stages": stages}
+    with open(out_path, "w") as f:
         json.dump(summary, f, indent=2)
         f.write("\n")
     for s in stages:
+        tail_q = "p99_ns" if "p99_ns" in s else "p95_ns"
         print(f"{s['name']:45s} p50={s['p50_ns']:>12.1f}ns "
-              f"p95={s['p95_ns']:>12.1f}ns ops/s={s['ops_per_sec']}")
+              f"{tail_q[:-3]}={s[tail_q]:>12.1f}ns "
+              f"ops/s={s['ops_per_sec']}")
 
 
 if __name__ == "__main__":

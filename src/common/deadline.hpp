@@ -59,6 +59,12 @@ class Deadline {
   bool timed() const { return timed_; }
   Clock::time_point expiry() const { return expiry_; }
 
+  /// The configured step budget, 0 when unlimited — the sandbox layer
+  /// forwards it to worker processes alongside the wall budget.
+  std::uint64_t step_budget() const {
+    return step_budget_ == kNoBudget ? 0 : step_budget_;
+  }
+
   /// Wall-clock milliseconds left (clamped at 0); a large sentinel when
   /// untimed.  Useful for retry hints and for slicing waits.
   std::int64_t remaining_ms() const {

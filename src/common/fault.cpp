@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <new>
 #include <thread>
 
 #include "common/check.hpp"
@@ -124,6 +125,47 @@ void arm_from_spec(const std::string& spec) {
                                                    << entry << "'");
     arm(site, out);
   }
+}
+
+std::string armed_spec(const std::string& prefix) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::string out;
+  for (const auto& [site, spec] : r.sites) {
+    if (site.compare(0, prefix.size(), prefix) != 0) continue;
+    if (!out.empty()) out += ';';
+    out += site;
+    out += '=';
+    switch (spec.action) {
+      case Action::kThrow: out += "throw"; break;
+      case Action::kTimeout: out += "timeout"; break;
+      case Action::kDelay:
+        out += "delay:" + std::to_string(spec.delay_ms);
+        break;
+      case Action::kCorrupt: out += "corrupt"; break;
+    }
+    if (spec.remaining > 0) out += "*" + std::to_string(spec.remaining);
+  }
+  return out;
+}
+
+std::unique_lock<std::mutex> registry_fork_lock() {
+  ensure_env_parsed();
+  return std::unique_lock<std::mutex>(registry().mutex);
+}
+
+void child_after_fork() {
+  Registry& r = registry();
+  // The forking parent thread held the registry lock (registry_fork_lock)
+  // at the fork instant, so the child's copy of the mutex is locked by a
+  // thread that does not exist here and would never be released.
+  // Re-initializing it in the single-threaded child is the standard
+  // pthread_atfork-style remedy; the maps themselves are consistent
+  // because the lock holder was forking, not mutating.
+  new (&r.mutex) std::mutex;
+  r.sites.clear();
+  r.hit_counts.clear();
+  r.armed_count.store(0, std::memory_order_relaxed);
 }
 
 void point(const std::string& site, const Deadline* deadline) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -56,6 +57,27 @@ std::uint64_t hits(const std::string& site);
 /// Parse the spec grammar above and arm every site in it; throws
 /// CheckError on a malformed spec.
 void arm_from_spec(const std::string& spec);
+
+/// Serialize every armed site whose name starts with `prefix` back into
+/// the spec grammar ("" = all sites).  The sandbox layer ships this
+/// snapshot inside each worker request so chaos sites armed in the
+/// parent *after* a worker forked still fire inside that worker.
+/// Firing counts are snapshotted too, but consumption happens in the
+/// worker — `*count` specs are therefore per-request in isolated mode.
+std::string armed_spec(const std::string& prefix = "");
+
+/// Hold the fault registry lock across a fork() so the child never
+/// inherits the registry mid-mutation (another thread rebalancing the
+/// site map at the exact fork instant).  The forking thread takes this
+/// guard, forks, then drops it; the child calls child_after_fork().
+std::unique_lock<std::mutex> registry_fork_lock();
+
+/// Reset the fault registry in a freshly forked child: reinitializes
+/// the registry mutex (held by the forking parent thread, so the
+/// child's copy is locked forever) and clears every armed site.  Must
+/// be called before the child touches any fault API, and only from a
+/// single-threaded child.
+void child_after_fork();
 
 /// A fault point.  Fast path (nothing armed anywhere): one relaxed
 /// atomic load.  `deadline` lets a kDelay site respect the caller's

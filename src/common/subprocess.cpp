@@ -1,0 +1,167 @@
+#include "common/subprocess.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace gpuperf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ms_until(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             deadline - Clock::now())
+      .count();
+}
+
+/// Field `index` (0-based) of /proc/self/statm, in pages; 0 on failure.
+std::size_t statm_field(int index) {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long values[2] = {0, 0};
+  const int got = std::fscanf(f, "%ld %ld", &values[0], &values[1]);
+  std::fclose(f);
+  if (got < index + 1 || values[index] < 0) return 0;
+  return static_cast<std::size_t>(values[index]);
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+  });
+}
+
+Pipe make_pipe() {
+  int fds[2];
+  GP_CHECK_MSG(::pipe2(fds, O_CLOEXEC) == 0,
+               "pipe2 failed: " << std::strerror(errno));
+  return Pipe{fds[0], fds[1]};
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);  // EINTR after close still closed the fd
+  fd = -1;
+}
+
+bool write_full(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, p, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+std::size_t read_full(int fd, void* data, std::size_t n, bool* error) {
+  if (error != nullptr) *error = false;
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = true;
+      return got;
+    }
+    if (r == 0) return got;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+  const bool forever = timeout_ms < 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
+  for (;;) {
+    int wait_ms = -1;
+    if (!forever) {
+      const std::int64_t left = ms_until(deadline);
+      if (left <= 0) return false;
+      wait_ms = static_cast<int>(left);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // re-arm with the remaining time
+      return false;
+    }
+    if (rc == 0) return false;
+    // POLLHUP/POLLERR count as readable: the read() that follows sees
+    // the EOF / error and classifies it.
+    return true;
+  }
+}
+
+pid_t waitpid_retry(pid_t pid, int* status, int flags) {
+  for (;;) {
+    const pid_t got = ::waitpid(pid, status, flags);
+    if (got >= 0 || errno != EINTR) return got;
+  }
+}
+
+bool wait_exit(pid_t pid, int* status, int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const pid_t got = waitpid_retry(pid, status, WNOHANG);
+    if (got == pid) return true;
+    if (got < 0) return true;  // already reaped elsewhere: not running
+    if (ms_until(deadline) <= 0) return false;
+    ::usleep(2000);
+  }
+}
+
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status))
+    return "exited " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    std::string out = "killed by signal " + std::to_string(sig);
+    if (const char* name = ::strsignal(sig)) {
+      out += " (";
+      out += name;
+      out += ")";
+    }
+    return out;
+  }
+  return "wait status " + std::to_string(status);
+}
+
+std::size_t self_rss_kb() {
+  const std::size_t pages = statm_field(1);
+  return pages * (static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)) / 1024);
+}
+
+std::size_t self_vsize_kb() {
+  const std::size_t pages = statm_field(0);
+  return pages * (static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)) / 1024);
+}
+
+}  // namespace gpuperf

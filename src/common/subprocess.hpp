@@ -1,0 +1,83 @@
+// Child-process plumbing for the sandbox layer (docs/ROBUSTNESS.md
+// "Crash isolation"): EINTR-safe pipe I/O, bounded poll waits, reliable
+// waitpid, and process-wide SIGPIPE suppression.  Worker churn (kills,
+// crashes, recycles) must never deliver a fatal signal to the serving
+// parent, and no I/O loop in the parent may be derailed by a signal
+// interrupting a syscall — every helper here retries EINTR internally.
+//
+// POSIX/Linux only, like the rest of the net layer.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpuperf {
+
+/// Ignore SIGPIPE process-wide (idempotent, thread-safe).  A worker
+/// that dies mid-request leaves the parent writing into a broken pipe;
+/// with SIGPIPE ignored that surfaces as an EPIPE return the caller
+/// classifies, instead of killing the whole server.  Called by the
+/// worker pool constructor and by `gpuperf serve` at startup.
+void ignore_sigpipe();
+
+/// A unidirectional pipe with close-on-exec ends.  Owns nothing —
+/// callers close the fds (close_fd tolerates -1).
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+/// pipe2(O_CLOEXEC); throws CheckError on failure (fd exhaustion).
+Pipe make_pipe();
+
+/// close() that retries nothing (Linux close must not be retried on
+/// EINTR) and tolerates fd < 0.  Sets fd to -1.
+void close_fd(int& fd);
+
+/// Write exactly `n` bytes, retrying short writes and EINTR.  Returns
+/// false on any hard error (EPIPE when the reader died, EBADF, ...);
+/// errno is preserved for the caller.
+bool write_full(int fd, const void* data, std::size_t n);
+
+/// Read exactly `n` bytes, retrying short reads and EINTR.  Returns
+/// the byte count actually read: n on success, < n on EOF, and -1 cast
+/// to size_t never — hard errors return the bytes read so far with
+/// errno set and `*error` (when non-null) set true.
+std::size_t read_full(int fd, void* data, std::size_t n,
+                      bool* error = nullptr);
+
+/// poll() for readability with an absolute patience of `timeout_ms`
+/// (<0 = forever), re-arming after EINTR with the remaining time so a
+/// signal storm cannot stretch the wait.  Returns true when readable
+/// (or the peer hung up — the subsequent read sees EOF), false on
+/// timeout.
+bool poll_readable(int fd, int timeout_ms);
+
+/// waitpid retrying EINTR.  Returns the reaped pid, 0 (WNOHANG, still
+/// running) or -1 (no such child).
+pid_t waitpid_retry(pid_t pid, int* status, int flags);
+
+/// Block up to `timeout_ms` for `pid` to exit, polling WNOHANG in
+/// small slices (there is no portable timed waitpid).  Returns true
+/// when the child was reaped, false on timeout (the child is still
+/// running; `status` is untouched).
+bool wait_exit(pid_t pid, int* status, int timeout_ms);
+
+/// Human-readable description of a waitpid status ("exited 1",
+/// "killed by signal 11 (SIGSEGV)").
+std::string describe_wait_status(int status);
+
+/// Resident set size of this process in KiB (from /proc/self/statm);
+/// 0 when unreadable.  Workers self-report this after every request so
+/// the parent can enforce the RSS recycle ceiling.
+std::size_t self_rss_kb();
+
+/// Virtual address-space size of this process in KiB; 0 when
+/// unreadable.  Tests use it to pick an RLIMIT_AS that leaves
+/// headroom over the already-mapped parent image.
+std::size_t self_vsize_kb();
+
+}  // namespace gpuperf

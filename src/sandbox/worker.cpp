@@ -1,0 +1,190 @@
+#include "sandbox/worker.hpp"
+
+#include <sys/prctl.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "cnn/zoo.hpp"
+#include "common/deadline.hpp"
+#include "common/fault.hpp"
+#include "common/limits.hpp"
+#include "common/subprocess.hpp"
+#include "core/features.hpp"
+#include "ptx/parser.hpp"
+#include "sandbox/wire.hpp"
+
+namespace gpuperf::sandbox {
+
+namespace {
+
+void apply_rlimit(int resource, rlim_t value) {
+  struct rlimit rl;
+  rl.rlim_cur = value;
+  rl.rlim_max = value;
+  ::setrlimit(resource, &rl);  // best effort; failure = no cap
+}
+
+void apply_limits(const WorkerLimits& limits) {
+  apply_rlimit(RLIMIT_CORE, 0);
+  if (limits.address_space_mb > 0)
+    apply_rlimit(RLIMIT_AS,
+                 static_cast<rlim_t>(limits.address_space_mb) << 20);
+  if (limits.cpu_seconds > 0)
+    apply_rlimit(RLIMIT_CPU, static_cast<rlim_t>(limits.cpu_seconds));
+  if (limits.open_files > 0)
+    apply_rlimit(RLIMIT_NOFILE,
+                 static_cast<rlim_t>(limits.open_files));
+}
+
+/// Retained across requests so an injected OOM keeps the worker's RSS
+/// elevated — the parent's RSS-ceiling recycle path needs to observe
+/// the bloat on the *next* response, not a transient spike.
+std::vector<std::string>& ballast() {
+  static std::vector<std::string> blocks;
+  return blocks;
+}
+
+/// Allocate-and-touch `mb` MiB (0 = until refusal).  Under RLIMIT_AS
+/// the unbounded form ends in std::bad_alloc, which the caller turns
+/// into a typed `failed` response — allocation refusal is a graceful
+/// failure, not a crash.
+void inflate_rss(std::size_t mb) {
+  constexpr std::size_t kBlock = 1u << 20;
+  const std::size_t blocks = mb == 0 ? SIZE_MAX : mb;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    ballast().emplace_back(kBlock, '\0');
+    std::string& block = ballast().back();
+    for (std::size_t off = 0; off < block.size(); off += 4096)
+      block[off] = static_cast<char>(off);  // touch every page
+  }
+}
+
+/// The worker-side chaos sites.  Site *names* carry the semantics
+/// (abort / hang / OOM); the generic action grammar only parameterizes
+/// them — dca.oom=delay:64 means "retain 64 MiB", dca.oom=throw means
+/// "allocate until refused".  Fired once per armed count, before the
+/// analysis itself, exactly like an in-process GPUPERF_FAULT_POINT.
+void chaos_points() {
+  fault::Spec spec;
+  if (fault::consume_nonthrowing("dca.crash", spec)) std::abort();
+  if (fault::consume_nonthrowing("dca.hang", spec)) {
+    for (;;) ::pause();  // until the hard-deadline reaper SIGKILLs us
+  }
+  if (fault::consume_nonthrowing("dca.oom", spec)) {
+    inflate_rss(spec.action == fault::Action::kDelay
+                    ? static_cast<std::size_t>(spec.delay_ms)
+                    : 0);
+  }
+}
+
+WorkerResponse serve_one(const WorkerRequest& request,
+                         core::FeatureExtractor& extractor) {
+  WorkerResponse response;
+  // Re-arm the parent's snapshot of dca.* sites for this request; a
+  // malformed spec is a parent bug, reported as invalid.
+  fault::disarm_all();
+  if (!request.fault_spec.empty()) {
+    try {
+      fault::arm_from_spec(request.fault_spec);
+    } catch (const std::exception& e) {
+      response.status = Status::kInvalid;
+      response.error = std::string("bad fault spec: ") + e.what();
+      return response;
+    }
+  }
+
+  Deadline deadline = request.deadline_ms > 0
+                          ? Deadline::after_ms(request.deadline_ms)
+                          : Deadline();
+  if (request.step_budget > 0)
+    deadline.with_step_budget(request.step_budget);
+
+  try {
+    chaos_points();
+    switch (request.verb) {
+      case Verb::kPing:
+      case Verb::kExit:
+        response.status = Status::kOk;
+        break;
+      case Verb::kCompute: {
+        if (!cnn::zoo::has_model(request.model)) {
+          response.status = Status::kFailed;
+          response.error = "unknown zoo model '" + request.model + "'";
+          break;
+        }
+        GPUPERF_FAULT_POINT_D("dca.compute", &deadline);
+        response.features =
+            extractor.compute(cnn::zoo::build(request.model), deadline);
+        response.status = Status::kOk;
+        break;
+      }
+      case Verb::kPtx: {
+        GPUPERF_FAULT_POINT_D("dca.compute", &deadline);
+        ptx::parse_ptx(request.body);
+        response.status = Status::kOk;
+        break;
+      }
+    }
+  } catch (const AnalysisTimeout& e) {
+    response.status = Status::kTimeout;
+    response.error = e.what();
+  } catch (const std::bad_alloc&) {
+    // RLIMIT_AS refused an allocation mid-analysis.  The heap is intact
+    // (the failed allocation never happened), so this worker can keep
+    // serving — though its next response's rss_kb will likely trip the
+    // parent's recycle ceiling.
+    response.status = Status::kFailed;
+    response.error = "allocation refused under address-space limit";
+  } catch (const std::exception& e) {
+    response.status = Status::kFailed;
+    response.error = e.what();
+  }
+  return response;
+}
+
+}  // namespace
+
+void worker_main(int request_fd, int response_fd,
+                 const WorkerLimits& limits) {
+  // Die with the parent: if the serving process is gone, a worker has
+  // no purpose and must not linger as an orphan.  The getppid() check
+  // closes the race where the parent died between fork() and prctl().
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) ::_exit(0);
+  ignore_sigpipe();
+  apply_limits(limits);
+
+  core::FeatureExtractor extractor;
+  std::uint64_t served = 0;
+  for (;;) {
+    const auto payload = read_frame(request_fd);
+    if (!payload) ::_exit(0);  // parent closed the pipe: recycle/shutdown
+
+    WorkerResponse response;
+    bool exiting = false;
+    const auto request = parse_request(*payload);
+    if (!request) {
+      response.status = Status::kInvalid;
+      response.error = "malformed request frame";
+    } else {
+      response = serve_one(*request, extractor);
+      exiting = request->verb == Verb::kExit;
+    }
+    response.served = ++served;
+    response.rss_kb = self_rss_kb();
+
+    const std::string frame = encode_frame(encode_response(response));
+    if (!write_full(response_fd, frame.data(), frame.size()))
+      ::_exit(0);  // parent gone mid-response
+    if (exiting) ::_exit(0);
+  }
+}
+
+}  // namespace gpuperf::sandbox

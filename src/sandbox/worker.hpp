@@ -1,0 +1,30 @@
+// The child side of the DCA sandbox (docs/ROBUSTNESS.md): a forked
+// worker process that serves feature-extraction requests over a pipe
+// pair until the parent closes the request pipe, recycles it, or kills
+// it.  Everything here runs post-fork in a single-threaded process and
+// terminates only through _exit() — never by unwinding back into the
+// parent's copy of main().
+#pragma once
+
+#include <cstddef>
+
+namespace gpuperf::sandbox {
+
+/// Hard resource caps applied by the worker to itself before serving.
+/// Zero disables the respective cap.  RLIMIT_CORE is always zeroed —
+/// a crashing worker must die fast, not dump gigabytes of core.
+struct WorkerLimits {
+  std::size_t address_space_mb = 0;  // RLIMIT_AS
+  int cpu_seconds = 0;               // RLIMIT_CPU (cumulative!)
+  int open_files = 0;                // RLIMIT_NOFILE
+};
+
+/// Worker entry point, called in the child immediately after fork()
+/// (the pool has already called fault::child_after_fork()).  Installs
+/// PR_SET_PDEATHSIG, applies `limits`, then loops: read a GPWK frame
+/// from `request_fd`, serve it, write the response to `response_fd`.
+/// Exits via _exit(0) on request-pipe EOF or an explicit exit verb.
+[[noreturn]] void worker_main(int request_fd, int response_fd,
+                              const WorkerLimits& limits);
+
+}  // namespace gpuperf::sandbox

@@ -1,0 +1,418 @@
+#include "sandbox/worker_pool.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/fault.hpp"
+#include "common/subprocess.hpp"
+#include "sandbox/wire.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gpuperf::sandbox {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Extra wall-clock patience beyond the cooperative deadline: a worker
+/// whose Deadline just expired needs a moment to unwind, serialize and
+/// write the timeout response before the reaper concludes it hung.
+constexpr int kCooperativeGraceMs = 1000;
+
+std::int64_t epoch_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(PoolOptions options)
+    : options_(std::move(options)),
+      limits_{options_.worker_as_mb, options_.worker_cpu_seconds,
+              options_.worker_open_files} {
+  ignore_sigpipe();
+  slots_.resize(std::max(1, options_.workers));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& slot : slots_) spawn_locked(slot, /*initial=*/true);
+}
+
+WorkerPool::~WorkerPool() { shutdown(500); }
+
+bool WorkerPool::spawn_locked(Slot& slot, bool initial) {
+  Pipe request_pipe;
+  Pipe response_pipe;
+  try {
+    request_pipe = make_pipe();
+    response_pipe = make_pipe();
+  } catch (const CheckError&) {
+    // fd exhaustion — back off and let the next acquire retry
+    backoff_ms_ = backoff_ms_ == 0
+                      ? options_.respawn_backoff_initial_ms
+                      : std::min(backoff_ms_ * 2,
+                                 options_.respawn_backoff_max_ms);
+    next_spawn_ = Clock::now() + std::chrono::milliseconds(backoff_ms_);
+    close_fd(request_pipe.read_fd);
+    close_fd(request_pipe.write_fd);
+    return false;
+  }
+
+  pid_t pid;
+  {
+    // Hold the fault-registry lock across fork() so the child's copy
+    // of the registry is never torn mid-mutation by another thread.
+    auto fork_guard = fault::registry_fork_lock();
+    pid = ::fork();
+    if (pid == 0) {
+      // Child: single-threaded from here on.  Repair the inherited
+      // registry, drop the parent's pipe ends, never return.
+      fault::child_after_fork();
+      close_fd(request_pipe.write_fd);
+      close_fd(response_pipe.read_fd);
+      worker_main(request_pipe.read_fd, response_pipe.write_fd, limits_);
+    }
+  }
+
+  if (pid < 0) {
+    close_fd(request_pipe.read_fd);
+    close_fd(request_pipe.write_fd);
+    close_fd(response_pipe.read_fd);
+    close_fd(response_pipe.write_fd);
+    backoff_ms_ = backoff_ms_ == 0
+                      ? options_.respawn_backoff_initial_ms
+                      : std::min(backoff_ms_ * 2,
+                                 options_.respawn_backoff_max_ms);
+    next_spawn_ = Clock::now() + std::chrono::milliseconds(backoff_ms_);
+    return false;
+  }
+
+  close_fd(request_pipe.read_fd);
+  close_fd(response_pipe.write_fd);
+  slot.pid = pid;
+  slot.request_fd = request_pipe.write_fd;
+  slot.response_fd = response_pipe.read_fd;
+  slot.served = 0;
+  slot.state = SlotState::kIdle;
+  if (!initial) respawns_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int WorkerPool::acquire(const Deadline& deadline) {
+  std::int64_t budget_ms = options_.hard_timeout_ms;
+  if (deadline.timed())
+    budget_ms = std::min<std::int64_t>(
+        budget_ms, deadline.remaining_ms() + kCooperativeGraceMs);
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::milliseconds(std::max<std::int64_t>(
+                         budget_ms, 1));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_)
+      throw AnalysisCrashed("sandbox worker pool is shutting down");
+
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].state == SlotState::kIdle) {
+        slots_[i].state = SlotState::kBusy;
+        return static_cast<int>(i);
+      }
+    }
+
+    const Clock::time_point now = Clock::now();
+    if (now >= next_spawn_) {
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].state != SlotState::kEmpty) continue;
+        if (spawn_locked(slots_[i], /*initial=*/false)) {
+          slots_[i].state = SlotState::kBusy;
+          return static_cast<int>(i);
+        }
+        break;  // spawn failed → backoff armed; don't hammer every slot
+      }
+    }
+
+    Clock::time_point wake = give_up;
+    if (next_spawn_ > now && next_spawn_ < wake) wake = next_spawn_;
+    slot_available_.wait_until(lock, wake);
+    if (Clock::now() >= give_up)
+      throw AnalysisCrashed(
+          "no sandbox worker became available within " +
+          std::to_string(budget_ms) + " ms");
+  }
+}
+
+void WorkerPool::release(int index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[index];
+  if (shutdown_ && slot.pid > 0)
+    close_fd(slot.request_fd);  // EOF → graceful exit; sweep reaps
+  slot.state = slot.pid > 0 ? SlotState::kIdle : SlotState::kEmpty;
+  slot_available_.notify_all();
+}
+
+void WorkerPool::destroy_slot(Slot& slot) {
+  if (slot.pid > 0) {
+    ::kill(slot.pid, SIGKILL);
+    int status = 0;
+    wait_exit(slot.pid, &status, 5000);
+    slot.pid = -1;
+  }
+  close_fd(slot.request_fd);
+  close_fd(slot.response_fd);
+  slot.served = 0;
+}
+
+void WorkerPool::recycle_slot(Slot& slot) {
+  close_fd(slot.request_fd);  // EOF: the worker _exit(0)s on its own
+  int status = 0;
+  if (slot.pid > 0 && !wait_exit(slot.pid, &status, 2000)) {
+    ::kill(slot.pid, SIGKILL);
+    wait_exit(slot.pid, &status, 5000);
+  }
+  slot.pid = -1;
+  close_fd(slot.response_fd);
+  slot.served = 0;
+}
+
+void WorkerPool::quarantine(const std::string& fingerprint,
+                            const std::string& model,
+                            const std::string& reason) {
+  if (options_.quarantine_dir.empty()) return;
+  // Flight-recorder semantics: best effort, never let bookkeeping of a
+  // crash become a second failure.
+  try {
+    fs::create_directories(options_.quarantine_dir);
+    std::ofstream out(
+        fs::path(options_.quarantine_dir) / "quarantine.log",
+        std::ios::app);
+    out << epoch_seconds() << " fingerprint="
+        << (fingerprint.empty() ? "-" : fingerprint)
+        << " model=" << (model.empty() ? "-" : model)
+        << " reason=" << reason << "\n";
+  } catch (...) {
+  }
+}
+
+WorkerResponse WorkerPool::roundtrip(int index,
+                                     const WorkerRequest& request,
+                                     const Deadline& deadline,
+                                     const std::string& fingerprint) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // The slot is kBusy: this thread owns its fds and pid exclusively
+  // until release(), so no lock is needed on the hot path.
+  Slot& slot = slots_[index];
+
+  const std::string frame = encode_frame(encode_request(request));
+  if (!write_full(slot.request_fd, frame.data(), frame.size())) {
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    int status = 0;
+    std::string death = "pipe broken";
+    if (slot.pid > 0 && wait_exit(slot.pid, &status, 2000)) {
+      death = describe_wait_status(status);
+      slot.pid = -1;  // already reaped
+    }
+    destroy_slot(slot);
+    quarantine(fingerprint, request.model, "died before request: " + death);
+    release(index);
+    throw AnalysisCrashed("sandbox worker died before accepting request (" +
+                          death + ")");
+  }
+
+  std::int64_t patience_ms = options_.hard_timeout_ms;
+  if (deadline.timed())
+    patience_ms = std::min<std::int64_t>(
+        patience_ms, deadline.remaining_ms() + kCooperativeGraceMs);
+
+  if (!poll_readable(slot.response_fd,
+                     static_cast<int>(std::max<std::int64_t>(
+                         patience_ms, 1)))) {
+    // The hard reaper: cooperative deadlines cannot stop a tight native
+    // loop or a worker wedged on an inherited lock — SIGKILL can.
+    kills_timeout_.fetch_add(1, std::memory_order_relaxed);
+    destroy_slot(slot);
+    quarantine(fingerprint, request.model,
+               "hard timeout after " + std::to_string(patience_ms) + " ms");
+    release(index);
+    throw AnalysisCrashed("sandbox worker exceeded the hard deadline (" +
+                          std::to_string(patience_ms) + " ms) and was killed");
+  }
+
+  const auto payload = read_frame(slot.response_fd);
+  if (!payload) {
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    int status = 0;
+    std::string death = "no exit status";
+    if (slot.pid > 0 && wait_exit(slot.pid, &status, 2000)) {
+      death = describe_wait_status(status);
+      slot.pid = -1;  // already reaped
+    }
+    destroy_slot(slot);
+    quarantine(fingerprint, request.model, "crashed: " + death);
+    release(index);
+    throw AnalysisCrashed("sandbox worker crashed mid-request (" + death +
+                          ")");
+  }
+
+  const auto response = parse_response(*payload);
+  if (!response) {
+    // A well-framed but unparsable response is as untrustworthy as a
+    // crash: the worker's memory may be corrupted.  Kill it.
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    destroy_slot(slot);
+    quarantine(fingerprint, request.model, "protocol violation");
+    release(index);
+    throw AnalysisCrashed("sandbox worker broke the pipe protocol");
+  }
+
+  slot.served = response->served;
+  if (options_.worker_rss_mb > 0 &&
+      response->rss_kb > options_.worker_rss_mb * 1024) {
+    kills_oom_.fetch_add(1, std::memory_order_relaxed);
+    destroy_slot(slot);
+  } else if (options_.recycle_requests > 0 &&
+             slot.served >= options_.recycle_requests) {
+    recycles_.fetch_add(1, std::memory_order_relaxed);
+    recycle_slot(slot);
+  }
+
+  {
+    // A completed round-trip proves spawning works: reset the backoff.
+    std::lock_guard<std::mutex> lock(mutex_);
+    backoff_ms_ = 0;
+    next_spawn_ = Clock::time_point{};
+  }
+  release(index);
+  return *response;
+}
+
+core::ModelFeatures WorkerPool::compute(const std::string& model,
+                                        const Deadline& deadline,
+                                        const std::string& fingerprint) {
+  WorkerRequest request;
+  request.verb = Verb::kCompute;
+  request.model = model;
+  if (deadline.timed())
+    request.deadline_ms =
+        std::max<std::int64_t>(1, deadline.remaining_ms());
+  request.step_budget = deadline.step_budget();
+  // Chaos sites armed in the parent fire in the worker: ship a
+  // snapshot of every armed dca.* site with the request.
+  request.fault_spec = fault::armed_spec("dca.");
+
+  const int index = acquire(deadline);
+  const WorkerResponse response =
+      roundtrip(index, request, deadline, fingerprint);
+  switch (response.status) {
+    case Status::kOk:
+      return response.features;
+    case Status::kTimeout:
+      throw AnalysisTimeout(response.error);
+    case Status::kInvalid:
+      throw std::runtime_error("sandbox request rejected: " +
+                               response.error);
+    case Status::kFailed:
+      break;
+  }
+  throw std::runtime_error(response.error.empty()
+                               ? std::string("analysis failed in worker")
+                               : response.error);
+}
+
+void WorkerPool::check_ptx(const std::string& text,
+                           const Deadline& deadline) {
+  WorkerRequest request;
+  request.verb = Verb::kPtx;
+  request.body = text;
+  if (deadline.timed())
+    request.deadline_ms =
+        std::max<std::int64_t>(1, deadline.remaining_ms());
+  request.fault_spec = fault::armed_spec("dca.");
+
+  const int index = acquire(deadline);
+  const WorkerResponse response =
+      roundtrip(index, request, deadline, /*fingerprint=*/"");
+  switch (response.status) {
+    case Status::kOk:
+      return;
+    case Status::kTimeout:
+      throw AnalysisTimeout(response.error);
+    case Status::kInvalid:
+    case Status::kFailed:
+      break;
+  }
+  // Mirror the in-process parse_ptx contract: rejection is a CheckError.
+  throw CheckError(response.error.empty() ? "ptx rejected in worker"
+                                          : response.error);
+}
+
+PoolStats WorkerPool::stats() const {
+  PoolStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.worker_crashes = crashes_.load(std::memory_order_relaxed);
+  out.worker_kills_timeout =
+      kills_timeout_.load(std::memory_order_relaxed);
+  out.worker_kills_oom = kills_oom_.load(std::memory_order_relaxed);
+  out.worker_recycles = recycles_.load(std::memory_order_relaxed);
+  out.worker_respawns = respawns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+int WorkerPool::alive_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int alive = 0;
+  for (const Slot& slot : slots_)
+    if (slot.pid > 0) ++alive;
+  return alive;
+}
+
+void WorkerPool::shutdown(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  slot_available_.notify_all();
+
+  // EOF every idle worker now: they _exit(0) on their own.
+  for (Slot& slot : slots_)
+    if (slot.state == SlotState::kIdle) close_fd(slot.request_fd);
+
+  // Give in-flight requests until the drain deadline to finish; their
+  // owning threads release (and EOF) the slots as they complete.
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::milliseconds(std::max(0, timeout_ms));
+  auto any_busy = [this] {
+    return std::any_of(slots_.begin(), slots_.end(), [](const Slot& s) {
+      return s.state == SlotState::kBusy;
+    });
+  };
+  while (any_busy() && Clock::now() < give_up)
+    slot_available_.wait_until(lock, give_up);
+
+  for (Slot& slot : slots_) {
+    if (slot.state == SlotState::kBusy) {
+      // Drain deadline passed with the request still in flight: kill
+      // the worker out from under it.  The owning thread sees the pipe
+      // EOF, classifies it as a crash, and reaps/closes — we must not
+      // touch its fds from here.
+      if (slot.pid > 0) ::kill(slot.pid, SIGKILL);
+      continue;
+    }
+    if (slot.pid > 0) {
+      int status = 0;
+      if (!wait_exit(slot.pid, &status, 200)) {
+        ::kill(slot.pid, SIGKILL);
+        wait_exit(slot.pid, &status, 2000);
+      }
+      slot.pid = -1;
+    }
+    close_fd(slot.request_fd);
+    close_fd(slot.response_fd);
+    slot.state = SlotState::kEmpty;
+  }
+}
+
+}  // namespace gpuperf::sandbox

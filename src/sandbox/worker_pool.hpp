@@ -1,0 +1,167 @@
+// Parent side of the DCA sandbox (docs/ROBUSTNESS.md): a pre-forked
+// pool of analysis worker processes with crash-only recovery.  The
+// serving layer routes feature extraction here instead of running the
+// symbolic executor in-process; a worker that segfaults, hangs past the
+// hard wall-clock deadline, or balloons past the RSS ceiling is simply
+// SIGKILLed and respawned — the parent never shares a fate with the
+// analysis it is running.
+//
+// Failure taxonomy seen by callers:
+//   AnalysisTimeout   the worker's cooperative Deadline expired (same
+//                     type the in-process path throws)
+//   AnalysisCrashed   the worker died, was hard-killed, or broke the
+//                     pipe protocol — the crash-only signal, mapped to
+//                     the `analysis_crashed` error code upstream
+//   std::runtime_error  typed analysis failure forwarded from the
+//                     worker (bad kernel, injected fault, OOM refusal)
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/deadline.hpp"
+#include "core/features.hpp"
+#include "sandbox/wire.hpp"
+#include "sandbox/worker.hpp"
+
+namespace gpuperf::sandbox {
+
+/// A sandboxed analysis worker died instead of answering: killed by a
+/// signal, hard-killed by the pool's reaper, or it corrupted the pipe
+/// protocol.  Distinct from AnalysisTimeout (cooperative, the analysis
+/// itself noticed) and from analysis failures (the worker answered
+/// with a typed error).
+class AnalysisCrashed : public std::runtime_error {
+ public:
+  explicit AnalysisCrashed(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct PoolOptions {
+  int workers = 2;
+  /// SIGKILL a worker that has not answered after this many wall-clock
+  /// milliseconds, regardless of its cooperative deadline.  This is the
+  /// backstop for hangs the Deadline cannot see (tight native loops,
+  /// a worker stuck on an inherited lock).
+  int hard_timeout_ms = 30000;
+  /// Kill + respawn a worker whose self-reported RSS exceeds this
+  /// (MiB); 0 disables.  Catches slow leaks and injected bloat.
+  std::size_t worker_rss_mb = 512;
+  /// Child-side RLIMIT_AS in MiB (0 = unlimited): allocation refusal
+  /// inside the analysis instead of host-wide memory pressure.
+  std::size_t worker_as_mb = 0;
+  /// Child-side RLIMIT_CPU in seconds.  Cumulative per process, so this
+  /// must cover a worker's whole recycle window, not one request.
+  int worker_cpu_seconds = 60;
+  int worker_open_files = 64;  // child-side RLIMIT_NOFILE
+  /// Gracefully recycle a worker after this many requests (bounds
+  /// leak accumulation and resets the cumulative RLIMIT_CPU clock).
+  std::uint64_t recycle_requests = 256;
+  /// Respawn backoff after a failed fork(): doubles from `initial` to
+  /// `max` while spawns keep failing, resets on any served request.
+  int respawn_backoff_initial_ms = 50;
+  int respawn_backoff_max_ms = 2000;
+  /// When non-empty, crashing module fingerprints are appended to
+  /// <dir>/quarantine.log — the flight recorder consulted post-mortem.
+  std::string quarantine_dir;
+};
+
+/// Worker lifecycle counters (see docs/ROBUSTNESS.md for the exact
+/// event each one counts).  Exposed verbatim in serve stats.
+struct PoolStats {
+  std::uint64_t requests = 0;        // round-trips attempted
+  std::uint64_t worker_crashes = 0;  // uncommanded deaths
+  std::uint64_t worker_kills_timeout = 0;  // hard-deadline SIGKILLs
+  std::uint64_t worker_kills_oom = 0;      // RSS-ceiling kills
+  std::uint64_t worker_recycles = 0;       // graceful request-count
+  std::uint64_t worker_respawns = 0;       // spawns after the pre-fork
+};
+
+class WorkerPool {
+ public:
+  /// Pre-forks `options.workers` children.  A failed initial spawn is
+  /// tolerated (the slot respawns on demand); an all-failed pre-fork
+  /// still constructs — crash-only means the pool heals, not aborts.
+  explicit WorkerPool(PoolOptions options);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Feature extraction in a sandboxed worker.  Blocks until a worker
+  /// is free (bounded by `deadline` and the hard timeout).
+  /// `fingerprint` (hex topology hash, may be empty) is recorded in
+  /// the quarantine log when the request kills its worker.
+  core::ModelFeatures compute(const std::string& model,
+                              const Deadline& deadline,
+                              const std::string& fingerprint);
+
+  /// Parse raw PTX in a sandboxed worker — the corpus-replay surface.
+  /// Throws CheckError on rejection, mirroring ptx::parse_ptx.
+  void check_ptx(const std::string& text, const Deadline& deadline);
+
+  PoolStats stats() const;
+
+  /// Workers currently running (spawned and not yet reaped).
+  int alive_workers() const;
+
+  /// Graceful shutdown: stop admitting requests, EOF every idle
+  /// worker's request pipe, wait up to `timeout_ms` for exits, then
+  /// SIGKILL and reap whatever remains.  Idempotent.
+  void shutdown(int timeout_ms);
+
+ private:
+  enum class SlotState { kEmpty, kIdle, kBusy };
+
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    pid_t pid = -1;
+    int request_fd = -1;   // parent writes requests here
+    int response_fd = -1;  // parent reads responses here
+    std::uint64_t served = 0;
+  };
+
+  bool spawn_locked(Slot& slot, bool initial);
+  int acquire(const Deadline& deadline);
+  void release(int index);
+  /// SIGKILL + reap + close; `slot` becomes kEmpty.  Caller holds the
+  /// slot as kBusy (so no lock is needed for the fds).
+  void destroy_slot(Slot& slot);
+  /// Close the request pipe (EOF = graceful exit), wait briefly, then
+  /// escalate to destroy_slot if the worker lingers.
+  void recycle_slot(Slot& slot);
+  void quarantine(const std::string& fingerprint,
+                  const std::string& model, const std::string& reason);
+
+  /// One request round-trip on an acquired slot.  Throws the taxonomy
+  /// documented on the class; always leaves the slot released.
+  WorkerResponse roundtrip(int index, const WorkerRequest& request,
+                           const Deadline& deadline,
+                           const std::string& fingerprint);
+
+  const PoolOptions options_;
+  const WorkerLimits limits_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_available_;
+  std::vector<Slot> slots_;
+  bool shutdown_ = false;
+  int backoff_ms_ = 0;  // 0 = healthy, else current respawn backoff
+  std::chrono::steady_clock::time_point next_spawn_{};
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> kills_timeout_{0};
+  std::atomic<std::uint64_t> kills_oom_{0};
+  std::atomic<std::uint64_t> recycles_{0};
+  std::atomic<std::uint64_t> respawns_{0};
+};
+
+}  // namespace gpuperf::sandbox

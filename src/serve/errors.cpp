@@ -7,6 +7,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kInvalidRequest: return "invalid_request";
     case ErrorCode::kAnalysisTimeout: return "analysis_timeout";
     case ErrorCode::kAnalysisFailed: return "analysis_failed";
+    case ErrorCode::kAnalysisCrashed: return "analysis_crashed";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kModelUnavailable: return "model_unavailable";
     case ErrorCode::kDegraded: return "degraded";

@@ -24,6 +24,12 @@ enum class ErrorCode {
   /// DCA or prediction failed for a reason other than time (unsupported
   /// kernel fragment, internal invariant, injected fault).
   kAnalysisFailed,
+  /// A sandboxed analysis worker died instead of answering: killed by a
+  /// signal, hard-killed past --dca-hard-timeout-ms, or it corrupted
+  /// the worker pipe protocol.  The server itself is fine — the worker
+  /// was the crash domain.  Retrying may succeed on a fresh worker;
+  /// repeated crashes for one module open its circuit breaker.
+  kAnalysisCrashed,
   /// Admission control shed the request (in-flight or queue bound hit).
   /// Retrying after a backoff is the intended client behavior.
   kOverloaded,

@@ -17,6 +17,7 @@
 #include "ptx/counter.hpp"
 #include "ptx/depgraph.hpp"
 #include "registry/hash.hpp"
+#include "sandbox/worker_pool.hpp"
 #include "serve/errors.hpp"
 
 namespace gpuperf::serve {
@@ -80,6 +81,24 @@ ServeSession::ServeSession(ServeOptions options)
   metrics_.counter("breaker_open");
   metrics_.counter("breaker_half_open");
   metrics_.counter("breaker_fast_fail");
+
+  if (options_.isolate_dca) {
+    sandbox::PoolOptions pool;
+    pool.workers = std::max(1, options_.dca_workers);
+    pool.hard_timeout_ms = options_.dca_hard_timeout_ms;
+    pool.worker_rss_mb = options_.dca_worker_rss_mb;
+    pool.worker_as_mb = options_.dca_worker_as_mb;
+    pool.quarantine_dir = options_.dca_quarantine_dir;
+    sandbox_pool_ = std::make_unique<sandbox::WorkerPool>(pool);
+    // Worker lifecycle counters (docs/ROBUSTNESS.md), pre-registered
+    // at zero like the breaker's.
+    metrics_.counter("analysis_crashes");
+    metrics_.counter("worker_crashes");
+    metrics_.counter("worker_kills_timeout");
+    metrics_.counter("worker_kills_oom");
+    metrics_.counter("worker_recycles");
+    metrics_.counter("worker_respawns");
+  }
 
   // Likewise the out-of-core graph counters (docs/PERF.md "Graph memory
   // layout"): zeros until the first dependency graph is built/spilled.
@@ -241,10 +260,23 @@ void ServeSession::start_polling() {
   });
 }
 
+core::ModelFeatures ServeSession::run_dca(const std::string& model,
+                                          const cnn::Model& cnn_model,
+                                          const Deadline& deadline) {
+  if (sandbox_pool_)
+    return sandbox_pool_->compute(
+        model, deadline, registry::hex64(module_fingerprint(model)));
+  return extractor_.compute(cnn_model, deadline);
+}
+
 ServeSession::FeaturePtr ServeSession::compute_features(
     const std::string& model, const Deadline& deadline) {
   const cnn::Model cnn_model = cnn::zoo::build(model);
-  GPUPERF_FAULT_POINT_D("dca.compute", &deadline);
+  // In isolated mode every dca.* chaos site fires inside the worker
+  // (the pool ships an armed-site snapshot with each request), so the
+  // parent-side point stays quiet — otherwise it would consume the
+  // firing the worker was meant to see.
+  if (!sandbox_pool_) GPUPERF_FAULT_POINT_D("dca.compute", &deadline);
   if (feature_store_) {
     const std::uint64_t key =
         registry::FeatureStore::topology_hash(cnn_model);
@@ -260,7 +292,7 @@ ServeSession::FeaturePtr ServeSession::compute_features(
       metrics_.counter("store_read_failures").fetch_add(1);
     }
     auto computed = std::make_shared<const core::ModelFeatures>(
-        extractor_.compute(cnn_model, deadline));
+        run_dca(model, cnn_model, deadline));
     dca_computes_.fetch_add(1);
     observe_instructions(computed->executed_instructions);
     try {
@@ -274,7 +306,7 @@ ServeSession::FeaturePtr ServeSession::compute_features(
     return computed;
   }
   auto computed = std::make_shared<const core::ModelFeatures>(
-      extractor_.compute(cnn_model, deadline));
+      run_dca(model, cnn_model, deadline));
   dca_computes_.fetch_add(1);
   observe_instructions(computed->executed_instructions);
   return computed;
@@ -401,6 +433,13 @@ ServeSession::PredictOutcome ServeSession::predict_or_degrade(
     throw;  // overload shedding must reach the client as overloaded
   } catch (const AnalysisTimeout&) {
     metrics_.counter("analysis_timeouts").fetch_add(1);
+    if (breaker_on) breaker_record_failure(fp);
+    if (!allow_degrade) throw;
+  } catch (const sandbox::AnalysisCrashed&) {
+    // A sandboxed worker died under this module: the strongest breaker
+    // signal there is, and exactly the failure the degraded static
+    // path exists for.
+    metrics_.counter("analysis_crashes").fetch_add(1);
     if (breaker_on) breaker_record_failure(fp);
     if (!allow_degrade) throw;
   } catch (const std::exception&) {
@@ -839,6 +878,15 @@ std::string ServeSession::stats_json() {
       .store(registry_ ? registry_->quarantined_total() : 0);
   metrics_.counter("store_records_recovered")
       .store(feature_store_ ? feature_store_->recovered_records() : 0);
+  // Worker lifecycle telemetry from the sandbox pool (isolate_dca).
+  if (sandbox_pool_) {
+    const sandbox::PoolStats ps = sandbox_pool_->stats();
+    metrics_.counter("worker_crashes").store(ps.worker_crashes);
+    metrics_.counter("worker_kills_timeout").store(ps.worker_kills_timeout);
+    metrics_.counter("worker_kills_oom").store(ps.worker_kills_oom);
+    metrics_.counter("worker_recycles").store(ps.worker_recycles);
+    metrics_.counter("worker_respawns").store(ps.worker_respawns);
+  }
 
   JsonWriter json;
   json.begin_object().field("ok", true).field("endpoint", "stats");
@@ -855,6 +903,20 @@ std::string ServeSession::stats_json() {
       .field("memo_misses", memo.misses)
       .field("parallel_tasks", memo.parallel_tasks)
       .end_object();
+  if (sandbox_pool_) {
+    const sandbox::PoolStats ps = sandbox_pool_->stats();
+    json.begin_object("sandbox")
+        .field("workers",
+               static_cast<std::int64_t>(options_.dca_workers))
+        .field("alive", static_cast<std::int64_t>(
+                            sandbox_pool_->alive_workers()))
+        .field("requests", ps.requests)
+        .field("hard_timeout_ms",
+               static_cast<std::int64_t>(options_.dca_hard_timeout_ms))
+        .field("worker_rss_mb",
+               static_cast<std::uint64_t>(options_.dca_worker_rss_mb))
+        .end_object();
+  }
   if (sweep_cache_) {
     json.begin_object("dse")
         .field("sweep_cache_hits", sweep_cache_->hits())
@@ -1040,6 +1102,9 @@ Response ServeSession::handle(const Request& request) {
   } catch (const AnalysisTimeout& e) {
     scope.mark_error();
     return error_response(ErrorCode::kAnalysisTimeout, e.what());
+  } catch (const sandbox::AnalysisCrashed& e) {
+    scope.mark_error();
+    return error_response(ErrorCode::kAnalysisCrashed, e.what());
   } catch (const LimitExceeded& e) {
     // A request-derived input blew a resource budget (docs/ROBUSTNESS.md):
     // typed as input_too_large so clients can tell "shrink your input"

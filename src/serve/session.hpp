@@ -37,6 +37,10 @@
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 
+namespace gpuperf::sandbox {
+class WorkerPool;
+}
+
 namespace gpuperf::serve {
 
 struct ServeOptions {
@@ -102,6 +106,28 @@ struct ServeOptions {
   /// ($GPUPERF_DCA_SPILL_BUDGET or InputLimits'
   /// max_depgraph_resident_bytes).
   std::size_t dca_spill_budget_bytes = 0;
+  /// Crash isolation (docs/ROBUSTNESS.md): run every DCA pass in a
+  /// sandboxed worker process instead of in-process.  A crashing,
+  /// hanging or ballooning analysis then kills a disposable worker,
+  /// never the server; the failure surfaces as the typed
+  /// analysis_crashed error (feeding the circuit breaker and, when
+  /// degradation is on, the static-features fallback).
+  bool isolate_dca = false;
+  /// Sandboxed worker pool size (isolate_dca only).
+  int dca_workers = 2;
+  /// Kill + respawn a worker whose post-request RSS exceeds this many
+  /// MiB; 0 disables the ceiling.
+  std::size_t dca_worker_rss_mb = 512;
+  /// SIGKILL a worker that has not answered after this many wall-clock
+  /// milliseconds — the backstop for hangs the cooperative Deadline
+  /// cannot interrupt.
+  int dca_hard_timeout_ms = 30000;
+  /// Worker-side RLIMIT_AS in MiB (0 = unlimited).
+  std::size_t dca_worker_as_mb = 0;
+  /// Directory for the crash flight recorder: module fingerprints of
+  /// requests that killed their worker, one line per event.  Empty
+  /// disables the log.
+  std::string dca_quarantine_dir;
 };
 
 class ServeSession {
@@ -166,6 +192,9 @@ class ServeSession {
   /// The persistent sweep cache (nullptr without a feature store dir).
   const dse::SweepCache* sweep_cache() const { return sweep_cache_.get(); }
 
+  /// The sandboxed DCA worker pool (nullptr unless isolate_dca).
+  sandbox::WorkerPool* sandbox_pool() { return sandbox_pool_.get(); }
+
   MetricsRegistry& metrics() { return metrics_; }
   CacheStats feature_cache_stats() const { return features_.stats(); }
   CacheStats result_cache_stats() const { return results_.stats(); }
@@ -222,6 +251,11 @@ class ServeSession {
   FeaturePtr features_for(const std::string& model,
                           const Deadline& deadline = {});
   FeaturePtr compute_features(const std::string& model,
+                              const Deadline& deadline);
+  /// One DCA pass: in a sandboxed worker when isolate_dca, else the
+  /// in-process extractor.  Worker death throws sandbox::AnalysisCrashed.
+  core::ModelFeatures run_dca(const std::string& model,
+                              const cnn::Model& cnn_model,
                               const Deadline& deadline);
   std::vector<double> predict_group(
       const std::string& model,
@@ -289,6 +323,10 @@ class ServeSession {
   std::unique_ptr<registry::ModelRegistry> registry_;
   std::unique_ptr<registry::FeatureStore> feature_store_;
   std::unique_ptr<dse::SweepCache> sweep_cache_;
+  // Declared before the thread pool and batcher so it is destroyed
+  // after them: worker-pool shutdown must not race in-flight predicts
+  // still running on session threads.
+  std::unique_ptr<sandbox::WorkerPool> sandbox_pool_;
 
   mutable std::mutex estimator_mutex_;
   std::shared_ptr<const core::PerformanceEstimator> estimator_;

@@ -1,0 +1,212 @@
+// Sandbox layer unit tests: the GPWK pipe protocol round-trips and
+// rejects every kind of damage, and the worker pool serves real DCA
+// requests out-of-process with recycling and typed failures.  The
+// crash/hang/OOM paths (which need fault injection) live in the chaos
+// suite; everything here runs in every build.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+#include "cnn/zoo.hpp"
+#include "common/check.hpp"
+#include "common/deadline.hpp"
+#include "common/subprocess.hpp"
+#include "core/features.hpp"
+#include "sandbox/wire.hpp"
+#include "sandbox/worker_pool.hpp"
+
+namespace gpuperf::sandbox {
+namespace {
+
+constexpr char kTinyPtx[] = R"(
+.visible .entry noop() {
+  ret;
+}
+)";
+
+TEST(SandboxWire, RequestRoundTripsEveryField) {
+  WorkerRequest request;
+  request.verb = Verb::kCompute;
+  request.model = "alexnet";
+  request.deadline_ms = 1234;
+  request.step_budget = 99;
+  request.fault_spec = "dca.crash=throw*2;dca.compute=delay:5";
+  const auto parsed = parse_request(encode_request(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->verb, Verb::kCompute);
+  EXPECT_EQ(parsed->model, "alexnet");
+  EXPECT_EQ(parsed->deadline_ms, 1234);
+  EXPECT_EQ(parsed->step_budget, 99u);
+  EXPECT_EQ(parsed->fault_spec, request.fault_spec);
+}
+
+TEST(SandboxWire, PtxBodySurvivesVerbatim) {
+  WorkerRequest request;
+  request.verb = Verb::kPtx;
+  request.body = kTinyPtx;
+  const auto parsed = parse_request(encode_request(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->verb, Verb::kPtx);
+  EXPECT_EQ(parsed->body, kTinyPtx);
+}
+
+TEST(SandboxWire, ResponseCarriesFeaturesAndTelemetry) {
+  WorkerResponse response;
+  response.status = Status::kOk;
+  response.rss_kb = 4096;
+  response.served = 7;
+  response.features.model_name = "vgg16";
+  response.features.executed_instructions = 123456789;
+  response.features.trainable_params = 42;
+  response.features.dca_seconds = 0.25;
+  const auto parsed = parse_response(encode_response(response));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, Status::kOk);
+  EXPECT_EQ(parsed->rss_kb, 4096u);
+  EXPECT_EQ(parsed->served, 7u);
+  EXPECT_EQ(parsed->features.model_name, "vgg16");
+  EXPECT_EQ(parsed->features.executed_instructions, 123456789);
+  EXPECT_EQ(parsed->features.trainable_params, 42);
+  EXPECT_DOUBLE_EQ(parsed->features.dca_seconds, 0.25);
+}
+
+TEST(SandboxWire, ErrorMessageKeepsInternalSpaces) {
+  WorkerResponse response;
+  response.status = Status::kFailed;
+  response.error = "injected fault at dca.compute (worker side)";
+  const auto parsed = parse_response(encode_response(response));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->error, "injected fault at dca.compute (worker side)");
+}
+
+TEST(SandboxWire, MalformedPayloadsParseToNullopt) {
+  EXPECT_FALSE(parse_request("").has_value());
+  EXPECT_FALSE(parse_request("gpuperf-worker-req v2\nverb ping\n\n"));
+  EXPECT_FALSE(parse_request("gpuperf-worker-req v1\n\n"));  // no verb
+  EXPECT_FALSE(
+      parse_request("gpuperf-worker-req v1\nverb teleport\n\n"));
+  EXPECT_FALSE(parse_response("gpuperf-worker-resp v1\n\n"));
+  EXPECT_FALSE(
+      parse_response("gpuperf-worker-resp v1\nstatus sideways\n\n"));
+}
+
+/// Write `bytes` into a pipe, close the writer, read one frame back.
+std::optional<std::string> frame_through_pipe(const std::string& bytes) {
+  Pipe pipe = make_pipe();
+  EXPECT_TRUE(write_full(pipe.write_fd, bytes.data(), bytes.size()));
+  close_fd(pipe.write_fd);
+  const auto out = read_frame(pipe.read_fd);
+  close_fd(pipe.read_fd);
+  return out;
+}
+
+TEST(SandboxWire, FrameRoundTripsThroughARealPipe) {
+  const auto got = frame_through_pipe(encode_frame("hello worker"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "hello worker");
+}
+
+TEST(SandboxWire, DamagedFramesReadAsNullopt) {
+  // Truncated mid-payload: a worker died mid-write.
+  std::string frame = encode_frame("some payload bytes");
+  EXPECT_FALSE(frame_through_pipe(frame.substr(0, frame.size() - 3)));
+  // Flipped payload bit: CRC catches it.
+  frame = encode_frame("some payload bytes");
+  frame[frame.size() - 1] ^= 0x40;
+  EXPECT_FALSE(frame_through_pipe(frame));
+  // Wrong magic: not our protocol at all.
+  frame = encode_frame("some payload bytes");
+  frame[0] = 'X';
+  EXPECT_FALSE(frame_through_pipe(frame));
+  // Absurd length field: rejected before any allocation.
+  std::string bomb = "GPWK";
+  bomb += '\xff';
+  bomb += '\xff';
+  bomb += '\xff';
+  bomb += '\x7f';
+  bomb.append(4, '\0');
+  EXPECT_FALSE(frame_through_pipe(bomb));
+}
+
+PoolOptions small_pool() {
+  PoolOptions options;
+  options.workers = 1;
+  options.hard_timeout_ms = 60000;
+  return options;
+}
+
+TEST(SandboxPool, ComputeMatchesTheInProcessExtractor) {
+  WorkerPool pool(small_pool());
+  const core::ModelFeatures sandboxed =
+      pool.compute("alexnet", Deadline(), "");
+  const core::ModelFeatures local = core::FeatureExtractor().compute(
+      cnn::zoo::build("alexnet"), Deadline());
+  // The worker is the same code in another process: DCA must be
+  // bit-identical, not merely close.
+  EXPECT_EQ(sandboxed.executed_instructions, local.executed_instructions);
+  EXPECT_EQ(sandboxed.trainable_params, local.trainable_params);
+  EXPECT_EQ(sandboxed.macs, local.macs);
+  EXPECT_EQ(sandboxed.model_name, local.model_name);
+}
+
+TEST(SandboxPool, UnknownModelIsATypedFailureNotACrash) {
+  WorkerPool pool(small_pool());
+  EXPECT_THROW(pool.compute("not-a-model", Deadline(), ""),
+               std::runtime_error);
+  EXPECT_EQ(pool.stats().worker_crashes, 0u);
+  EXPECT_EQ(pool.alive_workers(), 1);
+}
+
+TEST(SandboxPool, StepBudgetTimesOutInsideTheWorker) {
+  WorkerPool pool(small_pool());
+  Deadline deadline;
+  deadline.with_step_budget(10);
+  // Workers fork with the parent's DCA memo: a model another test
+  // already computed in-process would be answered from cache without
+  // spending a single step, so this test needs an untouched one.
+  EXPECT_THROW(pool.compute("mobilenet", deadline, ""), AnalysisTimeout);
+  // Cooperative timeout: the worker answered and lives on.
+  EXPECT_EQ(pool.stats().worker_crashes, 0u);
+  EXPECT_EQ(pool.stats().worker_kills_timeout, 0u);
+  EXPECT_EQ(pool.alive_workers(), 1);
+}
+
+TEST(SandboxPool, CheckPtxAcceptsGoodAndRejectsBadInput) {
+  WorkerPool pool(small_pool());
+  EXPECT_NO_THROW(pool.check_ptx(kTinyPtx, Deadline()));
+  EXPECT_THROW(pool.check_ptx(".entry { this is not ptx", Deadline()),
+               CheckError);
+  EXPECT_EQ(pool.stats().worker_crashes, 0u);
+}
+
+TEST(SandboxPool, RecyclesAfterTheRequestBudgetAndRespawns) {
+  PoolOptions options = small_pool();
+  options.recycle_requests = 2;
+  WorkerPool pool(options);
+  for (int i = 0; i < 5; ++i)
+    pool.check_ptx(kTinyPtx, Deadline());
+  const PoolStats stats = pool.stats();
+  // 5 requests / recycle-every-2 → at least two graceful recycles,
+  // each followed by an on-demand respawn.
+  EXPECT_GE(stats.worker_recycles, 2u);
+  EXPECT_GE(stats.worker_respawns, 2u);
+  EXPECT_EQ(stats.worker_crashes, 0u);
+  EXPECT_EQ(pool.alive_workers(), 1);
+}
+
+TEST(SandboxPool, ShutdownLeavesNoChildrenBehind) {
+  PoolOptions options = small_pool();
+  options.workers = 2;
+  WorkerPool pool(options);
+  pool.check_ptx(kTinyPtx, Deadline());
+  EXPECT_EQ(pool.alive_workers(), 2);
+  pool.shutdown(2000);
+  EXPECT_EQ(pool.alive_workers(), 0);
+  // Shut down pools refuse new work instead of hanging on it.
+  EXPECT_THROW(pool.check_ptx(kTinyPtx, Deadline()), AnalysisCrashed);
+}
+
+}  // namespace
+}  // namespace gpuperf::sandbox

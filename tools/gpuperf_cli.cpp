@@ -34,6 +34,7 @@
 #include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/strings.hpp"
+#include "common/subprocess.hpp"
 #include "common/table.hpp"
 #include "common/deadline.hpp"
 #include "core/dataset_builder.hpp"
@@ -96,6 +97,10 @@ int usage() {
       "        [--breaker-threshold N] [--breaker-cooldown-ms N]\n"
       "        [--dca-spill-dir <dir>] [--dca-spill-budget BYTES]\n"
       "        [--workers K] [--max-pending N]\n"
+      "        [--isolate-dca] [--dca-workers N] [--dca-worker-rss-mb N]\n"
+      "        [--dca-hard-timeout-ms N] [--dca-worker-as-mb N]\n"
+      "        [--dca-quarantine-dir <dir>] (sandboxed analysis workers,\n"
+      "        docs/ROBUSTNESS.md \"Crash isolation\")\n"
       "  client <request...> [--host H] [--port N] [--timeout-ms N]\n"
       "        [--retries N] [--binary] (backoff with jitter on\n"
       "        failure/overload; --binary uses the framed protocol)\n"
@@ -485,6 +490,22 @@ int cmd_serve(const Args& args) {
   options.dca_spill_dir = args.flag_or("dca-spill-dir", "");
   options.dca_spill_budget_bytes = static_cast<std::size_t>(
       parse_int(args.flag_or("dca-spill-budget", "0")));
+  options.isolate_dca = args.has_flag("isolate-dca");
+  options.dca_workers = static_cast<int>(parse_int(
+      args.flag_or("dca-workers", std::to_string(options.dca_workers))));
+  options.dca_worker_rss_mb = static_cast<std::size_t>(parse_int(
+      args.flag_or("dca-worker-rss-mb",
+                   std::to_string(options.dca_worker_rss_mb))));
+  options.dca_hard_timeout_ms = static_cast<int>(parse_int(
+      args.flag_or("dca-hard-timeout-ms",
+                   std::to_string(options.dca_hard_timeout_ms))));
+  options.dca_worker_as_mb = static_cast<std::size_t>(
+      parse_int(args.flag_or("dca-worker-as-mb", "0")));
+  options.dca_quarantine_dir = args.flag_or("dca-quarantine-dir", "");
+
+  // Worker churn means broken pipes are routine; a SIGPIPE must never
+  // take down the server (it surfaces as EPIPE instead).
+  ignore_sigpipe();
 
   if (!options.registry_dir.empty())
     std::fprintf(stderr, "loading bundle from registry %s...\n",
